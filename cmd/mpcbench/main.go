@@ -1,0 +1,73 @@
+// Command mpcbench regenerates every table and worked example of the paper
+// (experiment index E1–E12 in DESIGN.md) and prints paper-predicted vs
+// measured values.
+//
+// Usage:
+//
+//	mpcbench [-quick] [-seed N] [-md] [-only E5]
+//
+// -quick shrinks input sizes (useful for smoke runs); -md emits markdown
+// (the format of EXPERIMENTS.md); -only runs a single experiment by id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mpcquery/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced input sizes")
+	seed := flag.Int64("seed", 42, "base random seed")
+	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	only := flag.String("only", "", "run a single experiment id (e.g. E5)")
+	outPath := flag.String("out", "", "also write the output to this file")
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	start := time.Now()
+	tables := experiments.All(cfg)
+	var matched bool
+	for _, t := range tables {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		matched = true
+		switch {
+		case *jsonOut:
+			b, err := t.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(out, string(b))
+		case *md:
+			fmt.Fprintln(out, t.Markdown())
+		default:
+			fmt.Fprintln(out, t.Format())
+		}
+	}
+	if *only != "" && !matched {
+		fmt.Fprintf(os.Stderr, "mpcbench: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mpcbench: %d experiments in %v (quick=%v, seed=%d)\n",
+		len(tables), time.Since(start).Round(time.Millisecond), *quick, *seed)
+}

@@ -1,0 +1,129 @@
+// Command mpcrun executes one query end-to-end on the simulated MPC
+// cluster: it generates a workload, runs the chosen algorithm, verifies the
+// output against a sequential join, and reports loads and replication.
+//
+// Usage:
+//
+//	mpcrun -family triangle -m 10000 -p 64 -algo hc
+//	mpcrun -family chain -k 8 -m 5000 -p 64 -algo multiround -eps 0.5
+//	mpcrun -family star -k 2 -m 5000 -p 16 -algo star -skew 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/data"
+	"mpcquery/internal/multiround"
+	"mpcquery/internal/query"
+	"mpcquery/internal/skew"
+)
+
+func main() {
+	family := flag.String("family", "triangle", "query family: triangle|cycle|chain|star|spokedwheel")
+	k := flag.Int("k", 3, "family size parameter")
+	m := flag.Int("m", 10000, "tuples per relation")
+	p := flag.Int("p", 64, "number of servers")
+	algo := flag.String("algo", "hc", "algorithm: hc|oblivious|star|star-sampled|triangle|generic|multiround")
+	eps := flag.Float64("eps", 0, "space exponent (multiround)")
+	skewFrac := flag.Float64("skew", 0, "fraction of tuples carrying one heavy value")
+	seed := flag.Int64("seed", 1, "random seed")
+	verify := flag.Bool("verify", true, "compare against a sequential join")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	q := buildQuery(*family, *k)
+	n := int64(16 * *m)
+	db := buildData(rng, q, *family, *m, n, *skewFrac, *p)
+
+	var (
+		output    *data.Relation
+		rounds    int
+		loadBits  float64
+		totalBits float64
+		servers   int
+	)
+	switch *algo {
+	case "hc", "oblivious":
+		mode := core.SkewFree
+		if *algo == "oblivious" {
+			mode = core.SkewOblivious
+		}
+		res := core.Run(q, db, *p, *seed, mode)
+		output, rounds, loadBits, totalBits, servers = res.Output, 1, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+	case "star":
+		res := skew.RunStar(q, db, *p, *seed)
+		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+	case "star-sampled":
+		res := skew.RunStarSampled(q, db, *p, *seed, 200)
+		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+	case "generic":
+		res := skew.RunGeneric(q, db, *p, *seed, 32)
+		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+	case "triangle":
+		res := skew.RunTriangle(q, db, *p, *seed)
+		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+	case "multiround":
+		plan := multiround.GreedyPlan(q, *eps)
+		res := multiround.Execute(plan, db, *p, *seed)
+		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, *p
+		fmt.Printf("plan:\n%s", plan.Root)
+	default:
+		fmt.Fprintf(os.Stderr, "mpcrun: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	fmt.Printf("query    : %s\n", q)
+	fmt.Printf("servers  : %d (requested p=%d)\n", servers, *p)
+	fmt.Printf("rounds   : %d\n", rounds)
+	fmt.Printf("max load : %.0f bits (%.1f tuples-equivalent)\n",
+		loadBits, loadBits/float64(2*data.BitsPerValue(db.N)))
+	fmt.Printf("total    : %.0f bits communicated, replication %.2f\n",
+		totalBits, totalBits/db.TotalBits())
+	fmt.Printf("output   : %d tuples\n", output.NumTuples())
+
+	if *verify {
+		want := core.SequentialAnswer(q, db)
+		if data.Equal(output, want) {
+			fmt.Println("verify   : OK (matches sequential join)")
+		} else {
+			fmt.Printf("verify   : MISMATCH (sequential has %d tuples)\n", want.NumTuples())
+			os.Exit(1)
+		}
+	}
+}
+
+func buildQuery(family string, k int) *query.Query {
+	switch family {
+	case "triangle":
+		return query.Triangle()
+	case "cycle":
+		return query.Cycle(k)
+	case "chain":
+		return query.Chain(k)
+	case "star":
+		return query.Star(k)
+	case "spokedwheel":
+		return query.SpokedWheel(k)
+	default:
+		fmt.Fprintf(os.Stderr, "mpcrun: unknown family %q\n", family)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func buildData(rng *rand.Rand, q *query.Query, family string, m int, n int64, skewFrac float64, p int) *data.Database {
+	switch {
+	case family == "star" && skewFrac > 0:
+		return data.SkewedStarDatabase(rng, q.NumAtoms(), m, n, map[int64]int{7: int(skewFrac * float64(m))})
+	case family == "triangle" && skewFrac > 0:
+		return data.SkewedTriangleDatabase(rng, m, n, 7, int(skewFrac*float64(m)))
+	case family == "chain":
+		return data.ChainMatchingDatabase(rng, q.NumAtoms(), m, n)
+	default:
+		return data.MatchingDatabase(rng, q, m, n)
+	}
+}

@@ -1,0 +1,48 @@
+// Connected components in the MPC model (Theorem 5.20 context): the paper
+// proves that any tuple-based MPC algorithm with load O(m/p^{1−ε}) needs
+// Ω(log p) rounds to label connected components. This example runs two
+// executable algorithms on the theorem's hard instances — disjoint paths of
+// growing diameter — and shows the round counts:
+//
+//   - min-label propagation takes Θ(diameter) rounds;
+//   - min-pointer doubling takes O(log diameter) iterations,
+//     within a constant of the lower bound.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpcquery"
+)
+
+func main() {
+	const (
+		p        = 32
+		perLayer = 50
+	)
+	fmt.Printf("p=%d servers; graphs are %d disjoint paths of length d\n\n", p, perLayer)
+	fmt.Printf("%8s  %16s  %18s  %12s  %14s\n",
+		"diam d", "label-prop rnds", "pointer-jump rnds", "log2(d)", "PJ load (bits)")
+
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{8, 16, 32, 64, 128} {
+		g := mpcquery.LayeredPathGraph(rng, d, perLayer)
+		lp := mpcquery.ConnectedComponentsLabelProp(g, p, 1)
+		pj := mpcquery.ConnectedComponentsPointerJump(g, p, 1)
+
+		// Both must agree with ground truth.
+		for v, want := range g.ComponentsSequential() {
+			if lp.Labels[v] != want || pj.Labels[v] != want {
+				panic("component labels disagree with sequential union-find")
+			}
+		}
+		fmt.Printf("%8d  %16d  %18d  %12.1f  %14.0f\n",
+			d, lp.IterRounds, pj.IterRounds, math.Log2(float64(d)), pj.MaxLoadBits)
+	}
+
+	fmt.Println("\nreading the table: label propagation scales linearly with the")
+	fmt.Println("diameter, pointer jumping logarithmically — no algorithm at this")
+	fmt.Println("load can beat Ω(log p) rounds (Theorem 5.20).")
+}

@@ -1,0 +1,91 @@
+// Generalized skew handling: the paper's specialized algorithms cover star
+// and triangle queries; its reference [6] generalizes the technique to
+// arbitrary conjunctive queries by splitting every variable's domain into
+// heavy and light values and giving each heavy/light *pattern* its own
+// HyperCube block. This example runs that pattern algorithm on a query
+// outside the specialized cases — the chain L3 with a heavy middle value —
+// and compares it with the vanilla (skew-free-optimal) HyperCube.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpcquery"
+)
+
+func main() {
+	q := mpcquery.Chain(3) // S1(x0,x1), S2(x1,x2), S3(x2,x3)
+	const (
+		m = 6000
+		p = 64
+		n = 1 << 20
+	)
+	fmt.Printf("query %s, m=%d, p=%d\n\n", q, m, p)
+	fmt.Printf("%-18s  %14s  %14s  %10s\n", "heavy middle frac", "vanilla L", "pattern L", "ratio")
+
+	for _, frac := range []float64{0, 0.25, 0.5} {
+		rng := rand.New(rand.NewSource(9))
+		db := mpcquery.NewDatabase(n)
+		db.Add(randomMatchingRel(rng, "S1", m, n))
+		db.Add(heavyMiddle(rng, "S2", m, n, frac))
+		db.Add(randomMatchingRel(rng, "S3", m, n))
+
+		vanilla := mpcquery.RunHyperCube(q, db, p, 3)
+		pattern := mpcquery.RunSkewedGeneric(q, db, p, 3, 16)
+
+		if vanilla.Output.NumTuples() != pattern.Output.NumTuples() {
+			panic("outputs differ")
+		}
+		fmt.Printf("%-18.2f  %14.0f  %14.0f  %10.2f\n",
+			frac, vanilla.MaxLoadBits, pattern.MaxLoadBits,
+			vanilla.MaxLoadBits/pattern.MaxLoadBits)
+	}
+
+	fmt.Println("\nthe pattern algorithm peels the heavy value of x1 into its own")
+	fmt.Println("server block (a residual join on the remaining variables). On L3")
+	fmt.Println("the vanilla HyperCube is partially protected by the x2 hash, so the")
+	fmt.Println("gain is moderate and grows with the heavy fraction; the dramatic")
+	fmt.Println("separations live in examples/skewedjoin, where hashing has no")
+	fmt.Println("second coordinate to hide behind. The point here is generality:")
+	fmt.Println("chains are outside the paper's specialized star/triangle cases.")
+}
+
+func randomMatchingRel(rng *rand.Rand, name string, m int, n int64) *mpcquery.Relation {
+	rel := mpcquery.NewRelation(name, 2)
+	a := sample(rng, m, n)
+	b := sample(rng, m, n)
+	for i := 0; i < m; i++ {
+		rel.Append(a[i], b[i])
+	}
+	return rel
+}
+
+// heavyMiddle builds S2 where frac of the tuples share x1 = 7.
+func heavyMiddle(rng *rand.Rand, name string, m int, n int64, frac float64) *mpcquery.Relation {
+	rel := mpcquery.NewRelation(name, 2)
+	heavy := int(frac * float64(m))
+	left := sample(rng, m, n)
+	right := sample(rng, m, n)
+	for i := 0; i < m; i++ {
+		if i < heavy {
+			rel.Append(7, right[i])
+		} else {
+			rel.Append(left[i], right[i])
+		}
+	}
+	return rel
+}
+
+func sample(rng *rand.Rand, m int, n int64) []int64 {
+	seen := make(map[int64]bool, m)
+	out := make([]int64, 0, m)
+	for len(out) < m {
+		v := rng.Int63n(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Self-joins (footnote 2 of the paper): the model formally excludes
+// repeated relation names, but the paper notes the restriction is without
+// loss of generality — rename the occurrences apart and copy the relation.
+// This example uses that reduction to compute graph patterns inside a
+// single edge relation E with the one-round HyperCube algorithm:
+//
+//   - length-2 paths  E(x,y), E(y,z)
+//   - triangles       E(x,y), E(y,z), E(z,x)
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpcquery"
+)
+
+func main() {
+	const (
+		vertices = 800
+		edges    = 6000
+		p        = 64
+	)
+	rng := rand.New(rand.NewSource(13))
+	db := mpcquery.NewDatabase(vertices)
+	e := mpcquery.NewRelation("E", 2)
+	for i := 0; i < edges; i++ {
+		u := rng.Int63n(vertices)
+		v := rng.Int63n(vertices)
+		for v == u {
+			v = rng.Int63n(vertices)
+		}
+		e.Append(u, v)
+	}
+	db.Add(e)
+	fmt.Printf("random digraph: %d vertices, %d edges, p=%d servers\n\n", vertices, edges, p)
+
+	patterns := []struct {
+		name  string
+		atoms []mpcquery.Atom
+	}{
+		{"length-2 paths", []mpcquery.Atom{
+			{Name: "E", Vars: []string{"x", "y"}},
+			{Name: "E", Vars: []string{"y", "z"}},
+		}},
+		{"triangles", []mpcquery.Atom{
+			{Name: "E", Vars: []string{"x", "y"}},
+			{Name: "E", Vars: []string{"y", "z"}},
+			{Name: "E", Vars: []string{"z", "x"}},
+		}},
+	}
+	for _, pat := range patterns {
+		q, _ := mpcquery.DesugarSelfJoins(pat.name, pat.atoms)
+		res := mpcquery.RunHyperCubeSelfJoins(pat.name, pat.atoms, db, p, 7)
+		fmt.Printf("%-16s desugared to %s\n", pat.name, q)
+		fmt.Printf("%-16s %d matches, max load %.0f bits, replication %.2f\n\n",
+			"", res.Output.NumTuples(), res.MaxLoadBits, res.ReplicationRate)
+	}
+
+	fmt.Println("each E-copy is a renamed view of the same relation — the paper's")
+	fmt.Println("reduction costs at most an ℓ-times larger input, nothing else.")
+}

@@ -1,0 +1,63 @@
+// Skewed join (Example 4.1): the simple join q(x,y,z) = S1(x,z), S2(y,z)
+// where a growing fraction of both relations shares a single z-value.
+// Three algorithms face the same input:
+//
+//   - the naive parallel hash join (all shares on z), which collapses to
+//     load Θ(M) because every heavy tuple lands on one server;
+//   - the skew-oblivious HyperCube with the worst-case shares of LP (18),
+//     which holds M/p^{1/3} regardless of the data;
+//   - the skew-aware algorithm of Section 4.2.1, which knows the heavy
+//     hitters and computes their residual Cartesian products on dedicated
+//     server groups, tracking the optimal bound (20).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpcquery"
+	"mpcquery/internal/data"
+)
+
+func main() {
+	q := mpcquery.Star(2) // S1(z,x1), S2(z,x2): the simple join
+	const (
+		m = 8000
+		p = 16
+		n = 1 << 20
+	)
+	fmt.Printf("query %s, m=%d tuples per relation, p=%d servers\n\n", q, m, p)
+	fmt.Printf("%-14s  %14s  %14s  %14s  %12s\n",
+		"heavy frac", "naive L(bits)", "oblivious L", "skew-aware L", "LB (20)")
+
+	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
+		rng := rand.New(rand.NewSource(11))
+		heavy := map[int64]int{}
+		if frac > 0 {
+			heavy[7] = int(frac * float64(m))
+		}
+		db := mpcquery.SkewedStarDatabase(rng, 2, m, n, heavy)
+
+		// Naive hash join: hash both relations on z only.
+		shares := []int{1, 1, 1}
+		shares[q.VarIndex("z")] = p
+		naive := mpcquery.RunHyperCubeWithShares(q, db, shares, 3)
+
+		oblivious := mpcquery.RunHyperCubeOblivious(q, db, p, 3)
+		aware := mpcquery.RunSkewedStar(q, db, p, 3)
+
+		freq := make([]map[int64]float64, 2)
+		for j, a := range q.Atoms {
+			rel := db.Get(a.Name)
+			freq[j] = data.FrequenciesBits(data.ColumnFrequencies(rel, 0), 2, n)
+		}
+		lb := mpcquery.StarSkewLB(freq, p)
+
+		fmt.Printf("%-14.2f  %14.0f  %14.0f  %14.0f  %12.0f\n",
+			frac, naive.MaxLoadBits, oblivious.MaxLoadBits, aware.MaxLoadBits, lb)
+	}
+
+	fmt.Println("\nreading the table: the naive join degrades linearly with the heavy")
+	fmt.Println("fraction (at frac=1 one server receives all 2m tuples), while the")
+	fmt.Println("skew-aware algorithm stays within a constant of the lower bound.")
+}

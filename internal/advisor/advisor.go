@@ -1,0 +1,163 @@
+// Package advisor turns the paper's bounds into a planning service: given a
+// query, statistics and a server count, it enumerates executable strategies
+// (one-round HyperCube, skew-oblivious HyperCube, multi-round plans over an
+// ε grid) with their predicted rounds and loads — the rounds/communication
+// tradeoff of Table 3 — and recommends the cheapest strategy under a round
+// budget.
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpcquery/internal/bounds"
+	"mpcquery/internal/data"
+	"mpcquery/internal/multiround"
+	"mpcquery/internal/packing"
+	"mpcquery/internal/query"
+)
+
+// Option is one executable strategy with its predicted cost.
+type Option struct {
+	Name              string
+	Rounds            int
+	PredictedLoadBits float64
+	SpaceExponent     float64 // ε such that load ≈ M/p^{1−ε}
+	Plan              *multiround.Plan
+	SkewRobust        bool // worst-case guarantee over all data distributions
+}
+
+func (o Option) String() string {
+	return fmt.Sprintf("%s: %d round(s), predicted load %.4g bits (ε=%.3f)",
+		o.Name, o.Rounds, o.PredictedLoadBits, o.SpaceExponent)
+}
+
+// Advise enumerates the strategies for a connected query q with per-atom
+// statistics M (bits) on p servers. Options are sorted by round count, and
+// within equal rounds by predicted load; dominated options (same or more
+// rounds and same or more load) are pruned.
+func Advise(q *query.Query, M []float64, p int) []Option {
+	if !q.IsConnected() {
+		panic("advisor: query must be connected")
+	}
+	maxM := 0.0
+	for _, m := range M {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	pf := float64(p)
+	var opts []Option
+
+	// One-round HyperCube, skew-free optimal.
+	sh := packing.ShareExponents(q, M, pf)
+	load := sh.Load()
+	opts = append(opts, Option{
+		Name:              "1-round HyperCube (LP 10)",
+		Rounds:            1,
+		PredictedLoadBits: load,
+		SpaceExponent:     spaceExp(load, maxM, pf),
+	})
+
+	// One-round skew-oblivious.
+	shO := packing.SkewShareExponents(q, M, pf)
+	loadO := shO.Load()
+	opts = append(opts, Option{
+		Name:              "1-round HyperCube, skew-oblivious (LP 18)",
+		Rounds:            1,
+		PredictedLoadBits: loadO,
+		SpaceExponent:     spaceExp(loadO, maxM, pf),
+		SkewRobust:        true,
+	})
+
+	// Multi-round plans over the ε grid; each level's load is M/p^{1−ε}
+	// times the number of parallel groups at the widest level.
+	for _, eps := range []float64{0, 0.25, 0.5, 2.0 / 3, 0.75} {
+		plan := multiround.GreedyPlan(q, eps)
+		r := plan.Rounds()
+		if r <= 1 {
+			continue // covered by the one-round options
+		}
+		opts = append(opts, Option{
+			Name:              fmt.Sprintf("%d-round plan (ε=%.2f)", r, eps),
+			Rounds:            r,
+			PredictedLoadBits: maxM / math.Pow(pf, 1-eps),
+			SpaceExponent:     eps,
+			Plan:              plan,
+		})
+	}
+
+	sort.Slice(opts, func(i, j int) bool {
+		if opts[i].Rounds != opts[j].Rounds {
+			return opts[i].Rounds < opts[j].Rounds
+		}
+		return opts[i].PredictedLoadBits < opts[j].PredictedLoadBits
+	})
+	return prune(opts)
+}
+
+func spaceExp(load, maxM, p float64) float64 {
+	if load <= 0 || maxM <= 0 {
+		return 0
+	}
+	// load = M/p^{1−ε}  =>  ε = 1 − log_p(M/load).
+	return 1 - math.Log(maxM/load)/math.Log(p)
+}
+
+// prune removes options dominated by an earlier one (fewer-or-equal rounds
+// and smaller-or-equal load), keeping skew-robust options regardless.
+func prune(opts []Option) []Option {
+	var out []Option
+	bestLoad := math.Inf(1)
+	for _, o := range opts {
+		if o.SkewRobust || o.PredictedLoadBits < bestLoad-1e-9 {
+			out = append(out, o)
+			if !o.SkewRobust && o.PredictedLoadBits < bestLoad {
+				bestLoad = o.PredictedLoadBits
+			}
+		}
+	}
+	return out
+}
+
+// Best returns the lowest-load option using at most maxRounds rounds
+// (0 means unlimited), or false when none fits.
+func Best(opts []Option, maxRounds int) (Option, bool) {
+	best := Option{PredictedLoadBits: math.Inf(1)}
+	found := false
+	for _, o := range opts {
+		if maxRounds > 0 && o.Rounds > maxRounds {
+			continue
+		}
+		if o.PredictedLoadBits < best.PredictedLoadBits {
+			best = o
+			found = true
+		}
+	}
+	return best, found
+}
+
+// RoundBounds summarizes what the paper's theory says about q at ε=0:
+// the Lemma 5.4 upper bound and, for chains/cycles/tree-like queries,
+// the matching lower bounds.
+func RoundBounds(q *query.Query, eps float64) (ub int, lb int) {
+	if bounds.InGammaOne(q, eps) {
+		return 1, 1
+	}
+	ub = bounds.RoundsUB(q, eps)
+	lb = 1
+	if q.IsTreeLike() {
+		lb = bounds.TreeLikeRoundsLB(q, eps)
+	}
+	return ub, lb
+}
+
+// AdviseDatabase is Advise with statistics taken from an actual database.
+func AdviseDatabase(q *query.Query, db *data.Database, p int) []Option {
+	M := make([]float64, q.NumAtoms())
+	for j, a := range q.Atoms {
+		M[j] = db.Get(a.Name).SizeBits(db.N)
+	}
+	return Advise(q, M, p)
+}

@@ -1,0 +1,116 @@
+package advisor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpcquery/internal/query"
+)
+
+func equalStats(q *query.Query, m float64) []float64 {
+	out := make([]float64, q.NumAtoms())
+	for j := range out {
+		out[j] = m
+	}
+	return out
+}
+
+func TestAdviseTriangle(t *testing.T) {
+	q := query.Triangle()
+	M := equalStats(q, 1<<24)
+	opts := Advise(q, M, 64)
+	if len(opts) == 0 {
+		t.Fatal("no options")
+	}
+	// First option: 1-round HC at M/p^{2/3}.
+	first := opts[0]
+	if first.Rounds != 1 {
+		t.Fatalf("first option rounds=%d", first.Rounds)
+	}
+	want := float64(1<<24) / math.Pow(64, 2.0/3)
+	if math.Abs(first.PredictedLoadBits-want)/want > 0.01 {
+		t.Errorf("triangle 1-round load=%v want %v", first.PredictedLoadBits, want)
+	}
+	// A skew-robust option must be present.
+	robust := false
+	for _, o := range opts {
+		if o.SkewRobust {
+			robust = true
+		}
+	}
+	if !robust {
+		t.Error("missing skew-oblivious option")
+	}
+}
+
+func TestAdviseChainTradeoff(t *testing.T) {
+	q := query.Chain(16)
+	M := equalStats(q, 1<<24)
+	opts := Advise(q, M, 64)
+	// Loads must decrease as rounds increase (that's the tradeoff).
+	var prevRounds int
+	var prevLoad = math.Inf(1)
+	seen2, seen4 := false, false
+	for _, o := range opts {
+		if o.SkewRobust {
+			continue
+		}
+		if o.Rounds > prevRounds && o.PredictedLoadBits >= prevLoad {
+			t.Errorf("non-dominating option survived pruning: %v", o)
+		}
+		if o.Rounds >= prevRounds {
+			prevRounds, prevLoad = o.Rounds, o.PredictedLoadBits
+		}
+		if o.Rounds == 2 {
+			seen2 = true
+		}
+		if o.Rounds == 4 {
+			seen4 = true
+		}
+	}
+	if !seen2 || !seen4 {
+		t.Errorf("expected 2-round (ε=1/2) and 4-round (ε=0) plans for L16: %v", opts)
+	}
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	q := query.Chain(16)
+	M := equalStats(q, 1<<24)
+	opts := Advise(q, M, 64)
+	one, ok := Best(opts, 1)
+	if !ok || one.Rounds != 1 {
+		t.Fatalf("budget 1: %v ok=%v", one, ok)
+	}
+	unlimited, ok := Best(opts, 0)
+	if !ok {
+		t.Fatal("no unlimited best")
+	}
+	if unlimited.PredictedLoadBits >= one.PredictedLoadBits {
+		t.Error("more rounds should buy lower load on L16")
+	}
+	if _, ok := Best(nil, 3); ok {
+		t.Error("empty options should report none")
+	}
+}
+
+func TestRoundBounds(t *testing.T) {
+	if ub, lb := RoundBounds(query.Star(4), 0); ub != 1 || lb != 1 {
+		t.Errorf("star bounds: %d %d", ub, lb)
+	}
+	ub, lb := RoundBounds(query.Chain(8), 0)
+	if lb != 3 || ub < lb {
+		t.Errorf("L8 bounds: ub=%d lb=%d (want lb=3)", ub, lb)
+	}
+	ubC, lbC := RoundBounds(query.Cycle(6), 0)
+	if ubC != 3 || lbC != 1 {
+		t.Errorf("C6 bounds: ub=%d lb=%d", ubC, lbC)
+	}
+}
+
+func TestOptionString(t *testing.T) {
+	o := Option{Name: "x", Rounds: 2, PredictedLoadBits: 100, SpaceExponent: 0.5}
+	if s := o.String(); !strings.Contains(s, "2 round") {
+		t.Errorf("string: %s", s)
+	}
+}

@@ -1,0 +1,111 @@
+// Package ballsbins implements the weighted balls-in-bins analysis of the
+// paper's Appendix A: the Chernoff-style tail bound of Theorem A.1 for
+// hash-partitioning weighted items into K bins, and a simulation harness
+// that measures empirical tails to validate the bound (experiment E11).
+package ballsbins
+
+import (
+	"math"
+	"math/rand"
+)
+
+// H is the paper's h(x) = (1+x)·ln(1+x) − x appearing in the exponent of
+// Theorem A.1.
+func H(x float64) float64 {
+	return (1+x)*math.Log(1+x) - x
+}
+
+// TailBound evaluates the Theorem A.1 bound on the probability that some
+// bin's weight exceeds (1+δ)·m/K when weights are bounded by β·m/K:
+//
+//	P(max bin ≥ (1+δ)m/K) ≤ K · e^{−h(δ)/β}.
+//
+// The result is clamped to [0,1].
+func TailBound(k int, beta, delta float64) float64 {
+	if beta <= 0 {
+		return 0
+	}
+	b := float64(k) * math.Exp(-H(delta)/beta)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// KLTailBound evaluates the strengthened bound of Theorem A.2 with the
+// relative entropy D(q'||q) of Bernoulli(q') vs Bernoulli(q):
+//
+//	P(bin weight > t·m/K) ≤ e^{−K·D(t/K || 1/K)/β}
+//
+// for a single bin; multiply by K for the union bound.
+func KLTailBound(k int, beta, t float64) float64 {
+	q := 1 / float64(k)
+	qp := t / float64(k)
+	if qp >= 1 {
+		return 0
+	}
+	d := qp*math.Log(qp/q) + (1-qp)*math.Log((1-qp)/(1-q))
+	b := float64(k) * math.Exp(-float64(k)*d/beta)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// MaxLoad hash-partitions the weighted items into k bins with a fresh random
+// assignment and returns the maximum bin weight. Items are identified by
+// index; each is placed independently and uniformly (simulating a strongly
+// universal hash on distinct keys).
+func MaxLoad(rng *rand.Rand, weights []float64, k int) float64 {
+	bins := make([]float64, k)
+	for _, w := range weights {
+		bins[rng.Intn(k)] += w
+	}
+	best := 0.0
+	for _, b := range bins {
+		if b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// EmpiricalTail estimates P(max bin weight ≥ (1+δ)·m/K) over the given
+// number of independent trials, where m = Σ weights.
+func EmpiricalTail(rng *rand.Rand, weights []float64, k int, delta float64, trials int) float64 {
+	m := 0.0
+	for _, w := range weights {
+		m += w
+	}
+	threshold := (1 + delta) * m / float64(k)
+	exceed := 0
+	for t := 0; t < trials; t++ {
+		if MaxLoad(rng, weights, k) >= threshold {
+			exceed++
+		}
+	}
+	return float64(exceed) / float64(trials)
+}
+
+// UniformWeights returns n unit weights (the skew-free case).
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// SkewedWeights returns n weights where one item carries fraction f of the
+// total mass n and the rest share the remainder equally — the worst case
+// that motivates the β·m/K cap on individual weights.
+func SkewedWeights(n int, f float64) []float64 {
+	w := make([]float64, n)
+	total := float64(n)
+	w[0] = f * total
+	rest := (1 - f) * total / float64(n-1)
+	for i := 1; i < n; i++ {
+		w[i] = rest
+	}
+	return w
+}

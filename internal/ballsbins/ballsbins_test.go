@@ -1,0 +1,113 @@
+package ballsbins
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestH(t *testing.T) {
+	if H(0) != 0 {
+		t.Errorf("h(0)=%v", H(0))
+	}
+	// h is increasing and convex on x>0.
+	if !(H(1) > H(0.5) && H(0.5) > H(0.1) && H(0.1) > 0) {
+		t.Error("h should be increasing")
+	}
+	want := 2*math.Log(2) - 1
+	if math.Abs(H(1)-want) > 1e-12 {
+		t.Errorf("h(1)=%v want %v", H(1), want)
+	}
+}
+
+func TestTailBoundMonotone(t *testing.T) {
+	// Larger δ ⇒ smaller tail; larger β (more skew allowed) ⇒ larger tail.
+	// (β small enough that the bound is below the clamp.)
+	if TailBound(64, 0.05, 2) >= TailBound(64, 0.05, 1) {
+		t.Error("tail should decrease in δ")
+	}
+	if TailBound(64, 0.02, 1) >= TailBound(64, 0.05, 1) {
+		t.Error("tail should increase in β")
+	}
+	if b := TailBound(64, 100, 0.01); b != 1 {
+		t.Errorf("bound should clamp to 1, got %v", b)
+	}
+	if b := TailBound(64, 0, 1); b != 0 {
+		t.Errorf("β=0 should give 0, got %v", b)
+	}
+}
+
+func TestKLTailBoundTighter(t *testing.T) {
+	// Theorem A.2's KL form is at least as strong as the h(δ) form
+	// (footnote 8: K·D((1+δ)/K || 1/K) ≥ h(δ)).
+	for _, k := range []int{4, 16, 64} {
+		for _, delta := range []float64{0.5, 1, 2} {
+			kl := KLTailBound(k, 1, 1+delta)
+			hb := TailBound(k, 1, delta)
+			if kl > hb+1e-12 {
+				t.Errorf("K=%d δ=%v: KL bound %v exceeds h bound %v", k, delta, kl, hb)
+			}
+		}
+	}
+}
+
+// TestBoundDominatesEmpirical validates Theorem A.1 experimentally: the
+// measured tail probability never exceeds the bound (within sampling noise).
+func TestBoundDominatesEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	k := 16
+	weights := UniformWeights(1600) // m/K = 100, β = K/m = 0.01
+	beta := float64(k) / 1600
+	for _, delta := range []float64{0.3, 0.5, 1} {
+		emp := EmpiricalTail(rng, weights, k, delta, 300)
+		bound := TailBound(k, beta, delta)
+		if emp > bound+0.05 { // 0.05 sampling slack
+			t.Errorf("δ=%v: empirical %v > bound %v", delta, emp, bound)
+		}
+	}
+}
+
+// TestSkewBreaksConcentration shows the motivation for the weight cap: one
+// ball carrying half the mass forces max load ≥ m/2 regardless of K.
+func TestSkewBreaksConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := SkewedWeights(1000, 0.5)
+	k := 100
+	got := MaxLoad(rng, w, k)
+	if got < 500 {
+		t.Errorf("max load %v should be at least the heavy ball 500", got)
+	}
+	// Uniform weights with the same total concentrate near m/K = 10.
+	u := UniformWeights(1000)
+	um := MaxLoad(rng, u, k)
+	if um > 40 {
+		t.Errorf("uniform max load %v unexpectedly large", um)
+	}
+}
+
+func TestEmpiricalTailEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := UniformWeights(100)
+	// δ = -1 threshold 0: always exceeded.
+	if p := EmpiricalTail(rng, w, 10, -1, 10); p != 1 {
+		t.Errorf("threshold 0 tail=%v want 1", p)
+	}
+	// Huge δ: never exceeded.
+	if p := EmpiricalTail(rng, w, 10, 1000, 10); p != 0 {
+		t.Errorf("huge δ tail=%v want 0", p)
+	}
+}
+
+func TestSkewedWeightsTotal(t *testing.T) {
+	w := SkewedWeights(100, 0.3)
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("total=%v want 100", total)
+	}
+	if math.Abs(w[0]-30) > 1e-9 {
+		t.Errorf("heavy=%v want 30", w[0])
+	}
+}

@@ -1,0 +1,234 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"mpcquery/internal/lp"
+	"mpcquery/internal/query"
+)
+
+// FreqStats carries x-statistics for a single distinguished variable
+// (Section 4.2): for each atom j that contains the variable, Bits[j] maps a
+// domain value h to M_j(h), the size in bits of σ_{x=h}(S_j). Atoms that do
+// not contain the variable have a nil map and are treated as unsplit.
+type FreqStats struct {
+	Var  string
+	Bits []map[int64]float64
+}
+
+// StarSkewLB evaluates the Section 4.2.3 star-query lower bound (up to the
+// paper's 1/8 constant, which we omit to compare shapes):
+//
+//	L ≥ max_{I ⊆ [ℓ], I≠∅} ( Σ_h Π_{j∈I} M_j(h) / p )^{1/|I|}.
+//
+// freq[j] maps each z-value h to M_j(h) in bits.
+func StarSkewLB(freq []map[int64]float64, p float64) float64 {
+	l := len(freq)
+	best := 0.0
+	for mask := 1; mask < 1<<uint(l); mask++ {
+		var members []int
+		for j := 0; j < l; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				members = append(members, j)
+			}
+		}
+		sum := 0.0
+		for h, m0 := range freq[members[0]] {
+			prod := m0
+			for _, j := range members[1:] {
+				prod *= freq[j][h] // missing key => 0, kills the product
+			}
+			sum += prod
+		}
+		if sum <= 0 {
+			continue
+		}
+		val := math.Pow(sum/p, 1/float64(len(members)))
+		if val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+// TriangleSkewUB evaluates the Section 4.2.2 upper bound on the load of the
+// skew-aware triangle algorithm (dropping polylog factors):
+//
+//	L = Õ(max( M/p^{2/3},
+//	           sqrt(Σ_h M_R(h)M_T(h)/p),   // h ranges over heavy x values
+//	           sqrt(Σ_h M_R(h)M_S(h)/p),   // heavy y values
+//	           sqrt(Σ_h M_S(h)M_T(h)/p) )) // heavy z values
+//
+// for C3 = R(x,y), S(y,z), T(z,x) with |R|=|S|=|T|=M bits. The maps give
+// per-value frequencies in bits for the heavy values of each variable in
+// each adjacent relation.
+func TriangleSkewUB(m float64, rx, tx, ry, sy, sz, tz map[int64]float64, p float64) float64 {
+	best := m / math.Pow(p, 2.0/3)
+	for _, pair := range []struct{ a, b map[int64]float64 }{{rx, tx}, {ry, sy}, {sz, tz}} {
+		sum := 0.0
+		for h, va := range pair.a {
+			sum += va * pair.b[h]
+		}
+		if v := math.Sqrt(sum / p); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SkewedLB evaluates the general Theorem 4.4 lower bound for statistics of
+// type x = {stats.Var} (a single distinguished variable):
+//
+//	L ≥ min_j (a_j−d_j)/(4a_j) · max_u ( Σ_h Π_j M_j(h_j)^{u_j} / p )^{1/Σu_j}
+//
+// where u ranges over fractional edge packings of the residual query q_x
+// that saturate x. We maximize over the vertices of that polytope. The
+// returned value omits the min_j constant factor (shape comparison).
+func SkewedLB(q *query.Query, stats FreqStats, p float64) float64 {
+	vi := q.VarIndex(stats.Var)
+	if vi < 0 {
+		panic("bounds: SkewedLB variable not in query")
+	}
+	// Collect all distinguished values appearing in any atom's statistics.
+	values := make(map[int64]bool)
+	for _, m := range stats.Bits {
+		for h := range m {
+			values[h] = true
+		}
+	}
+	best := 0.0
+	for _, u := range saturatingVertices(q, stats.Var) {
+		su := 0.0
+		for _, w := range u {
+			su += w
+		}
+		if su <= 0 {
+			continue
+		}
+		sum := 0.0
+		for h := range values {
+			logProd := 0.0
+			dead := false
+			for j, w := range u {
+				if w <= 0 {
+					continue
+				}
+				var mjh float64
+				if stats.Bits[j] != nil {
+					mjh = stats.Bits[j][h]
+				}
+				if mjh <= 0 {
+					dead = true
+					break
+				}
+				logProd += w * math.Log(mjh)
+			}
+			if !dead {
+				sum += math.Exp(logProd)
+			}
+		}
+		if sum <= 0 {
+			continue
+		}
+		if v := math.Pow(sum/p, 1/su); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// saturatingVertices enumerates the vertices of the polytope of fractional
+// edge packings of the residual query q_x (constraints only on variables
+// other than x) that saturate x: Σ_{j: x ∈ Sj} u_j ≥ 1.
+func saturatingVertices(q *query.Query, x string) [][]float64 {
+	l := q.NumAtoms()
+	type row struct {
+		coeffs []float64
+		rhs    float64
+	}
+	var rows []row
+	for _, v := range q.Vars() {
+		if v == x {
+			continue
+		}
+		r := row{coeffs: make([]float64, l), rhs: 1}
+		for _, j := range q.AtomsOf(v) {
+			r.coeffs[j] = 1
+		}
+		rows = append(rows, r)
+	}
+	sat := row{coeffs: make([]float64, l), rhs: 1}
+	for _, j := range q.AtomsOf(x) {
+		sat.coeffs[j] = 1
+	}
+	rows = append(rows, sat)
+	for j := 0; j < l; j++ {
+		r := row{coeffs: make([]float64, l), rhs: 0}
+		r.coeffs[j] = 1
+		rows = append(rows, r)
+	}
+
+	feasible := func(u []float64) bool {
+		for _, w := range u {
+			if w < -1e-7 {
+				return false
+			}
+		}
+		for _, v := range q.Vars() {
+			if v == x {
+				continue
+			}
+			s := 0.0
+			for _, j := range q.AtomsOf(v) {
+				s += u[j]
+			}
+			if s > 1+1e-7 {
+				return false
+			}
+		}
+		s := 0.0
+		for _, j := range q.AtomsOf(x) {
+			s += u[j]
+		}
+		return s >= 1-1e-7
+	}
+
+	seen := make(map[string]bool)
+	var out [][]float64
+	idx := make([]int, l)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == l {
+			a := make([][]float64, l)
+			b := make([]float64, l)
+			for i, ri := range idx {
+				a[i] = rows[ri].coeffs
+				b[i] = rows[ri].rhs
+			}
+			u, ok := lp.SolveSquare(a, b)
+			if !ok || !feasible(u) {
+				return
+			}
+			key := ""
+			for _, w := range u {
+				r := math.Round(w*1e7) / 1e7
+				if r == 0 {
+					r = 0
+				}
+				key += fmt.Sprintf("%.7f,", r)
+			}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, u)
+			}
+			return
+		}
+		for i := start; i < len(rows); i++ {
+			idx[d] = i
+			rec(i+1, d+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}

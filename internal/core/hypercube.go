@@ -1,0 +1,340 @@
+// Package core implements the paper's primary contribution: the HyperCube
+// (HC) one-round algorithm of Section 3.1. Servers are organized as a
+// k-dimensional grid [p1]×…×[pk] with one dimension per query variable;
+// each input tuple is hashed on the variables of its atom and replicated to
+// the destination subcube D(t) of equation (9); every server then evaluates
+// the query locally. Correctness follows because the server
+// (h1(a1),…,hk(ak)) sees every atom of a potential output tuple (a1,…,ak).
+//
+// Share exponents come from LP (10) (skew-free optimal, Theorem 3.4) or
+// LP (18) (skew-oblivious worst case, Section 4.1), and are rounded to
+// integer shares with product ≤ p.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/engine"
+	"mpcquery/internal/hashing"
+	"mpcquery/internal/localjoin"
+	"mpcquery/internal/packing"
+	"mpcquery/internal/query"
+)
+
+// Mode selects which share-optimization LP drives the plan.
+type Mode int
+
+// Share optimization modes.
+const (
+	// SkewFree optimizes for low-skew data via LP (10); optimal for
+	// matching databases (Theorem 3.4).
+	SkewFree Mode = iota
+	// SkewOblivious optimizes the worst case over all data distributions
+	// via LP (18) (Section 4.1).
+	SkewOblivious
+)
+
+// Plan is an executable HyperCube configuration for a query.
+type Plan struct {
+	Query     *query.Query
+	Mode      Mode
+	P         int       // servers requested
+	Shares    []int     // integer share per variable (Π ≤ P)
+	Exponents []float64 // fractional share exponents from the LP
+	Lambda    float64   // optimal load exponent λ = log_p L
+
+	StatsBits []float64 // M_j per atom, bits
+}
+
+// GridP returns the number of servers actually used, Πᵢ shares.
+func (pl *Plan) GridP() int {
+	g := 1
+	for _, s := range pl.Shares {
+		g *= s
+	}
+	return g
+}
+
+// PredictedLoadBits returns the LP's load prediction L = p^λ in bits.
+func (pl *Plan) PredictedLoadBits() float64 {
+	return math.Pow(float64(pl.P), pl.Lambda)
+}
+
+func (pl *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HyperCube plan for %s on p=%d\n", pl.Query, pl.P)
+	for i, v := range pl.Query.Vars() {
+		fmt.Fprintf(&b, "  share(%s) = %d (exponent %.4f)\n", v, pl.Shares[i], pl.Exponents[i])
+	}
+	fmt.Fprintf(&b, "  grid uses %d servers, predicted load %.0f bits", pl.GridP(), pl.PredictedLoadBits())
+	return b.String()
+}
+
+// NewPlan builds a HyperCube plan for q over a database with the given
+// per-atom sizes in bits, using p servers.
+func NewPlan(q *query.Query, statsBits []float64, p int, mode Mode) *Plan {
+	var sh packing.Shares
+	if mode == SkewOblivious {
+		sh = packing.SkewShareExponents(q, statsBits, float64(p))
+	} else {
+		sh = packing.ShareExponents(q, statsBits, float64(p))
+	}
+	shares := IntegerShares(sh.Exponents, p)
+	return &Plan{
+		Query:     q,
+		Mode:      mode,
+		P:         p,
+		Shares:    shares,
+		Exponents: sh.Exponents,
+		Lambda:    sh.Lambda,
+		StatsBits: append([]float64(nil), statsBits...),
+	}
+}
+
+// PlanForDatabase computes statistics from db and builds a plan.
+func PlanForDatabase(q *query.Query, db *data.Database, p int, mode Mode) *Plan {
+	return NewPlan(q, StatsBits(q, db), p, mode)
+}
+
+// StatsBits returns M_j (bits) for each atom of q in db.
+func StatsBits(q *query.Query, db *data.Database) []float64 {
+	stats := make([]float64, q.NumAtoms())
+	for j, a := range q.Atoms {
+		stats[j] = db.Get(a.Name).SizeBits(db.N)
+	}
+	return stats
+}
+
+// IntegerShares rounds fractional share exponents e (for p servers) to
+// integer shares with product at most p: starting from all-ones, it
+// repeatedly increments the dimension whose integer share is furthest below
+// its fractional target p^{e_i}, as long as the product stays within p.
+func IntegerShares(e []float64, p int) []int {
+	k := len(e)
+	target := make([]float64, k)
+	for i, ei := range e {
+		target[i] = math.Pow(float64(p), ei)
+	}
+	shares := make([]int, k)
+	for i := range shares {
+		shares[i] = 1
+	}
+	prod := 1
+	blocked := make([]bool, k)
+	for {
+		best := -1
+		bestGap := 1.0 // ratio share/target; grow the most underallocated
+		for i := 0; i < k; i++ {
+			if blocked[i] {
+				continue
+			}
+			gap := float64(shares[i]) / target[i]
+			if gap < bestGap-1e-12 {
+				bestGap = gap
+				best = i
+			}
+		}
+		if best < 0 {
+			return shares
+		}
+		if prod/shares[best]*(shares[best]+1) > p {
+			blocked[best] = true
+			continue
+		}
+		prod = prod / shares[best] * (shares[best] + 1)
+		shares[best]++
+	}
+}
+
+// Result reports an executed one-round HyperCube run.
+type Result struct {
+	Plan   *Plan
+	Output *data.Relation // full query result (union over servers)
+
+	ServersUsed     int
+	MaxLoadBits     float64 // L: max bits received by any server in round 1
+	MaxLoadTuples   int
+	TotalBits       float64
+	InputBits       float64
+	ReplicationRate float64
+	Aborted         bool // a declared load cap was exceeded (RunPlanWithCap)
+}
+
+// Run plans and executes the HyperCube algorithm for q on db with p servers.
+func Run(q *query.Query, db *data.Database, p int, seed int64, mode Mode) *Result {
+	return RunPlan(PlanForDatabase(q, db, p, mode), db, seed)
+}
+
+// RunWithShares executes with explicit integer shares (one per variable).
+func RunWithShares(q *query.Query, db *data.Database, shares []int, seed int64) *Result {
+	pl := &Plan{Query: q, P: prodInt(shares), Shares: append([]int(nil), shares...),
+		Exponents: make([]float64, len(shares)), StatsBits: StatsBits(q, db)}
+	return RunPlan(pl, db, seed)
+}
+
+func prodInt(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}
+
+// RunPlan executes a prepared plan on db with the given hash seed, under
+// the partitioned-input model (each relation dealt round-robin).
+func RunPlan(pl *Plan, db *data.Database, seed int64) *Result {
+	return RunPlanWithCap(pl, db, seed, 0)
+}
+
+// RunPlanWithCap is RunPlan with a declared load cap (Section 2.1's abort
+// semantics): when capBits > 0 and any server receives more, the result's
+// Aborted flag is set. The output is still computed (the caller decides
+// whether to retry with a fresh hash seed).
+func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *Result {
+	return runPlanSeeded(pl, db, seed, capBits, func(cluster *engine.Cluster, q *query.Query, gp int) {
+		for j, a := range q.Atoms {
+			rel := db.Get(a.Name)
+			m := rel.NumTuples()
+			for i := 0; i < m; i++ {
+				cluster.Seed(i%gp, engine.Message{Kind: j, Tuple: rel.Tuple(i)})
+			}
+		}
+	})
+}
+
+// RunPlanInputServers executes under the input-server model of Section 2.1:
+// relation S_j starts wholly on server j mod p. HyperCube routing depends
+// only on tuple content, so the received loads are identical to the
+// partitioned-input run — the equivalence the paper uses to transfer its
+// lower bounds between the two models.
+func RunPlanInputServers(pl *Plan, db *data.Database, seed int64) *Result {
+	return runPlanSeeded(pl, db, seed, 0, func(cluster *engine.Cluster, q *query.Query, gp int) {
+		for j, a := range q.Atoms {
+			rel := db.Get(a.Name)
+			m := rel.NumTuples()
+			for i := 0; i < m; i++ {
+				cluster.Seed(j%gp, engine.Message{Kind: j, Tuple: rel.Tuple(i)})
+			}
+		}
+	})
+}
+
+func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, seedInput func(*engine.Cluster, *query.Query, int)) *Result {
+	q := pl.Query
+	grid := hashing.NewGrid(pl.Shares)
+	gp := grid.P()
+	family := hashing.NewFamily(seed, q.NumVars())
+	cluster := engine.NewCluster(gp, data.BitsPerValue(db.N))
+	if capBits > 0 {
+		cluster.SetLoadCap(capBits)
+	}
+
+	seedInput(cluster, q, gp)
+
+	// Precompute, per atom, the grid dimension of each column.
+	atomDims := make([][]int, q.NumAtoms())
+	for j, a := range q.Atoms {
+		dims := make([]int, len(a.Vars))
+		for c, v := range a.Vars {
+			dims[c] = q.VarIndex(v)
+		}
+		atomDims[j] = dims
+	}
+
+	// Round 1: every server routes its local tuples to their destination
+	// subcubes.
+	cluster.Round("hypercube-shuffle", func(s int, inbox []engine.Message, emit engine.Emitter) {
+		bins := make([]int, 8)
+		for _, m := range inbox {
+			dims := atomDims[m.Kind]
+			if cap(bins) < len(dims) {
+				bins = make([]int, len(dims))
+			}
+			bins = bins[:len(dims)]
+			for c, d := range dims {
+				bins[c] = family.Bin(d, m.Tuple[c], grid.Shares[d])
+			}
+			grid.Destinations(dims, bins, func(dest int) {
+				emit(dest, m)
+			})
+		}
+	})
+
+	// Computation phase: local evaluation on every server (no communication).
+	outputs := make([]*data.Relation, gp)
+	engine.ParallelFor(gp, func(s int) {
+		frag := make(map[string]*data.Relation, q.NumAtoms())
+		for j, a := range q.Atoms {
+			r := data.NewRelation(a.Name, a.Arity())
+			frag[a.Name] = r
+			_ = j
+		}
+		for _, m := range cluster.Inbox(s) {
+			frag[q.Atoms[m.Kind].Name].AppendTuple(m.Tuple)
+		}
+		outputs[s] = localjoin.Evaluate(q, frag)
+	})
+
+	out := data.NewRelation(q.Name, q.NumVars())
+	for _, o := range outputs {
+		for i := 0; i < o.NumTuples(); i++ {
+			out.AppendTuple(o.Tuple(i))
+		}
+	}
+
+	inputBits := 0.0
+	for _, a := range q.Atoms {
+		inputBits += db.Get(a.Name).SizeBits(db.N)
+	}
+	return &Result{
+		Plan:            pl,
+		Output:          out,
+		ServersUsed:     gp,
+		MaxLoadBits:     cluster.MaxLoadBits(),
+		MaxLoadTuples:   cluster.MaxLoadTuples(),
+		TotalBits:       cluster.TotalBits(),
+		InputBits:       inputBits,
+		ReplicationRate: cluster.ReplicationRate(inputBits),
+		Aborted:         cluster.Aborted(),
+	}
+}
+
+// SequentialAnswer computes q(db) on one node — the ground truth for
+// validating parallel runs.
+func SequentialAnswer(q *query.Query, db *data.Database) *data.Relation {
+	rels := make(map[string]*data.Relation, q.NumAtoms())
+	for _, a := range q.Atoms {
+		rels[a.Name] = db.Get(a.Name)
+	}
+	return localjoin.Evaluate(q, rels)
+}
+
+// MaxLoadOverSeeds runs the plan with several hash seeds and reports the
+// worst observed load — the experimental analogue of the paper's
+// with-high-probability statements.
+func MaxLoadOverSeeds(pl *Plan, db *data.Database, seeds []int64) float64 {
+	worst := 0.0
+	for _, s := range seeds {
+		r := RunPlan(pl, db, s)
+		if r.MaxLoadBits > worst {
+			worst = r.MaxLoadBits
+		}
+	}
+	return worst
+}
+
+// SharesByName returns the plan's shares keyed by variable name, sorted for
+// stable display.
+func (pl *Plan) SharesByName() []string {
+	vars := pl.Query.Vars()
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = fmt.Sprintf("%s=%d", v, pl.Shares[i])
+	}
+	sort.Strings(out)
+	return out
+}

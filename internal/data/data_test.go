@@ -1,0 +1,352 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mpcquery/internal/query"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("R", 2)
+	r.Append(1, 2)
+	r.Append(3, 4)
+	if r.NumTuples() != 2 {
+		t.Fatalf("NumTuples=%d", r.NumTuples())
+	}
+	if r.At(1, 0) != 3 || r.At(1, 1) != 4 {
+		t.Fatalf("At wrong: %v", r.Tuple(1))
+	}
+	c := r.Clone()
+	c.Append(5, 6)
+	if r.NumTuples() != 2 {
+		t.Error("Clone should not share storage")
+	}
+}
+
+func TestBitsPerValue(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want int
+	}{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, tt := range tests {
+		if got := BitsPerValue(tt.n); got != tt.want {
+			t.Errorf("BitsPerValue(%d)=%d want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	r := NewRelation("R", 2)
+	for i := int64(0); i < 10; i++ {
+		r.Append(i, i)
+	}
+	if got := r.SizeBits(1024); got != 2*10*10 {
+		t.Errorf("SizeBits=%v want 200", got)
+	}
+}
+
+func TestCanonicalAndEqual(t *testing.T) {
+	a := FromTuples("A", 2, []int64{3, 4}, []int64{1, 2}, []int64{3, 4})
+	b := FromTuples("B", 2, []int64{1, 2}, []int64{3, 4})
+	if !Equal(a, b) {
+		t.Error("sets should be equal despite order and duplicates")
+	}
+	c := FromTuples("C", 2, []int64{1, 2})
+	if Equal(a, c) {
+		t.Error("different sets reported equal")
+	}
+	can := a.Canonical()
+	if can.NumTuples() != 2 || can.At(0, 0) != 1 {
+		t.Errorf("canonical wrong: %v tuples, first %v", can.NumTuples(), can.Tuple(0))
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := SampleDistinct(rng, 100, 150)
+	if len(s) != 100 {
+		t.Fatalf("len=%d", len(s))
+	}
+	seen := make(map[int64]bool)
+	for _, v := range s {
+		if v < 0 || v >= 150 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestRandomMatchingDegrees checks the defining property of a matching
+// database: every value has degree at most 1 in every column.
+func TestRandomMatchingDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		arity := 1 + r.Intn(3)
+		m := 1 + r.Intn(200)
+		n := int64(m + r.Intn(1000))
+		rel := RandomMatching(r, "R", arity, m, n)
+		if rel.NumTuples() != m {
+			return false
+		}
+		for c := 0; c < arity; c++ {
+			if MaxDegree(rel, c) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchingDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := query.Triangle()
+	db := MatchingDatabase(rng, q, 100, 10000)
+	if len(db.Relations) != 3 {
+		t.Fatalf("relations=%d", len(db.Relations))
+	}
+	for _, a := range q.Atoms {
+		r := db.Get(a.Name)
+		if r.NumTuples() != 100 || r.Arity != 2 {
+			t.Errorf("%s: %d tuples arity %d", a.Name, r.NumTuples(), r.Arity)
+		}
+	}
+	if db.TotalBits() != 3*2*100*14 {
+		t.Errorf("TotalBits=%v", db.TotalBits())
+	}
+}
+
+// TestChainMatchingDatabase checks that the chain database composes:
+// following S1..Sk from any start value reaches exactly one end value.
+func TestChainMatchingDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k, m := 4, 50
+	db := ChainMatchingDatabase(rng, k, m, 100000)
+	// Build maps and compose.
+	cur := make(map[int64]int64)
+	first := db.Get("S1")
+	for i := 0; i < first.NumTuples(); i++ {
+		cur[first.At(i, 0)] = first.At(i, 1)
+	}
+	if len(cur) != m {
+		t.Fatalf("S1 not injective on column 0")
+	}
+	for j := 2; j <= k; j++ {
+		r := db.Get(query.Chain(k).Atoms[j-1].Name)
+		step := make(map[int64]int64)
+		for i := 0; i < r.NumTuples(); i++ {
+			step[r.At(i, 0)] = r.At(i, 1)
+		}
+		next := make(map[int64]int64, len(cur))
+		for s, v := range cur {
+			nv, ok := step[v]
+			if !ok {
+				t.Fatalf("chain broken at S%d: value %d has no successor", j, v)
+			}
+			next[s] = nv
+		}
+		cur = next
+	}
+	if len(cur) != m {
+		t.Fatalf("chain outputs %d paths, want %d", len(cur), m)
+	}
+}
+
+func TestSkewedPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s1, s2 := SkewedPair(rng, 1000, 1_000_000, 42, 0.5)
+	f1 := ColumnFrequencies(s1, 1)
+	if f1[42] != 500 {
+		t.Errorf("S1 heavy count=%d want 500", f1[42])
+	}
+	if MaxDegree(s1, 0) != 1 {
+		t.Error("S1 column 0 should be a matching column")
+	}
+	f2 := ColumnFrequencies(s2, 1)
+	if f2[42] != 500 {
+		t.Errorf("S2 heavy count=%d want 500", f2[42])
+	}
+	// Light values have degree 1.
+	for v, c := range f1 {
+		if v != 42 && c != 1 {
+			t.Errorf("light value %d has degree %d", v, c)
+		}
+	}
+}
+
+func TestSkewedStarDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	heavy := map[int64]int{7: 100, 9: 50}
+	db := SkewedStarDatabase(rng, 3, 1000, 1_000_000, heavy)
+	for j := 1; j <= 3; j++ {
+		r := db.Get(query.Star(3).Atoms[j-1].Name)
+		freq := ColumnFrequencies(r, 0)
+		if freq[7] != 100 || freq[9] != 50 {
+			t.Errorf("S%d heavy counts: %d, %d", j, freq[7], freq[9])
+		}
+		if MaxDegree(r, 1) != 1 {
+			t.Errorf("S%d x-column should be matching", j)
+		}
+	}
+}
+
+func TestSkewedTriangleDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := SkewedTriangleDatabase(rng, 500, 1_000_000, 3, 100)
+	if got := ColumnFrequencies(db.Get("S1"), 0)[3]; got != 100 {
+		t.Errorf("S1 x1-heavy count=%d", got)
+	}
+	if got := ColumnFrequencies(db.Get("S3"), 1)[3]; got != 100 {
+		t.Errorf("S3 x1-heavy count=%d", got)
+	}
+	if MaxDegree(db.Get("S2"), 0) != 1 || MaxDegree(db.Get("S2"), 1) != 1 {
+		t.Error("S2 should be a matching")
+	}
+}
+
+func TestHeavyHittersAndTopK(t *testing.T) {
+	freq := map[int64]int{1: 100, 2: 50, 3: 5, 4: 5}
+	hh := HeavyHitters(freq, 50)
+	if len(hh) != 2 || hh[1] != 100 || hh[2] != 50 {
+		t.Errorf("heavy hitters: %v", hh)
+	}
+	top := TopK(freq, 3)
+	if len(top) != 3 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("TopK: %v", top)
+	}
+}
+
+func TestSampledFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := NewRelation("R", 2)
+	// Value 5 occupies half the relation.
+	for i := 0; i < 1000; i++ {
+		if i < 500 {
+			r.Append(5, int64(i))
+		} else {
+			r.Append(int64(i+1000), int64(i))
+		}
+	}
+	est := SampledFrequencies(rng, r, 0, 200)
+	if est[5] < 300 || est[5] > 700 {
+		t.Errorf("estimate for heavy value: %v (want ≈500)", est[5])
+	}
+	// Full-sample path returns exact counts.
+	exact := SampledFrequencies(rng, r, 0, 10_000)
+	if exact[5] != 500 {
+		t.Errorf("exact path: %v", exact[5])
+	}
+}
+
+func TestDegreePromise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rel := RandomMatching(rng, "R", 2, 100, 1000)
+	// Matching: degree 1 per column gives β=0.1 there, but the full-tuple
+	// constraint 1 ≤ β²·m/(p0·p1) forces β = 1. β = O(1) is what the
+	// Corollary 3.3 promise needs.
+	if beta := DegreePromise(rel, 10, 10); beta > 1.01 {
+		t.Errorf("matching promise β=%v (should be ≤ 1)", beta)
+	}
+	// Fully skewed relation: one value everywhere in column 0.
+	sk := NewRelation("S", 2)
+	for i := int64(0); i < 100; i++ {
+		sk.Append(7, i)
+	}
+	if beta := DegreePromise(sk, 10, 10); beta < 9 {
+		t.Errorf("skewed promise β=%v (should be ≈10)", beta)
+	}
+}
+
+func TestLayeredPathGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := LayeredPathGraph(rng, 5, 20)
+	if g.NumEdges() != 100 {
+		t.Fatalf("edges=%d want 100", g.NumEdges())
+	}
+	comps := g.ComponentsSequential()
+	labels := make(map[int64]bool)
+	for _, l := range comps {
+		labels[l] = true
+	}
+	if len(labels) != 20 {
+		t.Errorf("components=%d want 20 (one per path)", len(labels))
+	}
+}
+
+func TestRandomGraphAndComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomGraph(rng, 50, 10) // sparse: many components
+	comps := g.ComponentsSequential()
+	if len(comps) != 50 {
+		t.Fatalf("every vertex should be labeled, got %d", len(comps))
+	}
+	// Endpoint labels must agree across each edge.
+	for i := 0; i < g.NumEdges(); i++ {
+		u, v := g.Edges.At(i, 0), g.Edges.At(i, 1)
+		if comps[u] != comps[v] {
+			t.Fatalf("edge (%d,%d) spans two components", u, v)
+		}
+	}
+}
+
+func TestZipfRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := ZipfRelation(rng, "Z", 10000, 1_000_000, 0, 1.5, 1000)
+	if r.NumTuples() != 10000 {
+		t.Fatalf("tuples=%d", r.NumTuples())
+	}
+	// Zipf with s=1.5 should make value 0 clearly heavy.
+	freq := ColumnFrequencies(r, 0)
+	if freq[0] < 1000 {
+		t.Errorf("zipf head frequency=%d (expected heavy)", freq[0])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := FromTuples("R", 2, []int64{1, 2}, []int64{-3, 40}, []int64{0, 0})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "R", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(r, got) {
+		t.Fatalf("round trip mismatch: %d tuples", got.NumTuples())
+	}
+}
+
+func TestCSVCommentsAndErrors(t *testing.T) {
+	in := "# header\n1,2\n\n3,4\n"
+	r, err := ReadCSV(strings.NewReader(in), "R", 2)
+	if err != nil || r.NumTuples() != 2 {
+		t.Fatalf("comments: %v, %d tuples", err, r.NumTuples())
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n"), "R", 2); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), "R", 2); err == nil {
+		t.Error("non-integer should fail")
+	}
+}
+
+func TestMaxValue(t *testing.T) {
+	r := FromTuples("R", 2, []int64{1, 9}, []int64{5, 2})
+	if r.MaxValue() != 9 {
+		t.Errorf("max=%d", r.MaxValue())
+	}
+	if NewRelation("E", 1).MaxValue() != 0 {
+		t.Error("empty max should be 0")
+	}
+}

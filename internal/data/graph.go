@@ -1,0 +1,93 @@
+package data
+
+import "math/rand"
+
+// Graph is an undirected graph given by an edge relation E(u,v); vertex ids
+// live in [0, NumVertices).
+type Graph struct {
+	NumVertices int64
+	Edges       *Relation
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.Edges.NumTuples() }
+
+// LayeredPathGraph builds the Theorem 5.20 hard instance for connected
+// components: k+1 layers of perLayer vertices each, with a random perfect
+// matching between consecutive layers. The graph is a disjoint union of
+// perLayer paths of length k, so it has perLayer components and diameter k.
+func LayeredPathGraph(rng *rand.Rand, k, perLayer int) *Graph {
+	nv := int64(k+1) * int64(perLayer)
+	e := NewRelation("E", 2)
+	e.Grow(k * perLayer)
+	for layer := 0; layer < k; layer++ {
+		perm := rng.Perm(perLayer)
+		base := int64(layer) * int64(perLayer)
+		next := base + int64(perLayer)
+		for i := 0; i < perLayer; i++ {
+			e.Append(base+int64(i), next+int64(perm[i]))
+		}
+	}
+	return &Graph{NumVertices: nv, Edges: e}
+}
+
+// RandomGraph builds a uniform random graph with n vertices and m edges
+// (self-loops excluded, duplicates possible).
+func RandomGraph(rng *rand.Rand, n int64, m int) *Graph {
+	e := NewRelation("E", 2)
+	e.Grow(m)
+	for i := 0; i < m; i++ {
+		u := rng.Int63n(n)
+		v := rng.Int63n(n)
+		for v == u {
+			v = rng.Int63n(n)
+		}
+		e.Append(u, v)
+	}
+	return &Graph{NumVertices: n, Edges: e}
+}
+
+// ComponentsSequential computes the connected-component label of every
+// vertex with a sequential union-find — the ground truth for the MPC
+// algorithms. Isolated vertices get their own label. Labels are the minimum
+// vertex id of the component.
+func (g *Graph) ComponentsSequential() map[int64]int64 {
+	parent := make(map[int64]int64, g.NumVertices)
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	m := g.Edges.NumTuples()
+	for i := 0; i < m; i++ {
+		union(g.Edges.At(i, 0), g.Edges.At(i, 1))
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		find(v)
+	}
+	out := make(map[int64]int64, len(parent))
+	for v := range parent {
+		out[v] = find(v)
+	}
+	return out
+}

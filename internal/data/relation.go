@@ -1,0 +1,182 @@
+// Package data provides the relational data substrate for the MPC
+// experiments: flat-stored relations over an integer domain [n], the
+// matching-database and skewed workload generators used by the paper's
+// probability spaces (Sections 3.2, 4 and 5.3), and frequency/degree
+// statistics including heavy-hitter detection.
+package data
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Relation is a bag of fixed-arity tuples over int64 values, stored in a
+// single flat slice (row-major) to keep per-tuple overhead at zero.
+type Relation struct {
+	Name  string
+	Arity int
+	vals  []int64
+}
+
+// NewRelation returns an empty relation with the given name and arity.
+func NewRelation(name string, arity int) *Relation {
+	if arity < 1 {
+		panic("data: relation arity must be >= 1")
+	}
+	return &Relation{Name: name, Arity: arity}
+}
+
+// FromTuples builds a relation from explicit tuples (copied).
+func FromTuples(name string, arity int, tuples ...[]int64) *Relation {
+	r := NewRelation(name, arity)
+	for _, t := range tuples {
+		r.AppendTuple(t)
+	}
+	return r
+}
+
+// NumTuples returns the number of tuples (m_j in the paper).
+func (r *Relation) NumTuples() int { return len(r.vals) / r.Arity }
+
+// Append adds one tuple given as variadic values.
+func (r *Relation) Append(t ...int64) { r.AppendTuple(t) }
+
+// AppendTuple adds one tuple; its length must equal the arity.
+func (r *Relation) AppendTuple(t []int64) {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("data: tuple of length %d appended to %s (arity %d)", len(t), r.Name, r.Arity))
+	}
+	r.vals = append(r.vals, t...)
+}
+
+// Tuple returns a view of tuple i; the caller must not grow it, and it is
+// invalidated by subsequent appends.
+func (r *Relation) Tuple(i int) []int64 {
+	return r.vals[i*r.Arity : (i+1)*r.Arity : (i+1)*r.Arity]
+}
+
+// At returns column col of tuple i.
+func (r *Relation) At(i, col int) int64 { return r.vals[i*r.Arity+col] }
+
+// Grow pre-allocates capacity for n additional tuples.
+func (r *Relation) Grow(n int) {
+	need := len(r.vals) + n*r.Arity
+	if cap(r.vals) < need {
+		nv := make([]int64, len(r.vals), need)
+		copy(nv, r.vals)
+		r.vals = nv
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	return &Relation{Name: r.Name, Arity: r.Arity, vals: append([]int64(nil), r.vals...)}
+}
+
+// SizeBits returns M_j = a_j · m_j · ⌈log₂ n⌉, the paper's size-in-bits
+// measure for a relation over domain [n].
+func (r *Relation) SizeBits(n int64) float64 {
+	return float64(r.Arity) * float64(r.NumTuples()) * float64(BitsPerValue(n))
+}
+
+// BitsPerValue returns ⌈log₂ n⌉, the bits needed to encode one domain value.
+func BitsPerValue(n int64) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len64(uint64(n - 1))
+}
+
+// Canonical returns a sorted, duplicate-free copy, used to compare query
+// results for set equality.
+func (r *Relation) Canonical() *Relation {
+	m := r.NumTuples()
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	a := r.Arity
+	less := func(i, j int) bool {
+		ti, tj := r.Tuple(idx[i]), r.Tuple(idx[j])
+		for c := 0; c < a; c++ {
+			if ti[c] != tj[c] {
+				return ti[c] < tj[c]
+			}
+		}
+		return false
+	}
+	sort.Slice(idx, less)
+	out := NewRelation(r.Name, a)
+	out.Grow(m)
+	var prev []int64
+	for _, i := range idx {
+		t := r.Tuple(i)
+		if prev != nil && tupleEq(prev, t) {
+			continue
+		}
+		out.AppendTuple(t)
+		prev = out.Tuple(out.NumTuples() - 1)
+	}
+	return out
+}
+
+func tupleEq(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b contain the same set of tuples
+// (ignoring order and multiplicity).
+func Equal(a, b *Relation) bool {
+	if a.Arity != b.Arity {
+		return false
+	}
+	ca, cb := a.Canonical(), b.Canonical()
+	if ca.NumTuples() != cb.NumTuples() {
+		return false
+	}
+	for i := 0; i < ca.NumTuples(); i++ {
+		if !tupleEq(ca.Tuple(i), cb.Tuple(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Database is a set of named relations over a common domain [n].
+type Database struct {
+	N         int64 // domain size
+	Relations map[string]*Relation
+}
+
+// NewDatabase returns an empty database with domain size n.
+func NewDatabase(n int64) *Database {
+	return &Database{N: n, Relations: make(map[string]*Relation)}
+}
+
+// Add inserts (or replaces) a relation.
+func (db *Database) Add(r *Relation) { db.Relations[r.Name] = r }
+
+// Get returns the named relation; it panics if absent, since callers always
+// look up atoms of a validated query.
+func (db *Database) Get(name string) *Relation {
+	r, ok := db.Relations[name]
+	if !ok {
+		panic(fmt.Sprintf("data: relation %q not in database", name))
+	}
+	return r
+}
+
+// TotalBits returns Σ_j M_j over all relations.
+func (db *Database) TotalBits() float64 {
+	total := 0.0
+	for _, r := range db.Relations {
+		total += r.SizeBits(db.N)
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+package engine
+
+import "testing"
+
+// BenchmarkRoundThroughput measures raw message routing: 64 servers each
+// forwarding 1000 binary tuples per round.
+func BenchmarkRoundThroughput(b *testing.B) {
+	const p, perServer = 64, 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := NewCluster(p, 20)
+		for s := 0; s < p; s++ {
+			for t := 0; t < perServer; t++ {
+				c.Seed(s, Message{Kind: 0, Tuple: []int64{int64(t), int64(s)}})
+			}
+		}
+		b.StartTimer()
+		c.Round("bench", func(s int, inbox []Message, emit Emitter) {
+			for _, m := range inbox {
+				emit(int(m.Tuple[0])%p, m)
+			}
+		})
+	}
+	b.ReportMetric(float64(p*perServer), "msgs/round")
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	sink := make([]int, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelFor(256, func(j int) { sink[j] = j * j })
+	}
+}

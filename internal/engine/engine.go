@@ -1,0 +1,255 @@
+// Package engine implements the Massively Parallel Communication (MPC)
+// substrate of Section 2.1: p servers connected by a complete network of
+// private channels, computing in synchronized rounds that alternate a
+// communication phase (all-to-all tuple exchange) and a computation phase
+// (arbitrary local work).
+//
+// The engine meters exactly the quantities the model is parameterized by:
+// the number of rounds r, and the maximum load L — the number of bits any
+// server *receives* in a round. The initial partitioned input (each server
+// holds M/p bits) is free, as in the paper; every subsequent delivery is
+// charged at Arity·⌈log₂ n⌉ bits per tuple.
+//
+// Servers run as goroutines during the computation phase (bounded by
+// GOMAXPROCS); message delivery is deterministic given the algorithm's
+// emissions, so seeded runs are reproducible.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Broadcast is the destination pseudo-id that delivers a message to every
+// server. Each of the p copies is charged to its receiver, as the model
+// requires.
+const Broadcast = -1
+
+// Message is one unit of communication: a tuple of domain values tagged
+// with a small integer kind (typically the index of the relation or
+// subquery it belongs to). In the tuple-based MPC model of Section 5.2,
+// messages after round 1 are exactly join tuples of this form.
+type Message struct {
+	Kind  int
+	Tuple []int64
+}
+
+// RoundStats records the communication metrics of one round.
+type RoundStats struct {
+	Name            string
+	MaxRecvBits     float64
+	TotalRecvBits   float64
+	MaxRecvTuples   int
+	TotalRecvTuples int
+	// Aborted is set when a load cap was configured (SetLoadCap) and some
+	// server received more than the cap this round — the paper's abort
+	// semantics (Section 2.1): randomized algorithms declare a load L and
+	// abort when it is exceeded, which happens with exponentially small
+	// probability for the HyperCube analyses.
+	Aborted bool
+}
+
+// Cluster simulates p MPC servers. A Cluster is not safe for concurrent use
+// by multiple goroutines; the parallelism lives inside Round.
+type Cluster struct {
+	p            int
+	bitsPerValue int
+	inbox        [][]Message // current contents of each server's inbox
+	rounds       []RoundStats
+	workers      int
+	loadCap      float64 // 0 = unlimited; otherwise rounds flag Aborted
+}
+
+// NewCluster creates a cluster of p servers exchanging values of
+// bitsPerValue bits each (⌈log₂ n⌉ for domain [n]).
+func NewCluster(p, bitsPerValue int) *Cluster {
+	if p < 1 {
+		panic("engine: need at least one server")
+	}
+	if bitsPerValue < 1 {
+		panic("engine: bitsPerValue must be positive")
+	}
+	return &Cluster{
+		p:            p,
+		bitsPerValue: bitsPerValue,
+		inbox:        make([][]Message, p),
+		workers:      runtime.GOMAXPROCS(0),
+	}
+}
+
+// P returns the number of servers.
+func (c *Cluster) P() int { return c.p }
+
+// BitsPerValue returns the configured per-value bit width.
+func (c *Cluster) BitsPerValue() int { return c.bitsPerValue }
+
+// Seed places initial input messages directly into a server's inbox without
+// charging communication — the partitioned-input assumption of Section 2.1.
+func (c *Cluster) Seed(server int, msgs ...Message) {
+	c.inbox[server] = append(c.inbox[server], msgs...)
+}
+
+// Inbox returns the messages currently held by a server (the deliveries of
+// the most recent round, or the seeded input before the first round).
+func (c *Cluster) Inbox(server int) []Message { return c.inbox[server] }
+
+// Emitter delivers outgoing messages for one server during a round.
+type Emitter func(dest int, m Message)
+
+// Round executes one MPC round: every server runs f concurrently over its
+// current inbox, emitting messages; the engine then delivers all emissions,
+// replacing each inbox with what the server received, and records load
+// statistics. Delivery order is deterministic: messages arrive grouped by
+// sending server id, in emission order.
+func (c *Cluster) Round(name string, f func(server int, inbox []Message, emit Emitter)) RoundStats {
+	out := make([][]routed, c.p) // per-sender buffers
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers)
+	var panicOnce sync.Once
+	var panicked any
+	for s := 0; s < c.p; s++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			var buf []routed
+			f(s, c.inbox[s], func(dest int, m Message) {
+				if dest != Broadcast && (dest < 0 || dest >= c.p) {
+					panic(fmt.Sprintf("engine: destination %d out of range [0,%d)", dest, c.p))
+				}
+				buf = append(buf, routed{dest: dest, m: m})
+			})
+			out[s] = buf
+		}(s)
+	}
+	wg.Wait()
+	if panicked != nil {
+		// Re-raise server panics on the caller's goroutine so tests and
+		// callers see them as ordinary panics.
+		panic(panicked)
+	}
+
+	next := make([][]Message, c.p)
+	recvBits := make([]float64, c.p)
+	recvTuples := make([]int, c.p)
+	deliver := func(dest int, m Message) {
+		next[dest] = append(next[dest], m)
+		recvBits[dest] += float64(len(m.Tuple) * c.bitsPerValue)
+		recvTuples[dest]++
+	}
+	for s := 0; s < c.p; s++ {
+		for _, r := range out[s] {
+			if r.dest == Broadcast {
+				for d := 0; d < c.p; d++ {
+					deliver(d, r.m)
+				}
+			} else {
+				deliver(r.dest, r.m)
+			}
+		}
+	}
+	c.inbox = next
+
+	st := RoundStats{Name: name}
+	for s := 0; s < c.p; s++ {
+		if recvBits[s] > st.MaxRecvBits {
+			st.MaxRecvBits = recvBits[s]
+		}
+		if recvTuples[s] > st.MaxRecvTuples {
+			st.MaxRecvTuples = recvTuples[s]
+		}
+		st.TotalRecvBits += recvBits[s]
+		st.TotalRecvTuples += recvTuples[s]
+	}
+	if c.loadCap > 0 && st.MaxRecvBits > c.loadCap {
+		st.Aborted = true
+	}
+	c.rounds = append(c.rounds, st)
+	return st
+}
+
+// SetLoadCap declares the maximum load L: any subsequent round in which a
+// server receives more than capBits is flagged Aborted (the run's results
+// are still available; callers decide whether to retry with a fresh seed).
+// A cap of 0 removes the limit.
+func (c *Cluster) SetLoadCap(capBits float64) { c.loadCap = capBits }
+
+// Aborted reports whether any executed round exceeded the declared load cap.
+func (c *Cluster) Aborted() bool {
+	for _, r := range c.rounds {
+		if r.Aborted {
+			return true
+		}
+	}
+	return false
+}
+
+type routed struct {
+	dest int
+	m    Message
+}
+
+// Rounds returns the statistics of all executed rounds in order.
+func (c *Cluster) Rounds() []RoundStats { return c.rounds }
+
+// NumRounds returns r, the number of communication rounds executed.
+func (c *Cluster) NumRounds() int { return len(c.rounds) }
+
+// MaxLoadBits returns L, the maximum number of bits received by any server
+// in any round — the paper's load parameter.
+func (c *Cluster) MaxLoadBits() float64 {
+	best := 0.0
+	for _, r := range c.rounds {
+		if r.MaxRecvBits > best {
+			best = r.MaxRecvBits
+		}
+	}
+	return best
+}
+
+// MaxLoadTuples is MaxLoadBits measured in tuples.
+func (c *Cluster) MaxLoadTuples() int {
+	best := 0
+	for _, r := range c.rounds {
+		if r.MaxRecvTuples > best {
+			best = r.MaxRecvTuples
+		}
+	}
+	return best
+}
+
+// TotalBits returns the total communication Σ_s Σ_r (bits received).
+func (c *Cluster) TotalBits() float64 {
+	total := 0.0
+	for _, r := range c.rounds {
+		total += r.TotalRecvBits
+	}
+	return total
+}
+
+// ReplicationRate returns r = (Σ_s Σ_rounds L_s) / inputBits, the average
+// number of times each input bit is communicated (Section 3.4).
+func (c *Cluster) ReplicationRate(inputBits float64) float64 {
+	if inputBits <= 0 {
+		return 0
+	}
+	return c.TotalBits() / inputBits
+}
+
+// Gather collects every server's current inbox into one slice, in server
+// order — used to assemble the final query output, which the model requires
+// to be present in the union of the servers.
+func (c *Cluster) Gather() []Message {
+	var all []Message
+	for s := 0; s < c.p; s++ {
+		all = append(all, c.inbox[s]...)
+	}
+	return all
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRoundDeliveryAndLoad(t *testing.T) {
+	c := NewCluster(4, 10)
+	c.Seed(0, Message{Kind: 1, Tuple: []int64{1, 2}})
+	c.Seed(1, Message{Kind: 1, Tuple: []int64{3, 4}})
+	st := c.Round("shuffle", func(s int, inbox []Message, emit Emitter) {
+		for _, m := range inbox {
+			emit(int(m.Tuple[0])%4, m) // route by first value
+		}
+	})
+	if st.TotalRecvTuples != 2 {
+		t.Fatalf("total tuples=%d want 2", st.TotalRecvTuples)
+	}
+	if st.MaxRecvBits != 20 { // one binary tuple at 10 bits/value
+		t.Fatalf("max bits=%v want 20", st.MaxRecvBits)
+	}
+	if len(c.Inbox(1)) != 1 || c.Inbox(1)[0].Tuple[0] != 1 {
+		t.Fatalf("server 1 inbox wrong: %v", c.Inbox(1))
+	}
+	if len(c.Inbox(3)) != 1 || c.Inbox(3)[0].Tuple[0] != 3 {
+		t.Fatalf("server 3 inbox wrong: %v", c.Inbox(3))
+	}
+	if c.NumRounds() != 1 {
+		t.Fatalf("rounds=%d", c.NumRounds())
+	}
+}
+
+func TestBroadcastChargesEveryReceiver(t *testing.T) {
+	c := NewCluster(8, 4)
+	c.Seed(2, Message{Tuple: []int64{9}})
+	st := c.Round("bcast", func(s int, inbox []Message, emit Emitter) {
+		for _, m := range inbox {
+			emit(Broadcast, m)
+		}
+	})
+	if st.TotalRecvTuples != 8 {
+		t.Fatalf("broadcast should deliver to all 8: %d", st.TotalRecvTuples)
+	}
+	if st.MaxRecvBits != 4 {
+		t.Fatalf("each receiver charged once: %v", st.MaxRecvBits)
+	}
+	for s := 0; s < 8; s++ {
+		if len(c.Inbox(s)) != 1 {
+			t.Fatalf("server %d inbox %v", s, c.Inbox(s))
+		}
+	}
+}
+
+func TestSeedIsFree(t *testing.T) {
+	c := NewCluster(2, 8)
+	c.Seed(0, Message{Tuple: []int64{1, 2, 3}})
+	if c.MaxLoadBits() != 0 {
+		t.Error("seeding must not count as load")
+	}
+	if got := len(c.Inbox(0)); got != 1 {
+		t.Fatalf("inbox=%d", got)
+	}
+}
+
+func TestMultiRoundStatsAndMaxLoad(t *testing.T) {
+	c := NewCluster(2, 1)
+	c.Seed(0, Message{Tuple: []int64{1}}, Message{Tuple: []int64{2}})
+	// Round 1: send both tuples to server 1 (load 2 bits there).
+	c.Round("r1", func(s int, inbox []Message, emit Emitter) {
+		for _, m := range inbox {
+			emit(1, m)
+		}
+	})
+	// Round 2: send one tuple back (load 1 bit).
+	c.Round("r2", func(s int, inbox []Message, emit Emitter) {
+		if s == 1 && len(inbox) > 0 {
+			emit(0, inbox[0])
+		}
+	})
+	if c.NumRounds() != 2 {
+		t.Fatalf("rounds=%d", c.NumRounds())
+	}
+	if c.MaxLoadBits() != 2 {
+		t.Fatalf("L=%v want 2 (max over rounds)", c.MaxLoadBits())
+	}
+	if c.TotalBits() != 3 {
+		t.Fatalf("total=%v want 3", c.TotalBits())
+	}
+	if rr := c.ReplicationRate(3); rr != 1 {
+		t.Fatalf("replication=%v want 1", rr)
+	}
+}
+
+func TestGatherOrderAndContent(t *testing.T) {
+	c := NewCluster(3, 1)
+	c.Seed(0, Message{Kind: 7, Tuple: []int64{0}})
+	c.Seed(2, Message{Kind: 7, Tuple: []int64{2}})
+	all := c.Gather()
+	if len(all) != 2 || all[0].Tuple[0] != 0 || all[1].Tuple[0] != 2 {
+		t.Fatalf("gather: %v", all)
+	}
+}
+
+func TestRoundRunsEveryServer(t *testing.T) {
+	c := NewCluster(16, 1)
+	var ran int32
+	c.Round("noop", func(s int, inbox []Message, emit Emitter) {
+		atomic.AddInt32(&ran, 1)
+	})
+	if ran != 16 {
+		t.Fatalf("ran=%d want 16", ran)
+	}
+}
+
+func TestDeterministicDelivery(t *testing.T) {
+	run := func() []int64 {
+		c := NewCluster(4, 1)
+		for s := 0; s < 4; s++ {
+			c.Seed(s, Message{Tuple: []int64{int64(s * 10)}}, Message{Tuple: []int64{int64(s*10 + 1)}})
+		}
+		c.Round("all-to-one", func(s int, inbox []Message, emit Emitter) {
+			for _, m := range inbox {
+				emit(0, m)
+			}
+		})
+		var got []int64
+		for _, m := range c.Inbox(0) {
+			got = append(got, m.Tuple[0])
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic delivery: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestBadDestinationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range destination should panic")
+		}
+	}()
+	c := NewCluster(2, 1)
+	c.Seed(0, Message{Tuple: []int64{1}})
+	c.Round("bad", func(s int, inbox []Message, emit Emitter) {
+		for range inbox {
+			emit(5, Message{})
+		}
+	})
+}
+
+// TestConservation: total received bits equal total emitted bits (with
+// broadcast counting p receivers) — the engine neither loses nor invents
+// communication.
+func TestConservation(t *testing.T) {
+	c := NewCluster(5, 3)
+	c.Seed(0, Message{Tuple: []int64{1, 2}}, Message{Tuple: []int64{3}})
+	c.Seed(2, Message{Tuple: []int64{4, 5, 6}})
+	st := c.Round("mix", func(s int, inbox []Message, emit Emitter) {
+		for i, m := range inbox {
+			if i%2 == 0 {
+				emit(Broadcast, m)
+			} else {
+				emit((s+1)%5, m)
+			}
+		}
+	})
+	// Broadcast tuples: (1,2) from s0 and (4,5,6) from s2 => (2+3)*3 bits × 5.
+	// Unicast: (3) => 1*3 bits.
+	want := float64((2+3)*3*5 + 1*3)
+	if st.TotalRecvBits != want {
+		t.Fatalf("total=%v want %v", st.TotalRecvBits, want)
+	}
+}
+
+// TestEmptyRoundIsFree: a round with no emissions records zero load.
+func TestEmptyRoundIsFree(t *testing.T) {
+	c := NewCluster(3, 8)
+	st := c.Round("idle", func(s int, inbox []Message, emit Emitter) {})
+	if st.TotalRecvBits != 0 || st.MaxRecvTuples != 0 {
+		t.Fatalf("idle round: %+v", st)
+	}
+}
+
+func TestAccessorsAndCaps(t *testing.T) {
+	c := NewCluster(4, 7)
+	if c.P() != 4 || c.BitsPerValue() != 7 {
+		t.Fatalf("accessors: %d %d", c.P(), c.BitsPerValue())
+	}
+	c.SetLoadCap(10)
+	c.Seed(0, Message{Tuple: []int64{1, 2}}) // 14 bits once delivered
+	st := c.Round("over", func(s int, inbox []Message, emit Emitter) {
+		for _, m := range inbox {
+			emit(1, m)
+		}
+	})
+	if !st.Aborted || !c.Aborted() {
+		t.Error("14 bits against a 10-bit cap should abort")
+	}
+	if len(c.Rounds()) != 1 {
+		t.Errorf("rounds list: %d", len(c.Rounds()))
+	}
+	if c.MaxLoadTuples() != 1 {
+		t.Errorf("max tuples: %d", c.MaxLoadTuples())
+	}
+	if c.ReplicationRate(0) != 0 {
+		t.Error("zero input bits should give replication 0")
+	}
+	c.SetLoadCap(0)
+	st2 := c.Round("under", func(s int, inbox []Message, emit Emitter) {})
+	if st2.Aborted {
+		t.Error("uncapped round cannot abort")
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCluster(0, 8) },
+		func() { NewCluster(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewCluster should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor runs f(i) for i in [0,n) on up to GOMAXPROCS goroutines and
+// waits for completion. It is the computation-phase helper for work outside
+// a communication round (e.g. final local joins). Panics in f propagate to
+// the caller.
+func ParallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Recover per item so a panicking iteration does not stop this
+			// worker from draining the channel (which would deadlock the
+			// sender).
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForRunsAll(t *testing.T) {
+	var sum int64
+	ParallelFor(100, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum=%d want 4950", sum)
+	}
+}
+
+func TestParallelForSmallN(t *testing.T) {
+	hits := make([]bool, 1)
+	ParallelFor(1, func(i int) { hits[i] = true })
+	if !hits[0] {
+		t.Error("n=1 not executed")
+	}
+	ParallelFor(0, func(i int) { t.Error("n=0 must not call f") })
+}
+
+func TestParallelForPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic should propagate to the caller")
+		}
+	}()
+	ParallelFor(50, func(i int) {
+		if i == 25 {
+			panic("boom")
+		}
+	})
+}

@@ -1,0 +1,203 @@
+// Package entropy implements the information-theoretic toolkit of
+// Sections 2.3, 2.4 and 3.2.1 of the paper:
+//
+//   - Shannon entropy and conditional entropy of discrete distributions;
+//   - the encoding size (entropy) of an a-dimensional matching,
+//     equation (12): H(S) = a·log C(n,m) + (a−1)·log(m!), with the
+//     Proposition 3.14 relations to the trivial size M = a·m·log n;
+//   - Friedgut's inequality (7), whose application to tight fractional
+//     edge coverings powers the one-round lower bound.
+//
+// Everything is computed in log-space with math.Lgamma, so the formulas
+// stay exact for the large n, m of the experiments.
+package entropy
+
+import (
+	"math"
+
+	"mpcquery/internal/query"
+)
+
+// Shannon returns H(X) = −Σ p·log₂(p) for the given distribution. Zero
+// probabilities contribute zero; probabilities must be non-negative (they
+// are normalized internally, so counts work too).
+func Shannon(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("entropy: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			p := w / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Conditional returns H(X|Y) = Σ_y P(y)·H(X|Y=y) for a joint distribution
+// given as joint[y][x] (equation (4)).
+func Conditional(joint [][]float64) float64 {
+	total := 0.0
+	for _, row := range joint {
+		for _, w := range row {
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, row := range joint {
+		py := 0.0
+		for _, w := range row {
+			py += w
+		}
+		if py > 0 {
+			h += py / total * Shannon(row)
+		}
+	}
+	return h
+}
+
+// Binary returns the binary entropy H(x) = −x·log₂x − (1−x)·log₂(1−x),
+// used in Proposition 3.11.
+func Binary(x float64) float64 {
+	if x <= 0 || x >= 1 {
+		return 0
+	}
+	return -x*math.Log2(x) - (1-x)*math.Log2(1-x)
+}
+
+// LogChoose returns log₂ C(n, m) via log-gamma.
+func LogChoose(n, m float64) float64 {
+	if m < 0 || m > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(n + 1)
+	lm, _ := math.Lgamma(m + 1)
+	lnm, _ := math.Lgamma(n - m + 1)
+	return (ln - lm - lnm) / math.Ln2
+}
+
+// LogFactorial returns log₂(m!).
+func LogFactorial(m float64) float64 {
+	l, _ := math.Lgamma(m + 1)
+	return l / math.Ln2
+}
+
+// MatchingBits returns the exact number of bits needed to encode an
+// a-dimensional matching of [n] with m tuples — the entropy of the
+// paper's matching probability space, equation (12):
+//
+//	H(S) = a·log C(n,m) + (a−1)·log(m!)
+func MatchingBits(arity int, m, n float64) float64 {
+	return float64(arity)*LogChoose(n, m) + float64(arity-1)*LogFactorial(m)
+}
+
+// TrivialBits returns M = a·m·log₂ n, the paper's working size measure.
+func TrivialBits(arity int, m, n float64) float64 {
+	return float64(arity) * m * math.Log2(n)
+}
+
+// Proposition314Holds checks the Proposition 3.14 relations between the
+// matching entropy H(S) and the trivial size M:
+//
+//	(a) n ≥ m²      ⇒ H(S) ≥ M/2
+//	(b) n = m, a ≥ 2 ⇒ H(S) ≥ M/4
+func Proposition314Holds(arity int, m, n float64) bool {
+	h := MatchingBits(arity, m, n)
+	big := TrivialBits(arity, m, n)
+	if n >= m*m {
+		return h >= big/2-1e-6
+	}
+	if n == m && arity >= 2 {
+		return h >= big/4-1e-6
+	}
+	return true // the proposition makes no claim otherwise
+}
+
+// Friedgut evaluates both sides of Friedgut's inequality (7) for query q,
+// weights w (one non-negative weight per atom per tuple over [n]^{a_j},
+// given as w[j][flatIndex]), domain size n, and fractional edge cover u:
+//
+//	Σ_{a∈[n]^k} Π_j w_j(a_j)  ≤  Π_j ( Σ_{a_j} w_j(a_j)^{1/u_j} )^{u_j}
+//
+// It returns (lhs, rhs). Atoms with u_j = 0 use the max-norm limit
+// lim_{u→0} (Σ w^{1/u})^u = max w.
+func Friedgut(q *query.Query, w [][]float64, n int, u []float64) (lhs, rhs float64) {
+	k := q.NumVars()
+	assign := make([]int, k)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == k {
+			prod := 1.0
+			for j, atom := range q.Atoms {
+				prod *= w[j][flatIndex(q, atom, assign, n)]
+				if prod == 0 {
+					return
+				}
+			}
+			lhs += prod
+			return
+		}
+		for v := 0; v < n; v++ {
+			assign[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+
+	rhs = 1.0
+	for j, uj := range u {
+		if uj == 0 {
+			maxW := 0.0
+			for _, x := range w[j] {
+				if x > maxW {
+					maxW = x
+				}
+			}
+			rhs *= maxW
+			continue
+		}
+		sum := 0.0
+		for _, x := range w[j] {
+			if x > 0 {
+				sum += math.Pow(x, 1/uj)
+			}
+		}
+		rhs *= math.Pow(sum, uj)
+	}
+	return lhs, rhs
+}
+
+// flatIndex maps the projection of the assignment onto an atom's variables
+// to a flat index in [n]^{arity}.
+func flatIndex(q *query.Query, atom query.Atom, assign []int, n int) int {
+	idx := 0
+	for _, v := range atom.Vars {
+		idx = idx*n + assign[q.VarIndex(v)]
+	}
+	return idx
+}
+
+// AGMBound returns the Atserias–Grohe–Marx output-size bound implied by
+// Friedgut's inequality with 0/1 weights (Section 2.4):
+//
+//	|q(I)| ≤ Π_j |S_j|^{u_j}   for any fractional edge cover u.
+func AGMBound(sizes []float64, u []float64) float64 {
+	logB := 0.0
+	for j, uj := range u {
+		if uj > 0 {
+			logB += uj * math.Log(sizes[j])
+		}
+	}
+	return math.Exp(logB)
+}

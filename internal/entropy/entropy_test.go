@@ -1,0 +1,257 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/localjoin"
+	"mpcquery/internal/packing"
+	"mpcquery/internal/query"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestShannon(t *testing.T) {
+	if got := Shannon([]float64{1, 1}); !approx(got, 1, 1e-12) {
+		t.Errorf("fair coin H=%v want 1", got)
+	}
+	if got := Shannon([]float64{1, 1, 1, 1}); !approx(got, 2, 1e-12) {
+		t.Errorf("4-uniform H=%v want 2", got)
+	}
+	if got := Shannon([]float64{5, 0, 0}); got != 0 {
+		t.Errorf("deterministic H=%v want 0", got)
+	}
+	if got := Shannon(nil); got != 0 {
+		t.Errorf("empty H=%v", got)
+	}
+}
+
+func TestConditionalChainRule(t *testing.T) {
+	// H(X,Y) = H(Y) + H(X|Y) (equation (5)).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		ny, nx := 2+rng.Intn(4), 2+rng.Intn(4)
+		joint := make([][]float64, ny)
+		var flat []float64
+		ymarg := make([]float64, ny)
+		for y := range joint {
+			joint[y] = make([]float64, nx)
+			for x := range joint[y] {
+				w := rng.Float64()
+				joint[y][x] = w
+				flat = append(flat, w)
+				ymarg[y] += w
+			}
+		}
+		hxy := Shannon(flat)
+		hy := Shannon(ymarg)
+		hxGy := Conditional(joint)
+		if !approx(hxy, hy+hxGy, 1e-9) {
+			t.Fatalf("chain rule: H(X,Y)=%v H(Y)+H(X|Y)=%v", hxy, hy+hxGy)
+		}
+		// Conditioning cannot increase entropy: H(X|Y) ≤ H(X).
+		xmarg := make([]float64, nx)
+		for y := range joint {
+			for x, w := range joint[y] {
+				xmarg[x] += w
+			}
+		}
+		if hxGy > Shannon(xmarg)+1e-9 {
+			t.Fatalf("H(X|Y)=%v > H(X)=%v", hxGy, Shannon(xmarg))
+		}
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if !approx(Binary(0.5), 1, 1e-12) {
+		t.Errorf("H(1/2)=%v", Binary(0.5))
+	}
+	if Binary(0) != 0 || Binary(1) != 0 {
+		t.Error("H(0)=H(1)=0")
+	}
+	// Proposition 3.11's helper: H(x) ≤ 2·(−x·log₂x) for x ≤ 1/2.
+	for _, x := range []float64{0.01, 0.1, 0.3, 0.5} {
+		if Binary(x) > 2*(-x*math.Log2(x))+1e-12 {
+			t.Errorf("H(%v) exceeds 2f(%v)", x, x)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if !approx(LogChoose(5, 2), math.Log2(10), 1e-9) {
+		t.Errorf("C(5,2): %v", LogChoose(5, 2))
+	}
+	if !approx(LogFactorial(5), math.Log2(120), 1e-9) {
+		t.Errorf("5!: %v", LogFactorial(5))
+	}
+	if !math.IsInf(LogChoose(3, 5), -1) {
+		t.Error("C(3,5) should be -inf")
+	}
+}
+
+// TestMatchingBitsCountsSmall cross-checks equation (12) against explicit
+// enumeration: the number of a-dimensional matchings with m tuples over [n]
+// is C(n,m)^a · (m!)^{a−1}.
+func TestMatchingBitsCountsSmall(t *testing.T) {
+	// a=2, n=4, m=2: C(4,2)²·2! = 36·2 = 72.
+	want := math.Log2(72)
+	if got := MatchingBits(2, 2, 4); !approx(got, want, 1e-9) {
+		t.Errorf("H=%v want %v", got, want)
+	}
+	// a=1: just subsets, C(4,2)=6.
+	if got := MatchingBits(1, 2, 4); !approx(got, math.Log2(6), 1e-9) {
+		t.Errorf("1-dim H=%v", got)
+	}
+}
+
+// TestProposition314 checks both regimes of Proposition 3.14.
+func TestProposition314(t *testing.T) {
+	// (a) n = m²: H ≥ M/2.
+	for _, m := range []float64{10, 100, 1000} {
+		if !Proposition314Holds(2, m, m*m) {
+			t.Errorf("(a) fails at m=%v", m)
+		}
+	}
+	// (b) n = m, arity 2: H ≥ M/4.
+	for _, m := range []float64{10, 100, 1000} {
+		if !Proposition314Holds(2, m, m) {
+			t.Errorf("(b) fails at m=%v", m)
+		}
+	}
+	if !Proposition314Holds(3, 50, 2500) {
+		t.Error("(a) arity 3 fails")
+	}
+}
+
+// TestFriedgutTriangleWorkedExample checks the C3 instance of Section 2.4
+// with the cover (1/2,1/2,1/2):
+//
+//	Σ αxy·βyz·γzx ≤ sqrt(Σα² · Σβ² · Σγ²)
+func TestFriedgutTriangleWorkedExample(t *testing.T) {
+	q := query.Triangle()
+	n := 4
+	rng := rand.New(rand.NewSource(2))
+	w := randomWeights(rng, q, n)
+	lhs, rhs := Friedgut(q, w, n, []float64{0.5, 0.5, 0.5})
+	if lhs > rhs+1e-9 {
+		t.Errorf("Friedgut violated: lhs=%v rhs=%v", lhs, rhs)
+	}
+	// Hand-check rhs = sqrt(prod of squared sums).
+	prod := 1.0
+	for j := range w {
+		s := 0.0
+		for _, x := range w[j] {
+			s += x * x
+		}
+		prod *= s
+	}
+	if !approx(rhs, math.Sqrt(prod), 1e-6) {
+		t.Errorf("rhs=%v want %v", rhs, math.Sqrt(prod))
+	}
+}
+
+// TestFriedgutChainMaxNorm checks the L3 instance of Section 2.4 with the
+// cover (1,0,1): the middle factor becomes max β.
+func TestFriedgutChainMaxNorm(t *testing.T) {
+	q := query.Chain(3)
+	n := 3
+	rng := rand.New(rand.NewSource(3))
+	w := randomWeights(rng, q, n)
+	lhs, rhs := Friedgut(q, w, n, []float64{1, 0, 1})
+	if lhs > rhs+1e-9 {
+		t.Errorf("Friedgut violated: lhs=%v rhs=%v", lhs, rhs)
+	}
+	s1, s3, maxB := 0.0, 0.0, 0.0
+	for _, x := range w[0] {
+		s1 += x
+	}
+	for _, x := range w[1] {
+		if x > maxB {
+			maxB = x
+		}
+	}
+	for _, x := range w[2] {
+		s3 += x
+	}
+	if !approx(rhs, s1*maxB*s3, 1e-6) {
+		t.Errorf("rhs=%v want %v", rhs, s1*maxB*s3)
+	}
+}
+
+// TestFriedgutRandom is the property test: the inequality holds for random
+// weights on random queries with their optimal fractional edge cover.
+func TestFriedgutRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomSmallQuery(r)
+		n := 2 + r.Intn(3)
+		w := randomWeights(r, q, n)
+		_, cover := packing.RhoStar(q)
+		lhs, rhs := Friedgut(q, w, n, cover)
+		return lhs <= rhs+1e-6*math.Max(1, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAGMBound checks that the Friedgut-derived output bound dominates the
+// actual join size on random instances (the Section 2.4 corollary).
+func TestAGMBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := query.Triangle()
+	for trial := 0; trial < 20; trial++ {
+		rels := make(map[string]*data.Relation)
+		sizes := make([]float64, 3)
+		for j, a := range q.Atoms {
+			rel := data.NewRelation(a.Name, 2)
+			m := 1 + rng.Intn(40)
+			for i := 0; i < m; i++ {
+				rel.Append(int64(rng.Intn(6)), int64(rng.Intn(6)))
+			}
+			rels[a.Name] = rel.Canonical() // set semantics for the bound
+			sizes[j] = float64(rels[a.Name].NumTuples())
+		}
+		out := localjoin.Evaluate(q, rels).Canonical()
+		bound := AGMBound(sizes, []float64{0.5, 0.5, 0.5})
+		if float64(out.NumTuples()) > bound+1e-9 {
+			t.Fatalf("AGM violated: |out|=%d bound=%v sizes=%v", out.NumTuples(), bound, sizes)
+		}
+	}
+}
+
+func randomWeights(rng *rand.Rand, q *query.Query, n int) [][]float64 {
+	w := make([][]float64, q.NumAtoms())
+	for j, a := range q.Atoms {
+		size := 1
+		for range a.Vars {
+			size *= n
+		}
+		w[j] = make([]float64, size)
+		for i := range w[j] {
+			if rng.Intn(3) > 0 { // sprinkle zeros
+				w[j][i] = rng.Float64()
+			}
+		}
+	}
+	return w
+}
+
+func randomSmallQuery(r *rand.Rand) *query.Query {
+	k := 2 + r.Intn(2)
+	l := 1 + r.Intn(3)
+	atoms := make([]query.Atom, 0, l)
+	for j := 0; j < l; j++ {
+		a := r.Intn(k)
+		b := r.Intn(k)
+		atoms = append(atoms, query.Atom{
+			Name: "S" + string(rune('A'+j)),
+			Vars: []string{string(rune('a' + a)), string(rune('a' + b))},
+		})
+	}
+	return query.New("rand", atoms...)
+}

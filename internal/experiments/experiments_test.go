@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mpcquery/internal/query"
+)
+
+var quickCfg = Config{Seed: 42, Quick: true}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as float", s)
+	}
+	return v
+}
+
+// col returns the index of a column by name.
+func col(t *testing.T, tb *Table, name string) int {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tb.ID, name, tb.Columns)
+	return -1
+}
+
+func TestTable2Shapes(t *testing.T) {
+	tb := Table2ShareExponents(quickCfg)
+	if len(tb.Rows) != 11 {
+		t.Fatalf("rows=%d", len(tb.Rows))
+	}
+	ratio := col(t, tb, "measured/predicted")
+	for _, r := range tb.Rows {
+		v := parseF(t, r[ratio])
+		if v < 0.1 || v > 8 {
+			t.Errorf("%s: measured/predicted=%v out of range", r[0], v)
+		}
+	}
+}
+
+func TestTriangleUnequalCrossover(t *testing.T) {
+	tb := TriangleUnequalSizes(quickCfg)
+	se := col(t, tb, "speedup exponent")
+	// First rows (small p): exponent 1; last rows: 2/3.
+	first := parseF(t, tb.Rows[0][se])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][se])
+	if math.Abs(first-1) > 1e-2 {
+		t.Errorf("small-p speedup exponent=%v want 1", first)
+	}
+	if math.Abs(last-2.0/3) > 1e-2 {
+		t.Errorf("large-p speedup exponent=%v want 2/3", last)
+	}
+}
+
+func TestReplicationRateShape(t *testing.T) {
+	tb := ReplicationRate(quickCfg)
+	ratio := col(t, tb, "r/shape")
+	for _, r := range tb.Rows {
+		v := parseF(t, r[ratio])
+		if v < 0.05 || v > 20 {
+			t.Errorf("p=%s: r/shape=%v should be Θ(1)", r[0], v)
+		}
+	}
+}
+
+func TestSkewedJoinSeparation(t *testing.T) {
+	tb := SkewedJoin(quickCfg)
+	sep := col(t, tb, "naive/aware")
+	noSkew := parseF(t, tb.Rows[0][sep])
+	fullSkew := parseF(t, tb.Rows[len(tb.Rows)-1][sep])
+	if fullSkew <= noSkew {
+		t.Errorf("separation should grow with skew: %v -> %v", noSkew, fullSkew)
+	}
+	if fullSkew < 2 {
+		t.Errorf("full-skew separation=%v want ≥ 2", fullSkew)
+	}
+}
+
+func TestSkewedStarNearLB(t *testing.T) {
+	tb := SkewedStar(quickCfg)
+	ratio := col(t, tb, "aware/LB")
+	for _, r := range tb.Rows {
+		v := parseF(t, r[ratio])
+		if v < 0.05 || v > 50 {
+			t.Errorf("%s: aware/LB=%v should be bounded", r[0], v)
+		}
+	}
+}
+
+func TestSkewedTriangleBeatsVanilla(t *testing.T) {
+	tb := SkewedTriangle(quickCfg)
+	sep := col(t, tb, "vanilla/aware")
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][sep])
+	if last < 1 {
+		t.Errorf("at heavy skew the aware algorithm should win: vanilla/aware=%v", last)
+	}
+}
+
+func TestChainMultiRoundTight(t *testing.T) {
+	tb := ChainMultiRound(quickCfg)
+	ub := col(t, tb, "rounds UB (plan)")
+	lb := col(t, tb, "rounds LB ((ε,r)-plan)")
+	ex := col(t, tb, "executed")
+	for _, r := range tb.Rows {
+		if r[0] == "SP3" {
+			continue
+		}
+		if r[ub] != r[lb] {
+			t.Errorf("%s: UB %s != LB %s", r[0], r[ub], r[lb])
+		}
+		if r[ub] != r[ex] {
+			t.Errorf("%s: executed %s != plan %s", r[0], r[ex], r[ub])
+		}
+	}
+}
+
+func TestCycleRoundsOutputOK(t *testing.T) {
+	tb := CycleRounds(quickCfg)
+	ok := col(t, tb, "output ok")
+	for _, r := range tb.Rows {
+		if r[ok] != "true" {
+			t.Errorf("%s: output mismatch", r[0])
+		}
+	}
+}
+
+func TestConnectedComponentsSeparation(t *testing.T) {
+	tb := ConnectedComponents(quickCfg)
+	lp := col(t, tb, "label-prop rounds")
+	pj := col(t, tb, "pointer-jump rounds")
+	last := tb.Rows[len(tb.Rows)-1]
+	lpv, pjv := parseF(t, last[lp]), parseF(t, last[pj])
+	if pjv >= lpv {
+		t.Errorf("pointer jumping (%v) should beat label propagation (%v) at large diameter", pjv, lpv)
+	}
+}
+
+func TestBallsInBinsBoundDominates(t *testing.T) {
+	tb := BallsInBins(quickCfg)
+	emp := col(t, tb, "empirical tail")
+	bound := col(t, tb, "bound K·e^{−h(δ)/β}")
+	for _, r := range tb.Rows {
+		e, b := parseF(t, r[emp]), parseF(t, r[bound])
+		if e > b+0.05 {
+			t.Errorf("weights=%s δ=%s: empirical %v exceeds bound %v", r[0], r[3], e, b)
+		}
+	}
+}
+
+func TestLowerEqualsUpperTight(t *testing.T) {
+	tb := LowerEqualsUpper(quickCfg)
+	gap := parseF(t, tb.Rows[0][1])
+	if gap > 1e-4 {
+		t.Errorf("L_lower vs L_upper gap=%v", gap)
+	}
+}
+
+func TestAnswerFractionShrinks(t *testing.T) {
+	tb := AnswerFraction(quickCfg)
+	fr := col(t, tb, "fraction found")
+	first := parseF(t, tb.Rows[0][fr])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][fr])
+	if last >= first {
+		t.Errorf("capped fraction should shrink with p: %v -> %v", first, last)
+	}
+	full := col(t, tb, "fraction at cap \u221d L_lower")
+	for _, r := range tb.Rows {
+		if v := parseF(t, r[full]); v < 0.97 {
+			t.Errorf("p=%s: L_lower-proportional cap should keep all answers, got %v", r[0], v)
+		}
+	}
+}
+
+func TestSpeedupSlopes(t *testing.T) {
+	tb := SpeedupCurve(quickCfg)
+	diff := col(t, tb, "|fit \u2212 pred|")
+	for _, r := range tb.Rows {
+		if v := parseF(t, r[diff]); v > 0.35 {
+			t.Errorf("%s: slope off by %v", r[0], v)
+		}
+	}
+}
+
+func TestSampledStatsConverges(t *testing.T) {
+	tb := SampledStats(quickCfg)
+	ratio := col(t, tb, "sampled/oracle")
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][ratio])
+	if last > 1.5 {
+		t.Errorf("full-sample run should match the oracle, ratio=%v", last)
+	}
+}
+
+func TestCartesianGrid(t *testing.T) {
+	tb := CartesianProduct(quickCfg)
+	ratio := col(t, tb, "measured/predicted")
+	for _, r := range tb.Rows {
+		if v := parseF(t, r[ratio]); v < 0.3 || v > 4 {
+			t.Errorf("p=%s: measured/predicted=%v", r[0], v)
+		}
+	}
+	sh := col(t, tb, "shares")
+	if tb.Rows[2][sh] != "(8,8)" { // p=64 -> sqrt grid
+		t.Errorf("p=64 shares=%s want (8,8)", tb.Rows[2][sh])
+	}
+}
+
+func TestAbortProbabilityFalls(t *testing.T) {
+	tb := AbortProbability(quickCfg)
+	freq := col(t, tb, "abort frequency")
+	first := parseF(t, tb.Rows[0][freq])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][freq])
+	if last > first {
+		t.Errorf("abort frequency should fall with the cap: %v -> %v", first, last)
+	}
+	if last > 0.2 {
+		t.Errorf("generous cap should almost never abort, got %v", last)
+	}
+}
+
+func TestAllAndFormats(t *testing.T) {
+	tables := All(quickCfg)
+	if len(tables) != 17 {
+		t.Fatalf("experiments=%d want 17", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || seen[tb.ID] {
+			t.Errorf("bad or duplicate id %q", tb.ID)
+		}
+		seen[tb.ID] = true
+		txt := tb.Format()
+		if !strings.Contains(txt, tb.ID) || !strings.Contains(txt, tb.Title) {
+			t.Errorf("%s: Format missing header", tb.ID)
+		}
+		md := tb.Markdown()
+		if !strings.Contains(md, "|") {
+			t.Errorf("%s: Markdown missing table", tb.ID)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: no rows", tb.ID)
+		}
+		for _, r := range tb.Rows {
+			if len(r) != len(tb.Columns) {
+				t.Errorf("%s: row width %d vs %d columns", tb.ID, len(r), len(tb.Columns))
+			}
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if profileString(nil) != "none" {
+		t.Error("empty profile")
+	}
+	if s := profileString(map[int64]int{3: 5}); s != "3×5" {
+		t.Errorf("profile=%q", s)
+	}
+}
+
+func TestPackingTableHelper(t *testing.T) {
+	rows := packingTable(quickTriangle(), []float64{1 << 20, 1 << 20, 1 << 20}, 64)
+	if len(rows) != 5 {
+		t.Errorf("C3 packing table rows=%d want 5", len(rows))
+	}
+}
+
+func quickTriangle() *query.Query { return query.Triangle() }
+
+func TestTableJSON(t *testing.T) {
+	tb := &Table{ID: "EX", Ref: "r", Title: "t", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	tb.Note("n")
+	b, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["id"] != "EX" {
+		t.Errorf("json id: %v", decoded["id"])
+	}
+}

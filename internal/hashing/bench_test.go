@@ -1,0 +1,23 @@
+package hashing
+
+import "testing"
+
+func BenchmarkBin(b *testing.B) {
+	f := NewFamily(1, 3)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += f.Bin(i%3, int64(i), 16)
+	}
+	_ = sink
+}
+
+// BenchmarkDestinations measures subcube enumeration for a binary atom on a
+// 3-dimensional grid (the routing inner loop of the HyperCube shuffle).
+func BenchmarkDestinations(b *testing.B) {
+	g := NewGrid([]int{4, 4, 4})
+	count := 0
+	for i := 0; i < b.N; i++ {
+		g.Destinations([]int{0, 1}, []int{i % 4, (i + 1) % 4}, func(s int) { count++ })
+	}
+	_ = count
+}

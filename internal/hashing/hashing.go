@@ -1,0 +1,164 @@
+// Package hashing provides the seeded per-dimension hash functions and the
+// hypercube coordinate grid used by the HyperCube algorithm (Section 3.1):
+// servers are points of [p1]×…×[pk], and a tuple t of relation Sj is routed
+// to the destination subcube D(t) = {y | ∀m: h_{i_m}(t[i_m]) = y_{i_m}}.
+//
+// The paper assumes perfectly random (strongly universal) hash functions;
+// we substitute a SplitMix64 finalizer keyed per (seed, dimension), whose
+// balls-in-bins tails are validated empirically against the Appendix A
+// bounds in package ballsbins.
+package hashing
+
+import "fmt"
+
+// Family is a collection of independent hash functions, one per dimension
+// (query variable), all derived from a single seed.
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily derives dims independent hash functions from seed.
+func NewFamily(seed int64, dims int) *Family {
+	f := &Family{seeds: make([]uint64, dims)}
+	s := uint64(seed)
+	for i := range f.seeds {
+		s += 0x9e3779b97f4a7c15
+		f.seeds[i] = mix64(s)
+	}
+	return f
+}
+
+// Hash returns the full 64-bit hash of value v under dimension dim's
+// function.
+func (f *Family) Hash(dim int, v int64) uint64 {
+	return mix64(uint64(v) ^ f.seeds[dim])
+}
+
+// Bin returns h_dim(v) reduced to [0, share) — the coordinate of v along
+// dimension dim in a grid with that many shares.
+func (f *Family) Bin(dim int, v int64, share int) int {
+	if share <= 1 {
+		return 0
+	}
+	// Multiply-shift reduction avoids modulo bias for small share counts.
+	h := f.Hash(dim, v)
+	return int((h >> 32) * uint64(share) >> 32)
+}
+
+// mix64 is the SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Grid maps between linear server ids [0,p) and coordinate vectors of the
+// k-dimensional hypercube [p1]×…×[pk], where p = Πᵢ pᵢ.
+type Grid struct {
+	Shares  []int
+	strides []int
+	p       int
+}
+
+// NewGrid builds a grid with the given per-dimension shares (each ≥ 1).
+func NewGrid(shares []int) *Grid {
+	p := 1
+	strides := make([]int, len(shares))
+	for i := len(shares) - 1; i >= 0; i-- {
+		if shares[i] < 1 {
+			panic(fmt.Sprintf("hashing: share %d of dimension %d", shares[i], i))
+		}
+		strides[i] = p
+		p *= shares[i]
+	}
+	return &Grid{Shares: append([]int(nil), shares...), strides: strides, p: p}
+}
+
+// P returns the number of servers Πᵢ pᵢ covered by the grid.
+func (g *Grid) P() int { return g.p }
+
+// ServerOf linearizes a coordinate vector.
+func (g *Grid) ServerOf(coords []int) int {
+	s := 0
+	for i, c := range coords {
+		if c < 0 || c >= g.Shares[i] {
+			panic(fmt.Sprintf("hashing: coordinate %d out of range for dimension %d (share %d)", c, i, g.Shares[i]))
+		}
+		s += c * g.strides[i]
+	}
+	return s
+}
+
+// CoordsOf writes the coordinate vector of a server id into out (which must
+// have length len(Shares)) and returns it.
+func (g *Grid) CoordsOf(server int, out []int) []int {
+	for i := range g.Shares {
+		out[i] = server / g.strides[i] % g.Shares[i]
+	}
+	return out
+}
+
+// Destinations calls yield for every server in the destination subcube
+// determined by fixing dimensions dims[i] to coordinates bins[i] and
+// ranging over all other dimensions — the set D(t) of equation (9).
+func (g *Grid) Destinations(dims, bins []int, yield func(server int)) {
+	base := 0
+	fixed := make([]bool, len(g.Shares))
+	for i, d := range dims {
+		// A dimension may be fixed twice (repeated variable in an atom);
+		// if the two bins disagree the subcube is empty.
+		if fixed[d] {
+			prev := 0 // recover previously set coordinate
+			prev = (base / g.strides[d]) % g.Shares[d]
+			if prev != bins[i] {
+				return
+			}
+			continue
+		}
+		fixed[d] = true
+		base += bins[i] * g.strides[d]
+	}
+	var free []int
+	for i, f := range fixed {
+		if !f && g.Shares[i] > 1 {
+			free = append(free, i)
+		}
+	}
+	// Odometer over the free dimensions.
+	counters := make([]int, len(free))
+	for {
+		s := base
+		for i, d := range free {
+			s += counters[i] * g.strides[d]
+		}
+		yield(s)
+		i := 0
+		for ; i < len(free); i++ {
+			counters[i]++
+			if counters[i] < g.Shares[free[i]] {
+				break
+			}
+			counters[i] = 0
+		}
+		if i == len(free) {
+			return
+		}
+	}
+}
+
+// SubcubeSize returns |D(t)| for a tuple fixing the given dimensions: the
+// product of the shares of all unfixed dimensions (the replication factor
+// of the routed tuple).
+func (g *Grid) SubcubeSize(dims []int) int {
+	fixed := make([]bool, len(g.Shares))
+	for _, d := range dims {
+		fixed[d] = true
+	}
+	size := 1
+	for i, f := range fixed {
+		if !f {
+			size *= g.Shares[i]
+		}
+	}
+	return size
+}

@@ -1,0 +1,218 @@
+package localjoin
+
+import (
+	"sort"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/query"
+)
+
+// GenericJoin evaluates a full conjunctive query variable-at-a-time, in the
+// style of the worst-case-optimal join algorithms (Ngo–Porat–Ré–Rudra,
+// LeapFrog TrieJoin) whose output-size analysis — the AGM bound through
+// fractional edge covers — the paper builds on in Section 2.4. For each
+// variable in turn it intersects the candidate value sets offered by all
+// atoms containing it, then recurses. On cyclic queries such as the
+// triangle its intermediate work is bounded by the output of every prefix,
+// avoiding the quadratic intermediates a binary join plan can produce.
+//
+// It returns the same result set as Evaluate (with duplicates when inputs
+// are bags collapsed — the trie construction deduplicates input tuples, so
+// GenericJoin has set semantics; use Evaluate when bag multiplicity
+// matters).
+func GenericJoin(q *query.Query, rels map[string]*data.Relation) *data.Relation {
+	vars := q.Vars()
+	out := data.NewRelation(q.Name, len(vars))
+
+	// Choose a variable order: greedy by number of covering atoms
+	// (descending), then first occurrence — cheap and effective for the
+	// query families here.
+	order := variableOrder(q)
+
+	// Build a trie per atom following the atom's variables sorted by the
+	// global order.
+	tries := make([]*trieNode, q.NumAtoms())
+	atomVarPos := make([][]int, q.NumAtoms()) // atom -> columns sorted by global var order
+	rank := make(map[string]int, len(vars))
+	for i, v := range order {
+		rank[v] = i
+	}
+	for j, a := range q.Atoms {
+		rel := rels[a.Name]
+		if rel == nil {
+			panic("localjoin: missing relation " + a.Name)
+		}
+		cols := sortedColumns(a, rank)
+		atomVarPos[j] = cols
+		tries[j] = buildTrie(rel, a, cols)
+	}
+
+	assignment := make(map[string]int64, len(vars))
+	nodes := make([]*trieNode, q.NumAtoms())
+	for j := range tries {
+		nodes[j] = tries[j]
+	}
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(order) {
+			row := make([]int64, len(vars))
+			for i, v := range vars {
+				row[i] = assignment[v]
+			}
+			out.AppendTuple(row)
+			return
+		}
+		v := order[depth]
+		// Atoms whose next trie level binds v.
+		var active []int
+		for j, a := range q.Atoms {
+			_ = a
+			if nodes[j] != nil && nodes[j].depth < len(atomVarPos[j]) &&
+				q.Atoms[j].Vars[atomVarPos[j][nodes[j].depth]] == v {
+				active = append(active, j)
+			}
+		}
+		if len(active) == 0 {
+			// Variable unconstrained at this point: cannot happen for
+			// connected full CQs with the chosen order, but guard anyway.
+			panic("localjoin: unconstrained variable " + v)
+		}
+		// Intersect candidate sets, iterating the smallest.
+		smallest := active[0]
+		for _, j := range active[1:] {
+			if len(nodes[j].children) < len(nodes[smallest].children) {
+				smallest = j
+			}
+		}
+		saved := make([]*trieNode, len(active))
+		for val, child := range nodes[smallest].children {
+			ok := true
+			for _, j := range active {
+				if j == smallest {
+					continue
+				}
+				if _, has := nodes[j].children[val]; !has {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for i, j := range active {
+				saved[i] = nodes[j]
+				nodes[j] = nodes[j].children[val]
+			}
+			_ = child
+			assignment[v] = val
+			rec(depth + 1)
+			for i, j := range active {
+				nodes[j] = saved[i]
+			}
+		}
+		delete(assignment, v)
+	}
+	rec(0)
+	return out
+}
+
+type trieNode struct {
+	depth    int
+	children map[int64]*trieNode
+}
+
+func newTrieNode(depth int) *trieNode {
+	return &trieNode{depth: depth, children: make(map[int64]*trieNode)}
+}
+
+// buildTrie indexes a relation by the atom's variables in global-order
+// columns; tuples inconsistent on repeated variables are dropped, and
+// repeated variables appear once (at their first sorted column).
+func buildTrie(rel *data.Relation, a query.Atom, cols []int) *trieNode {
+	root := newTrieNode(0)
+	m := rel.NumTuples()
+	for i := 0; i < m; i++ {
+		t := rel.Tuple(i)
+		if !selfConsistent(a, t) {
+			continue
+		}
+		node := root
+		for d, c := range cols {
+			v := t[c]
+			child, ok := node.children[v]
+			if !ok {
+				child = newTrieNode(d + 1)
+				node.children[v] = child
+			}
+			node = child
+		}
+	}
+	return root
+}
+
+// sortedColumns returns the atom's columns ordered by the global variable
+// order, keeping only the first column of each repeated variable.
+func sortedColumns(a query.Atom, rank map[string]int) []int {
+	seen := make(map[string]bool)
+	var cols []int
+	for c, v := range a.Vars {
+		if !seen[v] {
+			seen[v] = true
+			cols = append(cols, c)
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		return rank[a.Vars[cols[i]]] < rank[a.Vars[cols[j]]]
+	})
+	return cols
+}
+
+// variableOrder ranks variables by covering-atom count (descending) with
+// first-occurrence tie-breaks, ensuring connectivity-friendly prefixes.
+func variableOrder(q *query.Query) []string {
+	vars := append([]string(nil), q.Vars()...)
+	sort.SliceStable(vars, func(i, j int) bool {
+		return len(q.AtomsOf(vars[i])) > len(q.AtomsOf(vars[j]))
+	})
+	// Reorder so every prefix stays connected when possible: start from the
+	// highest-degree variable and grow through shared atoms.
+	if len(vars) <= 2 {
+		return vars
+	}
+	ordered := []string{vars[0]}
+	used := map[string]bool{vars[0]: true}
+	for len(ordered) < len(vars) {
+		next := ""
+		for _, v := range vars {
+			if used[v] {
+				continue
+			}
+			if connectedToAny(q, v, ordered) {
+				next = v
+				break
+			}
+		}
+		if next == "" { // disconnected query: take the next by rank
+			for _, v := range vars {
+				if !used[v] {
+					next = v
+					break
+				}
+			}
+		}
+		used[next] = true
+		ordered = append(ordered, next)
+	}
+	return ordered
+}
+
+func connectedToAny(q *query.Query, v string, chosen []string) bool {
+	for _, j := range q.AtomsOf(v) {
+		for _, w := range chosen {
+			if q.Atoms[j].HasVar(w) {
+				return true
+			}
+		}
+	}
+	return false
+}

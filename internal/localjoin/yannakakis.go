@@ -1,0 +1,142 @@
+package localjoin
+
+import (
+	"mpcquery/internal/data"
+	"mpcquery/internal/query"
+)
+
+// JoinTree is a GYO join tree of an acyclic query: Parent[j] is the atom
+// index that absorbed atom j during ear removal (-1 for the root), and
+// Order lists atoms in removal order (leaves first, root last).
+type JoinTree struct {
+	Parent []int
+	Order  []int
+	Root   int
+}
+
+// BuildJoinTree runs the GYO ear-removal on q and returns its join tree,
+// or ok=false when q is cyclic. An atom is an ear when all of its variables
+// shared with other remaining atoms are contained in a single witness atom,
+// which becomes its parent.
+func BuildJoinTree(q *query.Query) (*JoinTree, bool) {
+	n := q.NumAtoms()
+	remaining := make([]bool, n)
+	for j := range remaining {
+		remaining[j] = true
+	}
+	parent := make([]int, n)
+	for j := range parent {
+		parent[j] = -1
+	}
+	var order []int
+	left := n
+	for left > 1 {
+		ear := -1
+		witness := -1
+		for j := 0; j < n && ear < 0; j++ {
+			if !remaining[j] {
+				continue
+			}
+			shared := sharedVars(q, j, remaining)
+			for b := 0; b < n; b++ {
+				if b == j || !remaining[b] {
+					continue
+				}
+				if containsAll(q.Atoms[b], shared) {
+					ear, witness = j, b
+					break
+				}
+			}
+		}
+		if ear < 0 {
+			return nil, false // no ear: cyclic
+		}
+		remaining[ear] = false
+		parent[ear] = witness
+		order = append(order, ear)
+		left--
+	}
+	root := -1
+	for j, r := range remaining {
+		if r {
+			root = j
+		}
+	}
+	order = append(order, root)
+	return &JoinTree{Parent: parent, Order: order, Root: root}, true
+}
+
+func sharedVars(q *query.Query, j int, remaining []bool) []string {
+	var out []string
+	for _, v := range q.Atoms[j].DistinctVars() {
+		for b := 0; b < q.NumAtoms(); b++ {
+			if b != j && remaining[b] && q.Atoms[b].HasVar(v) {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func containsAll(a query.Atom, vars []string) bool {
+	for _, v := range vars {
+		if !a.HasVar(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Yannakakis evaluates an acyclic full conjunctive query with the classic
+// three phases: a bottom-up semijoin pass (parents reduced by children), a
+// top-down pass (children reduced by parents), and a final join along the
+// tree. After the two passes every remaining tuple participates in some
+// output, so the final join's intermediates are bounded by input + output —
+// the linear-time guarantee for acyclic queries. It panics if q is cyclic
+// (use Evaluate or GenericJoin there).
+func Yannakakis(q *query.Query, rels map[string]*data.Relation) *data.Relation {
+	tree, ok := BuildJoinTree(q)
+	if !ok {
+		panic("localjoin: Yannakakis requires an acyclic query")
+	}
+	// Work on reduced copies.
+	red := make([]*data.Relation, q.NumAtoms())
+	for j, a := range q.Atoms {
+		rel := rels[a.Name]
+		if rel == nil {
+			panic("localjoin: missing relation " + a.Name)
+		}
+		red[j] = rel
+	}
+	varsOf := func(j int) []string { return q.Atoms[j].Vars }
+
+	// Bottom-up: in removal order, reduce each ear's parent by the ear.
+	for _, j := range tree.Order {
+		p := tree.Parent[j]
+		if p < 0 {
+			continue
+		}
+		red[p] = SemiJoin(red[p], red[j], varsOf(p), varsOf(j))
+	}
+	// Top-down: in reverse removal order, reduce each ear by its parent.
+	for i := len(tree.Order) - 1; i >= 0; i-- {
+		j := tree.Order[i]
+		p := tree.Parent[j]
+		if p < 0 {
+			continue
+		}
+		red[j] = SemiJoin(red[j], red[p], varsOf(j), varsOf(p))
+	}
+	// Final join: root first, then children in reverse removal order, so
+	// every joined atom shares variables with its already-joined parent.
+	joinOrder := make([]int, 0, q.NumAtoms())
+	for i := len(tree.Order) - 1; i >= 0; i-- {
+		joinOrder = append(joinOrder, tree.Order[i])
+	}
+	reduced := make(map[string]*data.Relation, q.NumAtoms())
+	for j, a := range q.Atoms {
+		reduced[a.Name] = red[j]
+	}
+	return EvaluateOrdered(q, reduced, joinOrder)
+}

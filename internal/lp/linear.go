@@ -1,0 +1,52 @@
+package lp
+
+import "math"
+
+// SolveSquare solves the n×n linear system Ax = b by Gaussian elimination
+// with partial pivoting. It returns (x, true) on success and (nil, false)
+// when the matrix is (numerically) singular. A and b are not modified.
+func SolveSquare(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	if n == 0 {
+		return nil, true
+	}
+	// Copy into augmented matrix.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(m[best][col]) < 1e-10 {
+			return nil, false
+		}
+		m[col], m[best] = m[best], m[col]
+		pv := m[col][col]
+		for j := col; j <= n; j++ {
+			m[col][j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := m[r][col]; math.Abs(f) > 0 {
+				for j := col; j <= n; j++ {
+					m[r][j] -= f * m[col][j]
+				}
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = m[i][n]
+	}
+	return x, true
+}

@@ -1,0 +1,322 @@
+// Package lp provides a small, dependency-free linear-programming toolkit:
+// a dense two-phase simplex solver with Bland's anti-cycling rule, and a
+// Gaussian-elimination linear-system solver.
+//
+// The paper's share optimization (LP (10)), the skew-oblivious share LP (18),
+// the fractional edge packing/cover LPs of Section 2.2, and the extreme-point
+// enumeration of Section 3.3 are all tiny dense LPs, for which this solver is
+// exact enough (tolerances around 1e-9 on well-scaled inputs).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // Σ aᵢxᵢ ≤ b
+	GE           // Σ aᵢxᵢ ≥ b
+	EQ           // Σ aᵢxᵢ = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is a single linear constraint over the problem variables.
+// Coeffs may be shorter than NumVars; missing coefficients are zero.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Maximize    bool
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	X      []float64 // length NumVars; valid only when Status == Optimal
+	Value  float64   // objective value in the problem's own sense
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex on p. Variables are implicitly non-negative.
+func Solve(p *Problem) Solution {
+	n := p.NumVars
+	m := len(p.Constraints)
+	if n == 0 {
+		return Solution{Status: Optimal, X: nil, Value: 0}
+	}
+
+	// Count auxiliary columns.
+	numSlack := 0
+	for _, c := range p.Constraints {
+		if c.Op != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	// Rows with GE/EQ (after sign normalization) need artificials. We decide
+	// after normalizing signs; upper bound m.
+	total := n + numSlack + m // n originals, slacks/surplus, artificials (upper bound)
+
+	// tab has m rows for constraints and one cost row; column total is the
+	// RHS column.
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	artCols := make(map[int]bool)
+
+	slackAt := n
+	artAt := n + numSlack
+	for i, c := range p.Constraints {
+		row := tab[i]
+		for j, v := range c.Coeffs {
+			if j >= n {
+				panic(fmt.Sprintf("lp: constraint %d has %d coeffs for %d vars", i, len(c.Coeffs), n))
+			}
+			row[j] = v
+		}
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		row[total] = rhs
+		switch op {
+		case LE:
+			row[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+			numArt++
+		case EQ:
+			row[artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+			numArt++
+		}
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if numArt > 0 {
+		cost := tab[m]
+		for j := range cost {
+			cost[j] = 0
+		}
+		for col := range artCols {
+			cost[col] = 1
+		}
+		// Zero out basic artificial columns in the cost row.
+		for i, b := range basis {
+			if artCols[b] {
+				addRow(cost, tab[i], -1)
+			}
+		}
+		if status := iterate(tab, basis, total, artCols); status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded is impossible
+			// unless numerics break down. Treat as infeasible.
+			return Solution{Status: Infeasible}
+		}
+		if -tab[m][total] > 1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive any artificial still in the basis out (degenerate at zero).
+		for i, b := range basis {
+			if !artCols[b] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it can't interfere.
+				for j := 0; j <= total; j++ {
+					tab[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective (convert to minimization).
+	cost := tab[m]
+	for j := range cost {
+		cost[j] = 0
+	}
+	for j := 0; j < n && j < len(p.Objective); j++ {
+		if p.Maximize {
+			cost[j] = -p.Objective[j]
+		} else {
+			cost[j] = p.Objective[j]
+		}
+	}
+	for i, b := range basis {
+		if b < total && math.Abs(cost[b]) > eps {
+			addRow(cost, tab[i], -cost[b])
+		}
+	}
+	if status := iterate(tab, basis, total, artCols); status == Unbounded {
+		return Solution{Status: Unbounded}
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	val := objectiveValue(p, x)
+	return Solution{Status: Optimal, X: x, Value: val}
+}
+
+func objectiveValue(p *Problem, x []float64) float64 {
+	v := 0.0
+	for j := 0; j < len(p.Objective) && j < len(x); j++ {
+		v += p.Objective[j] * x[j]
+	}
+	return v
+}
+
+// iterate runs simplex pivots (minimization) until optimal or unbounded,
+// using Bland's rule. banned columns (artificials in phase 2) never enter.
+func iterate(tab [][]float64, basis []int, total int, banned map[int]bool) Status {
+	m := len(basis)
+	cost := tab[m]
+	inBasis := make(map[int]int, m)
+	for i, b := range basis {
+		inBasis[b] = i
+	}
+	for iterCount := 0; ; iterCount++ {
+		if iterCount > 100000 {
+			panic("lp: simplex iteration limit exceeded (cycling?)")
+		}
+		// Bland: entering = smallest-index column with negative reduced cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			if banned[j] {
+				continue
+			}
+			if _, basic := inBasis[j]; basic {
+				continue
+			}
+			if cost[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test; Bland ties broken by smallest basis variable index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a <= eps {
+				continue
+			}
+			r := tab[i][total] / a
+			if r < best-eps || (r < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+				best = r
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		delete(inBasis, basis[leave])
+		pivot(tab, basis, leave, enter, total)
+		inBasis[enter] = leave
+	}
+}
+
+// pivot makes column col basic in row r.
+func pivot(tab [][]float64, basis []int, r, col, total int) {
+	pr := tab[r]
+	pv := pr[col]
+	for j := 0; j <= total; j++ {
+		pr[j] /= pv
+	}
+	for i := range tab {
+		if i == r {
+			continue
+		}
+		if f := tab[i][col]; math.Abs(f) > eps {
+			addRow(tab[i], pr, -f)
+		} else {
+			tab[i][col] = 0
+		}
+	}
+	basis[r] = col
+}
+
+func addRow(dst, src []float64, f float64) {
+	for j := range dst {
+		dst[j] += f * src[j]
+	}
+}

@@ -1,0 +1,340 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMaximizeSimple(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, z=36.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 5},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Op: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Op: LE, RHS: 18},
+		},
+	}
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status=%v", s.Status)
+	}
+	if !approx(s.Value, 36, 1e-6) || !approx(s.X[0], 2, 1e-6) || !approx(s.X[1], 6, 1e-6) {
+		t.Fatalf("got %v value %v", s.X, s.Value)
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x <= 8, y <= 8 => x=8, y=2, z=22.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: GE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 8},
+			{Coeffs: []float64{0, 1}, Op: LE, RHS: 8},
+		},
+	}
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status=%v", s.Status)
+	}
+	if !approx(s.Value, 22, 1e-6) {
+		t.Fatalf("value=%v want 22 (x=%v)", s.Value, s.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x >= 0, y >= 0 => y=2, x=0, z=2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Op: EQ, RHS: 4},
+		},
+	}
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.Value, 2, 1e-6) {
+		t.Fatalf("status=%v value=%v", s.Status, s.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: LE, RHS: 1},
+			{Coeffs: []float64{1}, Op: GE, RHS: 2},
+		},
+	}
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("status=%v want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Op: LE, RHS: 1},
+		},
+	}
+	if s := Solve(p); s.Status != Unbounded {
+		t.Fatalf("status=%v want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3) => x=3.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Op: LE, RHS: -3},
+		},
+	}
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.X[0], 3, 1e-6) {
+		t.Fatalf("status=%v x=%v", s.Status, s.X)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP that can cycle without Bland's rule.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Op: LE, RHS: 1},
+		},
+	}
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status=%v", s.Status)
+	}
+	if !approx(s.Value, 0.05, 1e-6) {
+		t.Fatalf("value=%v want 0.05", s.Value)
+	}
+}
+
+// TestWeakDuality checks, on random feasible bounded primal pairs, that the
+// solver's optimum for max c·x (Ax<=b) equals the optimum of the dual
+// min b·y (Aᵀy>=c), which simplex must satisfy (strong duality).
+func TestStrongDualityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		m := 1 + r.Intn(4)
+		A := make([][]float64, m)
+		b := make([]float64, m)
+		c := make([]float64, n)
+		for i := 0; i < m; i++ {
+			A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				A[i][j] = float64(r.Intn(5)) // non-negative => primal bounded by b>=0 box... not quite, but feasible at 0
+			}
+			b[i] = float64(1 + r.Intn(9))
+		}
+		allZeroCol := false
+		for j := 0; j < n; j++ {
+			zero := true
+			for i := 0; i < m; i++ {
+				if A[i][j] != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				allZeroCol = true
+			}
+		}
+		for j := 0; j < n; j++ {
+			c[j] = float64(r.Intn(5))
+		}
+		if allZeroCol {
+			return true // primal may be unbounded; skip
+		}
+		primal := &Problem{NumVars: n, Objective: c, Maximize: true}
+		for i := 0; i < m; i++ {
+			primal.Constraints = append(primal.Constraints, Constraint{Coeffs: A[i], Op: LE, RHS: b[i]})
+		}
+		ps := Solve(primal)
+		if ps.Status != Optimal {
+			return true // skip unbounded corner cases
+		}
+		dual := &Problem{NumVars: m, Objective: b}
+		for j := 0; j < n; j++ {
+			col := make([]float64, m)
+			for i := 0; i < m; i++ {
+				col[i] = A[i][j]
+			}
+			dual.Constraints = append(dual.Constraints, Constraint{Coeffs: col, Op: GE, RHS: c[j]})
+		}
+		ds := Solve(dual)
+		if ds.Status != Optimal {
+			t.Logf("dual not optimal: %v", ds.Status)
+			return false
+		}
+		if !approx(ps.Value, ds.Value, 1e-5) {
+			t.Logf("duality gap: primal=%v dual=%v", ps.Value, ds.Value)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSquare(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, ok := SolveSquare(a, b)
+	if !ok {
+		t.Fatal("singular")
+	}
+	if !approx(x[0], 1, 1e-9) || !approx(x[1], 3, 1e-9) {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, ok := SolveSquare(a, b); ok {
+		t.Fatal("expected singular")
+	}
+}
+
+func TestSolveSquareRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, n)
+		want := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range want {
+				b[i] += a[i][j] * want[j]
+			}
+		}
+		x, ok := SolveSquare(a, b)
+		if !ok {
+			continue // randomly singular; skip
+		}
+		for i := range x {
+			if !approx(x[i], want[i], 1e-6) {
+				t.Fatalf("trial %d: x=%v want %v", trial, x, want)
+			}
+		}
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	s := Solve(&Problem{})
+	if s.Status != Optimal || s.Value != 0 {
+		t.Fatalf("empty problem: %+v", s)
+	}
+}
+
+func TestStatusAndOpStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings")
+	}
+	if Status(99).String() != "unknown" {
+		t.Error("unknown status string")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" || Op(9).String() != "?" {
+		t.Error("op strings")
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Two identical equality constraints: phase 1 must drop the redundant
+	// artificial row rather than declare infeasibility.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 2},
+		},
+	}
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.Value, 2, 1e-6) {
+		t.Fatalf("redundant rows: %v value %v", s.Status, s.Value)
+	}
+}
+
+// TestBruteForceCrossCheck2D compares simplex against exhaustive vertex
+// enumeration on random 2-variable LPs: the optimum of a bounded LP lies on
+// a vertex (intersection of two tight constraints or axes).
+func TestBruteForceCrossCheck2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		m := 2 + rng.Intn(4)
+		prob := &Problem{NumVars: 2, Maximize: true,
+			Objective: []float64{float64(1 + rng.Intn(5)), float64(1 + rng.Intn(5))}}
+		// Ax <= b with positive coefficients: feasible at 0, bounded.
+		rowsA := make([][]float64, m)
+		rowsB := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rowsA[i] = []float64{float64(1 + rng.Intn(4)), float64(1 + rng.Intn(4))}
+			rowsB[i] = float64(1 + rng.Intn(20))
+			prob.Constraints = append(prob.Constraints,
+				Constraint{Coeffs: rowsA[i], Op: LE, RHS: rowsB[i]})
+		}
+		s := Solve(prob)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		// Brute force: all pairwise intersections of {constraints, axes}.
+		lines := append([][]float64{{1, 0}, {0, 1}}, rowsA...)
+		rhs := append([]float64{0, 0}, rowsB...)
+		best := 0.0 // origin is feasible
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				x, ok := SolveSquare([][]float64{lines[i], lines[j]}, []float64{rhs[i], rhs[j]})
+				if !ok || x[0] < -1e-9 || x[1] < -1e-9 {
+					continue
+				}
+				feasible := true
+				for r := range rowsA {
+					if rowsA[r][0]*x[0]+rowsA[r][1]*x[1] > rowsB[r]+1e-7 {
+						feasible = false
+						break
+					}
+				}
+				if feasible {
+					v := prob.Objective[0]*x[0] + prob.Objective[1]*x[1]
+					if v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if !approx(s.Value, best, 1e-5) {
+			t.Fatalf("trial %d: simplex %v vs brute force %v", trial, s.Value, best)
+		}
+	}
+}

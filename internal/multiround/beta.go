@@ -1,0 +1,148 @@
+package multiround
+
+import (
+	"math"
+
+	"mpcquery/internal/bounds"
+	"mpcquery/internal/packing"
+	"mpcquery/internal/query"
+)
+
+// This file computes the precise constants of Theorem 5.11: the factor
+// β(q,M) and τ*(M) (Definition 5.9) that bound the expected fraction of
+// answers any tuple-based (r+1)-round algorithm with load L can report:
+//
+//	E[|A(I)|] ≤ β(q,M) · ((r+1)L/M)^{τ*(M)} · p · E[|q(I)|].
+
+// Contractions returns the sequence q/M̄_0 = q, q/M̄_1, …, q/M̄_r of
+// contracted queries along the plan.
+func (p *EpsPlan) Contractions() []*query.Query {
+	out := []*query.Query{p.Query.Clone()}
+	cur := p.Query.Clone()
+	for _, names := range p.Sets {
+		idx, err := indicesOf(cur, names)
+		if err != nil {
+			panic(err)
+		}
+		cur = cur.Contract(Complement(cur, idx))
+		out = append(out, cur)
+	}
+	return out
+}
+
+// MinimalNonGamma enumerates Sε(q): the minimal connected subqueries of q
+// that are not in Γ¹ε (Definition 5.9's Sε set). A subquery is minimal when
+// it contains no smaller connected non-Γ¹ε subquery.
+func MinimalNonGamma(q *query.Query, eps float64) []*query.Query {
+	n := q.NumAtoms()
+	if n > 20 {
+		panic("multiround: MinimalNonGamma enumeration limited to 20 atoms")
+	}
+	// Order subsets by popcount so minimality reduces to containment of an
+	// already-found witness.
+	bySize := make([][]int, n+1)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		bySize[popcount(mask)] = append(bySize[popcount(mask)], mask)
+	}
+	var witnesses []int // masks of found minimal non-Γ subqueries
+	var out []*query.Query
+	for size := 1; size <= n; size++ {
+		for _, mask := range bySize[size] {
+			covered := false
+			for _, w := range witnesses {
+				if w&mask == w {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			subset := maskToSlice(mask, n)
+			sub := q.Subquery("s", subset)
+			if !sub.IsConnected() || bounds.InGammaOne(sub, eps) {
+				continue
+			}
+			witnesses = append(witnesses, mask)
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func maskToSlice(mask, n int) []int {
+	var out []int
+	for j := 0; j < n; j++ {
+		if mask&(1<<uint(j)) != 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TauStarOfPlan returns τ*(M) of Definition 5.9: the minimum of
+// τ*(q/M̄_r) and τ*(q') over all minimal connected non-Γ¹ε subqueries q' of
+// the contracted queries q/M̄_{j−1}, j ∈ [r]. By Proposition 5.10 it always
+// exceeds 1/(1−ε).
+func (p *EpsPlan) TauStarOfPlan() float64 {
+	qs := p.Contractions()
+	last := qs[len(qs)-1]
+	tau, _ := packing.TauStar(last)
+	best := tau
+	for j := 0; j < len(qs)-1; j++ {
+		for _, sub := range MinimalNonGamma(qs[j], p.Eps) {
+			t, _ := packing.TauStar(sub)
+			if t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// Beta evaluates β(q,M) of Theorem 5.11:
+//
+//	β = (1/τ*(q/M̄_r))^{τ*(M)} + Σ_{k=1..r} Σ_{q' ∈ Sε(q/M̄_{k−1})} (1/τ*(q'))^{τ*(M)}.
+func (p *EpsPlan) Beta() float64 {
+	tauM := p.TauStarOfPlan()
+	qs := p.Contractions()
+	last := qs[len(qs)-1]
+	tauLast, _ := packing.TauStar(last)
+	beta := math.Pow(1/tauLast, tauM)
+	for j := 0; j < len(qs)-1; j++ {
+		for _, sub := range MinimalNonGamma(qs[j], p.Eps) {
+			t, _ := packing.TauStar(sub)
+			beta += math.Pow(1/t, tauM)
+		}
+	}
+	return beta
+}
+
+// OutputFractionUB evaluates the Theorem 5.11 bound on the expected
+// fraction of answers reported by a tuple-based algorithm running r+1
+// rounds with maximum load L (bits) on matching databases with relation
+// size M (bits) and p servers, clamped to [0,1].
+func (p *EpsPlan) OutputFractionUB(L, M float64, servers int) float64 {
+	if p.R() == 0 && bounds.InGammaOne(p.Query, p.Eps) {
+		return 1 // no Theorem 5.11 bound applies
+	}
+	tauM := p.TauStarOfPlan()
+	r := float64(p.R())
+	f := p.Beta() * math.Pow((r+1)*L/M, tauM) * float64(servers)
+	if f > 1 {
+		return 1
+	}
+	if f < 0 {
+		return 0
+	}
+	return f
+}

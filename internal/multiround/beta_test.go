@@ -1,0 +1,105 @@
+package multiround
+
+import (
+	"math"
+	"testing"
+
+	"mpcquery/internal/query"
+)
+
+func TestMinimalNonGamma(t *testing.T) {
+	// For L5 at ε=0: Γ¹₀ holds subqueries with τ* ≤ 1 (single atoms and
+	// adjacent pairs). Minimal non-Γ subqueries are the length-3 subchains:
+	// {S1,S2,S3}, {S2,S3,S4}, {S3,S4,S5}.
+	subs := MinimalNonGamma(query.Chain(5), 0)
+	if len(subs) != 3 {
+		t.Fatalf("|Sε(L5)|=%d want 3", len(subs))
+	}
+	for _, s := range subs {
+		if s.NumAtoms() != 3 {
+			t.Errorf("minimal subquery has %d atoms, want 3: %s", s.NumAtoms(), s)
+		}
+	}
+	// Triangle at ε=0: τ*(C3)=1.5 > 1, and every proper connected subquery
+	// is a path with τ* ≤ 1, so C3 itself is the unique minimal element.
+	subs2 := MinimalNonGamma(query.Triangle(), 0)
+	if len(subs2) != 1 || subs2[0].NumAtoms() != 3 {
+		t.Fatalf("Sε(C3)=%v", subs2)
+	}
+	// Stars are entirely inside Γ¹₀.
+	if got := MinimalNonGamma(query.Star(4), 0); len(got) != 0 {
+		t.Fatalf("Sε(T4)=%d want 0", len(got))
+	}
+}
+
+func TestContractionsSequence(t *testing.T) {
+	plan := ChainEpsPlan(8, 0)
+	qs := plan.Contractions()
+	if len(qs) != plan.R()+1 {
+		t.Fatalf("contractions=%d want %d", len(qs), plan.R()+1)
+	}
+	// Each contraction shrinks the atom count to the surviving set size.
+	for i, names := range plan.Sets {
+		if qs[i+1].NumAtoms() != len(names) {
+			t.Errorf("step %d: %d atoms want %d", i, qs[i+1].NumAtoms(), len(names))
+		}
+	}
+	// χ is preserved along the plan (ε-goodness condition 2 + Lemma 2.1).
+	for _, q := range qs {
+		if q.Characteristic() != 0 {
+			t.Errorf("contraction broke χ: %s has χ=%d", q, q.Characteristic())
+		}
+	}
+}
+
+func TestTauStarOfPlan(t *testing.T) {
+	// For L8 at ε=0 (kε=2): minimal non-Γ subqueries are L3-shaped with
+	// τ* = 2, and the final contraction is L2 or larger with τ* ≥ ... the
+	// definition takes the min, which must exceed 1/(1−ε) = 1
+	// (Proposition 5.10).
+	plan := ChainEpsPlan(8, 0)
+	tau := plan.TauStarOfPlan()
+	if tau <= 1 {
+		t.Fatalf("τ*(M)=%v must exceed 1", tau)
+	}
+	if math.Abs(tau-2) > 1e-9 {
+		t.Errorf("τ*(M)=%v want 2 for chains at ε=0", tau)
+	}
+}
+
+func TestBetaBounded(t *testing.T) {
+	// The proof of Theorem 5.20 bounds β(L_k, M) ≤ (2k+1)(1−ε)^{τ*(M)}; our
+	// construction must respect that shape.
+	for _, k := range []int{5, 8, 16} {
+		plan := ChainEpsPlan(k, 0)
+		beta := plan.Beta()
+		if beta <= 0 {
+			t.Fatalf("β=%v for L%d", beta, k)
+		}
+		limit := float64(2*k+1) * math.Pow(1, plan.TauStarOfPlan()) // (1−ε)=1 at ε=0... use raw bound
+		if beta > limit {
+			t.Errorf("L%d: β=%v exceeds (2k+1)=%v", k, beta, limit)
+		}
+	}
+}
+
+// TestOutputFractionUB checks the Theorem 5.11 shape: at load L = cM/p the
+// bound must vanish as p grows for L16 (which needs 4 rounds at ε=0, so a
+// 2-round algorithm is hopeless), and must be vacuous (1) at huge loads.
+func TestOutputFractionUB(t *testing.T) {
+	plan := ChainEpsPlan(16, 0)
+	M := math.Pow(2, 24)
+	f64 := plan.OutputFractionUB(4*M/64, M, 64)
+	f4096 := plan.OutputFractionUB(4*M/4096, M, 4096)
+	if f4096 >= f64 {
+		t.Errorf("fraction bound should shrink with p: %v -> %v", f64, f4096)
+	}
+	if got := plan.OutputFractionUB(M, M, 64); got != 1 {
+		t.Errorf("load = M should give the vacuous bound, got %v", got)
+	}
+	// Trivial plans (queries already in Γ¹ε) have no bound.
+	triv := ChainEpsPlan(2, 0)
+	if got := triv.OutputFractionUB(1, M, 64); got != 1 {
+		t.Errorf("trivial plan bound=%v want 1", got)
+	}
+}

@@ -1,0 +1,237 @@
+package multiround
+
+import (
+	"mpcquery/internal/data"
+	"mpcquery/internal/engine"
+	"mpcquery/internal/hashing"
+)
+
+// CCResult reports a connected-components computation in the MPC model.
+type CCResult struct {
+	Labels map[int64]int64 // vertex -> component label (min vertex id)
+
+	SetupRounds int // rounds spent distributing adjacency (always 1)
+	IterRounds  int // communication rounds of the iterative phase
+	MaxLoadBits float64
+	TotalBits   float64
+}
+
+// message kinds for the CC protocols.
+const (
+	ccEdge    = iota // (v, u): u is a neighbor of v, delivered to owner(v)
+	ccLabel          // (v, label): min-label update for v
+	ccPtrReq         // (v, w): owner(v) asks owner(w) for ptr[w]
+	ccPtrResp        // (v, val): response, delivered to owner(v)
+)
+
+// ccState is the per-server local state (the model allows servers to keep
+// what they received; only communication is metered).
+type ccState struct {
+	adj   map[int64][]int64
+	label map[int64]int64
+}
+
+func ccSetup(g *data.Graph, p int, seed int64) (*engine.Cluster, []*ccState, *hashing.Family) {
+	bpv := data.BitsPerValue(g.NumVertices)
+	cluster := engine.NewCluster(p, bpv)
+	family := hashing.NewFamily(seed, 1)
+	m := g.Edges.NumTuples()
+	for i := 0; i < m; i++ {
+		cluster.Seed(i%p, engine.Message{Kind: ccEdge, Tuple: g.Edges.Tuple(i)})
+	}
+	owner := func(v int64) int { return family.Bin(0, v, p) }
+
+	// Setup round: deliver each edge to both endpoint owners.
+	cluster.Round("cc-setup", func(s int, inbox []engine.Message, emit engine.Emitter) {
+		for _, msg := range inbox {
+			u, v := msg.Tuple[0], msg.Tuple[1]
+			emit(owner(u), engine.Message{Kind: ccEdge, Tuple: []int64{u, v}})
+			emit(owner(v), engine.Message{Kind: ccEdge, Tuple: []int64{v, u}})
+		}
+	})
+
+	states := make([]*ccState, p)
+	for s := 0; s < p; s++ {
+		st := &ccState{adj: make(map[int64][]int64), label: make(map[int64]int64)}
+		for _, msg := range cluster.Inbox(s) {
+			v, u := msg.Tuple[0], msg.Tuple[1]
+			st.adj[v] = append(st.adj[v], u)
+		}
+		states[s] = st
+	}
+	return cluster, states, family
+}
+
+// LabelPropagation computes connected components by iterative min-label
+// exchange along edges: Θ(diameter) rounds with load O(m/p) per round.
+// maxRounds caps the iteration (0 means no cap).
+func LabelPropagation(g *data.Graph, p int, seed int64, maxRounds int) *CCResult {
+	cluster, states, family := ccSetup(g, p, seed)
+	owner := func(v int64) int { return family.Bin(0, v, p) }
+
+	changed := make([]map[int64]bool, p)
+	for s, st := range states {
+		changed[s] = make(map[int64]bool)
+		for v := range st.adj {
+			st.label[v] = v
+			changed[s][v] = true
+		}
+	}
+
+	iter := 0
+	for {
+		if maxRounds > 0 && iter >= maxRounds {
+			break
+		}
+		st := cluster.Round("cc-propagate", func(s int, inbox []engine.Message, emit engine.Emitter) {
+			// Apply updates received last round, then announce changes.
+			local := states[s]
+			for _, msg := range inbox {
+				if msg.Kind != ccLabel {
+					continue
+				}
+				v, l := msg.Tuple[0], msg.Tuple[1]
+				if l < local.label[v] {
+					local.label[v] = l
+					changed[s][v] = true
+				}
+			}
+			for v := range changed[s] {
+				l := local.label[v]
+				for _, u := range local.adj[v] {
+					if l < u { // only useful updates travel
+						emit(owner(u), engine.Message{Kind: ccLabel, Tuple: []int64{u, l}})
+					}
+				}
+			}
+			changed[s] = make(map[int64]bool)
+		})
+		iter++
+		if st.TotalRecvTuples == 0 {
+			break
+		}
+	}
+	// Deliver any final pending updates (the loop exits after an empty
+	// round, so labels are already stable).
+
+	labels := collectLabels(g, states, family, p)
+	return &CCResult{
+		Labels:      labels,
+		SetupRounds: 1,
+		IterRounds:  iter,
+		MaxLoadBits: cluster.MaxLoadBits(),
+		TotalBits:   cluster.TotalBits(),
+	}
+}
+
+// PointerJumping computes connected components with min-pointer doubling:
+// each vertex maintains ptr[v] (a smaller-id vertex in its component);
+// every iteration both relaxes along edges and jumps ptr[v] ← ptr[ptr[v]],
+// converging in O(log diameter) iterations on paths (two communication
+// rounds per iteration: request + response).
+func PointerJumping(g *data.Graph, p int, seed int64, maxRounds int) *CCResult {
+	cluster, states, family := ccSetup(g, p, seed)
+	owner := func(v int64) int { return family.Bin(0, v, p) }
+
+	for _, st := range states {
+		for v, ns := range st.adj {
+			best := v
+			for _, u := range ns {
+				if u < best {
+					best = u
+				}
+			}
+			st.label[v] = best // label doubles as ptr
+		}
+	}
+
+	iter := 0
+	for {
+		if maxRounds > 0 && iter >= maxRounds {
+			break
+		}
+		anyChange := false
+		// Round A: send pointer requests and edge relaxations.
+		cluster.Round("cc-jump-request", func(s int, inbox []engine.Message, emit engine.Emitter) {
+			local := states[s]
+			for v, ptr := range local.label {
+				if ptr != v {
+					emit(owner(ptr), engine.Message{Kind: ccPtrReq, Tuple: []int64{v, ptr}})
+				}
+				for _, u := range local.adj[v] {
+					if ptr < u {
+						emit(owner(u), engine.Message{Kind: ccLabel, Tuple: []int64{u, ptr}})
+					}
+				}
+			}
+		})
+		// Round B: answer requests; apply relaxations.
+		relaxChanged := make([]bool, p)
+		cluster.Round("cc-jump-response", func(s int, inbox []engine.Message, emit engine.Emitter) {
+			local := states[s]
+			for _, msg := range inbox {
+				switch msg.Kind {
+				case ccPtrReq:
+					v, w := msg.Tuple[0], msg.Tuple[1]
+					lw, ok := local.label[w]
+					if !ok {
+						lw = w // w unknown here (cannot happen for edge vertices)
+					}
+					emit(owner(v), engine.Message{Kind: ccPtrResp, Tuple: []int64{v, lw}})
+				case ccLabel:
+					v, l := msg.Tuple[0], msg.Tuple[1]
+					if cur, ok := local.label[v]; ok && l < cur {
+						local.label[v] = l
+						relaxChanged[s] = true
+					}
+				}
+			}
+		})
+		// Apply responses locally (no further communication needed).
+		for s := 0; s < p; s++ {
+			local := states[s]
+			for _, msg := range cluster.Inbox(s) {
+				if msg.Kind != ccPtrResp {
+					continue
+				}
+				v, l := msg.Tuple[0], msg.Tuple[1]
+				if l < local.label[v] {
+					local.label[v] = l
+					relaxChanged[s] = true
+				}
+			}
+			if relaxChanged[s] {
+				anyChange = true
+			}
+		}
+		iter++
+		if !anyChange {
+			break
+		}
+	}
+
+	labels := collectLabels(g, states, family, p)
+	return &CCResult{
+		Labels:      labels,
+		SetupRounds: 1,
+		IterRounds:  2 * iter,
+		MaxLoadBits: cluster.MaxLoadBits(),
+		TotalBits:   cluster.TotalBits(),
+	}
+}
+
+func collectLabels(g *data.Graph, states []*ccState, family *hashing.Family, p int) map[int64]int64 {
+	labels := make(map[int64]int64)
+	for _, st := range states {
+		for v, l := range st.label {
+			labels[v] = l
+		}
+	}
+	// Isolated vertices label themselves.
+	for v := int64(0); v < g.NumVertices; v++ {
+		if _, ok := labels[v]; !ok {
+			labels[v] = v
+		}
+	}
+	return labels
+}

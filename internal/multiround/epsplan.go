@@ -1,0 +1,205 @@
+package multiround
+
+import (
+	"fmt"
+
+	"mpcquery/internal/bounds"
+	"mpcquery/internal/query"
+)
+
+// This file implements the (ε,r)-plan machinery of Definition 5.5, the
+// combinatorial object behind the multi-round lower bound (Theorem 5.8).
+//
+// Notation: a set M of atoms is the *surviving* set; its complement M̄ is
+// contracted. M is ε-good for q when (1) every connected subquery of q that
+// lies in Γ¹ε contains at most one atom of M, and (2) χ(M̄) = 0 (so
+// contraction preserves the characteristic, Lemma 2.1). An (ε,r)-plan is a
+// chain atoms(q) = M0 ⊃ M1 ⊃ … ⊃ Mr with M_{j+1} ε-good for q/M̄_j and
+// q/M̄_r ∉ Γ¹ε; its existence makes any tuple-based MPC algorithm with
+// load O(M/p^{1−ε}) take more than r+1 rounds, i.e. at least r+2.
+
+// Complement returns the atom indices of q not in m.
+func Complement(q *query.Query, m []int) []int {
+	in := make(map[int]bool, len(m))
+	for _, j := range m {
+		in[j] = true
+	}
+	var out []int
+	for j := 0; j < q.NumAtoms(); j++ {
+		if !in[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// EpsGood reports whether the surviving set m (atom indices) is ε-good for
+// q per Definition 5.5. Connected subqueries are enumerated exhaustively,
+// so this is meant for the small queries of the lower-bound experiments.
+func EpsGood(q *query.Query, m []int, eps float64) bool {
+	comp := Complement(q, m)
+	if len(comp) > 0 {
+		if q.Subquery("comp", comp).Characteristic() != 0 {
+			return false
+		}
+	}
+	inM := make(map[int]bool, len(m))
+	for _, j := range m {
+		inM[j] = true
+	}
+	n := q.NumAtoms()
+	if n > 20 {
+		panic("multiround: EpsGood enumeration limited to 20 atoms")
+	}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		cnt := 0
+		var subset []int
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				subset = append(subset, j)
+				if inM[j] {
+					cnt++
+				}
+			}
+		}
+		if cnt < 2 {
+			continue
+		}
+		sub := q.Subquery("s", subset)
+		if !sub.IsConnected() {
+			continue
+		}
+		if bounds.InGammaOne(sub, eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// EpsPlan is a verified (ε,r)-plan: Sets[j] lists the names of the atoms in
+// M_{j+1} (names survive contraction, unlike indices).
+type EpsPlan struct {
+	Query *query.Query
+	Eps   float64
+	Sets  [][]string
+}
+
+// R returns the plan length r.
+func (p *EpsPlan) R() int { return len(p.Sets) }
+
+// RoundsLB returns the Theorem 5.8 round lower bound implied by the plan:
+// any tuple-based algorithm with load O(M/p^{1−ε}) needs ≥ r+2 rounds.
+// When the plan is empty because the query is already in Γ¹ε, no
+// Theorem 5.8 bound applies and the trivial bound of 1 round is returned.
+func (p *EpsPlan) RoundsLB() int {
+	if p.R() == 0 && bounds.InGammaOne(p.Query, p.Eps) {
+		return 1
+	}
+	return p.R() + 2
+}
+
+// Verify checks the plan against Definition 5.5, returning an error
+// describing the first violated condition.
+func (p *EpsPlan) Verify() error {
+	cur := p.Query.Clone()
+	prev := atomNames(cur)
+	for step, names := range p.Sets {
+		if !subsetOf(names, prev) {
+			return fmt.Errorf("step %d: M_%d ⊄ M_%d", step, step+1, step)
+		}
+		idx, err := indicesOf(cur, names)
+		if err != nil {
+			return fmt.Errorf("step %d: %v", step, err)
+		}
+		if !EpsGood(cur, idx, p.Eps) {
+			return fmt.Errorf("step %d: %v is not ε-good for %s", step, names, cur)
+		}
+		cur = cur.Contract(Complement(cur, idx))
+		prev = names
+	}
+	if bounds.InGammaOne(cur, p.Eps) {
+		return fmt.Errorf("final contracted query %s is in Γ¹ε (τ* too small)", cur)
+	}
+	return nil
+}
+
+func atomNames(q *query.Query) []string {
+	out := make([]string, q.NumAtoms())
+	for j, a := range q.Atoms {
+		out[j] = a.Name
+	}
+	return out
+}
+
+func subsetOf(a, b []string) bool {
+	set := make(map[string]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func indicesOf(q *query.Query, names []string) ([]int, error) {
+	var out []int
+	for _, n := range names {
+		j := q.AtomIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("atom %q not in %s", n, q)
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// ChainEpsPlan constructs the Lemma 5.6 (ε,r)-plan for L_k with
+// r = ⌈log_kε k⌉ − 2 (valid for k > kε): every level keeps every kε-th
+// surviving atom, starting with S1.
+func ChainEpsPlan(k int, eps float64) *EpsPlan {
+	ke := bounds.KEpsilon(eps)
+	q := query.Chain(k)
+	plan := &EpsPlan{Query: q, Eps: eps}
+	// Current surviving chain, as original atom names in chain order.
+	names := atomNames(q)
+	for {
+		// Contracting to ⌈len/kε⌉ atoms; stop while the remaining chain is
+		// still outside Γ¹ε (condition (b) needs the final query ∉ Γ¹ε).
+		var next []string
+		for i := 0; i < len(names); i += ke {
+			next = append(next, names[i])
+		}
+		if len(next) <= ke { // L_{len(next)} with len ≤ kε is in Γ¹ε: stop before
+			break
+		}
+		plan.Sets = append(plan.Sets, next)
+		names = next
+	}
+	return plan
+}
+
+// CycleEpsPlan constructs the Lemma 5.7 (ε,r)-plan for C_k: every level
+// keeps atoms kε apart along the cycle, while the remaining cycle stays
+// longer than mε.
+func CycleEpsPlan(k int, eps float64) *EpsPlan {
+	ke := bounds.KEpsilon(eps)
+	me := bounds.MEpsilon(eps)
+	q := query.Cycle(k)
+	plan := &EpsPlan{Query: q, Eps: eps}
+	names := atomNames(q)
+	for {
+		if len(names)/ke <= me { // remaining cycle must stay ∉ Γ¹ε
+			break
+		}
+		var next []string
+		for i := 0; i+ke <= len(names); i += ke {
+			next = append(next, names[i])
+		}
+		plan.Sets = append(plan.Sets, next)
+		names = next
+	}
+	return plan
+}

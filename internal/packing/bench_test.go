@@ -1,0 +1,40 @@
+package packing
+
+import (
+	"testing"
+
+	"mpcquery/internal/query"
+)
+
+// BenchmarkShareExponents measures LP (10) on the triangle (the planner's
+// hot path).
+func BenchmarkShareExponents(b *testing.B) {
+	q := query.Triangle()
+	M := []float64{1 << 20, 1 << 22, 1 << 24}
+	for i := 0; i < b.N; i++ {
+		sh := ShareExponents(q, M, 64)
+		if sh.Lambda <= 0 {
+			b.Fatal("bad lambda")
+		}
+	}
+}
+
+// BenchmarkVertices measures packing-polytope vertex enumeration on L8
+// (C(17,8) candidate bases).
+func BenchmarkVertices(b *testing.B) {
+	q := query.Chain(8)
+	for i := 0; i < b.N; i++ {
+		if len(Vertices(q)) == 0 {
+			b.Fatal("no vertices")
+		}
+	}
+}
+
+func BenchmarkTauStar(b *testing.B) {
+	q := query.Binom(5, 2)
+	for i := 0; i < b.N; i++ {
+		if tau, _ := TauStar(q); tau <= 0 {
+			b.Fatal("bad tau")
+		}
+	}
+}

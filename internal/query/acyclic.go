@@ -1,0 +1,70 @@
+package query
+
+// IsAcyclic reports whether the query's hypergraph is α-acyclic, via the
+// GYO reduction: repeatedly (1) drop variables that occur in a single atom
+// and (2) drop atoms whose variable set is contained in another atom's.
+// The query is acyclic iff every connected component reduces to one atom.
+//
+// Section 2.2 notes the relationship to tree-likeness: tree-like queries
+// are acyclic, but not conversely (e.g. S1(x0,x1,x2), S2(x1,x2,x3) is
+// acyclic with χ = 1).
+func (q *Query) IsAcyclic() bool {
+	// Work on variable sets per remaining atom.
+	sets := make([]map[string]bool, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		s := make(map[string]bool)
+		for _, v := range a.Vars {
+			s[v] = true
+		}
+		sets = append(sets, s)
+	}
+	for {
+		changed := false
+		// (1) Remove variables occurring in exactly one atom.
+		count := make(map[string]int)
+		for _, s := range sets {
+			for v := range s {
+				count[v]++
+			}
+		}
+		for _, s := range sets {
+			for v := range s {
+				if count[v] == 1 {
+					delete(s, v)
+					changed = true
+				}
+			}
+		}
+		// (2) Remove atoms contained in another atom (including empties and
+		// duplicates; keep one representative).
+		for i := 0; i < len(sets); i++ {
+			for j := 0; j < len(sets); j++ {
+				if i == j {
+					continue
+				}
+				if subset(sets[i], sets[j]) {
+					sets = append(sets[:i], sets[i+1:]...)
+					changed = true
+					i--
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return len(sets) <= 1
+}
+
+func subset(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package query
+
+import "fmt"
+
+// Chain returns the chain (linear) query
+// L_k(x0,...,xk) = S1(x0,x1), S2(x1,x2), ..., Sk(x_{k-1},x_k)
+// from Table 2 of the paper.
+func Chain(k int) *Query {
+	if k < 1 {
+		panic("query: Chain requires k >= 1")
+	}
+	atoms := make([]Atom, k)
+	for j := 1; j <= k; j++ {
+		atoms[j-1] = Atom{
+			Name: fmt.Sprintf("S%d", j),
+			Vars: []string{fmt.Sprintf("x%d", j-1), fmt.Sprintf("x%d", j)},
+		}
+	}
+	return New(fmt.Sprintf("L%d", k), atoms...)
+}
+
+// Cycle returns the cycle query
+// C_k(x1,...,xk) = S1(x1,x2), S2(x2,x3), ..., Sk(xk,x1)
+// from Table 2. Cycle(3) is the triangle query.
+func Cycle(k int) *Query {
+	if k < 2 {
+		panic("query: Cycle requires k >= 2")
+	}
+	atoms := make([]Atom, k)
+	for j := 1; j <= k; j++ {
+		next := j%k + 1
+		atoms[j-1] = Atom{
+			Name: fmt.Sprintf("S%d", j),
+			Vars: []string{fmt.Sprintf("x%d", j), fmt.Sprintf("x%d", next)},
+		}
+	}
+	return New(fmt.Sprintf("C%d", k), atoms...)
+}
+
+// Triangle returns the triangle query C3 = S1(x1,x2), S2(x2,x3), S3(x3,x1).
+func Triangle() *Query { return Cycle(3) }
+
+// Star returns the star query
+// T_k(z,x1,...,xk) = S1(z,x1), S2(z,x2), ..., Sk(z,xk)
+// from Table 2 and Section 4.2. Star(2) is the simple join query.
+func Star(k int) *Query {
+	if k < 1 {
+		panic("query: Star requires k >= 1")
+	}
+	atoms := make([]Atom, k)
+	for j := 1; j <= k; j++ {
+		atoms[j-1] = Atom{
+			Name: fmt.Sprintf("S%d", j),
+			Vars: []string{"z", fmt.Sprintf("x%d", j)},
+		}
+	}
+	return New(fmt.Sprintf("T%d", k), atoms...)
+}
+
+// SimpleJoin returns q(x,y,z) = S1(x,z), S2(y,z), the join query of
+// Example 4.1 (equivalent to Star(2) up to variable naming).
+func SimpleJoin() *Query {
+	return New("join",
+		Atom{Name: "S1", Vars: []string{"x", "z"}},
+		Atom{Name: "S2", Vars: []string{"y", "z"}},
+	)
+}
+
+// Binom returns B_{k,m}, the query with one m-ary atom for every m-subset of
+// the k head variables (Table 2). The number of atoms is C(k,m).
+func Binom(k, m int) *Query {
+	if m < 1 || m > k {
+		panic("query: Binom requires 1 <= m <= k")
+	}
+	var atoms []Atom
+	subset := make([]int, m)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == m {
+			vars := make([]string, m)
+			name := "S"
+			for i, v := range subset {
+				vars[i] = fmt.Sprintf("x%d", v)
+				name += fmt.Sprintf("_%d", v)
+			}
+			atoms = append(atoms, Atom{Name: name, Vars: vars})
+			return
+		}
+		for v := start; v <= k; v++ {
+			subset[idx] = v
+			rec(v+1, idx+1)
+		}
+	}
+	rec(1, 0)
+	return New(fmt.Sprintf("B%d_%d", k, m), atoms...)
+}
+
+// SpokedWheel returns SP_k = ∧_{i=1..k} R_i(z,x_i), S_i(x_i,y_i), the
+// "star of paths" query of Example 5.3: τ*(SP_k)=k but it has a 2-round
+// plan with load O(M/p).
+func SpokedWheel(k int) *Query {
+	if k < 1 {
+		panic("query: SpokedWheel requires k >= 1")
+	}
+	atoms := make([]Atom, 0, 2*k)
+	for i := 1; i <= k; i++ {
+		atoms = append(atoms,
+			Atom{Name: fmt.Sprintf("R%d", i), Vars: []string{"z", fmt.Sprintf("x%d", i)}},
+			Atom{Name: fmt.Sprintf("S%d", i), Vars: []string{fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)}},
+		)
+	}
+	return New(fmt.Sprintf("SP%d", k), atoms...)
+}
+
+// K4 returns the complete graph query on 4 variables used in Section 2.2:
+// K4 = S1(x1,x2), S2(x1,x3), S3(x2,x3), S4(x1,x4), S5(x2,x4), S6(x3,x4).
+func K4() *Query {
+	return New("K4",
+		Atom{Name: "S1", Vars: []string{"x1", "x2"}},
+		Atom{Name: "S2", Vars: []string{"x1", "x3"}},
+		Atom{Name: "S3", Vars: []string{"x2", "x3"}},
+		Atom{Name: "S4", Vars: []string{"x1", "x4"}},
+		Atom{Name: "S5", Vars: []string{"x2", "x4"}},
+		Atom{Name: "S6", Vars: []string{"x3", "x4"}},
+	)
+}

@@ -1,0 +1,48 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the query's hypergraph in Graphviz format for visual
+// inspection: variables are circles; binary atoms become labeled edges and
+// higher-arity (or unary) atoms become box nodes connected to their
+// variables.
+func (q *Query) DOT() string {
+	var b strings.Builder
+	name := q.Name
+	if name == "" {
+		name = "q"
+	}
+	fmt.Fprintf(&b, "graph %q {\n", sanitizeID(name))
+	b.WriteString("  node [shape=circle];\n")
+	for _, v := range q.Vars() {
+		fmt.Fprintf(&b, "  %q;\n", v)
+	}
+	for _, a := range q.Atoms {
+		dv := a.DistinctVars()
+		if len(dv) == 2 && a.Arity() == 2 {
+			fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", a.Vars[0], a.Vars[1], a.Name)
+			continue
+		}
+		boxID := "atom_" + sanitizeID(a.Name)
+		fmt.Fprintf(&b, "  %q [shape=box, label=%q];\n", boxID, a.Name)
+		for _, v := range dv {
+			fmt.Fprintf(&b, "  %q -- %q;\n", boxID, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeID(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '"' || r == '\\' {
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

@@ -1,0 +1,44 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTTriangle(t *testing.T) {
+	dot := Triangle().DOT()
+	for _, want := range []string{"graph", `"x1" -- "x2"`, `label="S1"`, `"x3" -- "x1"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTHigherArity(t *testing.T) {
+	q := MustParse("S1(x0,x1,x2), S2(x1,x2,x3)")
+	dot := q.DOT()
+	if !strings.Contains(dot, "shape=box") {
+		t.Errorf("ternary atoms should render as boxes:\n%s", dot)
+	}
+	// Box connects to all three variables.
+	if strings.Count(dot, `"atom_S1" -- `) != 3 {
+		t.Errorf("S1 box should connect to 3 vars:\n%s", dot)
+	}
+}
+
+func TestDOTUnary(t *testing.T) {
+	q := MustParse("R(x), S(x,y)")
+	dot := q.DOT()
+	if !strings.Contains(dot, `"atom_R"`) {
+		t.Errorf("unary atom should render as box:\n%s", dot)
+	}
+}
+
+func TestDOTRepeatedVarAtom(t *testing.T) {
+	q := New("q", Atom{Name: "S", Vars: []string{"x", "x"}})
+	dot := q.DOT()
+	// Repeated-variable binary atom has one distinct var: box rendering.
+	if !strings.Contains(dot, `"atom_S"`) {
+		t.Errorf("S(x,x) should render as box:\n%s", dot)
+	}
+}

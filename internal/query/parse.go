@@ -1,0 +1,136 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a conjunctive query in datalog-like notation, e.g.
+//
+//	q(x,y,z) :- S1(x,y), S2(y,z), S3(z,x)
+//
+// The head is optional; when present it must list exactly the variables of
+// the body (the paper only considers full queries). Whitespace is ignored.
+func Parse(s string) (*Query, error) {
+	s = strings.TrimSpace(s)
+	name := "q"
+	body := s
+	if i := strings.Index(s, ":-"); i >= 0 {
+		head := strings.TrimSpace(s[:i])
+		body = strings.TrimSpace(s[i+2:])
+		hn, hv, err := parseAtom(head)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad head: %w", err)
+		}
+		name = hn
+		atoms, err := parseBody(body)
+		if err != nil {
+			return nil, err
+		}
+		q, err := build(name, atoms)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkFull(q, hv); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	atoms, err := parseBody(body)
+	if err != nil {
+		return nil, err
+	}
+	return build(name, atoms)
+}
+
+// MustParse is like Parse but panics on error; it is intended for
+// tests and package-level declarations.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func build(name string, atoms []Atom) (q *Query, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return New(name, atoms...), nil
+}
+
+func checkFull(q *Query, headVars []string) error {
+	if len(headVars) != q.NumVars() {
+		return fmt.Errorf("query: head has %d variables, body has %d (query must be full)", len(headVars), q.NumVars())
+	}
+	for _, v := range headVars {
+		if q.VarIndex(v) < 0 {
+			return fmt.Errorf("query: head variable %q does not appear in body", v)
+		}
+	}
+	return nil
+}
+
+func parseBody(body string) ([]Atom, error) {
+	var atoms []Atom
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		part := strings.TrimSpace(body[start:end])
+		if part == "" {
+			return fmt.Errorf("query: empty atom in %q", body)
+		}
+		n, vs, err := parseAtom(part)
+		if err != nil {
+			return err
+		}
+		atoms = append(atoms, Atom{Name: n, Vars: vs})
+		return nil
+	}
+	for i, r := range body {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("query: unbalanced parentheses in %q", body)
+			}
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("query: unbalanced parentheses in %q", body)
+	}
+	if err := flush(len(body)); err != nil {
+		return nil, err
+	}
+	return atoms, nil
+}
+
+func parseAtom(s string) (name string, vars []string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("query: malformed atom %q", s)
+	}
+	name = strings.TrimSpace(s[:open])
+	inner := s[open+1 : len(s)-1]
+	for _, part := range strings.Split(inner, ",") {
+		v := strings.TrimSpace(part)
+		if v == "" {
+			return "", nil, fmt.Errorf("query: empty variable in atom %q", s)
+		}
+		vars = append(vars, v)
+	}
+	return name, vars, nil
+}

@@ -1,0 +1,53 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup and mutated valid
+// queries: it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("abcxyz,():- S123")
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", buf, r)
+				}
+			}()
+			_, _ = Parse(string(buf))
+		}()
+	}
+	// Mutations of a valid query.
+	valid := "q(x,y,z) :- S1(x,y), S2(y,z), S3(z,x)"
+	for trial := 0; trial < 2000; trial++ {
+		b := []byte(valid)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			switch rng.Intn(3) {
+			case 0: // delete
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 1: // substitute
+				b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+			case 2: // duplicate
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte{b[i]}, b[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", b, r)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}

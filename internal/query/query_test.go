@@ -1,0 +1,324 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCounts(t *testing.T) {
+	tests := []struct {
+		q               *Query
+		k, l, a, c, chi int
+	}{
+		{Chain(3), 4, 3, 6, 1, 0},
+		{Chain(5), 6, 5, 10, 1, 0},
+		{Cycle(3), 3, 3, 6, 1, 1},
+		{Cycle(6), 6, 6, 12, 1, 1},
+		{Star(3), 4, 3, 6, 1, 0},
+		{K4(), 4, 6, 12, 1, 3},
+		{SpokedWheel(2), 5, 4, 8, 1, 0},
+		{Binom(4, 2), 4, 6, 12, 1, 3}, // B4,2 == K4
+	}
+	for _, tt := range tests {
+		if got := tt.q.NumVars(); got != tt.k {
+			t.Errorf("%s: NumVars=%d want %d", tt.q.Name, got, tt.k)
+		}
+		if got := tt.q.NumAtoms(); got != tt.l {
+			t.Errorf("%s: NumAtoms=%d want %d", tt.q.Name, got, tt.l)
+		}
+		if got := tt.q.TotalArity(); got != tt.a {
+			t.Errorf("%s: TotalArity=%d want %d", tt.q.Name, got, tt.a)
+		}
+		if got := tt.q.NumComponents(); got != tt.c {
+			t.Errorf("%s: NumComponents=%d want %d", tt.q.Name, got, tt.c)
+		}
+		if got := tt.q.Characteristic(); got != tt.chi {
+			t.Errorf("%s: Characteristic=%d want %d", tt.q.Name, got, tt.chi)
+		}
+	}
+}
+
+func TestTreeLike(t *testing.T) {
+	if !Chain(5).IsTreeLike() {
+		t.Error("L5 should be tree-like")
+	}
+	if !Star(4).IsTreeLike() {
+		t.Error("T4 should be tree-like")
+	}
+	if Cycle(4).IsTreeLike() {
+		t.Error("C4 should not be tree-like")
+	}
+	// q = S1(x0,x1,x2), S2(x1,x2,x3) is acyclic but not tree-like (Section 2.2).
+	q := MustParse("S1(x0,x1,x2), S2(x1,x2,x3)")
+	if q.IsTreeLike() {
+		t.Error("ternary chain should not be tree-like")
+	}
+	if q.Characteristic() != 1 {
+		t.Errorf("χ=%d want 1", q.Characteristic())
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	q := MustParse("R(x), S(y)")
+	if q.IsConnected() {
+		t.Error("R(x),S(y) should be disconnected")
+	}
+	if got := q.NumComponents(); got != 2 {
+		t.Errorf("components=%d want 2", got)
+	}
+	q2 := MustParse("R(x), S(y), T(x,y)")
+	if !q2.IsConnected() {
+		t.Error("R(x),S(y),T(x,y) should be connected")
+	}
+}
+
+// TestContractL5 checks the paper's worked example:
+// L5/{S2,S4} = S1(x0,x1), S3(x1,x3), S5(x3,x5), with χ preserved.
+func TestContractL5(t *testing.T) {
+	q := Chain(5)
+	m := []int{1, 3} // S2, S4 (0-based)
+	c := q.Contract(m)
+	if c.NumAtoms() != 3 {
+		t.Fatalf("atoms=%d want 3", c.NumAtoms())
+	}
+	if c.NumVars() != 4 {
+		t.Fatalf("vars=%d want 4 (isomorphic to L3), got %v", c.NumVars(), c.Vars())
+	}
+	if c.Characteristic() != 0 {
+		t.Errorf("χ(L5/M)=%d want 0", c.Characteristic())
+	}
+	// The contraction merges x1~x2 and x3~x4.
+	s3 := c.Atoms[1]
+	if s3.Name != "S3" {
+		t.Fatalf("middle atom=%s want S3", s3.Name)
+	}
+	if s3.Vars[0] != s3.Vars[0] || len(s3.DistinctVars()) != 2 {
+		t.Errorf("S3 after contraction should keep two distinct vars, got %v", s3.Vars)
+	}
+}
+
+// TestContractK4 checks χ(K4)=3, χ(M)=1, χ(K4/M)=2 for M={S1,S2,S3}
+// (Section 2.2 worked example).
+func TestContractK4(t *testing.T) {
+	q := K4()
+	if got := q.Characteristic(); got != 3 {
+		t.Fatalf("χ(K4)=%d want 3", got)
+	}
+	m := []int{0, 1, 2}
+	sub := q.Subquery("M", m)
+	if got := sub.Characteristic(); got != 1 {
+		t.Errorf("χ(M)=%d want 1", got)
+	}
+	c := q.Contract(m)
+	if got := c.Characteristic(); got != 2 {
+		t.Errorf("χ(K4/M)=%d want 2", got)
+	}
+	if c.NumVars() != 2 || c.NumAtoms() != 3 {
+		t.Errorf("K4/M should have 2 vars and 3 atoms, got %d vars %d atoms", c.NumVars(), c.NumAtoms())
+	}
+}
+
+func TestRadiusDiameter(t *testing.T) {
+	tests := []struct {
+		q         *Query
+		rad, diam int
+	}{
+		{Chain(4), 2, 4},
+		{Chain(5), 3, 5}, // rad(Lk) = ceil(k/2)
+		{Cycle(5), 2, 2},
+		{Cycle(6), 3, 3}, // rad(Ck) = floor(k/2)
+		{Star(4), 1, 2},
+		{Triangle(), 1, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.q.Radius(); got != tt.rad {
+			t.Errorf("%s: radius=%d want %d", tt.q.Name, got, tt.rad)
+		}
+		if got := tt.q.Diameter(); got != tt.diam {
+			t.Errorf("%s: diameter=%d want %d", tt.q.Name, got, tt.diam)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	q := MustParse("q(x,y,z) :- S1(x,y), S2(y,z), S3(z,x)")
+	if q.NumVars() != 3 || q.NumAtoms() != 3 {
+		t.Fatalf("parsed wrong shape: %s", q)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(q.Atoms, q2.Atoms) {
+		t.Errorf("round trip mismatch: %v vs %v", q.Atoms, q2.Atoms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"q(x) :- ",
+		"q(x,y) :- S(x)",      // not full
+		"S(x), S(y)",          // self-join
+		"q(x) :- S(x), T(x,)", // empty var
+		"q(x) :- S(x",         // unbalanced
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+// randomQuery builds a random connected binary query for property tests.
+func randomQuery(rng *rand.Rand) *Query {
+	k := 2 + rng.Intn(5) // vars
+	l := 1 + rng.Intn(6) // atoms
+	atoms := make([]Atom, 0, l)
+	for j := 0; j < l; j++ {
+		a := rng.Intn(k)
+		b := rng.Intn(k)
+		// Connect atom j to the variables seen so far to bias toward connected.
+		if j > 0 {
+			a = rng.Intn(min(k, j+1))
+		}
+		atoms = append(atoms, Atom{
+			Name: "S" + string(rune('A'+j)),
+			Vars: []string{varName(a), varName(b)},
+		})
+	}
+	return New("rand", atoms...)
+}
+
+func varName(i int) string { return string(rune('a' + i)) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestCharacteristicProperties checks Lemma 2.1 on random queries:
+// (a) χ(q) = Σ χ(qi) over connected components,
+// (c) χ(q) >= 0,
+// (b,d) for random M ⊆ atoms(q): χ(q/M) = χ(q) − χ(M) and χ(q) >= χ(q/M).
+func TestCharacteristicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuery(r)
+		// (c)
+		if q.Characteristic() < 0 {
+			t.Logf("χ<0 for %s", q)
+			return false
+		}
+		// (a)
+		sum := 0
+		for _, comp := range q.ConnectedComponents() {
+			sum += q.Subquery("c", comp).Characteristic()
+		}
+		if sum != q.Characteristic() {
+			t.Logf("χ component sum mismatch for %s: %d vs %d", q, sum, q.Characteristic())
+			return false
+		}
+		// (b) and (d)
+		var m []int
+		for j := 0; j < q.NumAtoms(); j++ {
+			if r.Intn(2) == 0 {
+				m = append(m, j)
+			}
+		}
+		chiM := q.Subquery("m", m).Characteristic()
+		if len(m) == 0 {
+			chiM = 0
+		}
+		contracted := q.Contract(m)
+		if got := contracted.Characteristic(); got != q.Characteristic()-chiM {
+			t.Logf("Lemma 2.1(b) fails for %s with M=%v: χ(q/M)=%d χ(q)=%d χ(M)=%d",
+				q, m, got, q.Characteristic(), chiM)
+			return false
+		}
+		if contracted.Characteristic() > q.Characteristic() {
+			t.Logf("Lemma 2.1(d) fails")
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomsOfAndIndex(t *testing.T) {
+	q := Triangle()
+	if got := q.AtomsOf("x1"); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("AtomsOf(x1)=%v want [0 2]", got)
+	}
+	if q.AtomIndex("S2") != 1 {
+		t.Errorf("AtomIndex(S2)=%d want 1", q.AtomIndex("S2"))
+	}
+	if q.AtomIndex("nope") != -1 {
+		t.Error("AtomIndex of missing relation should be -1")
+	}
+	if q.VarIndex("x3") != 2 {
+		t.Errorf("VarIndex(x3)=%d", q.VarIndex("x3"))
+	}
+	if q.VarIndex("zzz") != -1 {
+		t.Error("VarIndex of missing var should be -1")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := Chain(3)
+	c := q.Clone()
+	c.Atoms[0].Vars[0] = "mutated"
+	if q.Atoms[0].Vars[0] == "mutated" {
+		t.Error("Clone should deep-copy atom vars")
+	}
+}
+
+func TestSelfJoinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with duplicate relation names should panic")
+		}
+	}()
+	New("bad", Atom{Name: "S", Vars: []string{"x"}}, Atom{Name: "S", Vars: []string{"y"}})
+}
+
+func TestIsAcyclic(t *testing.T) {
+	if !Chain(5).IsAcyclic() {
+		t.Error("chains are acyclic")
+	}
+	if !Star(4).IsAcyclic() {
+		t.Error("stars are acyclic")
+	}
+	if Cycle(3).IsAcyclic() || Cycle(5).IsAcyclic() {
+		t.Error("cycles are not acyclic")
+	}
+	if K4().IsAcyclic() {
+		t.Error("K4 is not acyclic")
+	}
+	// The paper's example: acyclic but not tree-like.
+	q := MustParse("S1(x0,x1,x2), S2(x1,x2,x3)")
+	if !q.IsAcyclic() {
+		t.Error("ternary chain is acyclic")
+	}
+	if q.IsTreeLike() {
+		t.Error("ternary chain is not tree-like")
+	}
+	// Tree-like implies acyclic (Section 2.2).
+	for _, tl := range []*Query{Chain(4), Star(3), SpokedWheel(2)} {
+		if tl.IsTreeLike() && !tl.IsAcyclic() {
+			t.Errorf("%s: tree-like must imply acyclic", tl.Name)
+		}
+	}
+	// Disconnected unions of acyclic components are acyclic.
+	if !MustParse("R(x), S(y)").IsAcyclic() {
+		t.Error("R(x),S(y) acyclic")
+	}
+}

@@ -1,0 +1,322 @@
+package skew
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcquery/internal/bounds"
+	"mpcquery/internal/core"
+	"mpcquery/internal/data"
+	"mpcquery/internal/query"
+)
+
+func TestStarNoSkewMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := query.Star(3)
+	db := data.MatchingDatabase(rng, q, 400, 1<<20)
+	res := RunStar(q, db, 16, 99)
+	want := core.SequentialAnswer(q, db)
+	if !data.Equal(res.Output, want) {
+		t.Fatalf("no-skew star: got %d want %d tuples", res.Output.NumTuples(), want.NumTuples())
+	}
+	if res.HeavyHitters != 0 {
+		t.Errorf("matching data should have no heavy hitters, got %d", res.HeavyHitters)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("star algorithm must be one-round, used %d", res.Rounds)
+	}
+}
+
+func TestSimpleJoinFullSkewCorrect(t *testing.T) {
+	// Example 4.1 worst case: every tuple shares one z value.
+	rng := rand.New(rand.NewSource(2))
+	q := query.Star(2)
+	m := 500
+	db := data.SkewedStarDatabase(rng, 2, m, 1<<20, map[int64]int{7: m})
+	res := RunStar(q, db, 16, 5)
+	want := core.SequentialAnswer(q, db)
+	if want.NumTuples() != m*m {
+		t.Fatalf("worst case should produce m² = %d outputs, got %d", m*m, want.NumTuples())
+	}
+	if !data.Equal(res.Output, want) {
+		t.Fatalf("skewed join: got %d want %d", res.Output.NumTuples(), want.NumTuples())
+	}
+	if res.HeavyHitters != 1 {
+		t.Errorf("heavy hitters=%d want 1", res.HeavyHitters)
+	}
+}
+
+func TestSimpleJoinSkewSeparation(t *testing.T) {
+	// The skew-aware algorithm must beat the naive hash join by roughly
+	// sqrt(p) on fully-skewed input: naive load Θ(M), skew-aware Θ(M/sqrt(p)).
+	rng := rand.New(rand.NewSource(3))
+	q := query.Star(2)
+	m := 2000
+	p := 16
+	db := data.SkewedStarDatabase(rng, 2, m, 1<<20, map[int64]int{7: m})
+
+	// Naive parallel hash join: all shares on z.
+	zi := q.VarIndex("z")
+	shares := []int{1, 1, 1}
+	shares[zi] = p
+	naive := core.RunWithShares(q, db, shares, 5)
+
+	aware := RunStar(q, db, p, 5)
+	if !data.Equal(naive.Output, aware.Output) {
+		t.Fatal("outputs differ")
+	}
+	// Naive: one server receives everything (2m tuples).
+	sep := naive.MaxLoadBits / aware.MaxLoadBits
+	if sep < 2 {
+		t.Errorf("separation=%.2f: naive %v vs aware %v (want ≥ 2 at p=16)",
+			sep, naive.MaxLoadBits, aware.MaxLoadBits)
+	}
+}
+
+func TestStarMixedSkewCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := query.Star(3)
+	m := 600
+	heavy := map[int64]int{3: 150, 11: 80}
+	db := data.SkewedStarDatabase(rng, 3, m, 1<<20, heavy)
+	res := RunStar(q, db, 27, 17)
+	want := core.SequentialAnswer(q, db)
+	if !data.Equal(res.Output, want) {
+		t.Fatalf("mixed star: got %d want %d", res.Output.NumTuples(), want.NumTuples())
+	}
+	if res.HeavyHitters != 2 {
+		t.Errorf("heavy=%d want 2", res.HeavyHitters)
+	}
+}
+
+func TestStarNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := query.Star(2)
+	db := data.SkewedStarDatabase(rng, 2, 300, 1<<20, map[int64]int{9: 100})
+	res := RunStar(q, db, 8, 23)
+	if res.Output.NumTuples() != res.Output.Canonical().NumTuples() {
+		t.Errorf("output has duplicates: %d vs %d distinct",
+			res.Output.NumTuples(), res.Output.Canonical().NumTuples())
+	}
+}
+
+func TestStarRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(2)
+		m := 100 + r.Intn(200)
+		heavy := map[int64]int{}
+		for i := 0; i < r.Intn(3); i++ {
+			heavy[int64(i)] = 10 + r.Intn(m/3)
+		}
+		q := query.Star(k)
+		db := data.SkewedStarDatabase(r, k, m, 1<<20, heavy)
+		p := []int{4, 8, 16, 27}[r.Intn(4)]
+		res := RunStar(q, db, p, seed)
+		return data.Equal(res.Output, core.SequentialAnswer(q, db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleNoSkewMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := query.Triangle()
+	db := data.MatchingDatabase(rng, q, 500, 1<<20)
+	res := RunTriangle(q, db, 27, 3)
+	want := core.SequentialAnswer(q, db)
+	if !data.Equal(res.Output, want) {
+		t.Fatalf("no-skew triangle: got %d want %d", res.Output.NumTuples(), want.NumTuples())
+	}
+	if res.Rounds != 1 {
+		t.Errorf("triangle algorithm must be one-round, used %d", res.Rounds)
+	}
+}
+
+func TestTriangleOneHeavyCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := query.Triangle()
+	m := 600
+	db := data.SkewedTriangleDatabase(rng, m, 1<<20, 5, 200)
+	res := RunTriangle(q, db, 27, 13)
+	want := core.SequentialAnswer(q, db)
+	if !data.Equal(res.Output, want) {
+		t.Fatalf("one-heavy triangle: got %d want %d", res.Output.NumTuples(), want.NumTuples())
+	}
+}
+
+func TestTriangleNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := query.Triangle()
+	db := data.SkewedTriangleDatabase(rng, 400, 1<<20, 5, 150)
+	res := RunTriangle(q, db, 27, 7)
+	if res.Output.NumTuples() != res.Output.Canonical().NumTuples() {
+		t.Errorf("duplicates: %d vs %d distinct",
+			res.Output.NumTuples(), res.Output.Canonical().NumTuples())
+	}
+}
+
+// TestTriangleDensePlusHeavy plants a heavy value inside an otherwise dense
+// random (non-matching) instance so that all three cases fire.
+func TestTriangleDensePlusHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q := query.Triangle()
+	db := data.NewDatabase(64) // tiny domain: plenty of triangles and skew
+	for _, a := range q.Atoms {
+		rel := data.NewRelation(a.Name, 2)
+		for i := 0; i < 400; i++ {
+			rel.Append(rng.Int63n(64), rng.Int63n(64))
+		}
+		db.Add(rel)
+	}
+	res := RunTriangle(q, db, 27, 11)
+	want := core.SequentialAnswer(q, db)
+	// Dense random data yields duplicate input tuples, so compare as sets.
+	if !data.Equal(res.Output, want) {
+		t.Fatalf("dense triangle: got %d want %d distinct",
+			res.Output.Canonical().NumTuples(), want.Canonical().NumTuples())
+	}
+}
+
+func TestTriangleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := query.Triangle()
+		m := 150 + r.Intn(300)
+		heavyCount := r.Intn(m / 2)
+		db := data.SkewedTriangleDatabase(r, m, 1<<20, int64(r.Intn(10)), heavyCount)
+		p := []int{8, 27, 64}[r.Intn(3)]
+		res := RunTriangle(q, db, p, seed)
+		return data.Equal(res.Output, core.SequentialAnswer(q, db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleSkewSeparation(t *testing.T) {
+	// With a planted heavy value, the vanilla HC (which hashes obliviously)
+	// should suffer a hotspot; the skew-aware algorithm should stay near the
+	// skew-free load.
+	rng := rand.New(rand.NewSource(12))
+	q := query.Triangle()
+	m := 4000
+	p := 64
+	db := data.SkewedTriangleDatabase(rng, m, 1<<22, 5, m/2)
+	vanilla := core.Run(q, db, p, 3, core.SkewFree)
+	aware := RunTriangle(q, db, p, 3)
+	if !data.Equal(vanilla.Output, aware.Output) {
+		t.Fatal("outputs differ")
+	}
+	if aware.MaxLoadBits >= vanilla.MaxLoadBits {
+		t.Errorf("skew-aware load %v should beat vanilla %v on skewed data",
+			aware.MaxLoadBits, vanilla.MaxLoadBits)
+	}
+}
+
+func TestResidualShares(t *testing.T) {
+	// Equal fibers: balanced shares.
+	sh := residualShares([]float64{1000, 1000}, 16)
+	if sh[0] != 4 || sh[1] != 4 {
+		t.Errorf("equal fibers: %v want [4 4]", sh)
+	}
+	// Unequal fibers: proportional (shares ratio ≈ size ratio).
+	sh2 := residualShares([]float64{4000, 1000}, 16)
+	if sh2[0] <= sh2[1] {
+		t.Errorf("larger fiber should get more shares: %v", sh2)
+	}
+	prod := sh2[0] * sh2[1]
+	if prod > 16 {
+		t.Errorf("product %d exceeds budget", prod)
+	}
+	// One tiny fiber: everything to the big one.
+	sh3 := residualShares([]float64{10000, 1}, 8)
+	if sh3[0] != 8 || sh3[1] != 1 {
+		t.Errorf("tiny fiber: %v want [8 1]", sh3)
+	}
+}
+
+func TestDetectHeavyHittersMPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := 4000
+	rel := data.NewRelation("R", 2)
+	other := data.SampleDistinct(rng, m, 1<<20)
+	for i := 0; i < m; i++ {
+		if i < 1000 {
+			rel.Append(7, other[i]) // 25% heavy value
+		} else {
+			rel.Append(other[i], other[(i+1)%m])
+		}
+	}
+	st := DetectHeavyHittersMPC(rel, 0, 16, 100, 20, 3)
+	if st.Rounds != 1 {
+		t.Errorf("rounds=%d want 1", st.Rounds)
+	}
+	est := st.Estimates[7]
+	if est < 500 || est > 2000 {
+		t.Errorf("estimate for heavy value=%d want ≈1000", est)
+	}
+	// The statistics round must be cheap relative to the data: p candidates
+	// a few values each.
+	if st.MaxLoadBits > 64*1000 {
+		t.Errorf("stats load too high: %v", st.MaxLoadBits)
+	}
+}
+
+func TestRunStarSampledCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	q := query.Star(2)
+	m := 1000
+	db := data.SkewedStarDatabase(rng, 2, m, 1<<20, map[int64]int{7: m / 2})
+	res := RunStarSampled(q, db, 16, 9, 100)
+	want := core.SequentialAnswer(q, db)
+	if !data.Equal(res.Output, want) {
+		t.Fatalf("sampled star: got %d want %d", res.Output.NumTuples(), want.NumTuples())
+	}
+	if res.Rounds != 2 {
+		t.Errorf("rounds=%d want 2 (stats + data)", res.Rounds)
+	}
+}
+
+func TestRunStarSampledLoadNearExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	q := query.Star(2)
+	m := 3000
+	db := data.SkewedStarDatabase(rng, 2, m, 1<<20, map[int64]int{7: m})
+	exact := RunStar(q, db, 16, 9)
+	sampled := RunStarSampled(q, db, 16, 9, 200)
+	if !data.Equal(exact.Output, sampled.Output) {
+		t.Fatal("outputs differ")
+	}
+	if sampled.MaxLoadBits > 4*exact.MaxLoadBits {
+		t.Errorf("sampled load %v far above exact %v", sampled.MaxLoadBits, exact.MaxLoadBits)
+	}
+}
+
+// TestTriangleMeasuredAboveGeneralLB ties the triangle algorithm to the
+// general Theorem 4.4 machinery: the measured skew-aware load must dominate
+// the skewed lower bound computed from the x1-statistics.
+func TestTriangleMeasuredAboveGeneralLB(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	q := query.Triangle()
+	m := 3000
+	p := 64
+	db := data.SkewedTriangleDatabase(rng, m, 1<<20, 5, m/2)
+	aware := RunTriangle(q, db, p, 3)
+
+	// x1-statistics in bits for S1 (col 0) and S3 (col 1); S2 has no x1.
+	bits := make([]map[int64]float64, 3)
+	bits[0] = data.FrequenciesBits(data.ColumnFrequencies(db.Get("S1"), 0), 2, db.N)
+	bits[2] = data.FrequenciesBits(data.ColumnFrequencies(db.Get("S3"), 1), 2, db.N)
+	lb := bounds.SkewedLB(q, bounds.FreqStats{Var: "x1", Bits: bits}, float64(p))
+	if lb <= 0 {
+		t.Fatal("vacuous lower bound")
+	}
+	if aware.MaxLoadBits < lb/8 { // paper constant is min_j (a_j−d_j)/(4a_j) = 1/8
+		t.Errorf("measured %v below the Theorem 4.4 bound %v", aware.MaxLoadBits, lb)
+	}
+}

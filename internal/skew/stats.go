@@ -1,0 +1,106 @@
+package skew
+
+import (
+	"math/rand"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/engine"
+	"mpcquery/internal/query"
+)
+
+// StatsResult reports the one-round distributed statistics protocol.
+type StatsResult struct {
+	Estimates   map[int64]int // value -> estimated global frequency
+	MaxLoadBits float64       // statistics-gathering communication load
+	Rounds      int
+}
+
+// DetectHeavyHittersMPC estimates per-value frequencies of one relation
+// column with a one-round MPC protocol, making executable the paper's
+// remark that heavy-hitter statistics "can be easily obtained in advance
+// from small samples of the input" (Section 1):
+//
+//   - the relation is partitioned over p servers (free, per the model);
+//   - each server samples up to sampleSize of its local tuples, counts the
+//     sampled values, scales to its partition size, and broadcasts every
+//     candidate whose scaled estimate reaches candidateThreshold;
+//   - every server sums the broadcast estimates, so afterwards all servers
+//     agree on the (approximate) statistics, as the model assumes.
+//
+// The communication is O(p · candidates) values per server: with the
+// paper's m/p heavy-hitter threshold there are at most p true candidates
+// per server, keeping the statistics round's load well below the data
+// rounds'.
+func DetectHeavyHittersMPC(rel *data.Relation, col, p int, sampleSize int, candidateThreshold int, seed int64) *StatsResult {
+	bpv := 64 // (value, count) pairs of int64s; generous fixed width
+	cluster := engine.NewCluster(p, bpv)
+	m := rel.NumTuples()
+	for i := 0; i < m; i++ {
+		cluster.Seed(i%p, engine.Message{Kind: 0, Tuple: rel.Tuple(i)})
+	}
+	cluster.Round("stats-sample", func(s int, inbox []engine.Message, emit engine.Emitter) {
+		local := len(inbox)
+		if local == 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed + int64(s)))
+		counts := make(map[int64]int)
+		n := sampleSize
+		if n >= local {
+			for _, msg := range inbox {
+				counts[msg.Tuple[col]]++
+			}
+			n = local
+		} else {
+			for t := 0; t < n; t++ {
+				counts[inbox[rng.Intn(local)].Tuple[col]]++
+			}
+		}
+		scale := float64(local) / float64(n)
+		for v, c := range counts {
+			est := int(float64(c) * scale)
+			if est >= candidateThreshold {
+				emit(engine.Broadcast, engine.Message{Kind: 1, Tuple: []int64{v, int64(est)}})
+			}
+		}
+	})
+	estimates := make(map[int64]int)
+	for _, msg := range cluster.Inbox(0) { // all servers hold the same broadcasts
+		estimates[msg.Tuple[0]] += int(msg.Tuple[1])
+	}
+	return &StatsResult{
+		Estimates:   estimates,
+		MaxLoadBits: cluster.MaxLoadBits(),
+		Rounds:      cluster.NumRounds(),
+	}
+}
+
+// RunStarSampled runs the star algorithm end to end without a statistics
+// oracle: a first round gathers sampled z-frequencies with
+// DetectHeavyHittersMPC, and the data round uses the estimates. Output
+// correctness is unconditional; only the load depends on estimate quality.
+// The reported result counts both rounds and takes the load maximum across
+// them.
+func RunStarSampled(q *query.Query, db *data.Database, p int, seed int64, sampleSize int) *Result {
+	zName := q.Atoms[0].Vars[0]
+	freqs := make([]map[int64]int, q.NumAtoms())
+	statsLoad := 0.0
+	for j, a := range q.Atoms {
+		rel := db.Get(a.Name)
+		thr := rel.NumTuples() / (4 * p) // conservative candidate cut
+		if thr < 2 {
+			thr = 2
+		}
+		st := DetectHeavyHittersMPC(rel, colOf(a, zName), p, sampleSize, thr, seed+int64(j))
+		freqs[j] = st.Estimates
+		if st.MaxLoadBits > statsLoad {
+			statsLoad = st.MaxLoadBits
+		}
+	}
+	res := RunStarWithFrequencies(q, db, p, seed, freqs)
+	res.Rounds++
+	if statsLoad > res.MaxLoadBits {
+		res.MaxLoadBits = statsLoad
+	}
+	return res
+}

@@ -1,0 +1,355 @@
+// Package mpcquery is a Go implementation of the algorithms and bounds of
+// Beame, Koutris and Suciu, "Communication Cost in Parallel Query
+// Processing": the Massively Parallel Communication (MPC) model, the
+// one-round HyperCube algorithm with LP-optimal shares, skew-aware
+// algorithms for star and triangle queries, multi-round query plans, and
+// the accompanying load and round lower bounds.
+//
+// The package is a façade over the internal packages; it exposes everything
+// a downstream user needs:
+//
+//   - conjunctive queries: Chain, Cycle, Star, Triangle, Binom,
+//     SpokedWheel, ParseQuery, and the hypergraph machinery on Query;
+//   - workloads: MatchingDatabase and the skewed generators;
+//   - algorithms: RunHyperCube (one round), RunSkewedStar /
+//     RunSkewedTriangle (one round with heavy-hitter statistics),
+//     PlanChain / PlanGreedy + ExecutePlan (multi-round), and the
+//     connected-components algorithms;
+//   - bounds: TauStar, LoadLowerBound, ShareExponents, SpaceExponentLB,
+//     round-count bounds, and the skewed bounds;
+//   - the experiment harness regenerating every table in the paper.
+//
+// Quick start:
+//
+//	q := mpcquery.Triangle()
+//	db := mpcquery.MatchingDatabase(rand.New(rand.NewSource(1)), q, 10000, 1<<20)
+//	res := mpcquery.RunHyperCube(q, db, 64, 42)
+//	fmt.Println(res.MaxLoadBits) // ≈ M/p^{2/3}
+package mpcquery
+
+import (
+	"io"
+	"math/rand"
+
+	"mpcquery/internal/advisor"
+
+	"mpcquery/internal/bounds"
+	"mpcquery/internal/core"
+	"mpcquery/internal/data"
+	"mpcquery/internal/entropy"
+	"mpcquery/internal/experiments"
+	"mpcquery/internal/multiround"
+	"mpcquery/internal/packing"
+	"mpcquery/internal/query"
+	"mpcquery/internal/skew"
+)
+
+// ---- queries ---------------------------------------------------------------
+
+// Query is a full conjunctive query without self-joins (Section 2.2).
+type Query = query.Query
+
+// Atom is one relational atom of a query.
+type Atom = query.Atom
+
+// NewQuery builds a query from atoms; relation names must be distinct.
+func NewQuery(name string, atoms ...Atom) *Query { return query.New(name, atoms...) }
+
+// ParseQuery reads datalog-like notation, e.g. "q(x,y,z) :- R(x,y), S(y,z)".
+func ParseQuery(s string) (*Query, error) { return query.Parse(s) }
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(s string) *Query { return query.MustParse(s) }
+
+// Chain returns L_k, the chain query S1(x0,x1),…,Sk(x_{k−1},x_k).
+func Chain(k int) *Query { return query.Chain(k) }
+
+// Cycle returns C_k, the cycle query; Cycle(3) is the triangle.
+func Cycle(k int) *Query { return query.Cycle(k) }
+
+// Triangle returns C3 = S1(x1,x2), S2(x2,x3), S3(x3,x1).
+func Triangle() *Query { return query.Triangle() }
+
+// Star returns T_k = S1(z,x1),…,Sk(z,xk); Star(2) is the simple join.
+func Star(k int) *Query { return query.Star(k) }
+
+// Binom returns B_{k,m}: one m-ary atom per m-subset of k variables.
+func Binom(k, m int) *Query { return query.Binom(k, m) }
+
+// SpokedWheel returns SP_k = ∧ R_i(z,x_i), S_i(x_i,y_i) (Example 5.3).
+func SpokedWheel(k int) *Query { return query.SpokedWheel(k) }
+
+// ---- data ------------------------------------------------------------------
+
+// Relation is a bag of fixed-arity tuples over int64 values.
+type Relation = data.Relation
+
+// Database is a set of named relations over a common domain [n].
+type Database = data.Database
+
+// Graph is an undirected graph given by an edge relation.
+type Graph = data.Graph
+
+// NewDatabase returns an empty database with domain size n.
+func NewDatabase(n int64) *Database { return data.NewDatabase(n) }
+
+// NewRelation returns an empty relation with the given name and arity.
+func NewRelation(name string, arity int) *Relation { return data.NewRelation(name, arity) }
+
+// MatchingDatabase generates one random matching per atom of q (m tuples
+// each, domain [0,n)) — the paper's skew-free probability space.
+func MatchingDatabase(rng *rand.Rand, q *Query, m int, n int64) *Database {
+	return data.MatchingDatabase(rng, q, m, n)
+}
+
+// ChainMatchingDatabase generates composing matchings for L_k, so the full
+// chain join has exactly m answers.
+func ChainMatchingDatabase(rng *rand.Rand, k, m int, n int64) *Database {
+	return data.ChainMatchingDatabase(rng, k, m, n)
+}
+
+// SkewedStarDatabase generates star-query data with planted heavy hitters
+// on z (value → frequency).
+func SkewedStarDatabase(rng *rand.Rand, k, m int, n int64, heavy map[int64]int) *Database {
+	return data.SkewedStarDatabase(rng, k, m, n, heavy)
+}
+
+// SkewedTriangleDatabase plants one heavy x1 value in S1 and S3 of C3.
+func SkewedTriangleDatabase(rng *rand.Rand, m int, n int64, heavyVal int64, heavyCount int) *Database {
+	return data.SkewedTriangleDatabase(rng, m, n, heavyVal, heavyCount)
+}
+
+// LayeredPathGraph builds the Theorem 5.20 hard instance for connected
+// components: perLayer disjoint paths of length k.
+func LayeredPathGraph(rng *rand.Rand, k, perLayer int) *Graph {
+	return data.LayeredPathGraph(rng, k, perLayer)
+}
+
+// ---- one-round algorithms ----------------------------------------------------
+
+// HyperCubePlan is an executable HyperCube share configuration.
+type HyperCubePlan = core.Plan
+
+// HyperCubeResult reports loads and output of a one-round run.
+type HyperCubeResult = core.Result
+
+// PlanHyperCube computes LP-optimal shares (Theorem 3.4) for q on db.
+func PlanHyperCube(q *Query, db *Database, p int) *HyperCubePlan {
+	return core.PlanForDatabase(q, db, p, core.SkewFree)
+}
+
+// RunHyperCube plans and executes the one-round HyperCube algorithm.
+func RunHyperCube(q *Query, db *Database, p int, seed int64) *HyperCubeResult {
+	return core.Run(q, db, p, seed, core.SkewFree)
+}
+
+// RunHyperCubeOblivious uses the skew-oblivious shares of LP (18).
+func RunHyperCubeOblivious(q *Query, db *Database, p int, seed int64) *HyperCubeResult {
+	return core.Run(q, db, p, seed, core.SkewOblivious)
+}
+
+// RunHyperCubeWithShares executes with explicit per-variable integer shares.
+func RunHyperCubeWithShares(q *Query, db *Database, shares []int, seed int64) *HyperCubeResult {
+	return core.RunWithShares(q, db, shares, seed)
+}
+
+// SequentialAnswer computes q(db) on one node (ground truth).
+func SequentialAnswer(q *Query, db *Database) *Relation {
+	return core.SequentialAnswer(q, db)
+}
+
+// SkewResult reports a skew-aware run.
+type SkewResult = skew.Result
+
+// RunSkewedStar computes a star query with the Section 4.2.1 heavy-hitter
+// algorithm.
+func RunSkewedStar(q *Query, db *Database, p int, seed int64) *SkewResult {
+	return skew.RunStar(q, db, p, seed)
+}
+
+// RunSkewedTriangle computes C3 with the Section 4.2.2 three-case algorithm.
+func RunSkewedTriangle(q *Query, db *Database, p int, seed int64) *SkewResult {
+	return skew.RunTriangle(q, db, p, seed)
+}
+
+// ---- multi-round ----------------------------------------------------------
+
+// MultiRoundPlan is a tree of one-round subqueries (Section 5.1).
+type MultiRoundPlan = multiround.Plan
+
+// MultiRoundResult reports an executed plan.
+type MultiRoundResult = multiround.ExecResult
+
+// CCResult reports a connected-components computation.
+type CCResult = multiround.CCResult
+
+// PlanChain builds the ⌈log_kε k⌉-round plan for L_k (Example 5.2).
+func PlanChain(k int, eps float64) *MultiRoundPlan { return multiround.ChainPlan(k, eps) }
+
+// PlanGreedy builds a plan for any connected query at space exponent ε.
+func PlanGreedy(q *Query, eps float64) *MultiRoundPlan { return multiround.GreedyPlan(q, eps) }
+
+// ExecutePlan runs a multi-round plan with p servers per round.
+func ExecutePlan(p *MultiRoundPlan, db *Database, servers int, seed int64) *MultiRoundResult {
+	return multiround.Execute(p, db, servers, seed)
+}
+
+// ConnectedComponentsLabelProp runs min-label propagation (Θ(diameter)
+// rounds).
+func ConnectedComponentsLabelProp(g *Graph, p int, seed int64) *CCResult {
+	return multiround.LabelPropagation(g, p, seed, 0)
+}
+
+// ConnectedComponentsPointerJump runs min-pointer doubling (O(log diameter)
+// iterations on paths).
+func ConnectedComponentsPointerJump(g *Graph, p int, seed int64) *CCResult {
+	return multiround.PointerJumping(g, p, seed, 0)
+}
+
+// ---- bounds ----------------------------------------------------------------
+
+// TauStar returns the fractional vertex covering number τ*(q) with an
+// optimal fractional edge packing.
+func TauStar(q *Query) (float64, []float64) { return packing.TauStar(q) }
+
+// LoadLowerBound returns L_lower = max_u L(u,M,p) (Theorem 3.5) and the
+// maximizing packing; M is per-atom sizes in bits.
+func LoadLowerBound(q *Query, M []float64, p float64) (float64, []float64) {
+	return packing.LLower(q, M, p)
+}
+
+// ShareExponents solves LP (10); the optimal one-round load is p^λ.
+func ShareExponents(q *Query, M []float64, p float64) packing.Shares {
+	return packing.ShareExponents(q, M, p)
+}
+
+// SpaceExponentLB returns 1 − 1/τ*(q) (Section 3.4).
+func SpaceExponentLB(q *Query) float64 { return bounds.SpaceExponentLB(q) }
+
+// ChainRounds returns the optimal round count ⌈log_kε k⌉ for L_k.
+func ChainRounds(k int, eps float64) int { return bounds.ChainRounds(k, eps) }
+
+// RoundsUB returns the Lemma 5.4 upper bound on rounds for any connected
+// query at space exponent ε.
+func RoundsUB(q *Query, eps float64) int { return bounds.RoundsUB(q, eps) }
+
+// StarSkewLB evaluates the heavy-hitter lower bound (20) for star queries;
+// freq[j] maps z-values to M_j(h) in bits.
+func StarSkewLB(freq []map[int64]float64, p float64) float64 {
+	return bounds.StarSkewLB(freq, p)
+}
+
+// ---- experiments -------------------------------------------------------------
+
+// ExperimentConfig controls experiment sizes.
+type ExperimentConfig = experiments.Config
+
+// ExperimentTable is one regenerated paper artifact.
+type ExperimentTable = experiments.Table
+
+// RunAllExperiments regenerates every table/figure of the paper.
+func RunAllExperiments(cfg ExperimentConfig) []*ExperimentTable {
+	return experiments.All(cfg)
+}
+
+// ---- lower-bound machinery ---------------------------------------------------
+
+// CappedResult reports a load-capped HyperCube run (Theorem 3.5 observed).
+type CappedResult = core.CappedResult
+
+// RunHyperCubeCapped executes the HyperCube routing but lets every server
+// keep only capBits of received data, measuring the fraction of answers an
+// algorithm with maximum load capBits can report (Theorems 3.5/3.7).
+func RunHyperCubeCapped(q *Query, db *Database, p int, seed int64, capBits float64) *CappedResult {
+	return core.RunPlanCapped(core.PlanForDatabase(q, db, p, core.SkewFree), db, seed, capBits)
+}
+
+// RunHyperCubeInputServers executes under the input-server model of
+// Section 2.1 (relation j starts wholly on server j); loads match the
+// partitioned-input run.
+func RunHyperCubeInputServers(q *Query, db *Database, p int, seed int64) *HyperCubeResult {
+	return core.RunPlanInputServers(core.PlanForDatabase(q, db, p, core.SkewFree), db, seed)
+}
+
+// AnswerFractionUB returns the Theorem 3.5 bound on the fraction of the
+// expected answers reportable with maximum load L.
+func AnswerFractionUB(q *Query, M []float64, p, L float64) float64 {
+	return bounds.AnswerFractionUB(q, M, p, L)
+}
+
+// ---- information-theoretic toolkit -------------------------------------------
+
+// MatchingEntropyBits returns the exact encoding size (entropy) of an
+// a-dimensional matching with m tuples over [n] — equation (12).
+func MatchingEntropyBits(arity int, m, n float64) float64 {
+	return entropy.MatchingBits(arity, m, n)
+}
+
+// FriedgutCheck evaluates both sides of Friedgut's inequality (7) for the
+// given per-atom weight vectors over [n]^{a_j} and fractional edge cover u.
+func FriedgutCheck(q *Query, w [][]float64, n int, u []float64) (lhs, rhs float64) {
+	return entropy.Friedgut(q, w, n, u)
+}
+
+// AGMBound returns the output-size bound Π_j |S_j|^{u_j} for a fractional
+// edge cover u (Section 2.4).
+func AGMBound(sizes, u []float64) float64 { return entropy.AGMBound(sizes, u) }
+
+// RunSkewedGeneric computes any connected query in one round with
+// heavy-hitter statistics, the generalized pattern algorithm sketched by
+// the paper's reference [6]. maxHeavyPerVar caps the per-variable heavy
+// sets (values beyond the cap are treated as light, which stays correct).
+func RunSkewedGeneric(q *Query, db *Database, p int, seed int64, maxHeavyPerVar int) *SkewResult {
+	return skew.RunGeneric(q, db, p, seed, maxHeavyPerVar)
+}
+
+// ReadRelationCSV reads a relation from comma-separated integer rows.
+func ReadRelationCSV(r io.Reader, name string, arity int) (*Relation, error) {
+	return data.ReadCSV(r, name, arity)
+}
+
+// ---- planning ------------------------------------------------------------
+
+// AdviceOption is one executable strategy with predicted rounds and load.
+type AdviceOption = advisor.Option
+
+// Advise enumerates executable strategies for a connected query (one-round
+// HyperCube variants and multi-round plans over an ε grid), sorted by round
+// count — the Table 3 tradeoff as a planning service.
+func Advise(q *Query, M []float64, p int) []AdviceOption {
+	return advisor.Advise(q, M, p)
+}
+
+// BestStrategy picks the lowest-load option within a round budget
+// (0 = unlimited).
+func BestStrategy(opts []AdviceOption, maxRounds int) (AdviceOption, bool) {
+	return advisor.Best(opts, maxRounds)
+}
+
+// RunSkewedStarSampled runs the star algorithm end to end with statistics
+// gathered by the one-round sampling protocol instead of an oracle.
+func RunSkewedStarSampled(q *Query, db *Database, p int, seed int64, sampleSize int) *SkewResult {
+	return skew.RunStarSampled(q, db, p, seed, sampleSize)
+}
+
+// DesugarSelfJoins renames repeated relation occurrences apart, returning a
+// self-join-free query plus the new-name → original-name mapping
+// (footnote 2 of the paper).
+func DesugarSelfJoins(name string, atoms []Atom) (*Query, map[string]string) {
+	return core.DesugarSelfJoins(name, atoms)
+}
+
+// RunHyperCubeSelfJoins evaluates a query that may repeat relation names
+// (e.g. paths E(x,y),E(y,z) over one edge relation) with the one-round
+// HyperCube algorithm.
+func RunHyperCubeSelfJoins(name string, atoms []Atom, db *Database, p int, seed int64) *HyperCubeResult {
+	return core.RunWithSelfJoins(name, atoms, db, p, seed, core.SkewFree)
+}
+
+// ExecutePlanSkewAware runs a multi-round plan with every node computed by
+// the generalized pattern algorithm, containing hotspots in skewed
+// intermediate views (the paper leaves multi-round skew open; this is the
+// engineering answer).
+func ExecutePlanSkewAware(p *MultiRoundPlan, db *Database, servers int, seed int64, maxHeavyPerVar int) *MultiRoundResult {
+	return multiround.ExecuteSkewAware(p, db, servers, seed, maxHeavyPerVar)
+}

@@ -1,0 +1,165 @@
+package mpcquery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mpcquery/internal/data"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	q := Triangle()
+	rng := rand.New(rand.NewSource(1))
+	db := MatchingDatabase(rng, q, 1000, 1<<20)
+	res := RunHyperCube(q, db, 64, 42)
+	if res.MaxLoadBits <= 0 {
+		t.Fatal("no load measured")
+	}
+	want := SequentialAnswer(q, db)
+	if !data.Equal(res.Output, want) {
+		t.Fatal("output mismatch")
+	}
+}
+
+func TestPublicAPIParseAndBounds(t *testing.T) {
+	q := MustParseQuery("q(x,y,z) :- R(x,y), S(y,z), T(z,x)")
+	tau, u := TauStar(q)
+	if tau != 1.5 {
+		t.Errorf("τ*=%v want 1.5", tau)
+	}
+	if len(u) != 3 {
+		t.Errorf("packing len=%d", len(u))
+	}
+	if got := SpaceExponentLB(q); got < 0.33 || got > 0.34 {
+		t.Errorf("ε=%v want 1/3", got)
+	}
+	M := []float64{1 << 20, 1 << 20, 1 << 20}
+	lower, _ := LoadLowerBound(q, M, 64)
+	upper := ShareExponents(q, M, 64).Load()
+	if lower <= 0 || upper/lower > 1.001 || lower/upper > 1.001 {
+		t.Errorf("bounds: lower=%v upper=%v", lower, upper)
+	}
+}
+
+func TestPublicAPIMultiRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := ChainMatchingDatabase(rng, 8, 200, 1<<20)
+	plan := PlanChain(8, 0)
+	if plan.Rounds() != 3 {
+		t.Fatalf("L8 plan rounds=%d want 3", plan.Rounds())
+	}
+	if ChainRounds(8, 0) != 3 {
+		t.Error("formula disagrees")
+	}
+	res := ExecutePlan(plan, db, 32, 7)
+	if res.Output.NumTuples() != 200 {
+		t.Fatalf("output=%d want 200", res.Output.NumTuples())
+	}
+}
+
+func TestPublicAPISkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := Star(2)
+	db := SkewedStarDatabase(rng, 2, 300, 1<<20, map[int64]int{7: 150})
+	res := RunSkewedStar(q, db, 8, 5)
+	want := SequentialAnswer(q, db)
+	if !data.Equal(res.Output, want) {
+		t.Fatal("skewed star mismatch")
+	}
+	tri := SkewedTriangleDatabase(rng, 300, 1<<20, 5, 100)
+	tr := RunSkewedTriangle(Triangle(), tri, 27, 5)
+	if !data.Equal(tr.Output, SequentialAnswer(Triangle(), tri)) {
+		t.Fatal("skewed triangle mismatch")
+	}
+}
+
+func TestPublicAPIConnectedComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := LayeredPathGraph(rng, 16, 10)
+	lp := ConnectedComponentsLabelProp(g, 8, 1)
+	pj := ConnectedComponentsPointerJump(g, 8, 1)
+	if len(lp.Labels) != len(pj.Labels) {
+		t.Fatal("label count mismatch")
+	}
+	for v, l := range lp.Labels {
+		if pj.Labels[v] != l {
+			t.Fatalf("vertex %d: %d vs %d", v, l, pj.Labels[v])
+		}
+	}
+	if pj.IterRounds >= lp.IterRounds {
+		t.Errorf("pointer jumping %d rounds should beat label prop %d", pj.IterRounds, lp.IterRounds)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	tables := RunAllExperiments(ExperimentConfig{Seed: 1, Quick: true})
+	if len(tables) != 17 {
+		t.Fatalf("tables=%d want 17", len(tables))
+	}
+}
+
+func TestPublicAPIBoundsAndTools(t *testing.T) {
+	q := Triangle()
+	M := []float64{1 << 20, 1 << 20, 1 << 20}
+	if f := AnswerFractionUB(q, M, 64, float64(1<<20)/64); f <= 0 || f > 1 {
+		t.Errorf("fraction UB: %v", f)
+	}
+	if RoundsUB(Chain(8), 0) < 3 {
+		t.Error("L8 rounds UB")
+	}
+	if b := MatchingEntropyBits(2, 2, 4); b <= 0 {
+		t.Errorf("matching entropy: %v", b)
+	}
+	if b := AGMBound([]float64{100, 100, 100}, []float64{0.5, 0.5, 0.5}); b < 999.99 || b > 1000.01 {
+		t.Errorf("AGM: %v", b)
+	}
+	lhs, rhs := FriedgutCheck(Star(2), [][]float64{{1, 1, 1, 1}, {1, 1, 1, 1}}, 2, []float64{1, 1})
+	if lhs > rhs {
+		t.Errorf("Friedgut: %v > %v", lhs, rhs)
+	}
+	freq := []map[int64]float64{{1: 100}, {1: 100}}
+	if lb := StarSkewLB(freq, 4); lb <= 0 {
+		t.Errorf("star LB: %v", lb)
+	}
+}
+
+func TestPublicAPICappedAndCSV(t *testing.T) {
+	q := Triangle()
+	rng := rand.New(rand.NewSource(9))
+	db := MatchingDatabase(rng, q, 300, 1<<16)
+	capped := RunHyperCubeCapped(q, db, 27, 3, 1e12)
+	if capped.Fraction != 1 {
+		t.Errorf("unlimited cap fraction: %v", capped.Fraction)
+	}
+	is := RunHyperCubeInputServers(q, db, 27, 3)
+	if is.MaxLoadBits <= 0 {
+		t.Error("input-server run recorded no load")
+	}
+	rel, err := ReadRelationCSV(strings.NewReader("1,2\n3,4\n"), "R", 2)
+	if err != nil || rel.NumTuples() != 2 {
+		t.Fatalf("csv: %v %d", err, rel.NumTuples())
+	}
+	gen := RunSkewedGeneric(Star(2), SkewedStarDatabase(rng, 2, 200, 1<<16, map[int64]int{5: 100}), 8, 3, 8)
+	if gen.Rounds != 1 {
+		t.Errorf("generic rounds: %d", gen.Rounds)
+	}
+	sampled := RunSkewedStarSampled(Star(2), SkewedStarDatabase(rng, 2, 200, 1<<16, map[int64]int{5: 100}), 8, 3, 50)
+	if sampled.Rounds != 2 {
+		t.Errorf("sampled rounds: %d", sampled.Rounds)
+	}
+	q2, mapping := DesugarSelfJoins("p2", []Atom{{Name: "E", Vars: []string{"x", "y"}}, {Name: "E", Vars: []string{"y", "z"}}})
+	if q2.NumAtoms() != 2 || len(mapping) != 2 {
+		t.Error("desugar")
+	}
+	e := NewRelation("E", 2)
+	e.Append(1, 2)
+	e.Append(2, 3)
+	gdb := NewDatabase(16)
+	gdb.Add(e)
+	sj := RunHyperCubeSelfJoins("p2", []Atom{{Name: "E", Vars: []string{"x", "y"}}, {Name: "E", Vars: []string{"y", "z"}}}, gdb, 4, 1)
+	if sj.Output.NumTuples() != 1 {
+		t.Errorf("self-join paths: %d want 1", sj.Output.NumTuples())
+	}
+}
