@@ -1,7 +1,8 @@
 // Command mpcplan is the planner CLI: given a conjunctive query, it prints
 // its hypergraph invariants (τ*, ρ*, χ, radius/diameter), the packing
 // polytope vertices with their load bounds, the LP-optimal HyperCube
-// shares, and the multi-round plan at a chosen space exponent.
+// shares, the multi-round plan at a chosen space exponent, and the advisor
+// options with the strategy to pass to Run / mpcrun for each.
 //
 // Usage:
 //
@@ -18,12 +19,9 @@ import (
 	"strconv"
 	"strings"
 
-	"mpcquery/internal/advisor"
-	"mpcquery/internal/bounds"
+	"mpcquery"
 	"mpcquery/internal/core"
-	"mpcquery/internal/multiround"
 	"mpcquery/internal/packing"
-	"mpcquery/internal/query"
 )
 
 func main() {
@@ -34,7 +32,7 @@ func main() {
 	dot := flag.Bool("dot", false, "print only the Graphviz hypergraph and exit")
 	flag.Parse()
 
-	q, err := query.Parse(*qs)
+	q, err := mpcquery.ParseQuery(*qs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpcplan: %v\n", err)
 		os.Exit(2)
@@ -72,18 +70,18 @@ func main() {
 		fmt.Printf("  radius=%d diameter=%d\n", q.Radius(), q.Diameter())
 	}
 
-	tau, uStar := packing.TauStar(q)
+	tau, uStar := mpcquery.TauStar(q)
 	rho, _ := packing.RhoStar(q)
 	fmt.Printf("\nfractional bounds:\n")
 	fmt.Printf("  τ* = %.4g (optimal packing %v)\n", tau, uStar)
 	fmt.Printf("  ρ* = %.4g\n", rho)
-	fmt.Printf("  one-round space exponent lower bound: ε ≥ %.4g\n", bounds.SpaceExponentLB(q))
+	fmt.Printf("  one-round space exponent lower bound: ε ≥ %.4g\n", mpcquery.SpaceExponentLB(q))
 
 	fmt.Printf("\npacking polytope vertices and their load bounds L(u,M,p) at p=%d:\n", *p)
 	for _, u := range packing.Vertices(q) {
 		fmt.Printf("  u=%v  L=%.4g bits\n", u, packing.Load(u, M, float64(*p)))
 	}
-	lower, best := packing.LLower(q, M, float64(*p))
+	lower, best := mpcquery.LoadLowerBound(q, M, float64(*p))
 	fmt.Printf("  L_lower = %.4g bits (argmax %v)\n", lower, best)
 
 	plan := core.NewPlan(q, M, *p, core.SkewFree)
@@ -92,20 +90,33 @@ func main() {
 	fmt.Printf("\nskew-oblivious (LP 18): predicted load %.4g bits\n", obl.PredictedLoadBits())
 
 	if q.IsConnected() {
-		mr := multiround.GreedyPlan(q, *eps)
+		mr := mpcquery.PlanGreedy(q, *eps)
 		fmt.Printf("\nmulti-round plan at ε=%.2f (%d rounds; Lemma 5.4 bound %d):\n%s",
-			*eps, mr.Rounds(), bounds.RoundsUB(q, *eps), mr.Root)
+			*eps, mr.Rounds(), mpcquery.RoundsUB(q, *eps), mr.Root)
 
-		fmt.Printf("\nrounds/load tradeoff (advisor):\n")
-		for _, o := range advisor.Advise(q, M, *p) {
+		fmt.Printf("\nrounds/load tradeoff (advisor); run each via Run(q, db, WithStrategy(...)):\n")
+		for _, o := range mpcquery.Advise(q, M, *p) {
 			marker := ""
 			if o.SkewRobust {
 				marker = "  [skew-robust]"
 			}
-			fmt.Printf("  %-42s rounds=%d  load=%.4g bits%s\n",
-				o.Name, o.Rounds, o.PredictedLoadBits, marker)
+			fmt.Printf("  %-42s rounds=%d  load=%.4g bits%s\n     strategy: %s\n",
+				o.Name, o.Rounds, o.PredictedLoadBits, marker, strategyFor(o))
 		}
-		ub, lb := advisor.RoundBounds(q, *eps)
+		ub, lb := mpcquery.RoundBounds(q, *eps)
 		fmt.Printf("  theory at ε=%.2f: rounds ∈ [%d, %d]\n", *eps, lb, ub)
+	}
+}
+
+// strategyFor maps an advisor option to the Run strategy constructor that
+// executes it.
+func strategyFor(o mpcquery.AdviceOption) string {
+	switch {
+	case o.Plan != nil:
+		return fmt.Sprintf("GreedyPlan(%.2f)", o.SpaceExponent)
+	case o.SkewRobust:
+		return "HyperCubeOblivious()"
+	default:
+		return "HyperCube()"
 	}
 }

@@ -1,12 +1,14 @@
 // Command mpcrun executes one query end-to-end on the simulated MPC
-// cluster: it generates a workload, runs the chosen algorithm, verifies the
-// output against a sequential join, and reports loads and replication.
+// cluster: it generates a workload, runs the chosen strategy through the
+// unified Run API, verifies the output against a sequential join, and
+// prints the Report.
 //
 // Usage:
 //
 //	mpcrun -family triangle -m 10000 -p 64 -algo hc
 //	mpcrun -family chain -k 8 -m 5000 -p 64 -algo multiround -eps 0.5
 //	mpcrun -family star -k 2 -m 5000 -p 16 -algo star -skew 0.5
+//	mpcrun -family chain -k 8 -m 5000 -p 64 -algo auto -budget 2
 package main
 
 import (
@@ -15,11 +17,7 @@ import (
 	"math/rand"
 	"os"
 
-	"mpcquery/internal/core"
-	"mpcquery/internal/data"
-	"mpcquery/internal/multiround"
-	"mpcquery/internal/query"
-	"mpcquery/internal/skew"
+	"mpcquery"
 )
 
 func main() {
@@ -27,8 +25,9 @@ func main() {
 	k := flag.Int("k", 3, "family size parameter")
 	m := flag.Int("m", 10000, "tuples per relation")
 	p := flag.Int("p", 64, "number of servers")
-	algo := flag.String("algo", "hc", "algorithm: hc|oblivious|star|star-sampled|triangle|generic|multiround")
+	algo := flag.String("algo", "hc", "strategy: hc|oblivious|star|star-sampled|triangle|generic|multiround|auto")
 	eps := flag.Float64("eps", 0, "space exponent (multiround)")
+	budget := flag.Int("budget", 0, "round budget for -algo auto (0 = unlimited)")
 	skewFrac := flag.Float64("skew", 0, "fraction of tuples carrying one heavy value")
 	seed := flag.Int64("seed", 1, "random seed")
 	verify := flag.Bool("verify", true, "compare against a sequential join")
@@ -39,55 +38,44 @@ func main() {
 	n := int64(16 * *m)
 	db := buildData(rng, q, *family, *m, n, *skewFrac, *p)
 
-	var (
-		output    *data.Relation
-		rounds    int
-		loadBits  float64
-		totalBits float64
-		servers   int
-	)
+	var strategy mpcquery.Strategy
 	switch *algo {
-	case "hc", "oblivious":
-		mode := core.SkewFree
-		if *algo == "oblivious" {
-			mode = core.SkewOblivious
-		}
-		res := core.Run(q, db, *p, *seed, mode)
-		output, rounds, loadBits, totalBits, servers = res.Output, 1, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+	case "hc":
+		strategy = mpcquery.HyperCube()
+	case "oblivious":
+		strategy = mpcquery.HyperCubeOblivious()
 	case "star":
-		res := skew.RunStar(q, db, *p, *seed)
-		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+		strategy = mpcquery.SkewedStar()
 	case "star-sampled":
-		res := skew.RunStarSampled(q, db, *p, *seed, 200)
-		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
-	case "generic":
-		res := skew.RunGeneric(q, db, *p, *seed, 32)
-		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+		strategy = mpcquery.SkewedStarSampled(200)
 	case "triangle":
-		res := skew.RunTriangle(q, db, *p, *seed)
-		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, res.ServersUsed
+		strategy = mpcquery.SkewedTriangle()
+	case "generic":
+		strategy = mpcquery.SkewedGeneric()
 	case "multiround":
-		plan := multiround.GreedyPlan(q, *eps)
-		res := multiround.Execute(plan, db, *p, *seed)
-		output, rounds, loadBits, totalBits, servers = res.Output, res.Rounds, res.MaxLoadBits, res.TotalBits, *p
-		fmt.Printf("plan:\n%s", plan.Root)
+		strategy = mpcquery.GreedyPlan(*eps)
+	case "auto":
+		strategy = mpcquery.Auto()
 	default:
 		fmt.Fprintf(os.Stderr, "mpcrun: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
 
-	fmt.Printf("query    : %s\n", q)
-	fmt.Printf("servers  : %d (requested p=%d)\n", servers, *p)
-	fmt.Printf("rounds   : %d\n", rounds)
-	fmt.Printf("max load : %.0f bits (%.1f tuples-equivalent)\n",
-		loadBits, loadBits/float64(2*data.BitsPerValue(db.N)))
-	fmt.Printf("total    : %.0f bits communicated, replication %.2f\n",
-		totalBits, totalBits/db.TotalBits())
-	fmt.Printf("output   : %d tuples\n", output.NumTuples())
+	rep, err := mpcquery.Run(q, db,
+		mpcquery.WithStrategy(strategy),
+		mpcquery.WithServers(*p),
+		mpcquery.WithSeed(*seed),
+		mpcquery.WithRoundBudget(*budget))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpcrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(rep)
 
 	if *verify {
-		want := core.SequentialAnswer(q, db)
-		if data.Equal(output, want) {
+		want := mpcquery.SequentialAnswer(q, db)
+		if mpcquery.EqualRelations(rep.Output, want) {
 			fmt.Println("verify   : OK (matches sequential join)")
 		} else {
 			fmt.Printf("verify   : MISMATCH (sequential has %d tuples)\n", want.NumTuples())
@@ -96,18 +84,18 @@ func main() {
 	}
 }
 
-func buildQuery(family string, k int) *query.Query {
+func buildQuery(family string, k int) *mpcquery.Query {
 	switch family {
 	case "triangle":
-		return query.Triangle()
+		return mpcquery.Triangle()
 	case "cycle":
-		return query.Cycle(k)
+		return mpcquery.Cycle(k)
 	case "chain":
-		return query.Chain(k)
+		return mpcquery.Chain(k)
 	case "star":
-		return query.Star(k)
+		return mpcquery.Star(k)
 	case "spokedwheel":
-		return query.SpokedWheel(k)
+		return mpcquery.SpokedWheel(k)
 	default:
 		fmt.Fprintf(os.Stderr, "mpcrun: unknown family %q\n", family)
 		os.Exit(2)
@@ -115,15 +103,15 @@ func buildQuery(family string, k int) *query.Query {
 	}
 }
 
-func buildData(rng *rand.Rand, q *query.Query, family string, m int, n int64, skewFrac float64, p int) *data.Database {
+func buildData(rng *rand.Rand, q *mpcquery.Query, family string, m int, n int64, skewFrac float64, p int) *mpcquery.Database {
 	switch {
 	case family == "star" && skewFrac > 0:
-		return data.SkewedStarDatabase(rng, q.NumAtoms(), m, n, map[int64]int{7: int(skewFrac * float64(m))})
+		return mpcquery.SkewedStarDatabase(rng, q.NumAtoms(), m, n, map[int64]int{7: int(skewFrac * float64(m))})
 	case family == "triangle" && skewFrac > 0:
-		return data.SkewedTriangleDatabase(rng, m, n, 7, int(skewFrac*float64(m)))
+		return mpcquery.SkewedTriangleDatabase(rng, m, n, 7, int(skewFrac*float64(m)))
 	case family == "chain":
-		return data.ChainMatchingDatabase(rng, q.NumAtoms(), m, n)
+		return mpcquery.ChainMatchingDatabase(rng, q.NumAtoms(), m, n)
 	default:
-		return data.MatchingDatabase(rng, q, m, n)
+		return mpcquery.MatchingDatabase(rng, q, m, n)
 	}
 }

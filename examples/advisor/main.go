@@ -1,8 +1,8 @@
 // Strategy advisor: the paper's Table 3 is a tradeoff — more rounds buy
 // lower load. This example asks the advisor for every executable strategy
-// for the chain L16 on 64 servers, picks the best option under different
-// round budgets, and actually executes the chosen plans to confirm the
-// predictions.
+// for the chain L16 on 64 servers, then lets the Auto strategy pick and
+// execute the best option under different round budgets through the one
+// Run entry point, confirming the predictions against measured loads.
 package main
 
 import (
@@ -28,8 +28,7 @@ func main() {
 	}
 
 	fmt.Printf("strategies for %s on p=%d (M=%.0f bits per relation):\n\n", q.Name, p, M[0])
-	opts := mpcquery.Advise(q, M, p)
-	for _, o := range opts {
+	for _, o := range mpcquery.Advise(q, M, p) {
 		tag := ""
 		if o.SkewRobust {
 			tag = "  [skew-robust]"
@@ -38,30 +37,25 @@ func main() {
 			o.Name, o.Rounds, o.PredictedLoadBits, tag)
 	}
 
-	fmt.Println("\nexecuting the best option under each round budget:")
+	fmt.Println("\nexecuting Auto under each round budget:")
 	for _, budget := range []int{1, 2, 0} {
-		opt, ok := mpcquery.BestStrategy(opts, budget)
-		if !ok {
-			continue
+		rep, err := mpcquery.Run(q, db,
+			mpcquery.WithStrategy(mpcquery.Auto()),
+			mpcquery.WithServers(p),
+			mpcquery.WithSeed(3),
+			mpcquery.WithRoundBudget(budget))
+		if err != nil {
+			panic(err)
+		}
+		if rep.Output.NumTuples() != m {
+			panic("wrong output")
 		}
 		label := fmt.Sprintf("budget %d", budget)
 		if budget == 0 {
 			label = "unlimited"
 		}
-		var measured float64
-		var rounds int
-		if opt.Plan != nil {
-			res := mpcquery.ExecutePlan(opt.Plan, db, p, 3)
-			measured, rounds = res.MaxLoadBits, res.Rounds
-			if res.Output.NumTuples() != m {
-				panic("wrong output")
-			}
-		} else {
-			res := mpcquery.RunHyperCube(q, db, p, 3)
-			measured, rounds = res.MaxLoadBits, 1
-		}
 		fmt.Printf("  %-10s -> %-44s measured load %10.0f bits in %d round(s)\n",
-			label, opt.Name, measured, rounds)
+			label, rep.Strategy, rep.MaxLoadBits, rep.Rounds)
 	}
 
 	fmt.Println("\nreading the output: one round costs M/p^{1/8} for L16 (τ*=8);")

@@ -2,9 +2,10 @@
 // in one round with load O(M/p^{1/2}) — τ*(L16) = 8 forces load M/p^{1/8}.
 // But a two-round bushy plan whose operators are L4 blocks (each with
 // τ* = 2) achieves load O(M/p^{1/2}), and at ε=0 a four-round plan of
-// binary joins achieves O(M/p). This example builds and executes both and
-// prints per-round measured loads, alongside the (ε,r)-plan round lower
-// bound which matches exactly (Corollary 5.15).
+// binary joins achieves O(M/p). This example executes both through
+// Run(..., WithStrategy(ChainPlan(ε))) and prints the Report's per-round
+// measured loads, alongside the (ε,r)-plan round lower bound which matches
+// exactly (Corollary 5.15).
 package main
 
 import (
@@ -22,28 +23,36 @@ func main() {
 		p = 64
 		n = 1 << 20
 	)
+	q := mpcquery.Chain(k)
 	rng := rand.New(rand.NewSource(5))
 	db := mpcquery.ChainMatchingDatabase(rng, k, m, n)
 	M := db.Get("S1").SizeBits(n)
 	fmt.Printf("query L%d, m=%d tuples per relation (M=%.0f bits), p=%d servers\n\n", k, m, M, p)
 
 	for _, eps := range []float64{0.5, 0} {
-		plan := mpcquery.PlanChain(k, eps)
+		plan := mpcquery.PlanChain(k, eps) // inspect the tree before running it
 		fmt.Printf("ε=%.1f: plan depth %d (formula ⌈log_kε k⌉ = %d)\n",
 			eps, plan.Rounds(), mpcquery.ChainRounds(k, eps))
 		fmt.Print(plan.Root)
-		res := mpcquery.ExecutePlan(plan, db, p, 9)
-		target := M / math.Pow(p, 1-eps)
-		for r, load := range res.RoundLoads {
-			fmt.Printf("  round %d: max load %8.0f bits (target M/p^{1-ε} = %.0f, ratio %.2f)\n",
-				r+1, load, target, load/target)
+		rep, err := mpcquery.Run(q, db,
+			mpcquery.WithStrategy(mpcquery.ChainPlan(eps)),
+			mpcquery.WithServers(p), mpcquery.WithSeed(9))
+		if err != nil {
+			panic(err)
 		}
-		fmt.Printf("  output: %d tuples (want %d)\n\n", res.Output.NumTuples(), m)
+		target := M / math.Pow(p, 1-eps)
+		for _, rs := range rep.RoundStats {
+			fmt.Printf("  round %d: max load %8.0f bits (target M/p^{1-ε} = %.0f, ratio %.2f)\n",
+				rs.Round, rs.MaxLoadBits, target, rs.MaxLoadBits/target)
+		}
+		fmt.Printf("  output: %d tuples (want %d)\n\n", rep.Output.NumTuples(), m)
 	}
 
 	// The one-round alternative pays for it in load: τ*(L16)=8.
-	q := mpcquery.Chain(k)
-	one := mpcquery.RunHyperCube(q, db, p, 9)
+	one, err := mpcquery.Run(q, db, mpcquery.WithServers(p), mpcquery.WithSeed(9))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("one-round HyperCube for comparison: load %.0f bits (M/p^{1/8} = %.0f)\n",
 		one.MaxLoadBits, M/math.Pow(p, 1.0/8))
 }

@@ -2,9 +2,10 @@
 // and triangle queries; its reference [6] generalizes the technique to
 // arbitrary conjunctive queries by splitting every variable's domain into
 // heavy and light values and giving each heavy/light *pattern* its own
-// HyperCube block. This example runs that pattern algorithm on a query
+// HyperCube block. This example runs that pattern strategy on a query
 // outside the specialized cases — the chain L3 with a heavy middle value —
-// and compares it with the vanilla (skew-free-optimal) HyperCube.
+// and compares it with the vanilla (skew-free-optimal) HyperCube, both
+// through Run.
 package main
 
 import (
@@ -31,10 +32,19 @@ func main() {
 		db.Add(heavyMiddle(rng, "S2", m, n, frac))
 		db.Add(randomMatchingRel(rng, "S3", m, n))
 
-		vanilla := mpcquery.RunHyperCube(q, db, p, 3)
-		pattern := mpcquery.RunSkewedGeneric(q, db, p, 3, 16)
+		vanilla, err := mpcquery.Run(q, db, mpcquery.WithServers(p), mpcquery.WithSeed(3))
+		if err != nil {
+			panic(err)
+		}
+		pattern, err := mpcquery.Run(q, db,
+			mpcquery.WithStrategy(mpcquery.SkewedGeneric()),
+			mpcquery.WithHeavyCap(16),
+			mpcquery.WithServers(p), mpcquery.WithSeed(3))
+		if err != nil {
+			panic(err)
+		}
 
-		if vanilla.Output.NumTuples() != pattern.Output.NumTuples() {
+		if !mpcquery.EqualRelations(vanilla.Output, pattern.Output) {
 			panic("outputs differ")
 		}
 		fmt.Printf("%-18.2f  %14.0f  %14.0f  %10.2f\n",

@@ -2,6 +2,9 @@
 // S3(x3,x1) with the one-round HyperCube algorithm on 64 simulated servers
 // and compare the measured maximum load against the paper's M/p^{2/3} bound
 // (Section 3, the headline one-round result).
+//
+// Everything goes through the unified entry point: Run(q, db, opts...)
+// returns one Report whatever the strategy.
 package main
 
 import (
@@ -26,19 +29,24 @@ func main() {
 		m, db.TotalBits())
 
 	for _, p := range []int{8, 64, 512} {
-		plan := mpcquery.PlanHyperCube(q, db, p)
-		res := mpcquery.RunHyperCube(q, db, p, 42)
+		rep, err := mpcquery.Run(q, db, mpcquery.WithServers(p), mpcquery.WithSeed(42))
+		if err != nil {
+			panic(err)
+		}
 		M := db.TotalBits() / 3
 		bound := M / math.Pow(float64(p), 2.0/3)
 		fmt.Printf("p=%4d  shares=%v  measured L=%8.0f bits  M/p^(2/3)=%8.0f  ratio=%.2f\n",
-			p, plan.Shares, res.MaxLoadBits, bound, res.MaxLoadBits/bound)
+			p, rep.Shares, rep.MaxLoadBits, bound, rep.MaxLoadBits/bound)
 	}
 
 	// Correctness: the union of per-server outputs equals a sequential join.
-	res := mpcquery.RunHyperCube(q, db, 64, 42)
+	rep, err := mpcquery.Run(q, db, mpcquery.WithServers(64), mpcquery.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
 	want := mpcquery.SequentialAnswer(q, db)
 	fmt.Printf("\noutput %d tuples; matches sequential join: %v\n",
-		res.Output.NumTuples(), res.Output.NumTuples() == want.NumTuples())
+		rep.Output.NumTuples(), mpcquery.EqualRelations(rep.Output, want))
 	fmt.Printf("replication rate: %.2f (each input bit sent ≈p^(1/3) times)\n",
-		res.ReplicationRate)
+		rep.ReplicationRate)
 }

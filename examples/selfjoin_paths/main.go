@@ -1,7 +1,8 @@
 // Self-joins (footnote 2 of the paper): the model formally excludes
 // repeated relation names, but the paper notes the restriction is without
 // loss of generality — rename the occurrences apart and copy the relation.
-// This example uses that reduction to compute graph patterns inside a
+// The SelfJoin strategy packages that reduction: it carries its own query,
+// so Run takes a nil *Query. This example computes graph patterns inside a
 // single edge relation E with the one-round HyperCube algorithm:
 //
 //   - length-2 paths  E(x,y), E(y,z)
@@ -51,10 +52,15 @@ func main() {
 	}
 	for _, pat := range patterns {
 		q, _ := mpcquery.DesugarSelfJoins(pat.name, pat.atoms)
-		res := mpcquery.RunHyperCubeSelfJoins(pat.name, pat.atoms, db, p, 7)
+		rep, err := mpcquery.Run(nil, db,
+			mpcquery.WithStrategy(mpcquery.SelfJoin(pat.name, pat.atoms...)),
+			mpcquery.WithServers(p), mpcquery.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-16s desugared to %s\n", pat.name, q)
 		fmt.Printf("%-16s %d matches, max load %.0f bits, replication %.2f\n\n",
-			"", res.Output.NumTuples(), res.MaxLoadBits, res.ReplicationRate)
+			"", rep.Output.NumTuples(), rep.MaxLoadBits, rep.ReplicationRate)
 	}
 
 	fmt.Println("each E-copy is a renamed view of the same relation — the paper's")

@@ -1,12 +1,13 @@
 // Skewed join (Example 4.1): the simple join q(x,y,z) = S1(x,z), S2(y,z)
 // where a growing fraction of both relations shares a single z-value.
-// Three algorithms face the same input:
+// Three strategies face the same input through the one Run entry point:
 //
-//   - the naive parallel hash join (all shares on z), which collapses to
-//     load Θ(M) because every heavy tuple lands on one server;
-//   - the skew-oblivious HyperCube with the worst-case shares of LP (18),
-//     which holds M/p^{1/3} regardless of the data;
-//   - the skew-aware algorithm of Section 4.2.1, which knows the heavy
+//   - HyperCubeShares with all shares on z — the naive parallel hash join,
+//     which collapses to load Θ(M) because every heavy tuple lands on one
+//     server;
+//   - HyperCubeOblivious — the worst-case shares of LP (18), which hold
+//     M/p^{1/3} regardless of the data;
+//   - SkewedStar — the Section 4.2.1 algorithm, which knows the heavy
 //     hitters and computes their residual Cartesian products on dedicated
 //     server groups, tracking the optimal bound (20).
 package main
@@ -16,7 +17,6 @@ import (
 	"math/rand"
 
 	"mpcquery"
-	"mpcquery/internal/data"
 )
 
 func main() {
@@ -30,6 +30,10 @@ func main() {
 	fmt.Printf("%-14s  %14s  %14s  %14s  %12s\n",
 		"heavy frac", "naive L(bits)", "oblivious L", "skew-aware L", "LB (20)")
 
+	// Naive parallel hash join: all shares on z.
+	shares := []int{1, 1, 1}
+	shares[q.VarIndex("z")] = p
+
 	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
 		rng := rand.New(rand.NewSource(11))
 		heavy := map[int64]int{}
@@ -38,23 +42,29 @@ func main() {
 		}
 		db := mpcquery.SkewedStarDatabase(rng, 2, m, n, heavy)
 
-		// Naive hash join: hash both relations on z only.
-		shares := []int{1, 1, 1}
-		shares[q.VarIndex("z")] = p
-		naive := mpcquery.RunHyperCubeWithShares(q, db, shares, 3)
-
-		oblivious := mpcquery.RunHyperCubeOblivious(q, db, p, 3)
-		aware := mpcquery.RunSkewedStar(q, db, p, 3)
+		loads := make(map[string]float64, 3)
+		for name, s := range map[string]mpcquery.Strategy{
+			"naive":     mpcquery.HyperCubeShares(shares...),
+			"oblivious": mpcquery.HyperCubeOblivious(),
+			"aware":     mpcquery.SkewedStar(),
+		} {
+			rep, err := mpcquery.Run(q, db,
+				mpcquery.WithStrategy(s), mpcquery.WithServers(p), mpcquery.WithSeed(3))
+			if err != nil {
+				panic(err)
+			}
+			loads[name] = rep.MaxLoadBits
+		}
 
 		freq := make([]map[int64]float64, 2)
 		for j, a := range q.Atoms {
 			rel := db.Get(a.Name)
-			freq[j] = data.FrequenciesBits(data.ColumnFrequencies(rel, 0), 2, n)
+			freq[j] = mpcquery.FrequenciesBits(mpcquery.ColumnFrequencies(rel, 0), 2, n)
 		}
 		lb := mpcquery.StarSkewLB(freq, p)
 
 		fmt.Printf("%-14.2f  %14.0f  %14.0f  %14.0f  %12.0f\n",
-			frac, naive.MaxLoadBits, oblivious.MaxLoadBits, aware.MaxLoadBits, lb)
+			frac, loads["naive"], loads["oblivious"], loads["aware"], lb)
 	}
 
 	fmt.Println("\nreading the table: the naive join degrades linearly with the heavy")

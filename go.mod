@@ -1,0 +1,3 @@
+module mpcquery
+
+go 1.24

@@ -171,9 +171,14 @@ func Run(q *query.Query, db *data.Database, p int, seed int64, mode Mode) *Resul
 
 // RunWithShares executes with explicit integer shares (one per variable).
 func RunWithShares(q *query.Query, db *data.Database, shares []int, seed int64) *Result {
+	return RunWithSharesCap(q, db, shares, seed, 0)
+}
+
+// RunWithSharesCap is RunWithShares with a declared load cap (0 = none).
+func RunWithSharesCap(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64) *Result {
 	pl := &Plan{Query: q, P: prodInt(shares), Shares: append([]int(nil), shares...),
 		Exponents: make([]float64, len(shares)), StatsBits: StatsBits(q, db)}
-	return RunPlan(pl, db, seed)
+	return RunPlanWithCap(pl, db, seed, capBits)
 }
 
 func prodInt(xs []int) int {

@@ -384,3 +384,36 @@ func (q *Query) Clone() *Query {
 	}
 	return New(q.Name, atoms...)
 }
+
+// SameShape reports whether q and other have identical atom names, arities,
+// and variable-equality pattern up to a renaming of variables — the check a
+// planner uses to recognize a query family instance (e.g. "is this L_k?")
+// regardless of how the caller named the variables.
+func (q *Query) SameShape(other *Query) bool {
+	if other == nil || len(q.Atoms) != len(other.Atoms) {
+		return false
+	}
+	rename := make(map[string]string, len(q.vars))
+	seen := make(map[string]bool, len(q.vars))
+	for i, a := range q.Atoms {
+		b := other.Atoms[i]
+		if a.Name != b.Name || len(a.Vars) != len(b.Vars) {
+			return false
+		}
+		for c, v := range a.Vars {
+			w := b.Vars[c]
+			if r, ok := rename[v]; ok {
+				if r != w {
+					return false
+				}
+				continue
+			}
+			if seen[w] {
+				return false // w already the image of a different variable
+			}
+			rename[v] = w
+			seen[w] = true
+		}
+	}
+	return true
+}

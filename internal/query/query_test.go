@@ -322,3 +322,42 @@ func TestIsAcyclic(t *testing.T) {
 		t.Error("R(x),S(y) acyclic")
 	}
 }
+
+func TestSameShape(t *testing.T) {
+	if !Chain(4).SameShape(Chain(4)) {
+		t.Error("L4 should match itself")
+	}
+	renamed := New("q",
+		Atom{Name: "S1", Vars: []string{"a", "b"}},
+		Atom{Name: "S2", Vars: []string{"b", "c"}},
+		Atom{Name: "S3", Vars: []string{"c", "d"}},
+		Atom{Name: "S4", Vars: []string{"d", "e"}})
+	if !Chain(4).SameShape(renamed) {
+		t.Error("renamed L4 should match")
+	}
+	if Chain(4).SameShape(Chain(5)) {
+		t.Error("L4 vs L5")
+	}
+	if Chain(3).SameShape(Triangle()) {
+		t.Error("different atom names should not match")
+	}
+	broken := New("q",
+		Atom{Name: "S1", Vars: []string{"a", "b"}},
+		Atom{Name: "S2", Vars: []string{"a", "c"}}, // reuses a, not a path
+		Atom{Name: "S3", Vars: []string{"c", "d"}},
+		Atom{Name: "S4", Vars: []string{"d", "e"}})
+	if Chain(4).SameShape(broken) {
+		t.Error("different variable pattern should not match")
+	}
+	star := Star(2)
+	if star.SameShape(nil) {
+		t.Error("nil should not match")
+	}
+	// Two distinct variables may not collapse onto one.
+	merged := New("q",
+		Atom{Name: "S1", Vars: []string{"z", "x"}},
+		Atom{Name: "S2", Vars: []string{"z", "x"}})
+	if star.SameShape(merged) {
+		t.Error("variable collapse should not match")
+	}
+}

@@ -116,7 +116,7 @@ func TestGenericHeavyCap(t *testing.T) {
 func TestGenericBeatsVanillaUnderSkew(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	q := query.Star(2)
-	m := 2000
+	m := 800 // fully skewed: output is m², keep it small
 	p := 16
 	db := data.SkewedStarDatabase(rng, 2, m, 1<<20, map[int64]int{7: m})
 	vanilla := core.Run(q, db, p, 3, core.SkewFree)

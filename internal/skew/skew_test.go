@@ -52,7 +52,7 @@ func TestSimpleJoinSkewSeparation(t *testing.T) {
 	// sqrt(p) on fully-skewed input: naive load Θ(M), skew-aware Θ(M/sqrt(p)).
 	rng := rand.New(rand.NewSource(3))
 	q := query.Star(2)
-	m := 2000
+	m := 800 // fully skewed: output is m², keep it small
 	p := 16
 	db := data.SkewedStarDatabase(rng, 2, m, 1<<20, map[int64]int{7: m})
 
@@ -77,8 +77,9 @@ func TestSimpleJoinSkewSeparation(t *testing.T) {
 func TestStarMixedSkewCorrect(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	q := query.Star(3)
-	m := 600
-	heavy := map[int64]int{3: 150, 11: 80}
+	m := 300
+	heavy := map[int64]int{3: 60, 11: 40} // output grows as Σ count³
+
 	db := data.SkewedStarDatabase(rng, 3, m, 1<<20, heavy)
 	res := RunStar(q, db, 27, 17)
 	want := core.SequentialAnswer(q, db)
@@ -283,9 +284,12 @@ func TestRunStarSampledCorrect(t *testing.T) {
 }
 
 func TestRunStarSampledLoadNearExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full m² joins; skipped in -short")
+	}
 	rng := rand.New(rand.NewSource(53))
 	q := query.Star(2)
-	m := 3000
+	m := 1200
 	db := data.SkewedStarDatabase(rng, 2, m, 1<<20, map[int64]int{7: m})
 	exact := RunStar(q, db, 16, 9)
 	sampled := RunStarSampled(q, db, 16, 9, 200)

@@ -11,9 +11,11 @@
 //   - conjunctive queries: Chain, Cycle, Star, Triangle, Binom,
 //     SpokedWheel, ParseQuery, and the hypergraph machinery on Query;
 //   - workloads: MatchingDatabase and the skewed generators;
-//   - algorithms: RunHyperCube (one round), RunSkewedStar /
-//     RunSkewedTriangle (one round with heavy-hitter statistics),
-//     PlanChain / PlanGreedy + ExecutePlan (multi-round), and the
+//   - algorithms: the single entry point Run with a Strategy per paper
+//     algorithm — HyperCube variants (one round), SkewedStar /
+//     SkewedTriangle / SkewedGeneric (one round with heavy-hitter
+//     statistics), ChainPlan / GreedyPlan (multi-round), and Auto (the
+//     advisor-driven pick) — all returning the unified Report; plus the
 //     connected-components algorithms;
 //   - bounds: TauStar, LoadLowerBound, ShareExponents, SpaceExponentLB,
 //     round-count bounds, and the skewed bounds;
@@ -23,8 +25,12 @@
 //
 //	q := mpcquery.Triangle()
 //	db := mpcquery.MatchingDatabase(rand.New(rand.NewSource(1)), q, 10000, 1<<20)
-//	res := mpcquery.RunHyperCube(q, db, 64, 42)
-//	fmt.Println(res.MaxLoadBits) // ≈ M/p^{2/3}
+//	rep, err := mpcquery.Run(q, db, mpcquery.WithServers(64), mpcquery.WithSeed(42))
+//	if err != nil { ... }
+//	fmt.Println(rep.MaxLoadBits) // ≈ M/p^{2/3}
+//
+// The pre-Run free functions (RunHyperCube, RunSkewedStar, ExecutePlan, …)
+// remain as thin deprecated wrappers; new code should go through Run.
 package mpcquery
 
 import (
@@ -139,16 +145,23 @@ func PlanHyperCube(q *Query, db *Database, p int) *HyperCubePlan {
 }
 
 // RunHyperCube plans and executes the one-round HyperCube algorithm.
+//
+// Deprecated: use Run with WithStrategy(HyperCube()); it returns the
+// unified *Report and an error instead of panicking.
 func RunHyperCube(q *Query, db *Database, p int, seed int64) *HyperCubeResult {
 	return core.Run(q, db, p, seed, core.SkewFree)
 }
 
 // RunHyperCubeOblivious uses the skew-oblivious shares of LP (18).
+//
+// Deprecated: use Run with WithStrategy(HyperCubeOblivious()).
 func RunHyperCubeOblivious(q *Query, db *Database, p int, seed int64) *HyperCubeResult {
 	return core.Run(q, db, p, seed, core.SkewOblivious)
 }
 
 // RunHyperCubeWithShares executes with explicit per-variable integer shares.
+//
+// Deprecated: use Run with WithStrategy(HyperCubeShares(shares...)).
 func RunHyperCubeWithShares(q *Query, db *Database, shares []int, seed int64) *HyperCubeResult {
 	return core.RunWithShares(q, db, shares, seed)
 }
@@ -163,11 +176,15 @@ type SkewResult = skew.Result
 
 // RunSkewedStar computes a star query with the Section 4.2.1 heavy-hitter
 // algorithm.
+//
+// Deprecated: use Run with WithStrategy(SkewedStar()).
 func RunSkewedStar(q *Query, db *Database, p int, seed int64) *SkewResult {
 	return skew.RunStar(q, db, p, seed)
 }
 
 // RunSkewedTriangle computes C3 with the Section 4.2.2 three-case algorithm.
+//
+// Deprecated: use Run with WithStrategy(SkewedTriangle()).
 func RunSkewedTriangle(q *Query, db *Database, p int, seed int64) *SkewResult {
 	return skew.RunTriangle(q, db, p, seed)
 }
@@ -184,12 +201,21 @@ type MultiRoundResult = multiround.ExecResult
 type CCResult = multiround.CCResult
 
 // PlanChain builds the ⌈log_kε k⌉-round plan for L_k (Example 5.2).
+//
+// Deprecated: use Run with WithStrategy(ChainPlan(eps)) to build and
+// execute in one call; PlanChain remains for plan inspection.
 func PlanChain(k int, eps float64) *MultiRoundPlan { return multiround.ChainPlan(k, eps) }
 
 // PlanGreedy builds a plan for any connected query at space exponent ε.
+//
+// Deprecated: use Run with WithStrategy(GreedyPlan(eps)) to build and
+// execute in one call; PlanGreedy remains for plan inspection.
 func PlanGreedy(q *Query, eps float64) *MultiRoundPlan { return multiround.GreedyPlan(q, eps) }
 
 // ExecutePlan runs a multi-round plan with p servers per round.
+//
+// Deprecated: use Run with WithStrategy(ChainPlan(eps)) or
+// WithStrategy(GreedyPlan(eps)).
 func ExecutePlan(p *MultiRoundPlan, db *Database, servers int, seed int64) *MultiRoundResult {
 	return multiround.Execute(p, db, servers, seed)
 }
@@ -299,6 +325,9 @@ func AGMBound(sizes, u []float64) float64 { return entropy.AGMBound(sizes, u) }
 // heavy-hitter statistics, the generalized pattern algorithm sketched by
 // the paper's reference [6]. maxHeavyPerVar caps the per-variable heavy
 // sets (values beyond the cap are treated as light, which stays correct).
+//
+// Deprecated: use Run with WithStrategy(SkewedGeneric()) and
+// WithHeavyCap(maxHeavyPerVar).
 func RunSkewedGeneric(q *Query, db *Database, p int, seed int64, maxHeavyPerVar int) *SkewResult {
 	return skew.RunGeneric(q, db, p, seed, maxHeavyPerVar)
 }
@@ -306,6 +335,18 @@ func RunSkewedGeneric(q *Query, db *Database, p int, seed int64, maxHeavyPerVar 
 // ReadRelationCSV reads a relation from comma-separated integer rows.
 func ReadRelationCSV(r io.Reader, name string, arity int) (*Relation, error) {
 	return data.ReadCSV(r, name, arity)
+}
+
+// ColumnFrequencies returns the frequency of every value in one column of a
+// relation (m_j(h) of Section 4.2, as counts).
+func ColumnFrequencies(rel *Relation, col int) map[int64]int {
+	return data.ColumnFrequencies(rel, col)
+}
+
+// FrequenciesBits converts count frequencies to the paper's bit measure
+// M_j(h) = a_j · m_j(h) · ⌈log₂ n⌉ — the input StarSkewLB expects.
+func FrequenciesBits(freq map[int64]int, arity int, n int64) map[int64]float64 {
+	return data.FrequenciesBits(freq, arity, n)
 }
 
 // ---- planning ------------------------------------------------------------
@@ -326,8 +367,17 @@ func BestStrategy(opts []AdviceOption, maxRounds int) (AdviceOption, bool) {
 	return advisor.Best(opts, maxRounds)
 }
 
+// RoundBounds summarizes what the paper's theory says about q at space
+// exponent eps: the Lemma 5.4 upper bound and, for tree-like queries, the
+// matching lower bound.
+func RoundBounds(q *Query, eps float64) (ub, lb int) {
+	return advisor.RoundBounds(q, eps)
+}
+
 // RunSkewedStarSampled runs the star algorithm end to end with statistics
 // gathered by the one-round sampling protocol instead of an oracle.
+//
+// Deprecated: use Run with WithStrategy(SkewedStarSampled(sampleSize)).
 func RunSkewedStarSampled(q *Query, db *Database, p int, seed int64, sampleSize int) *SkewResult {
 	return skew.RunStarSampled(q, db, p, seed, sampleSize)
 }
@@ -342,6 +392,8 @@ func DesugarSelfJoins(name string, atoms []Atom) (*Query, map[string]string) {
 // RunHyperCubeSelfJoins evaluates a query that may repeat relation names
 // (e.g. paths E(x,y),E(y,z) over one edge relation) with the one-round
 // HyperCube algorithm.
+//
+// Deprecated: use Run(nil, db, WithStrategy(SelfJoin(name, atoms...))).
 func RunHyperCubeSelfJoins(name string, atoms []Atom, db *Database, p int, seed int64) *HyperCubeResult {
 	return core.RunWithSelfJoins(name, atoms, db, p, seed, core.SkewFree)
 }
@@ -350,6 +402,9 @@ func RunHyperCubeSelfJoins(name string, atoms []Atom, db *Database, p int, seed 
 // the generalized pattern algorithm, containing hotspots in skewed
 // intermediate views (the paper leaves multi-round skew open; this is the
 // engineering answer).
+//
+// Deprecated: use Run with WithStrategy(GreedyPlanSkewAware(eps)) and
+// WithHeavyCap(maxHeavyPerVar).
 func ExecutePlanSkewAware(p *MultiRoundPlan, db *Database, servers int, seed int64, maxHeavyPerVar int) *MultiRoundResult {
 	return multiround.ExecuteSkewAware(p, db, servers, seed, maxHeavyPerVar)
 }

@@ -1,0 +1,53 @@
+package mpcquery
+
+// RunOption configures one Run invocation. Options follow the functional
+// options pattern so call sites read like the sentence they mean:
+//
+//	Run(q, db, WithServers(64), WithStrategy(SkewedStar()))
+type RunOption func(*runConfig)
+
+// runConfig collects the knobs shared by every strategy; it is materialized
+// into the ExecContext handed to Strategy.Execute.
+type runConfig struct {
+	servers     int
+	seed        int64
+	strategy    Strategy
+	loadCapBits float64
+	heavyCap    int
+	roundBudget int
+}
+
+func defaultConfig() runConfig {
+	return runConfig{
+		servers:  64,
+		seed:     1,
+		heavyCap: 32,
+	}
+}
+
+// WithServers sets the server budget p (default 64). Skew-aware strategies
+// may use Θ(p) servers, a constant factor more, as the paper allows.
+func WithServers(p int) RunOption { return func(c *runConfig) { c.servers = p } }
+
+// WithSeed sets the hash/rng seed (default 1). Loads — never correctness —
+// depend on it.
+func WithSeed(seed int64) RunOption { return func(c *runConfig) { c.seed = seed } }
+
+// WithStrategy selects the algorithm (default HyperCube()). See Strategy
+// for the catalogue.
+func WithStrategy(s Strategy) RunOption { return func(c *runConfig) { c.strategy = s } }
+
+// WithLoadCap declares a maximum per-server load in bits (Section 2.1's
+// abort semantics): if any server receives more, the Report's Aborted flag
+// is set. 0 (the default) means no cap. Strategies that do not meter a cap
+// ignore it.
+func WithLoadCap(bits float64) RunOption { return func(c *runConfig) { c.loadCapBits = bits } }
+
+// WithHeavyCap bounds the per-variable heavy-hitter sets of the generalized
+// skew strategy (default 32). Values beyond the cap are treated as light,
+// which stays correct and only costs load.
+func WithHeavyCap(maxPerVar int) RunOption { return func(c *runConfig) { c.heavyCap = maxPerVar } }
+
+// WithRoundBudget caps the rounds the Auto strategy may spend (0 = default
+// = unlimited); other strategies ignore it.
+func WithRoundBudget(rounds int) RunOption { return func(c *runConfig) { c.roundBudget = rounds } }

@@ -1,0 +1,97 @@
+package mpcquery
+
+import (
+	"fmt"
+	"strings"
+
+	"mpcquery/internal/data"
+)
+
+// RoundStat is the communication cost of one MPC round.
+type RoundStat struct {
+	Round       int     // 1-based round number
+	MaxLoadBits float64 // L_r: max bits received by any server in this round
+}
+
+// Report is the unified result of executing any Strategy through Run. It
+// carries the paper's two cost dimensions — rounds and maximum load — plus
+// the bookkeeping needed to compare strategies side by side (the Table 3
+// tradeoff): total communication, replication rate, and the strategy's own
+// load prediction next to the observed value.
+//
+// Fields that a strategy cannot report stay at their zero value
+// (e.g. Shares is nil for multi-round plans, HeavyHitters is 0 for
+// skew-free HyperCube).
+type Report struct {
+	Strategy string    // name of the executed strategy
+	Query    *Query    // the query that was evaluated
+	Output   *Relation // full query result (union over servers)
+
+	Rounds     int         // communication rounds used
+	RoundStats []RoundStat // per-round loads, when the strategy meters them
+
+	ServersUsed int     // servers actually touched (may exceed requested p for skew-aware runs)
+	MaxLoadBits float64 // L: max bits received by any server in any round
+	TotalBits   float64 // total bits communicated over all rounds
+	InputBits   float64 // Σ_j M_j, the input size in bits
+
+	// ReplicationRate is TotalBits / InputBits — the paper's r.
+	ReplicationRate float64
+
+	// PredictedLoadBits is the strategy's own a-priori load prediction
+	// (LP value or M/p^{1−ε}); 0 when the strategy makes no prediction.
+	PredictedLoadBits float64
+
+	Shares       []int // per-variable integer HyperCube shares, when one grid was used
+	HeavyHitters int   // heavy hitters handled by a skew-aware strategy
+	Aborted      bool  // a declared load cap (WithLoadCap) was exceeded
+}
+
+// LoadRatio returns observed/predicted load, or 0 when there is no
+// prediction — the "how tight is the theory" number the paper's tables
+// report.
+func (r *Report) LoadRatio() float64 {
+	if r.PredictedLoadBits <= 0 {
+		return 0
+	}
+	return r.MaxLoadBits / r.PredictedLoadBits
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy : %s\n", r.Strategy)
+	if r.Query != nil {
+		fmt.Fprintf(&b, "query    : %s\n", r.Query)
+	}
+	fmt.Fprintf(&b, "servers  : %d\n", r.ServersUsed)
+	fmt.Fprintf(&b, "rounds   : %d\n", r.Rounds)
+	fmt.Fprintf(&b, "max load : %.0f bits", r.MaxLoadBits)
+	if r.PredictedLoadBits > 0 {
+		fmt.Fprintf(&b, " (predicted %.0f, ratio %.2f)", r.PredictedLoadBits, r.LoadRatio())
+	}
+	b.WriteByte('\n')
+	if len(r.RoundStats) > 1 { // one round would just repeat the max-load line
+		for _, rs := range r.RoundStats {
+			fmt.Fprintf(&b, "  round %d: %.0f bits\n", rs.Round, rs.MaxLoadBits)
+		}
+	}
+	fmt.Fprintf(&b, "total    : %.0f bits, replication %.2f\n", r.TotalBits, r.ReplicationRate)
+	if r.Shares != nil {
+		fmt.Fprintf(&b, "shares   : %v\n", r.Shares)
+	}
+	if r.HeavyHitters > 0 {
+		fmt.Fprintf(&b, "heavy    : %d hitters\n", r.HeavyHitters)
+	}
+	if r.Aborted {
+		b.WriteString("ABORTED  : load cap exceeded\n")
+	}
+	if r.Output != nil {
+		fmt.Fprintf(&b, "output   : %d tuples\n", r.Output.NumTuples())
+	}
+	return b.String()
+}
+
+// EqualRelations reports whether two relations hold the same bag of tuples,
+// in any order — the check every example and test uses to validate a
+// parallel run against the sequential answer.
+func EqualRelations(a, b *Relation) bool { return data.Equal(a, b) }

@@ -1,0 +1,119 @@
+package mpcquery
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned (wrapped) by Run; test with errors.Is.
+var (
+	// ErrNilQuery: Run was called with a nil query and a strategy that
+	// does not carry its own (only SelfJoin does).
+	ErrNilQuery = errors.New("mpcquery: nil query")
+	// ErrNilDatabase: Run was called with a nil database.
+	ErrNilDatabase = errors.New("mpcquery: nil database")
+	// ErrMissingRelation: the database lacks a relation the query's atoms
+	// reference, or holds it at the wrong arity.
+	ErrMissingRelation = errors.New("missing relation")
+	// ErrNoFeasibleStrategy: the Auto strategy found no option within the
+	// round budget.
+	ErrNoFeasibleStrategy = errors.New("no feasible strategy")
+)
+
+// StrategyError wraps a panic that escaped a strategy, so no panic ever
+// crosses the public boundary; the original panic value is in Value.
+type StrategyError struct {
+	Strategy string
+	Value    any
+}
+
+func (e *StrategyError) Error() string {
+	return fmt.Sprintf("mpcquery: strategy %q panicked: %v", e.Strategy, e.Value)
+}
+
+// Run is the single entry point for executing a query on the simulated MPC
+// cluster. It validates inputs, hands them to the selected Strategy
+// (default HyperCube()), and returns the unified Report:
+//
+//	q := mpcquery.Triangle()
+//	db := mpcquery.MatchingDatabase(rng, q, 10000, 1<<20)
+//	rep, err := mpcquery.Run(q, db,
+//		mpcquery.WithServers(64),
+//		mpcquery.WithStrategy(mpcquery.SkewedTriangle()))
+//
+// Every algorithm of the paper is reachable here: HyperCube(),
+// HyperCubeOblivious(), HyperCubeShares(...), SelfJoin(...), SkewedStar(),
+// SkewedStarSampled(...), SkewedTriangle(), SkewedGeneric(), ChainPlan(ε),
+// GreedyPlan(ε), GreedyPlanSkewAware(ε), and Auto(). Run never panics: any
+// panic escaping a strategy is converted into a *StrategyError.
+func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	strategy := cfg.strategy
+	if strategy == nil {
+		strategy = HyperCube()
+	}
+
+	if q == nil {
+		qp, ok := strategy.(queryProvider)
+		if !ok {
+			return nil, fmt.Errorf("%w (strategy %s does not provide one)", ErrNilQuery, strategy.Name())
+		}
+		q = qp.provideQuery()
+	}
+	if db == nil {
+		return nil, ErrNilDatabase
+	}
+	if cfg.servers < 1 {
+		return nil, fmt.Errorf("mpcquery: need at least one server, got %d", cfg.servers)
+	}
+	if q.NumAtoms() == 0 {
+		return nil, fmt.Errorf("mpcquery: query %q has no atoms", q.Name)
+	}
+	// Strategies that carry their own query (SelfJoin) resolve relations
+	// through views; everything else needs each atom present at the right
+	// arity, checked here so strategies can assume a well-formed input.
+	if _, selfContained := strategy.(queryProvider); !selfContained {
+		for _, a := range q.Atoms {
+			rel, ok := db.Relations[a.Name]
+			if !ok {
+				return nil, fmt.Errorf("mpcquery: %w: query %s references %q, absent from database",
+					ErrMissingRelation, q, a.Name)
+			}
+			if rel.Arity != a.Arity() {
+				return nil, fmt.Errorf("mpcquery: %w: %q has arity %d, atom %s wants %d",
+					ErrMissingRelation, a.Name, rel.Arity, a, a.Arity())
+			}
+		}
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, &StrategyError{Strategy: strategy.Name(), Value: r}
+		}
+	}()
+
+	rep, err = strategy.Execute(ExecContext{
+		Query:       q,
+		DB:          db,
+		Servers:     cfg.servers,
+		Seed:        cfg.seed,
+		LoadCapBits: cfg.loadCapBits,
+		HeavyCap:    cfg.heavyCap,
+		RoundBudget: cfg.roundBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Strategy == "" {
+		rep.Strategy = strategy.Name()
+	}
+	if rep.Query == nil {
+		rep.Query = q
+	}
+	return rep, nil
+}

@@ -1,0 +1,398 @@
+package mpcquery
+
+import (
+	"fmt"
+	"math"
+
+	"mpcquery/internal/advisor"
+	"mpcquery/internal/core"
+	"mpcquery/internal/multiround"
+	"mpcquery/internal/query"
+	"mpcquery/internal/skew"
+)
+
+// ExecContext carries everything a Strategy needs to execute one query: the
+// validated query and database plus the knobs set through RunOptions.
+type ExecContext struct {
+	Query   *Query
+	DB      *Database
+	Servers int
+	Seed    int64
+
+	LoadCapBits float64 // 0 = no cap (WithLoadCap)
+	HeavyCap    int     // per-variable heavy-hitter cap (WithHeavyCap)
+	RoundBudget int     // max rounds for Auto, 0 = unlimited (WithRoundBudget)
+}
+
+// Strategy is one executable point in the paper's rounds/load tradeoff
+// space. Implementations adapt the internal algorithms — one-round
+// HyperCube variants, the skew-aware algorithms of Section 4.2, the
+// multi-round plans of Section 5 — to the one unified Report.
+//
+// Execute must return an error rather than panic; Run additionally guards
+// the boundary by converting any escaped panic into a *StrategyError.
+type Strategy interface {
+	Name() string
+	Execute(ctx ExecContext) (*Report, error)
+}
+
+// queryProvider is implemented by strategies that carry their own query
+// (SelfJoin), letting Run(nil, db, ...) work.
+type queryProvider interface {
+	provideQuery() *Query
+}
+
+// ---- one-round HyperCube ---------------------------------------------------
+
+type hyperCubeStrategy struct {
+	mode core.Mode
+}
+
+// HyperCube returns the default strategy: the one-round HyperCube algorithm
+// of Section 3.1 with LP-optimal skew-free shares (Theorem 3.4).
+func HyperCube() Strategy { return hyperCubeStrategy{mode: core.SkewFree} }
+
+// HyperCubeOblivious returns the one-round HyperCube strategy with the
+// skew-oblivious worst-case shares of LP (18) (Section 4.1).
+func HyperCubeOblivious() Strategy { return hyperCubeStrategy{mode: core.SkewOblivious} }
+
+func (s hyperCubeStrategy) Name() string {
+	if s.mode == core.SkewOblivious {
+		return "hypercube-oblivious"
+	}
+	return "hypercube"
+}
+
+func (s hyperCubeStrategy) Execute(ctx ExecContext) (*Report, error) {
+	plan := core.PlanForDatabase(ctx.Query, ctx.DB, ctx.Servers, s.mode)
+	res := core.RunPlanWithCap(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits)
+	rep := reportFromCore(s.Name(), ctx.Query, res)
+	rep.PredictedLoadBits = plan.PredictedLoadBits()
+	return rep, nil
+}
+
+// ---- explicit shares -------------------------------------------------------
+
+type sharesStrategy struct {
+	shares []int
+}
+
+// HyperCubeShares returns a one-round HyperCube strategy with explicit
+// per-variable integer shares (one per query variable, in Query.Vars()
+// order) instead of LP-optimal ones — e.g. all shares on the join variable
+// reproduces the naive parallel hash join of Example 4.1.
+func HyperCubeShares(shares ...int) Strategy {
+	return sharesStrategy{shares: append([]int(nil), shares...)}
+}
+
+func (s sharesStrategy) Name() string { return "hypercube-shares" }
+
+func (s sharesStrategy) Execute(ctx ExecContext) (*Report, error) {
+	if got, want := len(s.shares), ctx.Query.NumVars(); got != want {
+		return nil, fmt.Errorf("mpcquery: HyperCubeShares: %d shares for %d variables", got, want)
+	}
+	for _, sh := range s.shares {
+		if sh < 1 {
+			return nil, fmt.Errorf("mpcquery: HyperCubeShares: shares must be ≥ 1, got %v", s.shares)
+		}
+	}
+	res := core.RunWithSharesCap(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits)
+	return reportFromCore(s.Name(), ctx.Query, res), nil
+}
+
+// ---- self-joins ------------------------------------------------------------
+
+type selfJoinStrategy struct {
+	name  string
+	atoms []Atom
+}
+
+// SelfJoin returns a strategy evaluating a query that repeats relation
+// names (footnote 2 of the paper), e.g. paths E(x,y), E(y,z) over one edge
+// relation, with the one-round HyperCube algorithm. The strategy carries
+// its own query, so Run may be called with a nil *Query:
+//
+//	Run(nil, db, WithStrategy(SelfJoin("paths", atoms...)))
+func SelfJoin(name string, atoms ...Atom) Strategy {
+	return selfJoinStrategy{name: name, atoms: append([]Atom(nil), atoms...)}
+}
+
+func (s selfJoinStrategy) Name() string { return "hypercube-selfjoin" }
+
+func (s selfJoinStrategy) provideQuery() *Query {
+	q, _ := core.DesugarSelfJoins(s.name, s.atoms)
+	return q
+}
+
+func (s selfJoinStrategy) Execute(ctx ExecContext) (*Report, error) {
+	if len(s.atoms) == 0 {
+		return nil, fmt.Errorf("mpcquery: SelfJoin: no atoms")
+	}
+	for _, a := range s.atoms {
+		if _, ok := ctx.DB.Relations[a.Name]; !ok {
+			return nil, fmt.Errorf("mpcquery: SelfJoin: %w: %q", ErrMissingRelation, a.Name)
+		}
+	}
+	res := core.RunWithSelfJoins(s.name, s.atoms, ctx.DB, ctx.Servers, ctx.Seed, core.SkewFree)
+	rep := reportFromCore(s.Name(), res.Plan.Query, res)
+	rep.PredictedLoadBits = res.Plan.PredictedLoadBits()
+	return rep, nil
+}
+
+// ---- skew-aware one-round strategies ---------------------------------------
+
+type skewedStarStrategy struct {
+	sampled    bool
+	sampleSize int
+}
+
+// SkewedStar returns the Section 4.2.1 heavy-hitter strategy for star
+// queries T_k (which covers the simple join as k=2), with exact frequency
+// statistics (the paper's oracle assumption).
+func SkewedStar() Strategy { return skewedStarStrategy{} }
+
+// SkewedStarSampled is SkewedStar with statistics gathered by the one-round
+// sampling protocol instead of an oracle; sampleSize tuples are sampled per
+// server. Correctness is unconditional; only load depends on the estimates.
+func SkewedStarSampled(sampleSize int) Strategy {
+	return skewedStarStrategy{sampled: true, sampleSize: sampleSize}
+}
+
+func (s skewedStarStrategy) Name() string {
+	if s.sampled {
+		return "skewed-star-sampled"
+	}
+	return "skewed-star"
+}
+
+func (s skewedStarStrategy) Execute(ctx ExecContext) (*Report, error) {
+	if s.sampled && s.sampleSize < 1 {
+		return nil, fmt.Errorf("mpcquery: SkewedStarSampled: sample size must be ≥ 1, got %d", s.sampleSize)
+	}
+	if !isStarQuery(ctx.Query) {
+		return nil, fmt.Errorf("mpcquery: %s needs a star query (every atom S_j(z, x_j...) sharing the first variable); got %s",
+			s.Name(), ctx.Query)
+	}
+	var res *skew.Result
+	if s.sampled {
+		res = skew.RunStarSampled(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, s.sampleSize)
+	} else {
+		res = skew.RunStar(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed)
+	}
+	return reportFromSkew(s.Name(), ctx.Query, res), nil
+}
+
+// isStarQuery reports whether every atom starts with the same variable —
+// the shape RunStar assumes (T_k with a shared z in position 0).
+func isStarQuery(q *Query) bool {
+	if q.NumAtoms() < 2 {
+		return false
+	}
+	z := q.Atoms[0].Vars[0]
+	for _, a := range q.Atoms {
+		if len(a.Vars) < 2 || a.Vars[0] != z {
+			return false
+		}
+	}
+	return true
+}
+
+type skewedTriangleStrategy struct{}
+
+// SkewedTriangle returns the Section 4.2.2 three-case strategy for the
+// triangle query C3.
+func SkewedTriangle() Strategy { return skewedTriangleStrategy{} }
+
+func (skewedTriangleStrategy) Name() string { return "skewed-triangle" }
+
+func (s skewedTriangleStrategy) Execute(ctx ExecContext) (*Report, error) {
+	if ctx.Query.NumAtoms() != 3 || ctx.Query.NumVars() != 3 {
+		return nil, fmt.Errorf("mpcquery: skewed-triangle needs the triangle query C3; got %s", ctx.Query)
+	}
+	res := skew.RunTriangle(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed)
+	return reportFromSkew(s.Name(), ctx.Query, res), nil
+}
+
+type skewedGenericStrategy struct{}
+
+// SkewedGeneric returns the generalized heavy/light pattern strategy
+// (reference [6] of the paper) for any connected query; WithHeavyCap bounds
+// the per-variable heavy sets.
+func SkewedGeneric() Strategy { return skewedGenericStrategy{} }
+
+func (skewedGenericStrategy) Name() string { return "skewed-generic" }
+
+func (s skewedGenericStrategy) Execute(ctx ExecContext) (*Report, error) {
+	res := skew.RunGeneric(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap)
+	return reportFromSkew(s.Name(), ctx.Query, res), nil
+}
+
+// ---- multi-round strategies ------------------------------------------------
+
+type multiRoundStrategy struct {
+	eps       float64
+	chain     bool
+	skewAware bool
+}
+
+// ChainPlan returns the multi-round strategy of Example 5.2 for the chain
+// query L_k: ⌈log_kε k⌉ rounds of kε-atom blocks at space exponent eps.
+// The query passed to Run must be a chain (atoms S1..Sk in path shape).
+func ChainPlan(eps float64) Strategy { return multiRoundStrategy{eps: eps, chain: true} }
+
+// GreedyPlan returns the generic multi-round strategy: the greedy grouping
+// of Lemma 5.4 over any connected query at space exponent eps, executed
+// level by level with per-round load metering.
+func GreedyPlan(eps float64) Strategy { return multiRoundStrategy{eps: eps} }
+
+// GreedyPlanSkewAware is GreedyPlan with every plan node computed by the
+// generalized pattern algorithm, containing hotspots in skewed intermediate
+// views; WithHeavyCap bounds the heavy sets.
+func GreedyPlanSkewAware(eps float64) Strategy {
+	return multiRoundStrategy{eps: eps, skewAware: true}
+}
+
+func (s multiRoundStrategy) Name() string {
+	switch {
+	case s.chain:
+		return fmt.Sprintf("chain-plan(ε=%.2f)", s.eps)
+	case s.skewAware:
+		return fmt.Sprintf("greedy-plan-skew(ε=%.2f)", s.eps)
+	default:
+		return fmt.Sprintf("greedy-plan(ε=%.2f)", s.eps)
+	}
+}
+
+func (s multiRoundStrategy) Execute(ctx ExecContext) (*Report, error) {
+	if s.eps < 0 || s.eps >= 1 {
+		return nil, fmt.Errorf("mpcquery: %s: space exponent must be in [0,1)", s.Name())
+	}
+	if !ctx.Query.IsConnected() {
+		return nil, fmt.Errorf("mpcquery: %s needs a connected query; got %s", s.Name(), ctx.Query)
+	}
+	var plan *multiround.Plan
+	if s.chain {
+		k := ctx.Query.NumAtoms()
+		if !query.Chain(k).SameShape(ctx.Query) {
+			return nil, fmt.Errorf("mpcquery: chain-plan needs the chain query L%d (atoms S1..S%d); got %s", k, k, ctx.Query)
+		}
+		plan = multiround.ChainPlan(k, s.eps)
+	} else {
+		plan = multiround.GreedyPlan(ctx.Query, s.eps)
+	}
+	return executeMultiRound(s.Name(), plan, s.eps, s.skewAware, ctx)
+}
+
+// executeMultiRound runs a prepared plan and folds its ExecResult into a
+// Report, predicting load as M_max/p^{1−ε} (the Section 5 target).
+func executeMultiRound(name string, plan *multiround.Plan, eps float64, skewAware bool, ctx ExecContext) (*Report, error) {
+	var res *multiround.ExecResult
+	if skewAware {
+		res = multiround.ExecuteSkewAware(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap)
+	} else {
+		res = multiround.Execute(plan, ctx.DB, ctx.Servers, ctx.Seed)
+	}
+	rep := &Report{
+		Strategy:    name,
+		Query:       ctx.Query,
+		Output:      res.Output,
+		Rounds:      res.Rounds,
+		ServersUsed: ctx.Servers,
+		MaxLoadBits: res.MaxLoadBits,
+		TotalBits:   res.TotalBits,
+		InputBits:   res.InputBits,
+	}
+	for i, l := range res.RoundLoads {
+		rep.RoundStats = append(rep.RoundStats, RoundStat{Round: i + 1, MaxLoadBits: l})
+	}
+	if res.InputBits > 0 {
+		rep.ReplicationRate = res.TotalBits / res.InputBits
+	}
+	maxM := 0.0
+	for _, r := range ctx.DB.Relations {
+		if m := r.SizeBits(ctx.DB.N); m > maxM {
+			maxM = m
+		}
+	}
+	rep.PredictedLoadBits = maxM / math.Pow(float64(ctx.Servers), 1-eps)
+	return rep, nil
+}
+
+// ---- auto ------------------------------------------------------------------
+
+type autoStrategy struct{}
+
+// Auto returns the self-tuning strategy: it asks the advisor for every
+// executable option (one-round HyperCube variants, multi-round plans over
+// an ε grid — the Table 3 tradeoff), picks the lowest predicted load within
+// WithRoundBudget, and executes the winner.
+func Auto() Strategy { return autoStrategy{} }
+
+func (autoStrategy) Name() string { return "auto" }
+
+func (s autoStrategy) Execute(ctx ExecContext) (*Report, error) {
+	if !ctx.Query.IsConnected() {
+		return nil, fmt.Errorf("mpcquery: auto needs a connected query; got %s", ctx.Query)
+	}
+	opts := advisor.AdviseDatabase(ctx.Query, ctx.DB, ctx.Servers)
+	best, ok := advisor.Best(opts, ctx.RoundBudget)
+	if !ok {
+		return nil, fmt.Errorf("mpcquery: %w: no option fits a budget of %d round(s)",
+			ErrNoFeasibleStrategy, ctx.RoundBudget)
+	}
+	var (
+		rep *Report
+		err error
+	)
+	switch {
+	case best.Plan != nil:
+		rep, err = executeMultiRound(s.Name(), best.Plan, best.SpaceExponent, false, ctx)
+	case best.SkewRobust:
+		rep, err = HyperCubeOblivious().Execute(ctx)
+	default:
+		rep, err = HyperCube().Execute(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Strategy = "auto → " + best.Name
+	rep.PredictedLoadBits = best.PredictedLoadBits
+	return rep, nil
+}
+
+// reportFromCore folds a one-round core.Result into the unified Report.
+func reportFromCore(name string, q *Query, res *core.Result) *Report {
+	rep := &Report{
+		Strategy:        name,
+		Query:           q,
+		Output:          res.Output,
+		Rounds:          1,
+		RoundStats:      []RoundStat{{Round: 1, MaxLoadBits: res.MaxLoadBits}},
+		ServersUsed:     res.ServersUsed,
+		MaxLoadBits:     res.MaxLoadBits,
+		TotalBits:       res.TotalBits,
+		InputBits:       res.InputBits,
+		ReplicationRate: res.ReplicationRate,
+		Aborted:         res.Aborted,
+	}
+	if res.Plan != nil {
+		rep.Shares = append([]int(nil), res.Plan.Shares...)
+	}
+	return rep
+}
+
+// reportFromSkew folds a skew.Result into the unified Report.
+func reportFromSkew(name string, q *Query, res *skew.Result) *Report {
+	return &Report{
+		Strategy:        name,
+		Query:           q,
+		Output:          res.Output,
+		Rounds:          res.Rounds,
+		ServersUsed:     res.ServersUsed,
+		MaxLoadBits:     res.MaxLoadBits,
+		TotalBits:       res.TotalBits,
+		InputBits:       res.InputBits,
+		ReplicationRate: res.ReplicationRate,
+		HeavyHitters:    res.HeavyHitters,
+	}
+}
