@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mpcquery"
+)
+
+// StrategyBench is one strategy's measured cost on the shared workload:
+// the wall-clock and allocation profile of a full Run (plan + one or more
+// engine rounds + local evaluation) next to the model costs the Report
+// meters. The JSON file is the perf-trajectory artifact CI archives per
+// commit.
+type StrategyBench struct {
+	Workload     string  `json:"workload"`
+	Strategy     string  `json:"strategy"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	Rounds       int     `json:"rounds"`
+	MaxLoadBits  float64 `json:"max_load_bits"`
+	TotalBits    float64 `json:"total_bits"`
+	OutputTuples int     `json:"output_tuples"`
+}
+
+// BenchFile is the top-level BENCH_engine.json document.
+type BenchFile struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	TuplesPerM  int             `json:"m"`
+	Servers     int             `json:"p"`
+	Seed        int64           `json:"seed"`
+	Results     []StrategyBench `json:"results"`
+}
+
+// writeBenchJSON benchmarks every strategy of the unified Run API on one
+// shared workload per query family with the testing.Benchmark harness and
+// writes the machine-readable metrics to path.
+func writeBenchJSON(path string, m, p int, seed int64) error {
+	n := int64(16 * m)
+	rng := rand.New(rand.NewSource(seed))
+
+	tri := mpcquery.Triangle()
+	triDB := mpcquery.SkewedTriangleDatabase(rng, m, n, 7, m/8)
+	star := mpcquery.Star(2)
+	starDB := mpcquery.SkewedStarDatabase(rng, 2, m, n, map[int64]int{7: m / 8})
+	chain := mpcquery.Chain(6)
+	chainDB := mpcquery.ChainMatchingDatabase(rng, 6, m, n)
+
+	type workload struct {
+		name       string
+		q          *mpcquery.Query
+		db         *mpcquery.Database
+		strategies []mpcquery.Strategy
+	}
+	workloads := []workload{
+		{"triangle-skewed", tri, triDB, []mpcquery.Strategy{
+			mpcquery.HyperCube(), mpcquery.HyperCubeOblivious(),
+			mpcquery.SkewedTriangle(), mpcquery.SkewedGeneric(),
+		}},
+		{"join-skewed", star, starDB, []mpcquery.Strategy{
+			mpcquery.HyperCube(), mpcquery.SkewedStar(), mpcquery.SkewedStarSampled(200),
+		}},
+		{"chain-matchings", chain, chainDB, []mpcquery.Strategy{
+			mpcquery.HyperCube(), mpcquery.ChainPlan(0), mpcquery.GreedyPlan(0),
+		}},
+	}
+
+	file := BenchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TuplesPerM:  m,
+		Servers:     p,
+		Seed:        seed,
+	}
+	for _, w := range workloads {
+		for _, s := range w.strategies {
+			rep, err := mpcquery.Run(w.q, w.db,
+				mpcquery.WithStrategy(s), mpcquery.WithServers(p), mpcquery.WithSeed(seed))
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", w.name, s.Name(), err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := mpcquery.Run(w.q, w.db,
+						mpcquery.WithStrategy(s), mpcquery.WithServers(p), mpcquery.WithSeed(seed)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			file.Results = append(file.Results, StrategyBench{
+				Workload:     w.name,
+				Strategy:     s.Name(),
+				NsPerOp:      res.NsPerOp(),
+				AllocsPerOp:  res.AllocsPerOp(),
+				BytesPerOp:   res.AllocedBytesPerOp(),
+				Rounds:       rep.Rounds,
+				MaxLoadBits:  rep.MaxLoadBits,
+				TotalBits:    rep.TotalBits,
+				OutputTuples: rep.Output.NumTuples(),
+			})
+			fmt.Fprintf(os.Stderr, "mpcbench: %-18s %-24s %12d ns/op %8d allocs/op\n",
+				w.name, s.Name(), res.NsPerOp(), res.AllocsPerOp())
+		}
+	}
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mpcbench: wrote %d strategy benchmarks to %s\n", len(file.Results), path)
+	return nil
+}

@@ -6,11 +6,16 @@
 //
 //	mpcbench [-quick] [-seed N] [-md] [-only E5]
 //	mpcbench -compare [-m 5000] [-p 64] [-seed N]
+//	mpcbench -benchjson BENCH_engine.json [-m 5000] [-p 64] [-seed N]
 //
 // -quick shrinks input sizes (useful for smoke runs); -md emits markdown
 // (the format of EXPERIMENTS.md); -only runs a single experiment by id.
 // -compare skips the paper tables and instead benchmarks every strategy of
 // the unified Run API side by side on one shared workload per query family.
+// -benchjson measures every strategy with the testing.Benchmark harness and
+// writes machine-readable per-strategy metrics (ns/op, allocs/op, bytes/op,
+// MaxLoadBits, rounds, output size) to the given file, so CI can track the
+// engine's perf trajectory across commits.
 package main
 
 import (
@@ -35,9 +40,22 @@ func main() {
 	only := flag.String("only", "", "run a single experiment id (e.g. E5)")
 	outPath := flag.String("out", "", "also write the output to this file")
 	compare := flag.Bool("compare", false, "benchmark every Run strategy on shared workloads")
-	m := flag.Int("m", 5000, "tuples per relation (-compare)")
-	p := flag.Int("p", 64, "servers (-compare)")
+	benchJSON := flag.String("benchjson", "", "write per-strategy benchmark metrics as JSON to this file (e.g. BENCH_engine.json)")
+	m := flag.Int("m", 5000, "tuples per relation (-compare/-benchjson)")
+	p := flag.Int("p", 64, "servers (-compare/-benchjson)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if *jsonOut || *md || *quick || *only != "" || *outPath != "" || *compare {
+			fmt.Fprintln(os.Stderr, "mpcbench: -benchjson does not combine with other modes")
+			os.Exit(2)
+		}
+		if err := writeBenchJSON(*benchJSON, *m, *p, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		if *jsonOut || *md || *quick || *only != "" || *outPath != "" {

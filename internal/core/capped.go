@@ -38,7 +38,7 @@ func RunPlanCapped(pl *Plan, db *data.Database, seed int64, capBits float64) *Ca
 		rel := db.Get(a.Name)
 		m := rel.NumTuples()
 		for i := 0; i < m; i++ {
-			cluster.Seed(i%gp, engine.Message{Kind: j, Tuple: rel.Tuple(i)})
+			cluster.Seed(i%gp, j, rel.Tuple(i))
 		}
 	}
 
@@ -50,16 +50,19 @@ func RunPlanCapped(pl *Plan, db *data.Database, seed int64, capBits float64) *Ca
 		}
 		atomDims[j] = dims
 	}
-	cluster.Round("capped-shuffle", func(s int, inbox []engine.Message, emit engine.Emitter) {
+	cluster.Round("capped-shuffle", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 		bins := make([]int, 8)
-		for _, m := range inbox {
-			dims := atomDims[m.Kind]
+		inbox.Each(func(kind int, tuple []int64) {
+			dims := atomDims[kind]
+			if cap(bins) < len(dims) {
+				bins = make([]int, len(dims))
+			}
 			bins = bins[:len(dims)]
 			for c, d := range dims {
-				bins[c] = family.Bin(d, m.Tuple[c], grid.Shares[d])
+				bins[c] = family.Bin(d, tuple[c], grid.Shares[d])
 			}
-			grid.Destinations(dims, bins, func(dest int) { emit(dest, m) })
-		}
+			grid.Destinations(dims, bins, func(dest int) { emit.EmitTuple(dest, kind, tuple) })
+		})
 	})
 
 	// Computation phase under the cap: each server accepts messages in
@@ -72,15 +75,15 @@ func RunPlanCapped(pl *Plan, db *data.Database, seed int64, capBits float64) *Ca
 			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
 		}
 		budget := capBits
-		for _, m := range cluster.Inbox(s) {
-			cost := float64(len(m.Tuple) * bpv)
+		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
+			cost := float64(len(tuple) * bpv)
 			if cost > budget {
 				dropped[s] += cost
-				continue
+				return
 			}
 			budget -= cost
-			frag[q.Atoms[m.Kind].Name].AppendTuple(m.Tuple)
-		}
+			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+		})
 		outputs[s] = localjoin.Evaluate(q, frag)
 	})
 

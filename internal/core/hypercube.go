@@ -205,7 +205,7 @@ func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *R
 			rel := db.Get(a.Name)
 			m := rel.NumTuples()
 			for i := 0; i < m; i++ {
-				cluster.Seed(i%gp, engine.Message{Kind: j, Tuple: rel.Tuple(i)})
+				cluster.Seed(i%gp, j, rel.Tuple(i))
 			}
 		}
 	})
@@ -222,7 +222,7 @@ func RunPlanInputServers(pl *Plan, db *data.Database, seed int64) *Result {
 			rel := db.Get(a.Name)
 			m := rel.NumTuples()
 			for i := 0; i < m; i++ {
-				cluster.Seed(j%gp, engine.Message{Kind: j, Tuple: rel.Tuple(i)})
+				cluster.Seed(j%gp, j, rel.Tuple(i))
 			}
 		}
 	})
@@ -252,35 +252,33 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, see
 
 	// Round 1: every server routes its local tuples to their destination
 	// subcubes.
-	cluster.Round("hypercube-shuffle", func(s int, inbox []engine.Message, emit engine.Emitter) {
+	cluster.Round("hypercube-shuffle", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 		bins := make([]int, 8)
-		for _, m := range inbox {
-			dims := atomDims[m.Kind]
+		inbox.Each(func(kind int, tuple []int64) {
+			dims := atomDims[kind]
 			if cap(bins) < len(dims) {
 				bins = make([]int, len(dims))
 			}
 			bins = bins[:len(dims)]
 			for c, d := range dims {
-				bins[c] = family.Bin(d, m.Tuple[c], grid.Shares[d])
+				bins[c] = family.Bin(d, tuple[c], grid.Shares[d])
 			}
 			grid.Destinations(dims, bins, func(dest int) {
-				emit(dest, m)
+				emit.EmitTuple(dest, kind, tuple)
 			})
-		}
+		})
 	})
 
 	// Computation phase: local evaluation on every server (no communication).
 	outputs := make([]*data.Relation, gp)
 	engine.ParallelFor(gp, func(s int) {
 		frag := make(map[string]*data.Relation, q.NumAtoms())
-		for j, a := range q.Atoms {
-			r := data.NewRelation(a.Name, a.Arity())
-			frag[a.Name] = r
-			_ = j
+		for _, a := range q.Atoms {
+			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
 		}
-		for _, m := range cluster.Inbox(s) {
-			frag[q.Atoms[m.Kind].Name].AppendTuple(m.Tuple)
-		}
+		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
+			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+		})
 		outputs[s] = localjoin.Evaluate(q, frag)
 	})
 

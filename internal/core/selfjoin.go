@@ -39,6 +39,12 @@ func DesugarSelfJoins(name string, atoms []query.Atom) (*query.Query, map[string
 // the one-round HyperCube algorithm: atoms are renamed apart and each copy
 // reads the shared relation through a renamed view.
 func RunWithSelfJoins(name string, atoms []query.Atom, db *data.Database, p int, seed int64, mode Mode) *Result {
+	return RunWithSelfJoinsCap(name, atoms, db, p, seed, mode, 0)
+}
+
+// RunWithSelfJoinsCap is RunWithSelfJoins with a declared load cap in bits
+// (Section 2.1's abort semantics); 0 means no cap.
+func RunWithSelfJoinsCap(name string, atoms []query.Atom, db *data.Database, p int, seed int64, mode Mode, capBits float64) *Result {
 	q, mapping := DesugarSelfJoins(name, atoms)
 	view := data.NewDatabase(db.N)
 	for newName, orig := range mapping {
@@ -50,7 +56,7 @@ func RunWithSelfJoins(name string, atoms []query.Atom, db *data.Database, p int,
 		}
 		view.Add(rel)
 	}
-	return Run(q, view, p, seed, mode)
+	return RunPlanWithCap(PlanForDatabase(q, view, p, mode), view, seed, capBits)
 }
 
 // SequentialAnswerWithSelfJoins is the single-node ground truth for

@@ -350,3 +350,31 @@ func TestMaxValue(t *testing.T) {
 		t.Error("empty max should be 0")
 	}
 }
+
+func TestEqualMultiset(t *testing.T) {
+	a := NewRelation("R", 2)
+	a.Append(1, 2)
+	a.Append(1, 2)
+	a.Append(3, 4)
+	b := NewRelation("R", 2)
+	b.Append(3, 4)
+	b.Append(1, 2)
+	b.Append(1, 2)
+	if !EqualMultiset(a, b) {
+		t.Error("same bag in different order must be multiset-equal")
+	}
+	c := NewRelation("R", 2)
+	c.Append(1, 2)
+	c.Append(3, 4)
+	if EqualMultiset(a, c) {
+		t.Error("different multiplicities must not be multiset-equal")
+	}
+	if !Equal(a, c) {
+		t.Error("set compare must ignore the duplicate")
+	}
+	d := NewRelation("R", 1)
+	d.Append(1)
+	if EqualMultiset(a, d) {
+		t.Error("different arities must not be equal")
+	}
+}

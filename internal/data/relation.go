@@ -148,6 +148,49 @@ func Equal(a, b *Relation) bool {
 	return true
 }
 
+// sorted returns a copy of r with its tuples in lexicographic order,
+// keeping duplicates.
+func (r *Relation) sorted() *Relation {
+	m := r.NumTuples()
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	a := r.Arity
+	sort.Slice(idx, func(i, j int) bool {
+		ti, tj := r.Tuple(idx[i]), r.Tuple(idx[j])
+		for c := 0; c < a; c++ {
+			if ti[c] != tj[c] {
+				return ti[c] < tj[c]
+			}
+		}
+		return false
+	})
+	out := NewRelation(r.Name, a)
+	out.Grow(m)
+	for _, i := range idx {
+		out.AppendTuple(r.Tuple(i))
+	}
+	return out
+}
+
+// EqualMultiset reports whether a and b contain the same bag of tuples:
+// order is ignored but multiplicity is respected, so {t, t} ≠ {t}. This is
+// the right comparison for query outputs, which are bags when the inputs
+// contain duplicate tuples.
+func EqualMultiset(a, b *Relation) bool {
+	if a.Arity != b.Arity || a.NumTuples() != b.NumTuples() {
+		return false
+	}
+	sa, sb := a.sorted(), b.sorted()
+	for i := 0; i < sa.NumTuples(); i++ {
+		if !tupleEq(sa.Tuple(i), sb.Tuple(i)) {
+			return false
+		}
+	}
+	return true
+}
+
 // Database is a set of named relations over a common domain [n].
 type Database struct {
 	N         int64 // domain size

@@ -8,11 +8,18 @@
 // the number of rounds r, and the maximum load L — the number of bits any
 // server *receives* in a round. The initial partitioned input (each server
 // holds M/p bits) is free, as in the paper; every subsequent delivery is
-// charged at Arity·⌈log₂ n⌉ bits per tuple.
+// charged at Arity·⌈log₂ n⌉ bits per tuple, and a broadcast is charged to
+// every one of its p receivers.
 //
-// Servers run as goroutines during the computation phase (bounded by
-// GOMAXPROCS); message delivery is deterministic given the algorithm's
-// emissions, so seeded runs are reproducible.
+// Communication is batched and columnar: a server's emissions are grouped
+// into per-(sender → destination) flat []int64 buffers partitioned by
+// message kind, delivery is sharded by destination across GOMAXPROCS
+// goroutines, and each server's inbox arena is reused across rounds — no
+// per-tuple allocation happens on the steady-state path. Delivery order is
+// deterministic given the algorithm's emissions, so seeded runs are
+// reproducible: each destination receives batches grouped by sending server
+// id, and within one sender in emission order (with a sender's broadcasts
+// following its unicasts to that destination).
 package engine
 
 import (
@@ -21,18 +28,131 @@ import (
 	"sync"
 )
 
-// Broadcast is the destination pseudo-id that delivers a message to every
+// Broadcast is the destination pseudo-id that delivers a batch to every
 // server. Each of the p copies is charged to its receiver, as the model
 // requires.
 const Broadcast = -1
 
-// Message is one unit of communication: a tuple of domain values tagged
-// with a small integer kind (typically the index of the relation or
-// subquery it belongs to). In the tuple-based MPC model of Section 5.2,
-// messages after round 1 are exactly join tuples of this form.
-type Message struct {
+// Batch is a read-only view of one columnar group of same-kind tuples: the
+// values of NumTuples() tuples of the given arity, stored row-major in one
+// flat slice. The kind is a small integer tag, typically the index of the
+// relation or subquery the tuples belong to.
+type Batch struct {
 	Kind  int
-	Tuple []int64
+	Arity int
+	Vals  []int64
+}
+
+// NumTuples returns the number of tuples in the batch.
+func (b Batch) NumTuples() int {
+	if b.Arity == 0 {
+		return 0
+	}
+	return len(b.Vals) / b.Arity
+}
+
+// Tuple returns a view of tuple i. The view aliases the batch's values: it
+// is valid only until the owning inbox is recycled (the second next Round).
+func (b Batch) Tuple(i int) []int64 {
+	return b.Vals[i*b.Arity : (i+1)*b.Arity : (i+1)*b.Arity]
+}
+
+// span is one kind-homogeneous run of tuples inside an inbox arena.
+type span struct {
+	kind  int
+	arity int
+	start int // arena offset of the first value
+	end   int // arena offset past the last value
+}
+
+// Inbox holds what one server received in the most recent round (or its
+// seeded input before the first round): an ordered sequence of columnar
+// batches backed by a single flat arena that the engine reuses across
+// rounds. Tuple views handed out by Each/Tuple/Batch alias the arena and
+// are invalidated when the arena is recycled, two Rounds later; copy values
+// that must outlive a round.
+type Inbox struct {
+	arena  []int64
+	spans  []span
+	tuples int
+	prefix []int // lazy cumulative tuple counts per span, for Tuple(i)
+}
+
+// NumTuples returns the total number of tuples in the inbox.
+func (ib *Inbox) NumTuples() int { return ib.tuples }
+
+// NumBatches returns the number of columnar batches.
+func (ib *Inbox) NumBatches() int { return len(ib.spans) }
+
+// Batch returns a view of batch i, in delivery order.
+func (ib *Inbox) Batch(i int) Batch {
+	sp := ib.spans[i]
+	return Batch{Kind: sp.kind, Arity: sp.arity, Vals: ib.arena[sp.start:sp.end:sp.end]}
+}
+
+// Each calls f for every tuple in delivery order. The tuple slice aliases
+// the inbox arena; see Inbox for its lifetime.
+func (ib *Inbox) Each(f func(kind int, tuple []int64)) {
+	for _, sp := range ib.spans {
+		for off := sp.start; off < sp.end; off += sp.arity {
+			f(sp.kind, ib.arena[off:off+sp.arity:off+sp.arity])
+		}
+	}
+}
+
+// EachBatch calls f for every batch in delivery order — the bulk
+// counterpart of Each for algorithms that can process a whole kind-group at
+// once.
+func (ib *Inbox) EachBatch(f func(b Batch)) {
+	for i := range ib.spans {
+		f(ib.Batch(i))
+	}
+}
+
+// Tuple returns tuple i (0 ≤ i < NumTuples()) and its kind, in delivery
+// order — random access for sampling protocols.
+func (ib *Inbox) Tuple(i int) (kind int, tuple []int64) {
+	if ib.prefix == nil {
+		ib.prefix = make([]int, len(ib.spans)+1)
+		for j, sp := range ib.spans {
+			ib.prefix[j+1] = ib.prefix[j] + (sp.end-sp.start)/sp.arity
+		}
+	}
+	// Binary search for the span holding tuple i.
+	lo, hi := 0, len(ib.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ib.prefix[mid+1] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	sp := ib.spans[lo]
+	off := sp.start + (i-ib.prefix[lo])*sp.arity
+	return sp.kind, ib.arena[off : off+sp.arity : off+sp.arity]
+}
+
+// reset empties the inbox, keeping the arena's capacity for reuse.
+func (ib *Inbox) reset() {
+	ib.arena = ib.arena[:0]
+	ib.spans = ib.spans[:0]
+	ib.tuples = 0
+	ib.prefix = nil
+}
+
+// appendBlock appends count tuples of one kind, coalescing with the
+// previous span when kinds and arities match.
+func (ib *Inbox) appendBlock(kind, arity int, vals []int64) {
+	start := len(ib.arena)
+	ib.arena = append(ib.arena, vals...)
+	if n := len(ib.spans); n > 0 && ib.spans[n-1].kind == kind && ib.spans[n-1].arity == arity {
+		ib.spans[n-1].end = len(ib.arena)
+	} else {
+		ib.spans = append(ib.spans, span{kind: kind, arity: arity, start: start, end: len(ib.arena)})
+	}
+	ib.tuples += len(vals) / arity
+	ib.prefix = nil
 }
 
 // RoundStats records the communication metrics of one round.
@@ -50,12 +170,118 @@ type RoundStats struct {
 	Aborted bool
 }
 
+// outBatch is one pending same-kind batch from a sender to one destination.
+type outBatch struct {
+	kind  int
+	arity int
+	vals  []int64
+}
+
+// sendBuf accumulates a sender's pending batches for one destination (or
+// its broadcasts). Resetting keeps every vals backing array for reuse.
+type sendBuf struct {
+	batches []outBatch
+}
+
+func (sb *sendBuf) reset() {
+	sb.batches = sb.batches[:0]
+}
+
+// open returns the batch to append to for (kind, arity): the last one when
+// it matches, otherwise a fresh (possibly recycled) batch.
+func (sb *sendBuf) open(kind, arity int) *outBatch {
+	if n := len(sb.batches); n > 0 {
+		if last := &sb.batches[n-1]; last.kind == kind && last.arity == arity {
+			return last
+		}
+	}
+	n := len(sb.batches)
+	if n < cap(sb.batches) {
+		// Recycle the slot (and its vals capacity) from an earlier round.
+		sb.batches = sb.batches[:n+1]
+		b := &sb.batches[n]
+		b.kind, b.arity = kind, arity
+		b.vals = b.vals[:0]
+		return b
+	}
+	sb.batches = append(sb.batches, outBatch{kind: kind, arity: arity})
+	return &sb.batches[n]
+}
+
+// Emitter buffers one server's outgoing communication during a round. It is
+// handed to the round function and must not be retained or used from other
+// goroutines. Emitted values are copied immediately, so callers may reuse
+// (or mutate) the tuple slices they pass in.
+type Emitter struct {
+	c       *Cluster
+	perDest []sendBuf // lazily allocated, one per destination
+	touched []int     // destinations with pending batches, in first-touch order
+	bcast   sendBuf
+}
+
+func (e *Emitter) reset() {
+	for _, d := range e.touched {
+		e.perDest[d].reset()
+	}
+	e.touched = e.touched[:0]
+	e.bcast.reset()
+}
+
+func (e *Emitter) buf(dest int) *sendBuf {
+	if dest == Broadcast {
+		return &e.bcast
+	}
+	if dest < 0 || dest >= e.c.p {
+		panic(fmt.Sprintf("engine: destination %d out of range [0,%d)", dest, e.c.p))
+	}
+	if e.perDest == nil {
+		e.perDest = make([]sendBuf, e.c.p)
+	}
+	sb := &e.perDest[dest]
+	if len(sb.batches) == 0 {
+		e.touched = append(e.touched, dest)
+	}
+	return sb
+}
+
+// EmitTuple sends one tuple of the given kind to dest (or Broadcast). This
+// is the fast path for per-tuple routing decisions; the values are copied
+// into the sender's batch buffer for dest.
+func (e *Emitter) EmitTuple(dest, kind int, tuple []int64) {
+	if len(tuple) == 0 {
+		panic("engine: cannot emit an empty tuple")
+	}
+	b := e.buf(dest).open(kind, len(tuple))
+	b.vals = append(b.vals, tuple...)
+}
+
+// EmitBatch sends a whole flat block of same-kind tuples (len(vals) must be
+// a multiple of arity) to dest (or Broadcast) in one call — the bulk path
+// for algorithms that route contiguous runs of tuples to one destination.
+func (e *Emitter) EmitBatch(dest, kind, arity int, vals []int64) {
+	if arity < 1 {
+		panic("engine: batch arity must be positive")
+	}
+	if len(vals)%arity != 0 {
+		panic(fmt.Sprintf("engine: batch of %d values is not a multiple of arity %d", len(vals), arity))
+	}
+	if len(vals) == 0 {
+		return
+	}
+	b := e.buf(dest).open(kind, arity)
+	b.vals = append(b.vals, vals...)
+}
+
 // Cluster simulates p MPC servers. A Cluster is not safe for concurrent use
 // by multiple goroutines; the parallelism lives inside Round.
 type Cluster struct {
 	p            int
 	bitsPerValue int
-	inbox        [][]Message // current contents of each server's inbox
+	inbox        []*Inbox // current contents of each server's inbox
+	spare        []*Inbox // previous round's inboxes, recycled as delivery targets
+	emitters     []*Emitter
+	recvBits     []float64
+	recvTuples   []int
 	rounds       []RoundStats
 	workers      int
 	loadCap      float64 // 0 = unlimited; otherwise rounds flag Aborted
@@ -70,12 +296,22 @@ func NewCluster(p, bitsPerValue int) *Cluster {
 	if bitsPerValue < 1 {
 		panic("engine: bitsPerValue must be positive")
 	}
-	return &Cluster{
+	c := &Cluster{
 		p:            p,
 		bitsPerValue: bitsPerValue,
-		inbox:        make([][]Message, p),
+		inbox:        make([]*Inbox, p),
+		spare:        make([]*Inbox, p),
+		emitters:     make([]*Emitter, p),
+		recvBits:     make([]float64, p),
+		recvTuples:   make([]int, p),
 		workers:      runtime.GOMAXPROCS(0),
 	}
+	for s := 0; s < p; s++ {
+		c.inbox[s] = &Inbox{}
+		c.spare[s] = &Inbox{}
+		c.emitters[s] = &Emitter{c: c}
+	}
+	return c
 }
 
 // P returns the number of servers.
@@ -84,31 +320,40 @@ func (c *Cluster) P() int { return c.p }
 // BitsPerValue returns the configured per-value bit width.
 func (c *Cluster) BitsPerValue() int { return c.bitsPerValue }
 
-// Seed places initial input messages directly into a server's inbox without
-// charging communication — the partitioned-input assumption of Section 2.1.
-func (c *Cluster) Seed(server int, msgs ...Message) {
-	c.inbox[server] = append(c.inbox[server], msgs...)
+// Seed places one initial input tuple directly into a server's inbox
+// without charging communication — the partitioned-input assumption of
+// Section 2.1. Consecutive same-kind seeds coalesce into one batch.
+func (c *Cluster) Seed(server, kind int, tuple []int64) {
+	c.inbox[server].appendBlock(kind, len(tuple), tuple)
 }
 
-// Inbox returns the messages currently held by a server (the deliveries of
-// the most recent round, or the seeded input before the first round).
-func (c *Cluster) Inbox(server int) []Message { return c.inbox[server] }
+// SeedBatch seeds a whole flat block of same-kind tuples at once.
+func (c *Cluster) SeedBatch(server, kind, arity int, vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	c.inbox[server].appendBlock(kind, arity, vals)
+}
 
-// Emitter delivers outgoing messages for one server during a round.
-type Emitter func(dest int, m Message)
+// Inbox returns the batches currently held by a server (the deliveries of
+// the most recent round, or the seeded input before the first round).
+func (c *Cluster) Inbox(server int) *Inbox { return c.inbox[server] }
 
 // Round executes one MPC round: every server runs f concurrently over its
-// current inbox, emitting messages; the engine then delivers all emissions,
-// replacing each inbox with what the server received, and records load
-// statistics. Delivery order is deterministic: messages arrive grouped by
-// sending server id, in emission order.
-func (c *Cluster) Round(name string, f func(server int, inbox []Message, emit Emitter)) RoundStats {
-	out := make([][]routed, c.p) // per-sender buffers
+// current inbox, emitting batches; the engine then delivers all emissions
+// in parallel (sharded by destination), replacing each inbox with what the
+// server received, and records load statistics. Delivery is deterministic:
+// batches arrive grouped by sending server id, in emission order (a
+// sender's broadcasts follow its unicasts to the same destination).
+func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emitter)) RoundStats {
+	// Computation + emission phase: every server concurrently, bounded by
+	// GOMAXPROCS.
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, c.workers)
 	var panicOnce sync.Once
 	var panicked any
 	for s := 0; s < c.p; s++ {
+		c.emitters[s].reset()
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(s int) {
@@ -119,14 +364,7 @@ func (c *Cluster) Round(name string, f func(server int, inbox []Message, emit Em
 					panicOnce.Do(func() { panicked = r })
 				}
 			}()
-			var buf []routed
-			f(s, c.inbox[s], func(dest int, m Message) {
-				if dest != Broadcast && (dest < 0 || dest >= c.p) {
-					panic(fmt.Sprintf("engine: destination %d out of range [0,%d)", dest, c.p))
-				}
-				buf = append(buf, routed{dest: dest, m: m})
-			})
-			out[s] = buf
+			f(s, c.inbox[s], c.emitters[s])
 		}(s)
 	}
 	wg.Wait()
@@ -136,37 +374,43 @@ func (c *Cluster) Round(name string, f func(server int, inbox []Message, emit Em
 		panic(panicked)
 	}
 
-	next := make([][]Message, c.p)
-	recvBits := make([]float64, c.p)
-	recvTuples := make([]int, c.p)
-	deliver := func(dest int, m Message) {
-		next[dest] = append(next[dest], m)
-		recvBits[dest] += float64(len(m.Tuple) * c.bitsPerValue)
-		recvTuples[dest]++
-	}
-	for s := 0; s < c.p; s++ {
-		for _, r := range out[s] {
-			if r.dest == Broadcast {
-				for d := 0; d < c.p; d++ {
-					deliver(d, r.m)
+	// Delivery phase, sharded by destination: each destination collects its
+	// batches from every sender in sender order, into a recycled arena, and
+	// accounts its own received bits — no cross-goroutine writes.
+	ParallelFor(c.p, func(d int) {
+		ib := c.spare[d]
+		ib.reset()
+		bits, tuples := 0.0, 0
+		for s := 0; s < c.p; s++ {
+			em := c.emitters[s]
+			if em.perDest != nil {
+				for _, b := range em.perDest[d].batches {
+					ib.appendBlock(b.kind, b.arity, b.vals)
+					tuples += len(b.vals) / b.arity
+					bits += float64(len(b.vals) * c.bitsPerValue)
 				}
-			} else {
-				deliver(r.dest, r.m)
+			}
+			for _, b := range em.bcast.batches {
+				ib.appendBlock(b.kind, b.arity, b.vals)
+				tuples += len(b.vals) / b.arity
+				bits += float64(len(b.vals) * c.bitsPerValue)
 			}
 		}
-	}
-	c.inbox = next
+		c.recvBits[d] = bits
+		c.recvTuples[d] = tuples
+	})
+	c.inbox, c.spare = c.spare, c.inbox
 
 	st := RoundStats{Name: name}
 	for s := 0; s < c.p; s++ {
-		if recvBits[s] > st.MaxRecvBits {
-			st.MaxRecvBits = recvBits[s]
+		if c.recvBits[s] > st.MaxRecvBits {
+			st.MaxRecvBits = c.recvBits[s]
 		}
-		if recvTuples[s] > st.MaxRecvTuples {
-			st.MaxRecvTuples = recvTuples[s]
+		if c.recvTuples[s] > st.MaxRecvTuples {
+			st.MaxRecvTuples = c.recvTuples[s]
 		}
-		st.TotalRecvBits += recvBits[s]
-		st.TotalRecvTuples += recvTuples[s]
+		st.TotalRecvBits += c.recvBits[s]
+		st.TotalRecvTuples += c.recvTuples[s]
 	}
 	if c.loadCap > 0 && st.MaxRecvBits > c.loadCap {
 		st.Aborted = true
@@ -189,11 +433,6 @@ func (c *Cluster) Aborted() bool {
 		}
 	}
 	return false
-}
-
-type routed struct {
-	dest int
-	m    Message
 }
 
 // Rounds returns the statistics of all executed rounds in order.
@@ -243,13 +482,17 @@ func (c *Cluster) ReplicationRate(inputBits float64) float64 {
 	return c.TotalBits() / inputBits
 }
 
-// Gather collects every server's current inbox into one slice, in server
-// order — used to assemble the final query output, which the model requires
-// to be present in the union of the servers.
-func (c *Cluster) Gather() []Message {
-	var all []Message
+// Gather collects every server's current inbox into one batch sequence, in
+// server order — used to assemble the final query output, which the model
+// requires to be present in the union of the servers. The returned batches
+// are views; see Inbox for their lifetime.
+func (c *Cluster) Gather() []Batch {
+	var all []Batch
 	for s := 0; s < c.p; s++ {
-		all = append(all, c.inbox[s]...)
+		ib := c.inbox[s]
+		for i := 0; i < ib.NumBatches(); i++ {
+			all = append(all, ib.Batch(i))
+		}
 	}
 	return all
 }

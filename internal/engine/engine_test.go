@@ -7,12 +7,12 @@ import (
 
 func TestRoundDeliveryAndLoad(t *testing.T) {
 	c := NewCluster(4, 10)
-	c.Seed(0, Message{Kind: 1, Tuple: []int64{1, 2}})
-	c.Seed(1, Message{Kind: 1, Tuple: []int64{3, 4}})
-	st := c.Round("shuffle", func(s int, inbox []Message, emit Emitter) {
-		for _, m := range inbox {
-			emit(int(m.Tuple[0])%4, m) // route by first value
-		}
+	c.Seed(0, 1, []int64{1, 2})
+	c.Seed(1, 1, []int64{3, 4})
+	st := c.Round("shuffle", func(s int, inbox *Inbox, emit *Emitter) {
+		inbox.Each(func(kind int, tuple []int64) {
+			emit.EmitTuple(int(tuple[0])%4, kind, tuple) // route by first value
+		})
 	})
 	if st.TotalRecvTuples != 2 {
 		t.Fatalf("total tuples=%d want 2", st.TotalRecvTuples)
@@ -20,24 +20,31 @@ func TestRoundDeliveryAndLoad(t *testing.T) {
 	if st.MaxRecvBits != 20 { // one binary tuple at 10 bits/value
 		t.Fatalf("max bits=%v want 20", st.MaxRecvBits)
 	}
-	if len(c.Inbox(1)) != 1 || c.Inbox(1)[0].Tuple[0] != 1 {
-		t.Fatalf("server 1 inbox wrong: %v", c.Inbox(1))
+	if ib := c.Inbox(1); ib.NumTuples() != 1 {
+		t.Fatalf("server 1 inbox size %d", ib.NumTuples())
+	} else if _, tup := ib.Tuple(0); tup[0] != 1 {
+		t.Fatalf("server 1 inbox wrong: %v", tup)
 	}
-	if len(c.Inbox(3)) != 1 || c.Inbox(3)[0].Tuple[0] != 3 {
-		t.Fatalf("server 3 inbox wrong: %v", c.Inbox(3))
+	if ib := c.Inbox(3); ib.NumTuples() != 1 {
+		t.Fatalf("server 3 inbox size %d", ib.NumTuples())
+	} else if _, tup := ib.Tuple(0); tup[0] != 3 {
+		t.Fatalf("server 3 inbox wrong: %v", tup)
 	}
 	if c.NumRounds() != 1 {
 		t.Fatalf("rounds=%d", c.NumRounds())
 	}
 }
 
+// TestBroadcastChargesEveryReceiver pins the model's broadcast accounting:
+// one broadcast tuple is charged once to EVERY one of the p receivers, both
+// in tuples and in bits, under the batched parallel delivery.
 func TestBroadcastChargesEveryReceiver(t *testing.T) {
 	c := NewCluster(8, 4)
-	c.Seed(2, Message{Tuple: []int64{9}})
-	st := c.Round("bcast", func(s int, inbox []Message, emit Emitter) {
-		for _, m := range inbox {
-			emit(Broadcast, m)
-		}
+	c.Seed(2, 0, []int64{9})
+	st := c.Round("bcast", func(s int, inbox *Inbox, emit *Emitter) {
+		inbox.Each(func(kind int, tuple []int64) {
+			emit.EmitTuple(Broadcast, kind, tuple)
+		})
 	})
 	if st.TotalRecvTuples != 8 {
 		t.Fatalf("broadcast should deliver to all 8: %d", st.TotalRecvTuples)
@@ -45,37 +52,83 @@ func TestBroadcastChargesEveryReceiver(t *testing.T) {
 	if st.MaxRecvBits != 4 {
 		t.Fatalf("each receiver charged once: %v", st.MaxRecvBits)
 	}
+	if st.TotalRecvBits != 8*4 {
+		t.Fatalf("total bits=%v want 32 (4 bits × 8 receivers)", st.TotalRecvBits)
+	}
 	for s := 0; s < 8; s++ {
-		if len(c.Inbox(s)) != 1 {
-			t.Fatalf("server %d inbox %v", s, c.Inbox(s))
+		if c.Inbox(s).NumTuples() != 1 {
+			t.Fatalf("server %d inbox %d tuples", s, c.Inbox(s).NumTuples())
 		}
+	}
+}
+
+// TestBroadcastBatchCharges is the EmitBatch counterpart: a whole batch
+// broadcast to p servers is charged per receiver per tuple.
+func TestBroadcastBatchCharges(t *testing.T) {
+	c := NewCluster(4, 8)
+	c.Seed(0, 3, []int64{1, 2})
+	st := c.Round("bcast-batch", func(s int, inbox *Inbox, emit *Emitter) {
+		if s == 0 {
+			emit.EmitBatch(Broadcast, 3, 2, []int64{1, 2, 3, 4, 5, 6}) // 3 tuples
+		}
+	})
+	if st.TotalRecvTuples != 3*4 {
+		t.Fatalf("tuples=%d want 12", st.TotalRecvTuples)
+	}
+	if st.MaxRecvBits != 3*2*8 {
+		t.Fatalf("per-receiver bits=%v want 48", st.MaxRecvBits)
 	}
 }
 
 func TestSeedIsFree(t *testing.T) {
 	c := NewCluster(2, 8)
-	c.Seed(0, Message{Tuple: []int64{1, 2, 3}})
+	c.Seed(0, 0, []int64{1, 2, 3})
 	if c.MaxLoadBits() != 0 {
 		t.Error("seeding must not count as load")
 	}
-	if got := len(c.Inbox(0)); got != 1 {
+	if got := c.Inbox(0).NumTuples(); got != 1 {
 		t.Fatalf("inbox=%d", got)
+	}
+}
+
+func TestSeedCoalescesIntoBatches(t *testing.T) {
+	c := NewCluster(2, 8)
+	for i := 0; i < 10; i++ {
+		c.Seed(0, 0, []int64{int64(i), 0})
+	}
+	for i := 0; i < 5; i++ {
+		c.Seed(0, 1, []int64{int64(i)})
+	}
+	ib := c.Inbox(0)
+	if ib.NumBatches() != 2 {
+		t.Fatalf("batches=%d want 2 (one per kind)", ib.NumBatches())
+	}
+	if b := ib.Batch(0); b.Kind != 0 || b.Arity != 2 || b.NumTuples() != 10 {
+		t.Fatalf("batch 0: %+v", b)
+	}
+	if b := ib.Batch(1); b.Kind != 1 || b.Arity != 1 || b.NumTuples() != 5 {
+		t.Fatalf("batch 1: %+v", b)
+	}
+	if ib.NumTuples() != 15 {
+		t.Fatalf("tuples=%d want 15", ib.NumTuples())
 	}
 }
 
 func TestMultiRoundStatsAndMaxLoad(t *testing.T) {
 	c := NewCluster(2, 1)
-	c.Seed(0, Message{Tuple: []int64{1}}, Message{Tuple: []int64{2}})
+	c.Seed(0, 0, []int64{1})
+	c.Seed(0, 0, []int64{2})
 	// Round 1: send both tuples to server 1 (load 2 bits there).
-	c.Round("r1", func(s int, inbox []Message, emit Emitter) {
-		for _, m := range inbox {
-			emit(1, m)
-		}
+	c.Round("r1", func(s int, inbox *Inbox, emit *Emitter) {
+		inbox.Each(func(kind int, tuple []int64) {
+			emit.EmitTuple(1, kind, tuple)
+		})
 	})
 	// Round 2: send one tuple back (load 1 bit).
-	c.Round("r2", func(s int, inbox []Message, emit Emitter) {
-		if s == 1 && len(inbox) > 0 {
-			emit(0, inbox[0])
+	c.Round("r2", func(s int, inbox *Inbox, emit *Emitter) {
+		if s == 1 && inbox.NumTuples() > 0 {
+			kind, tup := inbox.Tuple(0)
+			emit.EmitTuple(0, kind, tup)
 		}
 	})
 	if c.NumRounds() != 2 {
@@ -94,18 +147,21 @@ func TestMultiRoundStatsAndMaxLoad(t *testing.T) {
 
 func TestGatherOrderAndContent(t *testing.T) {
 	c := NewCluster(3, 1)
-	c.Seed(0, Message{Kind: 7, Tuple: []int64{0}})
-	c.Seed(2, Message{Kind: 7, Tuple: []int64{2}})
+	c.Seed(0, 7, []int64{0})
+	c.Seed(2, 7, []int64{2})
 	all := c.Gather()
-	if len(all) != 2 || all[0].Tuple[0] != 0 || all[1].Tuple[0] != 2 {
+	if len(all) != 2 || all[0].Tuple(0)[0] != 0 || all[1].Tuple(0)[0] != 2 {
 		t.Fatalf("gather: %v", all)
+	}
+	if all[0].Kind != 7 {
+		t.Fatalf("kind: %d", all[0].Kind)
 	}
 }
 
 func TestRoundRunsEveryServer(t *testing.T) {
 	c := NewCluster(16, 1)
 	var ran int32
-	c.Round("noop", func(s int, inbox []Message, emit Emitter) {
+	c.Round("noop", func(s int, inbox *Inbox, emit *Emitter) {
 		atomic.AddInt32(&ran, 1)
 	})
 	if ran != 16 {
@@ -117,17 +173,18 @@ func TestDeterministicDelivery(t *testing.T) {
 	run := func() []int64 {
 		c := NewCluster(4, 1)
 		for s := 0; s < 4; s++ {
-			c.Seed(s, Message{Tuple: []int64{int64(s * 10)}}, Message{Tuple: []int64{int64(s*10 + 1)}})
+			c.Seed(s, 0, []int64{int64(s * 10)})
+			c.Seed(s, 0, []int64{int64(s*10 + 1)})
 		}
-		c.Round("all-to-one", func(s int, inbox []Message, emit Emitter) {
-			for _, m := range inbox {
-				emit(0, m)
-			}
+		c.Round("all-to-one", func(s int, inbox *Inbox, emit *Emitter) {
+			inbox.Each(func(kind int, tuple []int64) {
+				emit.EmitTuple(0, kind, tuple)
+			})
 		})
 		var got []int64
-		for _, m := range c.Inbox(0) {
-			got = append(got, m.Tuple[0])
-		}
+		c.Inbox(0).Each(func(kind int, tuple []int64) {
+			got = append(got, tuple[0])
+		})
 		return got
 	}
 	a, b := run(), run()
@@ -139,6 +196,13 @@ func TestDeterministicDelivery(t *testing.T) {
 			t.Fatalf("non-deterministic delivery: %v vs %v", a, b)
 		}
 	}
+	// Batches must arrive grouped by sender in sender order.
+	want := []int64{0, 1, 10, 11, 20, 21, 30, 31}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", a, want)
+		}
+	}
 }
 
 func TestBadDestinationPanics(t *testing.T) {
@@ -148,12 +212,49 @@ func TestBadDestinationPanics(t *testing.T) {
 		}
 	}()
 	c := NewCluster(2, 1)
-	c.Seed(0, Message{Tuple: []int64{1}})
-	c.Round("bad", func(s int, inbox []Message, emit Emitter) {
-		for range inbox {
-			emit(5, Message{})
-		}
+	c.Seed(0, 0, []int64{1})
+	c.Round("bad", func(s int, inbox *Inbox, emit *Emitter) {
+		inbox.Each(func(kind int, tuple []int64) {
+			emit.EmitTuple(5, kind, tuple)
+		})
 	})
+}
+
+// TestRoundPanicPropagates: a panic in one server's round function must
+// surface as an ordinary panic on the caller's goroutine, even though
+// servers run concurrently and delivery is parallel.
+func TestRoundPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("server panic should propagate to the Round caller")
+		}
+		if s, ok := r.(string); !ok || s != "server 7 exploded" {
+			t.Fatalf("wrong panic value: %v", r)
+		}
+	}()
+	c := NewCluster(16, 1)
+	c.Round("boom", func(s int, inbox *Inbox, emit *Emitter) {
+		if s == 7 {
+			panic("server 7 exploded")
+		}
+		emit.EmitTuple((s+1)%16, 0, []int64{int64(s)})
+	})
+}
+
+// TestRoundPanicLeavesClusterUsable: after a recovered panic no partial
+// round statistics must have been recorded.
+func TestRoundPanicLeavesClusterUsable(t *testing.T) {
+	c := NewCluster(4, 1)
+	func() {
+		defer func() { recover() }()
+		c.Round("boom", func(s int, inbox *Inbox, emit *Emitter) {
+			panic("boom")
+		})
+	}()
+	if c.NumRounds() != 0 {
+		t.Fatalf("aborted round recorded stats: %d rounds", c.NumRounds())
+	}
 }
 
 // TestConservation: total received bits equal total emitted bits (with
@@ -161,16 +262,19 @@ func TestBadDestinationPanics(t *testing.T) {
 // communication.
 func TestConservation(t *testing.T) {
 	c := NewCluster(5, 3)
-	c.Seed(0, Message{Tuple: []int64{1, 2}}, Message{Tuple: []int64{3}})
-	c.Seed(2, Message{Tuple: []int64{4, 5, 6}})
-	st := c.Round("mix", func(s int, inbox []Message, emit Emitter) {
-		for i, m := range inbox {
+	c.Seed(0, 0, []int64{1, 2})
+	c.Seed(0, 1, []int64{3})
+	c.Seed(2, 0, []int64{4, 5, 6})
+	st := c.Round("mix", func(s int, inbox *Inbox, emit *Emitter) {
+		i := 0
+		inbox.Each(func(kind int, tuple []int64) {
 			if i%2 == 0 {
-				emit(Broadcast, m)
+				emit.EmitTuple(Broadcast, kind, tuple)
 			} else {
-				emit((s+1)%5, m)
+				emit.EmitTuple((s+1)%5, kind, tuple)
 			}
-		}
+			i++
+		})
 	})
 	// Broadcast tuples: (1,2) from s0 and (4,5,6) from s2 => (2+3)*3 bits × 5.
 	// Unicast: (3) => 1*3 bits.
@@ -183,9 +287,135 @@ func TestConservation(t *testing.T) {
 // TestEmptyRoundIsFree: a round with no emissions records zero load.
 func TestEmptyRoundIsFree(t *testing.T) {
 	c := NewCluster(3, 8)
-	st := c.Round("idle", func(s int, inbox []Message, emit Emitter) {})
+	st := c.Round("idle", func(s int, inbox *Inbox, emit *Emitter) {})
 	if st.TotalRecvBits != 0 || st.MaxRecvTuples != 0 {
 		t.Fatalf("idle round: %+v", st)
+	}
+}
+
+// TestInboxMutationDoesNotCorruptDelivery: emitted values are copied at
+// emit time, so a server that mutates its inbox after emitting (or reuses
+// the emitted slice) cannot corrupt what other servers receive.
+func TestInboxMutationDoesNotCorruptDelivery(t *testing.T) {
+	c := NewCluster(2, 4)
+	c.Seed(0, 0, []int64{42, 43})
+	c.Round("mutate-after-emit", func(s int, inbox *Inbox, emit *Emitter) {
+		inbox.Each(func(kind int, tuple []int64) {
+			emit.EmitTuple(1, kind, tuple)
+			tuple[0], tuple[1] = -1, -1 // scribble over the inbox view
+		})
+	})
+	_, tup := c.Inbox(1).Tuple(0)
+	if tup[0] != 42 || tup[1] != 43 {
+		t.Fatalf("delivered tuple corrupted by sender-side mutation: %v", tup)
+	}
+}
+
+// TestInboxReuseAcrossRounds: the engine recycles inbox arenas two rounds
+// later; a server that mutates its *current* inbox during a round must not
+// corrupt the next round's deliveries, and tuple contents observed in each
+// round must be exactly what the previous round emitted.
+func TestInboxReuseAcrossRounds(t *testing.T) {
+	const p, rounds = 4, 6
+	c := NewCluster(p, 8)
+	for s := 0; s < p; s++ {
+		c.Seed(s, 0, []int64{int64(100 + s), int64(s)})
+	}
+	for r := 0; r < rounds; r++ {
+		round := r
+		c.Round("cycle", func(s int, inbox *Inbox, emit *Emitter) {
+			inbox.Each(func(kind int, tuple []int64) {
+				want := int64(100 + (int(tuple[1])+round)%p)
+				if tuple[0] != want {
+					panic("corrupted tuple observed")
+				}
+				next := []int64{int64(100 + (int(tuple[1])+round+1)%p), tuple[1]}
+				emit.EmitTuple((s+1)%p, kind, next)
+				tuple[0] = -999 // scribble over the current inbox
+			})
+		})
+	}
+	if c.NumRounds() != rounds {
+		t.Fatalf("rounds=%d", c.NumRounds())
+	}
+	if c.MaxLoadBits() != 2*8 {
+		t.Fatalf("steady-state load=%v want 16", c.MaxLoadBits())
+	}
+}
+
+// TestEmitBatchMatchesEmitTuple: routing the same tuples via EmitBatch and
+// via EmitTuple must produce identical inboxes and identical accounting.
+func TestEmitBatchMatchesEmitTuple(t *testing.T) {
+	vals := []int64{1, 2, 3, 4, 5, 6}
+	run := func(batch bool) ([]int64, RoundStats) {
+		c := NewCluster(3, 5)
+		c.SeedBatch(0, 2, 2, vals)
+		st := c.Round("r", func(s int, inbox *Inbox, emit *Emitter) {
+			if batch {
+				inbox.EachBatch(func(b Batch) {
+					emit.EmitBatch(1, b.Kind, b.Arity, b.Vals)
+				})
+			} else {
+				inbox.Each(func(kind int, tuple []int64) {
+					emit.EmitTuple(1, kind, tuple)
+				})
+			}
+		})
+		var got []int64
+		c.Inbox(1).Each(func(kind int, tuple []int64) {
+			got = append(got, int64(kind))
+			got = append(got, tuple...)
+		})
+		return got, st
+	}
+	a, sa := run(false)
+	b, sb := run(true)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("contents differ: %v vs %v", a, b)
+		}
+	}
+	if sa.TotalRecvBits != sb.TotalRecvBits || sa.MaxRecvTuples != sb.MaxRecvTuples {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestEmitBatchValidation(t *testing.T) {
+	c := NewCluster(2, 1)
+	c.Seed(0, 0, []int64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged batch should panic")
+		}
+	}()
+	c.Round("bad", func(s int, inbox *Inbox, emit *Emitter) {
+		if s == 0 {
+			emit.EmitBatch(1, 0, 2, []int64{1, 2, 3}) // not a multiple of arity
+		}
+	})
+}
+
+func TestInboxRandomAccess(t *testing.T) {
+	c := NewCluster(1, 1)
+	for i := 0; i < 7; i++ {
+		c.Seed(0, 0, []int64{int64(i), 0})
+	}
+	for i := 0; i < 4; i++ {
+		c.Seed(0, 1, []int64{int64(100 + i)})
+	}
+	ib := c.Inbox(0)
+	for i := 0; i < 7; i++ {
+		if kind, tup := ib.Tuple(i); kind != 0 || tup[0] != int64(i) {
+			t.Fatalf("tuple %d: kind=%d %v", i, kind, tup)
+		}
+	}
+	for i := 7; i < 11; i++ {
+		if kind, tup := ib.Tuple(i); kind != 1 || tup[0] != int64(100+i-7) {
+			t.Fatalf("tuple %d: kind=%d %v", i, kind, tup)
+		}
 	}
 }
 
@@ -195,11 +425,11 @@ func TestAccessorsAndCaps(t *testing.T) {
 		t.Fatalf("accessors: %d %d", c.P(), c.BitsPerValue())
 	}
 	c.SetLoadCap(10)
-	c.Seed(0, Message{Tuple: []int64{1, 2}}) // 14 bits once delivered
-	st := c.Round("over", func(s int, inbox []Message, emit Emitter) {
-		for _, m := range inbox {
-			emit(1, m)
-		}
+	c.Seed(0, 0, []int64{1, 2}) // 14 bits once delivered
+	st := c.Round("over", func(s int, inbox *Inbox, emit *Emitter) {
+		inbox.Each(func(kind int, tuple []int64) {
+			emit.EmitTuple(1, kind, tuple)
+		})
 	})
 	if !st.Aborted || !c.Aborted() {
 		t.Error("14 bits against a 10-bit cap should abort")
@@ -214,7 +444,7 @@ func TestAccessorsAndCaps(t *testing.T) {
 		t.Error("zero input bits should give replication 0")
 	}
 	c.SetLoadCap(0)
-	st2 := c.Round("under", func(s int, inbox []Message, emit Emitter) {})
+	st2 := c.Round("under", func(s int, inbox *Inbox, emit *Emitter) {})
 	if st2.Aborted {
 		t.Error("uncapped round cannot abort")
 	}
@@ -234,4 +464,19 @@ func TestNewClusterValidation(t *testing.T) {
 			f()
 		}()
 	}
+}
+
+func TestEmptyTuplePanics(t *testing.T) {
+	c := NewCluster(2, 1)
+	c.Seed(0, 0, []int64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("empty tuple should panic")
+		}
+	}()
+	c.Round("bad", func(s int, inbox *Inbox, emit *Emitter) {
+		if s == 0 {
+			emit.EmitTuple(1, 0, nil)
+		}
+	})
 }

@@ -37,26 +37,28 @@ func ccSetup(g *data.Graph, p int, seed int64) (*engine.Cluster, []*ccState, *ha
 	family := hashing.NewFamily(seed, 1)
 	m := g.Edges.NumTuples()
 	for i := 0; i < m; i++ {
-		cluster.Seed(i%p, engine.Message{Kind: ccEdge, Tuple: g.Edges.Tuple(i)})
+		cluster.Seed(i%p, ccEdge, g.Edges.Tuple(i))
 	}
 	owner := func(v int64) int { return family.Bin(0, v, p) }
 
 	// Setup round: deliver each edge to both endpoint owners.
-	cluster.Round("cc-setup", func(s int, inbox []engine.Message, emit engine.Emitter) {
-		for _, msg := range inbox {
-			u, v := msg.Tuple[0], msg.Tuple[1]
-			emit(owner(u), engine.Message{Kind: ccEdge, Tuple: []int64{u, v}})
-			emit(owner(v), engine.Message{Kind: ccEdge, Tuple: []int64{v, u}})
-		}
+	cluster.Round("cc-setup", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
+		pair := make([]int64, 2)
+		inbox.Each(func(kind int, t []int64) {
+			u, v := t[0], t[1]
+			pair[0], pair[1] = u, v
+			emit.EmitTuple(owner(u), ccEdge, pair)
+			pair[0], pair[1] = v, u
+			emit.EmitTuple(owner(v), ccEdge, pair)
+		})
 	})
 
 	states := make([]*ccState, p)
 	for s := 0; s < p; s++ {
 		st := &ccState{adj: make(map[int64][]int64), label: make(map[int64]int64)}
-		for _, msg := range cluster.Inbox(s) {
-			v, u := msg.Tuple[0], msg.Tuple[1]
-			st.adj[v] = append(st.adj[v], u)
-		}
+		cluster.Inbox(s).Each(func(kind int, t []int64) {
+			st.adj[t[0]] = append(st.adj[t[0]], t[1])
+		})
 		states[s] = st
 	}
 	return cluster, states, family
@@ -83,24 +85,26 @@ func LabelPropagation(g *data.Graph, p int, seed int64, maxRounds int) *CCResult
 		if maxRounds > 0 && iter >= maxRounds {
 			break
 		}
-		st := cluster.Round("cc-propagate", func(s int, inbox []engine.Message, emit engine.Emitter) {
+		st := cluster.Round("cc-propagate", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 			// Apply updates received last round, then announce changes.
 			local := states[s]
-			for _, msg := range inbox {
-				if msg.Kind != ccLabel {
-					continue
+			inbox.Each(func(kind int, t []int64) {
+				if kind != ccLabel {
+					return
 				}
-				v, l := msg.Tuple[0], msg.Tuple[1]
+				v, l := t[0], t[1]
 				if l < local.label[v] {
 					local.label[v] = l
 					changed[s][v] = true
 				}
-			}
+			})
+			pair := make([]int64, 2)
 			for v := range changed[s] {
 				l := local.label[v]
 				for _, u := range local.adj[v] {
 					if l < u { // only useful updates travel
-						emit(owner(u), engine.Message{Kind: ccLabel, Tuple: []int64{u, l}})
+						pair[0], pair[1] = u, l
+						emit.EmitTuple(owner(u), ccLabel, pair)
 					}
 				}
 			}
@@ -152,54 +156,59 @@ func PointerJumping(g *data.Graph, p int, seed int64, maxRounds int) *CCResult {
 		}
 		anyChange := false
 		// Round A: send pointer requests and edge relaxations.
-		cluster.Round("cc-jump-request", func(s int, inbox []engine.Message, emit engine.Emitter) {
+		cluster.Round("cc-jump-request", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 			local := states[s]
+			pair := make([]int64, 2)
 			for v, ptr := range local.label {
 				if ptr != v {
-					emit(owner(ptr), engine.Message{Kind: ccPtrReq, Tuple: []int64{v, ptr}})
+					pair[0], pair[1] = v, ptr
+					emit.EmitTuple(owner(ptr), ccPtrReq, pair)
 				}
 				for _, u := range local.adj[v] {
 					if ptr < u {
-						emit(owner(u), engine.Message{Kind: ccLabel, Tuple: []int64{u, ptr}})
+						pair[0], pair[1] = u, ptr
+						emit.EmitTuple(owner(u), ccLabel, pair)
 					}
 				}
 			}
 		})
 		// Round B: answer requests; apply relaxations.
 		relaxChanged := make([]bool, p)
-		cluster.Round("cc-jump-response", func(s int, inbox []engine.Message, emit engine.Emitter) {
+		cluster.Round("cc-jump-response", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 			local := states[s]
-			for _, msg := range inbox {
-				switch msg.Kind {
+			pair := make([]int64, 2)
+			inbox.Each(func(kind int, t []int64) {
+				switch kind {
 				case ccPtrReq:
-					v, w := msg.Tuple[0], msg.Tuple[1]
+					v, w := t[0], t[1]
 					lw, ok := local.label[w]
 					if !ok {
 						lw = w // w unknown here (cannot happen for edge vertices)
 					}
-					emit(owner(v), engine.Message{Kind: ccPtrResp, Tuple: []int64{v, lw}})
+					pair[0], pair[1] = v, lw
+					emit.EmitTuple(owner(v), ccPtrResp, pair)
 				case ccLabel:
-					v, l := msg.Tuple[0], msg.Tuple[1]
+					v, l := t[0], t[1]
 					if cur, ok := local.label[v]; ok && l < cur {
 						local.label[v] = l
 						relaxChanged[s] = true
 					}
 				}
-			}
+			})
 		})
 		// Apply responses locally (no further communication needed).
 		for s := 0; s < p; s++ {
 			local := states[s]
-			for _, msg := range cluster.Inbox(s) {
-				if msg.Kind != ccPtrResp {
-					continue
+			cluster.Inbox(s).Each(func(kind int, t []int64) {
+				if kind != ccPtrResp {
+					return
 				}
-				v, l := msg.Tuple[0], msg.Tuple[1]
+				v, l := t[0], t[1]
 				if l < local.label[v] {
 					local.label[v] = l
 					relaxChanged[s] = true
 				}
-			}
+			})
 			if relaxChanged[s] {
 				anyChange = true
 			}

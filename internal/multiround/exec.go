@@ -21,6 +21,17 @@ type ExecResult struct {
 	// matching databases the paper's multi-round analysis relies on
 	// intermediates staying O(m); this makes that observable.
 	MaxViewTuples int
+	// Aborted is set when a declared load cap was exceeded by any node of
+	// any round (Section 2.1's abort semantics).
+	Aborted bool
+}
+
+// nodeResult is what the pluggable one-round operator reports per node.
+type nodeResult struct {
+	out       *data.Relation
+	loadBits  float64
+	totalBits float64
+	aborted   bool
 }
 
 // Execute runs the plan on db with a budget of p servers per round. Nodes
@@ -28,15 +39,23 @@ type ExecResult struct {
 // p servers evenly; the round's load is the maximum over its nodes, and the
 // plan's load L is the maximum over rounds — exactly the model's metric.
 func Execute(p *Plan, db *data.Database, servers int, seed int64) *ExecResult {
-	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) (*data.Relation, float64, float64) {
-		run := core.Run(n.Query, sub, perNode, seed+int64(d), core.SkewFree)
-		return run.Output, run.MaxLoadBits, run.TotalBits
+	return ExecuteCap(p, db, servers, seed, 0)
+}
+
+// ExecuteCap is Execute with a declared per-round load cap in bits
+// (0 = none): every node of every round runs under the cap, and the
+// result's Aborted flag is set if any of them exceeded it.
+func ExecuteCap(p *Plan, db *data.Database, servers int, seed int64, capBits float64) *ExecResult {
+	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) nodeResult {
+		pl := core.PlanForDatabase(n.Query, sub, perNode, core.SkewFree)
+		run := core.RunPlanWithCap(pl, sub, seed+int64(d), capBits)
+		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted}
 	})
 }
 
 // executeWith runs the plan with a pluggable one-round operator.
 func executeWith(p *Plan, db *data.Database, servers int,
-	operator func(n *Node, sub *data.Database, perNode, depth int) (*data.Relation, float64, float64)) *ExecResult {
+	operator func(n *Node, sub *data.Database, perNode, depth int) nodeResult) *ExecResult {
 	if servers < 1 {
 		panic("multiround: need at least one server")
 	}
@@ -64,8 +83,7 @@ func executeWith(p *Plan, db *data.Database, servers int,
 	}
 
 	res := &ExecResult{}
-	for name, r := range db.Relations {
-		_ = name
+	for _, r := range db.Relations {
 		res.InputBits += r.SizeBits(db.N)
 	}
 
@@ -95,16 +113,17 @@ func executeWith(p *Plan, db *data.Database, servers int,
 				}
 				sub.Add(r)
 			}
-			out, loadBits, totalBits := operator(n, sub, perNode, d)
-			out.Name = n.Name
-			materialized[n.Name] = out
-			if out.NumTuples() > res.MaxViewTuples {
-				res.MaxViewTuples = out.NumTuples()
+			nr := operator(n, sub, perNode, d)
+			nr.out.Name = n.Name
+			materialized[n.Name] = nr.out
+			if nr.out.NumTuples() > res.MaxViewTuples {
+				res.MaxViewTuples = nr.out.NumTuples()
 			}
-			if loadBits > roundLoad {
-				roundLoad = loadBits
+			if nr.loadBits > roundLoad {
+				roundLoad = nr.loadBits
 			}
-			res.TotalBits += totalBits
+			res.TotalBits += nr.totalBits
+			res.Aborted = res.Aborted || nr.aborted
 		}
 		res.RoundLoads = append(res.RoundLoads, roundLoad)
 		if roundLoad > res.MaxLoadBits {
@@ -124,8 +143,14 @@ func executeWith(p *Plan, db *data.Database, servers int,
 // handling contains the resulting hotspots. maxHeavyPerVar caps the pattern
 // enumeration per node.
 func ExecuteSkewAware(p *Plan, db *data.Database, servers int, seed int64, maxHeavyPerVar int) *ExecResult {
-	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) (*data.Relation, float64, float64) {
-		run := skew.RunGeneric(n.Query, sub, perNode, seed+int64(d), maxHeavyPerVar)
-		return run.Output, run.MaxLoadBits, run.TotalBits
+	return ExecuteSkewAwareCap(p, db, servers, seed, maxHeavyPerVar, 0)
+}
+
+// ExecuteSkewAwareCap is ExecuteSkewAware with a declared per-round load
+// cap in bits (0 = none).
+func ExecuteSkewAwareCap(p *Plan, db *data.Database, servers int, seed int64, maxHeavyPerVar int, capBits float64) *ExecResult {
+	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) nodeResult {
+		run := skew.RunGenericCap(n.Query, sub, perNode, seed+int64(d), maxHeavyPerVar, capBits)
+		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted}
 	})
 }

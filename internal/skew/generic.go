@@ -35,6 +35,12 @@ import (
 // sets are capped at maxHeavyPerVar (the paper notes the general case has
 // no tight bound; this is the honest simplified construction).
 func RunGeneric(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPerVar int) *Result {
+	return RunGenericCap(q, db, p, seed, maxHeavyPerVar, 0)
+}
+
+// RunGenericCap is RunGeneric with a declared per-round load cap in bits
+// (Section 2.1's abort semantics); 0 means no cap.
+func RunGenericCap(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPerVar int, capBits float64) *Result {
 	if !q.IsConnected() {
 		panic("skew: RunGeneric requires a connected query")
 	}
@@ -105,11 +111,14 @@ func RunGeneric(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPe
 	total += inputServers
 
 	cluster := engine.NewCluster(total, bpv)
+	if capBits > 0 {
+		cluster.SetLoadCap(capBits)
+	}
 	for j, a := range q.Atoms {
 		rel := db.Get(a.Name)
 		m := rel.NumTuples()
 		for i := 0; i < m; i++ {
-			cluster.Seed(i%inputServers, engine.Message{Kind: j, Tuple: rel.Tuple(i)})
+			cluster.Seed(i%inputServers, j, rel.Tuple(i))
 		}
 	}
 
@@ -123,24 +132,26 @@ func RunGeneric(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPe
 		atomDims[j] = dims
 	}
 
-	cluster.Round("skew-generic", func(s int, inbox []engine.Message, emit engine.Emitter) {
+	cluster.Round("skew-generic", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 		bins := make([]int, 8)
-		for _, m := range inbox {
-			j := m.Kind
+		inbox.Each(func(j int, tuple []int64) {
 			dims := atomDims[j]
+			if cap(bins) < len(dims) {
+				bins = make([]int, len(dims))
+			}
 			for _, pat := range patterns {
-				if !pat.matches(dims, m.Tuple, heavy) {
+				if !pat.matches(dims, tuple, heavy) {
 					continue
 				}
 				bins = bins[:len(dims)]
 				for c, d := range dims {
-					bins[c] = family.Bin(d, m.Tuple[c], pat.grid.Shares[d])
+					bins[c] = family.Bin(d, tuple[c], pat.grid.Shares[d])
 				}
 				pat.grid.Destinations(dims, bins, func(dest int) {
-					emit(pat.offset+dest, m)
+					emit.EmitTuple(pat.offset+dest, j, tuple)
 				})
 			}
-		}
+		})
 	})
 
 	outputs := make([]*data.Relation, total)
@@ -153,9 +164,9 @@ func RunGeneric(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPe
 		for _, a := range q.Atoms {
 			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
 		}
-		for _, m := range cluster.Inbox(s) {
-			frag[q.Atoms[m.Kind].Name].AppendTuple(m.Tuple)
-		}
+		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
+			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+		})
 		res := localjoin.Evaluate(q, frag)
 		outputs[s] = filterPattern(res, patternOf(patterns, s), heavy)
 	})
@@ -183,6 +194,7 @@ func RunGeneric(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPe
 		InputBits:       inputBits,
 		ReplicationRate: cluster.ReplicationRate(inputBits),
 		HeavyHitters:    nHeavy,
+		Aborted:         cluster.Aborted(),
 	}
 }
 

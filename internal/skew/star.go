@@ -36,6 +36,7 @@ type Result struct {
 	InputBits       float64
 	ReplicationRate float64
 	HeavyHitters    int
+	Aborted         bool // a declared load cap (capBits > 0) was exceeded
 }
 
 // RunStar computes the star query T_k (atoms S_j(z, x_j)) on db with a
@@ -47,20 +48,27 @@ type Result struct {
 // allocated proportionally to Σ_{∅≠I⊆[ℓ]} Π_{j∈I} M_j(h) (the paper's
 // per-packing allocation, summed over the packing vertices {0,1}^ℓ\0).
 func RunStar(q *query.Query, db *data.Database, p int, seed int64) *Result {
+	return RunStarCap(q, db, p, seed, 0)
+}
+
+// RunStarCap is RunStar with a declared per-round load cap in bits
+// (Section 2.1's abort semantics); 0 means no cap.
+func RunStarCap(q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
 	zName := q.Atoms[0].Vars[0]
 	freqs := make([]map[int64]int, q.NumAtoms())
 	for j, a := range q.Atoms {
 		freqs[j] = data.ColumnFrequencies(db.Get(a.Name), colOf(a, zName))
 	}
-	return RunStarWithFrequencies(q, db, p, seed, freqs)
+	return RunStarWithFrequencies(q, db, p, seed, freqs, capBits)
 }
 
 // RunStarWithFrequencies is RunStar with explicit z-frequency statistics,
 // exact or estimated (e.g. from the sampling protocol of
 // DetectHeavyHittersMPC). Statistics only drive heavy-hitter selection and
 // server allocation; correctness never depends on their accuracy, so
-// sampled estimates are safe — bad estimates only cost load.
-func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64, freqs []map[int64]int) *Result {
+// sampled estimates are safe — bad estimates only cost load. capBits > 0
+// declares a per-round load cap (0 = none).
+func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64, freqs []map[int64]int, capBits float64) *Result {
 	k := q.NumAtoms()
 	zName := q.Atoms[0].Vars[0]
 
@@ -133,33 +141,36 @@ func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64
 	totalServers := offset
 
 	cluster := engine.NewCluster(totalServers, bpv)
+	if capBits > 0 {
+		cluster.SetLoadCap(capBits)
+	}
 	for j, a := range q.Atoms {
 		rel := db.Get(a.Name)
 		m := rel.NumTuples()
 		for i := 0; i < m; i++ {
-			cluster.Seed(i%p, engine.Message{Kind: j, Tuple: rel.Tuple(i)})
+			cluster.Seed(i%p, j, rel.Tuple(i))
 		}
 	}
 
 	family := hashing.NewFamily(seed, k+1) // dim k hashes z for the light part
 
-	cluster.Round("skew-star", func(s int, inbox []engine.Message, emit engine.Emitter) {
-		for _, m := range inbox {
-			j := m.Kind
-			z := m.Tuple[zCols[j]]
+	cluster.Round("skew-star", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
+		subDims, subBins := []int{0}, []int{0}
+		inbox.Each(func(j int, tuple []int64) {
+			z := tuple[zCols[j]]
 			if b, isHeavy := blocks[z]; isHeavy {
 				// Heavy: route within h's block, fixing dimension j to the
 				// hash of the x_j value; all other dimensions free.
-				xj := m.Tuple[1-zCols[j]] // binary atoms: the non-z column
-				bin := family.Bin(j, xj, b.grid.Shares[j])
-				b.grid.Destinations([]int{j}, []int{bin}, func(sub int) {
-					emit(b.offset+sub, m)
+				xj := tuple[1-zCols[j]] // binary atoms: the non-z column
+				subDims[0], subBins[0] = j, family.Bin(j, xj, b.grid.Shares[j])
+				b.grid.Destinations(subDims, subBins, func(sub int) {
+					emit.EmitTuple(b.offset+sub, j, tuple)
 				})
 			} else {
 				// Light: hash-partition on z across the light servers.
-				emit(family.Bin(k, z, p), m)
+				emit.EmitTuple(family.Bin(k, z, p), j, tuple)
 			}
-		}
+		})
 	})
 
 	// Local evaluation everywhere (both light servers and heavy blocks
@@ -170,9 +181,9 @@ func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64
 		for _, a := range q.Atoms {
 			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
 		}
-		for _, m := range cluster.Inbox(s) {
-			frag[q.Atoms[m.Kind].Name].AppendTuple(m.Tuple)
-		}
+		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
+			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+		})
 		outputs[s] = localjoin.Evaluate(q, frag)
 	})
 	out := data.NewRelation(q.Name, q.NumVars())
@@ -195,6 +206,7 @@ func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64
 		InputBits:       inputBits,
 		ReplicationRate: cluster.ReplicationRate(inputBits),
 		HeavyHitters:    len(heavy),
+		Aborted:         cluster.Aborted(),
 	}
 }
 

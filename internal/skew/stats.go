@@ -10,97 +10,175 @@ import (
 
 // StatsResult reports the one-round distributed statistics protocol.
 type StatsResult struct {
-	Estimates   map[int64]int // value -> estimated global frequency
-	MaxLoadBits float64       // statistics-gathering communication load
-	Rounds      int
+	// PerAtom holds one value → estimated-global-frequency map per
+	// (relation, column) pair handed to DetectHeavyHittersMPCMulti, in input
+	// order.
+	PerAtom []map[int64]int
+	// Estimates is PerAtom[0] — the single-relation convenience view used by
+	// DetectHeavyHittersMPC.
+	Estimates   map[int64]int
+	MaxLoadBits float64 // max bits any server received in the statistics round
+	TotalBits   float64 // total bits communicated by the statistics round
+	Rounds      int     // always 1: the protocol is one genuine MPC round
+	Aborted     bool    // a declared load cap was exceeded by the stats round
 }
 
+// statsBitsPerValue is the fixed width charged per broadcast value:
+// candidates travel as (value, count) pairs of int64s, a generous width
+// that upper-bounds ⌈log₂ n⌉ for any int64 domain.
+const statsBitsPerValue = 64
+
 // DetectHeavyHittersMPC estimates per-value frequencies of one relation
-// column with a one-round MPC protocol, making executable the paper's
-// remark that heavy-hitter statistics "can be easily obtained in advance
-// from small samples of the input" (Section 1):
-//
-//   - the relation is partitioned over p servers (free, per the model);
-//   - each server samples up to sampleSize of its local tuples, counts the
-//     sampled values, scales to its partition size, and broadcasts every
-//     candidate whose scaled estimate reaches candidateThreshold;
-//   - every server sums the broadcast estimates, so afterwards all servers
-//     agree on the (approximate) statistics, as the model assumes.
-//
-// The communication is O(p · candidates) values per server: with the
-// paper's m/p heavy-hitter threshold there are at most p true candidates
-// per server, keeping the statistics round's load well below the data
-// rounds'.
+// column with a one-round MPC protocol; see DetectHeavyHittersMPCMulti for
+// the protocol. It remains as the single-relation entry point.
 func DetectHeavyHittersMPC(rel *data.Relation, col, p int, sampleSize int, candidateThreshold int, seed int64) *StatsResult {
-	bpv := 64 // (value, count) pairs of int64s; generous fixed width
-	cluster := engine.NewCluster(p, bpv)
-	m := rel.NumTuples()
-	for i := 0; i < m; i++ {
-		cluster.Seed(i%p, engine.Message{Kind: 0, Tuple: rel.Tuple(i)})
+	return DetectHeavyHittersMPCMulti([]*data.Relation{rel}, []int{col}, p,
+		sampleSize, []int{candidateThreshold}, seed, 0)
+}
+
+// DetectHeavyHittersMPCMulti estimates per-value frequencies of ℓ relation
+// columns in ONE MPC round on a single cluster, making executable the
+// paper's remark that heavy-hitter statistics "can be easily obtained in
+// advance from small samples of the input" (Section 1):
+//
+//   - every relation is partitioned over the same p servers (free, per the
+//     model), tagged with its atom index as the message kind;
+//   - each server samples up to sampleSize of its local tuples per
+//     relation, counts the sampled values, scales to its partition size,
+//     and broadcasts every candidate whose scaled estimate reaches that
+//     relation's candidateThreshold, tagged with the atom's kind;
+//   - every server sums the broadcast estimates per atom, so afterwards all
+//     servers agree on the (approximate) statistics, as the model assumes.
+//
+// Because all ℓ atoms share one communication round, a server's load is the
+// SUM of the candidate traffic across atoms — the honest accounting for the
+// protocol (running ℓ separate rounds and taking the max would understate
+// both cost dimensions). The communication is O(p · candidates) values per
+// server: with the paper's m/p heavy-hitter threshold there are at most p
+// true candidates per relation and server, keeping the statistics round's
+// load well below the data rounds'.
+//
+// capBits > 0 declares a load cap for the round (0 = none).
+func DetectHeavyHittersMPCMulti(rels []*data.Relation, cols []int, p, sampleSize int,
+	candidateThresholds []int, seed int64, capBits float64) *StatsResult {
+	l := len(rels)
+	cluster := engine.NewCluster(p, statsBitsPerValue)
+	if capBits > 0 {
+		cluster.SetLoadCap(capBits)
 	}
-	cluster.Round("stats-sample", func(s int, inbox []engine.Message, emit engine.Emitter) {
-		local := len(inbox)
-		if local == 0 {
-			return
+	for j, rel := range rels {
+		m := rel.NumTuples()
+		for i := 0; i < m; i++ {
+			cluster.Seed(i%p, j, rel.Tuple(i))
 		}
+	}
+	st := cluster.Round("stats-sample", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 		rng := rand.New(rand.NewSource(seed + int64(s)))
-		counts := make(map[int64]int)
-		n := sampleSize
-		if n >= local {
-			for _, msg := range inbox {
-				counts[msg.Tuple[col]]++
+		// Collect each atom's local tuples (batch views — seeding coalesces
+		// each atom's round-robin share into contiguous batches).
+		perKind := make([][]engine.Batch, l)
+		locals := make([]int, l)
+		inbox.EachBatch(func(b engine.Batch) {
+			perKind[b.Kind] = append(perKind[b.Kind], b)
+			locals[b.Kind] += b.NumTuples()
+		})
+		pair := make([]int64, 2)
+		for j := 0; j < l; j++ {
+			local := locals[j]
+			if local == 0 {
+				continue
 			}
-			n = local
-		} else {
-			for t := 0; t < n; t++ {
-				counts[inbox[rng.Intn(local)].Tuple[col]]++
+			col := cols[j]
+			counts := make(map[int64]int)
+			n := sampleSize
+			if n >= local {
+				for _, b := range perKind[j] {
+					for i := 0; i < b.NumTuples(); i++ {
+						counts[b.Tuple(i)[col]]++
+					}
+				}
+				n = local
+			} else {
+				at := func(i int) []int64 {
+					for _, b := range perKind[j] {
+						if i < b.NumTuples() {
+							return b.Tuple(i)
+						}
+						i -= b.NumTuples()
+					}
+					panic("skew: sample index out of range")
+				}
+				for t := 0; t < n; t++ {
+					counts[at(rng.Intn(local))[col]]++
+				}
 			}
-		}
-		scale := float64(local) / float64(n)
-		for v, c := range counts {
-			est := int(float64(c) * scale)
-			if est >= candidateThreshold {
-				emit(engine.Broadcast, engine.Message{Kind: 1, Tuple: []int64{v, int64(est)}})
+			scale := float64(local) / float64(n)
+			for v, c := range counts {
+				est := int(float64(c) * scale)
+				if est >= candidateThresholds[j] {
+					pair[0], pair[1] = v, int64(est)
+					emit.EmitTuple(engine.Broadcast, j, pair)
+				}
 			}
 		}
 	})
-	estimates := make(map[int64]int)
-	for _, msg := range cluster.Inbox(0) { // all servers hold the same broadcasts
-		estimates[msg.Tuple[0]] += int(msg.Tuple[1])
+	perAtom := make([]map[int64]int, l)
+	for j := range perAtom {
+		perAtom[j] = make(map[int64]int)
 	}
+	cluster.Inbox(0).Each(func(kind int, tuple []int64) { // all servers hold the same broadcasts
+		perAtom[kind][tuple[0]] += int(tuple[1])
+	})
 	return &StatsResult{
-		Estimates:   estimates,
-		MaxLoadBits: cluster.MaxLoadBits(),
+		PerAtom:     perAtom,
+		Estimates:   perAtom[0],
+		MaxLoadBits: st.MaxRecvBits,
+		TotalBits:   st.TotalRecvBits,
 		Rounds:      cluster.NumRounds(),
+		Aborted:     cluster.Aborted(),
 	}
 }
 
 // RunStarSampled runs the star algorithm end to end without a statistics
-// oracle: a first round gathers sampled z-frequencies with
-// DetectHeavyHittersMPC, and the data round uses the estimates. Output
+// oracle: a first round gathers sampled z-frequencies for all ℓ atoms with
+// DetectHeavyHittersMPCMulti, and the data round uses the estimates. Output
 // correctness is unconditional; only the load depends on estimate quality.
-// The reported result counts both rounds and takes the load maximum across
-// them.
+//
+// The accounting is honest about both cost dimensions: the statistics
+// protocol executes as one genuine round (Rounds = 1 + data rounds), its
+// communication is included in TotalBits, and MaxLoadBits is the maximum
+// over the statistics and data rounds.
 func RunStarSampled(q *query.Query, db *data.Database, p int, seed int64, sampleSize int) *Result {
+	return RunStarSampledCap(q, db, p, seed, sampleSize, 0)
+}
+
+// RunStarSampledCap is RunStarSampled with a declared per-round load cap in
+// bits (0 = none); the cap applies to the statistics round too.
+func RunStarSampledCap(q *query.Query, db *data.Database, p int, seed int64, sampleSize int, capBits float64) *Result {
 	zName := q.Atoms[0].Vars[0]
-	freqs := make([]map[int64]int, q.NumAtoms())
-	statsLoad := 0.0
+	l := q.NumAtoms()
+	rels := make([]*data.Relation, l)
+	cols := make([]int, l)
+	thresholds := make([]int, l)
 	for j, a := range q.Atoms {
-		rel := db.Get(a.Name)
-		thr := rel.NumTuples() / (4 * p) // conservative candidate cut
+		rels[j] = db.Get(a.Name)
+		cols[j] = colOf(a, zName)
+		thr := rels[j].NumTuples() / (4 * p) // conservative candidate cut
 		if thr < 2 {
 			thr = 2
 		}
-		st := DetectHeavyHittersMPC(rel, colOf(a, zName), p, sampleSize, thr, seed+int64(j))
-		freqs[j] = st.Estimates
-		if st.MaxLoadBits > statsLoad {
-			statsLoad = st.MaxLoadBits
-		}
+		thresholds[j] = thr
 	}
-	res := RunStarWithFrequencies(q, db, p, seed, freqs)
-	res.Rounds++
-	if statsLoad > res.MaxLoadBits {
-		res.MaxLoadBits = statsLoad
+	st := DetectHeavyHittersMPCMulti(rels, cols, p, sampleSize, thresholds, seed, capBits)
+	res := RunStarWithFrequencies(q, db, p, seed, st.PerAtom, capBits)
+	res.Rounds += st.Rounds
+	res.TotalBits += st.TotalBits
+	if st.MaxLoadBits > res.MaxLoadBits {
+		res.MaxLoadBits = st.MaxLoadBits
 	}
+	if res.InputBits > 0 {
+		res.ReplicationRate = res.TotalBits / res.InputBits
+	}
+	res.Aborted = res.Aborted || st.Aborted
 	return res
 }

@@ -41,6 +41,12 @@ type triVar struct {
 // RunTriangle computes C3 over db with a budget of p servers.
 // q must be query.Triangle() (atoms S1(x1,x2), S2(x2,x3), S3(x3,x1)).
 func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
+	return RunTriangleCap(q, db, p, seed, 0)
+}
+
+// RunTriangleCap is RunTriangle with a declared per-round load cap in bits
+// (Section 2.1's abort semantics); 0 means no cap.
+func RunTriangleCap(q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
 	if q.NumAtoms() != 3 || q.NumVars() != 3 {
 		panic("skew: RunTriangle requires the triangle query")
 	}
@@ -96,10 +102,13 @@ func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
 	}
 	layout := newTriLayout(q, p, freq, cubeHeavy, bpv, relTuples)
 	cluster := engine.NewCluster(layout.totalServers, bpv)
+	if capBits > 0 {
+		cluster.SetLoadCap(capBits)
+	}
 	for j := range rels {
 		m := rels[j].NumTuples()
 		for i := 0; i < m; i++ {
-			cluster.Seed(i%p, engine.Message{Kind: j, Tuple: rels[j].Tuple(i)})
+			cluster.Seed(i%p, j, rels[j].Tuple(i))
 		}
 	}
 
@@ -111,10 +120,9 @@ func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
 	isPHeavy := func(varIdx int, v int64) bool { return pHeavy[varIdx][v] }
 	isCubeLight := func(varIdx int, v int64) bool { return !cubeHeavy[varIdx][v] }
 
-	cluster.Round("skew-triangle", func(s int, inbox []engine.Message, emit engine.Emitter) {
-		for _, m := range inbox {
-			j := m.Kind
-			v0, v1 := m.Tuple[0], m.Tuple[1]
+	cluster.Round("skew-triangle", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
+		inbox.Each(func(j int, tuple []int64) {
+			v0, v1 := tuple[0], tuple[1]
 			i0, i1 := varsOfAtom[j][0], varsOfAtom[j][1]
 
 			// Light: both values cube-light -> vanilla HC.
@@ -122,13 +130,13 @@ func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
 				b0 := family.Bin(i0, v0, layout.light.Shares[i0])
 				b1 := family.Bin(i1, v1, layout.light.Shares[i1])
 				layout.light.Destinations([]int{i0, i1}, []int{b0, b1}, func(d int) {
-					emit(layout.lightOffset+d, m)
+					emit.EmitTuple(layout.lightOffset+d, j, tuple)
 				})
 			}
 
 			// Case 1 groups.
 			for _, g := range layout.case1 {
-				g.route(j, m, i0, i1, v0, v1, isPHeavy, family, emit)
+				g.route(j, tuple, i0, i1, v0, v1, isPHeavy, family, emit)
 			}
 
 			// Case 2 pivot blocks.
@@ -137,9 +145,9 @@ func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
 				if pb == nil {
 					continue
 				}
-				pb.route(q, j, m, pivot, i0, i1, v0, v1, isPHeavy, cubeHeavy[pivot], family, emit)
+				pb.route(q, j, tuple, pivot, i0, i1, v0, v1, isPHeavy, cubeHeavy[pivot], family, emit)
 			}
-		}
+		})
 	})
 
 	// Local evaluation with per-group output predicates.
@@ -149,9 +157,9 @@ func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
 		for _, a := range q.Atoms {
 			frag[a.Name] = data.NewRelation(a.Name, 2)
 		}
-		for _, m := range cluster.Inbox(s) {
-			frag[q.Atoms[m.Kind].Name].AppendTuple(m.Tuple)
-		}
+		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
+			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+		})
 		res := localjoin.Evaluate(q, frag)
 		outputs[s] = layout.filter(s, res, pHeavy, cubeHeavy)
 	})
@@ -179,6 +187,7 @@ func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
 		InputBits:       inputBits,
 		ReplicationRate: cluster.ReplicationRate(inputBits),
 		HeavyHitters:    nHeavy,
+		Aborted:         cluster.Aborted(),
 	}
 }
 
@@ -203,12 +212,12 @@ type case1Group struct {
 	excludeVar   int // predicate: this variable must NOT be p-heavy (-1 if none)
 }
 
-func (g *case1Group) route(j int, m engine.Message, i0, i1 int, v0, v1 int64,
-	isPHeavy func(int, int64) bool, family *hashing.Family, emit engine.Emitter) {
+func (g *case1Group) route(j int, tuple []int64, i0, i1 int, v0, v1 int64,
+	isPHeavy func(int, int64) bool, family *hashing.Family, emit *engine.Emitter) {
 	if j == g.span {
 		if isPHeavy(i0, v0) && isPHeavy(i1, v1) {
 			for d := 0; d < g.size; d++ {
-				emit(g.offset+d, m)
+				emit.EmitTuple(g.offset+d, j, tuple)
 			}
 		}
 		return
@@ -227,7 +236,7 @@ func (g *case1Group) route(j int, m engine.Message, i0, i1 int, v0, v1 int64,
 		return
 	}
 	if isPHeavy(heavyVar, heavyVal) {
-		emit(g.offset+family.Bin(g.joinVar, joinVal, g.size), m)
+		emit.EmitTuple(g.offset+family.Bin(g.joinVar, joinVal, g.size), j, tuple)
 	}
 }
 
@@ -244,9 +253,9 @@ type pivotBlock struct {
 	dims   [2]int        // variable indices of grid dimensions 0 and 1
 }
 
-func (pb *pivotBlocks) route(q *query.Query, j int, m engine.Message, pivot, i0, i1 int,
+func (pb *pivotBlocks) route(q *query.Query, j int, tuple []int64, pivot, i0, i1 int,
 	v0, v1 int64, isPHeavy func(int, int64) bool, pivotHeavy map[int64]bool,
-	family *hashing.Family, emit engine.Emitter) {
+	family *hashing.Family, emit *engine.Emitter) {
 	switch {
 	case i0 == pivot || i1 == pivot:
 		// Relation adjacent to the pivot: route into the block of its pivot
@@ -265,7 +274,7 @@ func (pb *pivotBlocks) route(q *query.Query, j int, m engine.Message, pivot, i0,
 		}
 		bin := family.Bin(ovar, ov, b.grid.Shares[dim])
 		b.grid.Destinations([]int{dim}, []int{bin}, func(d int) {
-			emit(b.offset+d, m)
+			emit.EmitTuple(b.offset+d, j, tuple)
 		})
 	default:
 		// The opposite relation (no pivot variable): both values must be
@@ -281,7 +290,7 @@ func (pb *pivotBlocks) route(q *query.Query, j int, m engine.Message, pivot, i0,
 			bins := make([]int, 2)
 			bins[d0] = family.Bin(i0, v0, b.grid.Shares[d0])
 			bins[d1] = family.Bin(i1, v1, b.grid.Shares[d1])
-			emit(b.offset+b.grid.ServerOf(bins), m)
+			emit.EmitTuple(b.offset+b.grid.ServerOf(bins), j, tuple)
 		}
 	}
 }

@@ -38,9 +38,11 @@ func WithSeed(seed int64) RunOption { return func(c *runConfig) { c.seed = seed 
 func WithStrategy(s Strategy) RunOption { return func(c *runConfig) { c.strategy = s } }
 
 // WithLoadCap declares a maximum per-server load in bits (Section 2.1's
-// abort semantics): if any server receives more, the Report's Aborted flag
-// is set. 0 (the default) means no cap. Strategies that do not meter a cap
-// ignore it.
+// abort semantics): if any server receives more than capBits in any round,
+// the Report's Aborted flag is set. 0 (the default) means no cap. Every
+// strategy honors the cap — one-round HyperCube variants, the skew-aware
+// algorithms (including the sampled-statistics round), and each round of
+// the multi-round plans.
 func WithLoadCap(bits float64) RunOption { return func(c *runConfig) { c.loadCapBits = bits } }
 
 // WithHeavyCap bounds the per-variable heavy-hitter sets of the generalized

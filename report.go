@@ -93,5 +93,14 @@ func (r *Report) String() string {
 
 // EqualRelations reports whether two relations hold the same bag of tuples,
 // in any order — the check every example and test uses to validate a
-// parallel run against the sequential answer.
-func EqualRelations(a, b *Relation) bool { return data.Equal(a, b) }
+// parallel run against the sequential answer. The comparison is a true
+// multiset compare: order is ignored but multiplicity is respected, so a
+// run that duplicated or deduplicated output tuples does not pass.
+func EqualRelations(a, b *Relation) bool { return data.EqualMultiset(a, b) }
+
+// EqualRelationsSet reports whether two relations hold the same set of
+// tuples, ignoring both order and multiplicity — the looser comparison for
+// workloads whose inputs contain duplicate tuples (where per-server bag
+// semantics and a deduplicating consumer may legitimately disagree on
+// counts).
+func EqualRelationsSet(a, b *Relation) bool { return data.Equal(a, b) }

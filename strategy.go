@@ -133,7 +133,7 @@ func (s selfJoinStrategy) Execute(ctx ExecContext) (*Report, error) {
 			return nil, fmt.Errorf("mpcquery: SelfJoin: %w: %q", ErrMissingRelation, a.Name)
 		}
 	}
-	res := core.RunWithSelfJoins(s.name, s.atoms, ctx.DB, ctx.Servers, ctx.Seed, core.SkewFree)
+	res := core.RunWithSelfJoinsCap(s.name, s.atoms, ctx.DB, ctx.Servers, ctx.Seed, core.SkewFree, ctx.LoadCapBits)
 	rep := reportFromCore(s.Name(), res.Plan.Query, res)
 	rep.PredictedLoadBits = res.Plan.PredictedLoadBits()
 	return rep, nil
@@ -175,9 +175,9 @@ func (s skewedStarStrategy) Execute(ctx ExecContext) (*Report, error) {
 	}
 	var res *skew.Result
 	if s.sampled {
-		res = skew.RunStarSampled(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, s.sampleSize)
+		res = skew.RunStarSampledCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, s.sampleSize, ctx.LoadCapBits)
 	} else {
-		res = skew.RunStar(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed)
+		res = skew.RunStarCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
 	}
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
@@ -209,7 +209,7 @@ func (s skewedTriangleStrategy) Execute(ctx ExecContext) (*Report, error) {
 	if ctx.Query.NumAtoms() != 3 || ctx.Query.NumVars() != 3 {
 		return nil, fmt.Errorf("mpcquery: skewed-triangle needs the triangle query C3; got %s", ctx.Query)
 	}
-	res := skew.RunTriangle(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed)
+	res := skew.RunTriangleCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -223,7 +223,7 @@ func SkewedGeneric() Strategy { return skewedGenericStrategy{} }
 func (skewedGenericStrategy) Name() string { return "skewed-generic" }
 
 func (s skewedGenericStrategy) Execute(ctx ExecContext) (*Report, error) {
-	res := skew.RunGeneric(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap)
+	res := skew.RunGenericCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -288,9 +288,9 @@ func (s multiRoundStrategy) Execute(ctx ExecContext) (*Report, error) {
 func executeMultiRound(name string, plan *multiround.Plan, eps float64, skewAware bool, ctx ExecContext) (*Report, error) {
 	var res *multiround.ExecResult
 	if skewAware {
-		res = multiround.ExecuteSkewAware(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap)
+		res = multiround.ExecuteSkewAwareCap(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits)
 	} else {
-		res = multiround.Execute(plan, ctx.DB, ctx.Servers, ctx.Seed)
+		res = multiround.ExecuteCap(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
 	}
 	rep := &Report{
 		Strategy:    name,
@@ -301,6 +301,7 @@ func executeMultiRound(name string, plan *multiround.Plan, eps float64, skewAwar
 		MaxLoadBits: res.MaxLoadBits,
 		TotalBits:   res.TotalBits,
 		InputBits:   res.InputBits,
+		Aborted:     res.Aborted,
 	}
 	for i, l := range res.RoundLoads {
 		rep.RoundStats = append(rep.RoundStats, RoundStat{Round: i + 1, MaxLoadBits: l})
@@ -394,5 +395,6 @@ func reportFromSkew(name string, q *Query, res *skew.Result) *Report {
 		InputBits:       res.InputBits,
 		ReplicationRate: res.ReplicationRate,
 		HeavyHitters:    res.HeavyHitters,
+		Aborted:         res.Aborted,
 	}
 }
