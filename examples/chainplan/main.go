@@ -5,7 +5,8 @@
 // binary joins achieves O(M/p). This example executes both through
 // Run(..., WithStrategy(ChainPlan(ε))) and prints the Report's per-round
 // measured loads, alongside the (ε,r)-plan round lower bound which matches
-// exactly (Corollary 5.15).
+// exactly (Corollary 5.15). (mpcplan -query "..." -eps 0.5 prints the plan
+// tree itself.)
 package main
 
 import (
@@ -30,16 +31,14 @@ func main() {
 	fmt.Printf("query L%d, m=%d tuples per relation (M=%.0f bits), p=%d servers\n\n", k, m, M, p)
 
 	for _, eps := range []float64{0.5, 0} {
-		plan := mpcquery.PlanChain(k, eps) // inspect the tree before running it
-		fmt.Printf("ε=%.1f: plan depth %d (formula ⌈log_kε k⌉ = %d)\n",
-			eps, plan.Rounds(), mpcquery.ChainRounds(k, eps))
-		fmt.Print(plan.Root)
 		rep, err := mpcquery.Run(q, db,
 			mpcquery.WithStrategy(mpcquery.ChainPlan(eps)),
 			mpcquery.WithServers(p), mpcquery.WithSeed(9))
 		if err != nil {
 			panic(err)
 		}
+		fmt.Printf("ε=%.1f: executed %d rounds (formula ⌈log_kε k⌉ = %d)\n",
+			eps, rep.Rounds, mpcquery.ChainRounds(k, eps))
 		target := M / math.Pow(p, 1-eps)
 		for _, rs := range rep.RoundStats {
 			fmt.Printf("  round %d: max load %8.0f bits (target M/p^{1-ε} = %.0f, ratio %.2f)\n",

@@ -33,6 +33,7 @@ func RunPlanCapped(pl *Plan, db *data.Database, seed int64, capBits float64) *Ca
 	family := hashing.NewFamily(seed, q.NumVars())
 	bpv := data.BitsPerValue(db.N)
 	cluster := engine.NewCluster(gp, bpv)
+	defer cluster.Release()
 
 	for j, a := range q.Atoms {
 		rel := db.Get(a.Name)

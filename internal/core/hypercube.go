@@ -234,6 +234,7 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, see
 	gp := grid.P()
 	family := hashing.NewFamily(seed, q.NumVars())
 	cluster := engine.NewCluster(gp, data.BitsPerValue(db.N))
+	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
 	}
@@ -272,6 +273,10 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, see
 	// Computation phase: local evaluation on every server (no communication).
 	outputs := make([]*data.Relation, gp)
 	engine.ParallelFor(gp, func(s int) {
+		if cluster.Inbox(s).NumTuples() == 0 {
+			outputs[s] = data.NewRelation(q.Name, q.NumVars())
+			return
+		}
 		frag := make(map[string]*data.Relation, q.NumAtoms())
 		for _, a := range q.Atoms {
 			frag[a.Name] = data.NewRelation(a.Name, a.Arity())

@@ -24,7 +24,6 @@ package engine
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
 
@@ -283,12 +282,19 @@ type Cluster struct {
 	recvBits     []float64
 	recvTuples   []int
 	rounds       []RoundStats
-	workers      int
 	loadCap      float64 // 0 = unlimited; otherwise rounds flag Aborted
 }
 
+// inboxPool recycles inbox arenas across clusters, so a service executing a
+// stream of queries reuses the same backing memory instead of growing fresh
+// arenas for every Run. Inboxes enter the pool only through
+// Cluster.Release, already reset; their arena/span capacity is retained.
+var inboxPool = sync.Pool{New: func() any { return &Inbox{} }}
+
 // NewCluster creates a cluster of p servers exchanging values of
-// bitsPerValue bits each (⌈log₂ n⌉ for domain [n]).
+// bitsPerValue bits each (⌈log₂ n⌉ for domain [n]). Inbox arenas are drawn
+// from a shared pool; call Release when the run's results have been copied
+// out to hand them back.
 func NewCluster(p, bitsPerValue int) *Cluster {
 	if p < 1 {
 		panic("engine: need at least one server")
@@ -304,14 +310,32 @@ func NewCluster(p, bitsPerValue int) *Cluster {
 		emitters:     make([]*Emitter, p),
 		recvBits:     make([]float64, p),
 		recvTuples:   make([]int, p),
-		workers:      runtime.GOMAXPROCS(0),
 	}
 	for s := 0; s < p; s++ {
-		c.inbox[s] = &Inbox{}
-		c.spare[s] = &Inbox{}
+		c.inbox[s] = inboxPool.Get().(*Inbox)
+		c.spare[s] = inboxPool.Get().(*Inbox)
 		c.emitters[s] = &Emitter{c: c}
 	}
 	return c
+}
+
+// Release returns the cluster's inbox arenas to the shared pool for reuse by
+// later clusters. It must be the last use of the cluster: every Inbox,
+// Batch, or tuple view previously obtained from it is invalidated (round
+// statistics, being plain values, stay valid). Release is idempotent.
+func (c *Cluster) Release() {
+	for s := 0; s < c.p; s++ {
+		if c.inbox[s] != nil {
+			c.inbox[s].reset()
+			inboxPool.Put(c.inbox[s])
+			c.inbox[s] = nil
+		}
+		if c.spare[s] != nil {
+			c.spare[s].reset()
+			inboxPool.Put(c.spare[s])
+			c.spare[s] = nil
+		}
+	}
 }
 
 // P returns the number of servers.
@@ -346,33 +370,18 @@ func (c *Cluster) Inbox(server int) *Inbox { return c.inbox[server] }
 // batches arrive grouped by sending server id, in emission order (a
 // sender's broadcasts follow its unicasts to the same destination).
 func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emitter)) RoundStats {
-	// Computation + emission phase: every server concurrently, bounded by
-	// GOMAXPROCS.
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.workers)
-	var panicOnce sync.Once
-	var panicked any
+	// Computation + emission phase: every server concurrently on a small
+	// worker set (ParallelFor), not a goroutine per server — skew-aware
+	// layouts routinely span hundreds of servers, and per-server goroutine
+	// spawning would dominate small rounds. ParallelFor re-raises server
+	// panics on the caller's goroutine, so callers see them as ordinary
+	// panics.
 	for s := 0; s < c.p; s++ {
 		c.emitters[s].reset()
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(s int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicked = r })
-				}
-			}()
-			f(s, c.inbox[s], c.emitters[s])
-		}(s)
 	}
-	wg.Wait()
-	if panicked != nil {
-		// Re-raise server panics on the caller's goroutine so tests and
-		// callers see them as ordinary panics.
-		panic(panicked)
-	}
+	ParallelFor(c.p, func(s int) {
+		f(s, c.inbox[s], c.emitters[s])
+	})
 
 	// Delivery phase, sharded by destination: each destination collects its
 	// batches from every sender in sender order, into a recycled arena, and

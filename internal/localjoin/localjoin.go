@@ -16,6 +16,15 @@ import (
 // returns the full result, one column per variable in q.Vars() order.
 // Duplicate output tuples are produced if the inputs are bags.
 func Evaluate(q *query.Query, rels map[string]*data.Relation) *data.Relation {
+	// A full conjunctive query needs every atom to contribute at least one
+	// tuple; any empty input empties the join. Skew-aware layouts route
+	// most servers nothing at all, so this fast path skips the ordering and
+	// index allocations on the (typically many) empty servers of a round.
+	for _, a := range q.Atoms {
+		if rel := rels[a.Name]; rel != nil && rel.NumTuples() == 0 {
+			return data.NewRelation(q.Name, q.NumVars())
+		}
+	}
 	return EvaluateOrdered(q, rels, atomOrder(q, rels))
 }
 

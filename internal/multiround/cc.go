@@ -119,6 +119,7 @@ func LabelPropagation(g *data.Graph, p int, seed int64, maxRounds int) *CCResult
 	// round, so labels are already stable).
 
 	labels := collectLabels(g, states, family, p)
+	defer cluster.Release()
 	return &CCResult{
 		Labels:      labels,
 		SetupRounds: 1,
@@ -220,6 +221,7 @@ func PointerJumping(g *data.Graph, p int, seed int64, maxRounds int) *CCResult {
 	}
 
 	labels := collectLabels(g, states, family, p)
+	defer cluster.Release()
 	return &CCResult{
 		Labels:      labels,
 		SetupRounds: 1,

@@ -34,6 +34,22 @@ type nodeResult struct {
 	aborted   bool
 }
 
+// Memo is an optional per-node artifact memoizer supplied by a caching
+// caller (the query service). It must return the value computed by an
+// earlier call with the same key, or run compute and return its result. The
+// per-node artifacts memoized here (HyperCube plans, skew layouts for the
+// intermediate views) are deterministic in (plan, database, servers, seed),
+// which the caller encodes in the key prefix; a nil Memo recomputes
+// everything, and both paths execute identically.
+type Memo func(key string, compute func() any) any
+
+func (m Memo) do(key string, compute func() any) any {
+	if m == nil {
+		return compute()
+	}
+	return m(key, compute)
+}
+
 // Execute runs the plan on db with a budget of p servers per round. Nodes
 // at the same depth execute in the same communication round, splitting the
 // p servers evenly; the round's load is the maximum over its nodes, and the
@@ -46,8 +62,18 @@ func Execute(p *Plan, db *data.Database, servers int, seed int64) *ExecResult {
 // (0 = none): every node of every round runs under the cap, and the
 // result's Aborted flag is set if any of them exceeded it.
 func ExecuteCap(p *Plan, db *data.Database, servers int, seed int64, capBits float64) *ExecResult {
+	return ExecuteCapMemo(p, db, servers, seed, capBits, nil)
+}
+
+// ExecuteCapMemo is ExecuteCap with per-node HyperCube plans drawn from
+// memo: every node of every round needs a share-LP solve over its
+// intermediate views, and a service replaying the same multi-round query
+// can reuse them all.
+func ExecuteCapMemo(p *Plan, db *data.Database, servers int, seed int64, capBits float64, memo Memo) *ExecResult {
 	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) nodeResult {
-		pl := core.PlanForDatabase(n.Query, sub, perNode, core.SkewFree)
+		pl := memo.do(fmt.Sprintf("node|%s|d%d|pn%d|s%d", n.Name, d, perNode, seed), func() any {
+			return core.PlanForDatabase(n.Query, sub, perNode, core.SkewFree)
+		}).(*core.Plan)
 		run := core.RunPlanWithCap(pl, sub, seed+int64(d), capBits)
 		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted}
 	})
@@ -149,8 +175,19 @@ func ExecuteSkewAware(p *Plan, db *data.Database, servers int, seed int64, maxHe
 // ExecuteSkewAwareCap is ExecuteSkewAware with a declared per-round load
 // cap in bits (0 = none).
 func ExecuteSkewAwareCap(p *Plan, db *data.Database, servers int, seed int64, maxHeavyPerVar int, capBits float64) *ExecResult {
+	return ExecuteSkewAwareCapMemo(p, db, servers, seed, maxHeavyPerVar, capBits, nil)
+}
+
+// ExecuteSkewAwareCapMemo is ExecuteSkewAwareCap with per-node skew layouts
+// (heavy-hitter statistics plus pattern grids over the intermediate views)
+// drawn from memo — the per-node statistics recomputation is the bulk of
+// the skew-aware executor's planning cost.
+func ExecuteSkewAwareCapMemo(p *Plan, db *data.Database, servers int, seed int64, maxHeavyPerVar int, capBits float64, memo Memo) *ExecResult {
 	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) nodeResult {
-		run := skew.RunGenericCap(n.Query, sub, perNode, seed+int64(d), maxHeavyPerVar, capBits)
+		gp := memo.do(fmt.Sprintf("node-skew|%s|d%d|pn%d|s%d|h%d", n.Name, d, perNode, seed, maxHeavyPerVar), func() any {
+			return skew.PrepareGeneric(n.Query, sub, perNode, maxHeavyPerVar)
+		}).(*skew.GenericPlan)
+		run := skew.RunGenericPlanned(gp, n.Query, sub, perNode, seed+int64(d), capBits)
 		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted}
 	})
 }

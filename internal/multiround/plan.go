@@ -85,11 +85,15 @@ func (p *Plan) String() string {
 	return fmt.Sprintf("plan (ε=%.2f, %d rounds):\n%s", p.Eps, p.Rounds(), p.Root)
 }
 
-var viewCounter int
+// viewNamer hands out view names V1, V2, … scoped to one plan construction.
+// Scoping the counter (instead of a package global) keeps GreedyPlan
+// deterministic — the same query always yields the same plan, names
+// included — and race-free when plans are built from concurrent Runs.
+type viewNamer int
 
-func freshView() string {
-	viewCounter++
-	return fmt.Sprintf("V%d", viewCounter)
+func (v *viewNamer) fresh() string {
+	*v++
+	return fmt.Sprintf("V%d", *v)
 }
 
 // leaf returns a leaf node for a base atom.
@@ -108,6 +112,7 @@ func GreedyPlan(q *query.Query, eps float64) *Plan {
 	for j, a := range q.Atoms {
 		nodes[j] = leaf(a.Name)
 	}
+	var views viewNamer
 	cur := q.Clone()
 	for !bounds.InGammaOne(cur, eps) {
 		groups := groupAtoms(cur, eps)
@@ -123,7 +128,7 @@ func GreedyPlan(q *query.Query, eps float64) *Plan {
 				nextNodes = append(nextNodes, nodes[g[0]])
 				continue
 			}
-			sub := cur.Subquery(freshView(), g)
+			sub := cur.Subquery(views.fresh(), g)
 			children := make([]*Node, len(g))
 			for i, j := range g {
 				children[i] = nodes[j]

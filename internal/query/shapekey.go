@@ -1,0 +1,35 @@
+package query
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ShapeKey returns a canonical encoding of the query's shape: the ordered
+// atom names and arities plus the variable-equality pattern, with variables
+// replaced by their first-occurrence index. Two queries have equal ShapeKeys
+// exactly when SameShape holds between them, so the key can index caches of
+// shape-derived artifacts (HyperCube share allocations, skew layouts,
+// multi-round plans) regardless of how callers named their variables:
+//
+//	Chain(3).ShapeKey() == "S1(0,1);S2(1,2);S3(2,3)"
+//
+// The query's own Name is deliberately excluded — it never affects planning.
+func (q *Query) ShapeKey() string {
+	var b strings.Builder
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(a.Name)
+		b.WriteByte('(')
+		for c, v := range a.Vars {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(q.varIndex[v]))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

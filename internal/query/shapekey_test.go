@@ -1,0 +1,46 @@
+package query
+
+import "testing"
+
+func TestShapeKeyCanonical(t *testing.T) {
+	if got, want := Chain(3).ShapeKey(), "S1(0,1);S2(1,2);S3(2,3)"; got != want {
+		t.Errorf("Chain(3).ShapeKey() = %q, want %q", got, want)
+	}
+	// Renamed variables produce the same key.
+	a := MustParse("q(x,y,z) :- S1(x,y), S2(y,z)")
+	b := MustParse("other(u,v,w) :- S1(u,v), S2(v,w)")
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Errorf("renamed queries disagree: %q vs %q", a.ShapeKey(), b.ShapeKey())
+	}
+}
+
+// TestShapeKeyMatchesSameShape asserts the documented contract: equal keys
+// exactly when SameShape holds, over a corpus of related shapes.
+func TestShapeKeyMatchesSameShape(t *testing.T) {
+	corpus := []*Query{
+		Chain(2),
+		Chain(3),
+		Star(2),
+		Star(3),
+		Triangle(),
+		Cycle(4),
+		MustParse("q(x,y) :- S1(x,y), S2(y,x)"), // reversed columns
+		MustParse("q(x,y) :- S1(x,y), S2(x,y)"), // parallel edges
+		MustParse("q(x) :- S1(x,x), S2(x,x)"),   // repeated variable
+		MustParse("q(u,v,w) :- S1(u,v), S2(v,w)"),   // Chain(2) renamed
+		MustParse("q(z,a,b) :- S1(z,a), S2(z,b)"),   // Star(2) renamed
+		MustParse("q(x,y,z) :- S1(x,y), S2(z,y)"),   // not a chain: S2 flipped
+		MustParse("q(x,y,z,w) :- S1(x,y), S2(z,w)"), // disconnected
+		MustParse("q(x,y,z) :- R(x,y), S(y,z)"),     // different relation names
+	}
+	for i, qi := range corpus {
+		for j, qj := range corpus {
+			same := qi.SameShape(qj)
+			keys := qi.ShapeKey() == qj.ShapeKey()
+			if same != keys {
+				t.Errorf("corpus[%d]=%s vs corpus[%d]=%s: SameShape=%v but key equality=%v (%q vs %q)",
+					i, qi, j, qj, same, keys, qi.ShapeKey(), qj.ShapeKey())
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxLatencySamples bounds the latency reservoir; beyond it the recorder
+// keeps a sliding window of the most recent samples, which is what a
+// service dashboard wants anyway.
+const maxLatencySamples = 1 << 14
+
+// Metrics aggregates what the service observed across all completed
+// queries: counts, wall-clock latency (queue wait + execution), and the
+// paper's communication measures summed/maxed over the stream.
+type Metrics struct {
+	mu        sync.Mutex
+	started   time.Time
+	completed int64
+	failed    int64
+	shed      int64
+
+	latencies []time.Duration // ring buffer of recent samples
+	next      int             // ring position once saturated
+
+	totalBits   float64 // Σ over queries of Report.TotalBits
+	maxLoadBits float64 // max over queries of Report.MaxLoadBits
+	totalRounds int64
+}
+
+// NewMetrics returns a recorder; throughput is measured from now.
+func NewMetrics() *Metrics {
+	return &Metrics{started: time.Now()}
+}
+
+// RecordSuccess records one completed query.
+func (m *Metrics) RecordSuccess(latency time.Duration, totalBits, maxLoadBits float64, rounds int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.record(latency)
+	m.totalBits += totalBits
+	if maxLoadBits > m.maxLoadBits {
+		m.maxLoadBits = maxLoadBits
+	}
+	m.totalRounds += int64(rounds)
+}
+
+// RecordFailure records a query that returned an error.
+func (m *Metrics) RecordFailure(latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failed++
+	m.record(latency)
+}
+
+// RecordShed records a request refused at admission.
+func (m *Metrics) RecordShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed++
+}
+
+func (m *Metrics) record(latency time.Duration) {
+	if len(m.latencies) < maxLatencySamples {
+		m.latencies = append(m.latencies, latency)
+		return
+	}
+	m.latencies[m.next] = latency
+	m.next = (m.next + 1) % maxLatencySamples
+}
+
+// Summary is a point-in-time snapshot of the service's aggregate metrics.
+type Summary struct {
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+
+	Uptime     time.Duration `json:"uptime_ns"`
+	Throughput float64       `json:"throughput_per_sec"` // completed / uptime
+
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP95 time.Duration `json:"latency_p95_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	LatencyMax time.Duration `json:"latency_max_ns"`
+
+	TotalBits   float64 `json:"total_bits"`    // Σ communication over all queries
+	MaxLoadBits float64 `json:"max_load_bits"` // worst per-server load seen
+	TotalRounds int64   `json:"total_rounds"`
+}
+
+// Snapshot computes the summary over everything recorded so far.
+func (m *Metrics) Snapshot() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Summary{
+		Completed:   m.completed,
+		Failed:      m.failed,
+		Shed:        m.shed,
+		Uptime:      time.Since(m.started),
+		TotalBits:   m.totalBits,
+		MaxLoadBits: m.maxLoadBits,
+		TotalRounds: m.totalRounds,
+	}
+	if secs := s.Uptime.Seconds(); secs > 0 {
+		s.Throughput = float64(m.completed) / secs
+	}
+	if len(m.latencies) > 0 {
+		sorted := append([]time.Duration(nil), m.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.LatencyP50 = percentile(sorted, 0.50)
+		s.LatencyP95 = percentile(sorted, 0.95)
+		s.LatencyP99 = percentile(sorted, 0.99)
+		s.LatencyMax = sorted[len(sorted)-1]
+	}
+	return s
+}
+
+// percentile returns the nearest-rank percentile of a sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -41,6 +41,63 @@ func RunGeneric(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPe
 // RunGenericCap is RunGeneric with a declared per-round load cap in bits
 // (Section 2.1's abort semantics); 0 means no cap.
 func RunGenericCap(q *query.Query, db *data.Database, p int, seed int64, maxHeavyPerVar int, capBits float64) *Result {
+	return RunGenericPlanned(PrepareGeneric(q, db, p, maxHeavyPerVar), q, db, p, seed, capBits)
+}
+
+// GenericPlan is the reusable, seed-independent part of a generalized
+// heavy/light-pattern run: the per-variable heavy sets and the full pattern
+// enumeration with grids and server offsets. Preparing it is the expensive
+// phase of the algorithm — Π_v(1+|H_v|) patterns, each with its own share-LP
+// solve — so a service caches it per (query shape, database, p, heavy cap)
+// and replays it. The plan is immutable after preparation and safe for
+// concurrent RunGenericPlanned calls.
+type GenericPlan struct {
+	heavy        []map[int64]bool
+	patterns     []*genPattern
+	inputServers int
+	totalServers int
+	nHeavy       int
+
+	// Routing index: atomDims[j] lists the grid dimension of each column of
+	// atom j, and routes[j] maps a tuple's heavy/light signature on those
+	// dimensions to exactly the patterns it matches. A tuple matches a
+	// pattern iff the pattern pins precisely the tuple's heavy values and
+	// leaves its light dimensions unpinned, so the signature determines the
+	// match set — routing costs O(matches) instead of O(all patterns).
+	atomDims [][]int
+	routes   []map[string][]*genPattern
+}
+
+// appendSignature appends the heavy/light signature of vals over dims:
+// per column, either a light marker or the pinned/heavy value. get reports
+// the pinned value (pattern side) or the tuple value with its heavy flag
+// (tuple side).
+func appendSignature(buf []byte, dims []int, val func(c, d int) (int64, bool)) []byte {
+	for c, d := range dims {
+		v, heavy := val(c, d)
+		if !heavy {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return buf
+}
+
+// HeavyHitters returns the total number of heavy values across variables.
+func (gp *GenericPlan) HeavyHitters() int { return gp.nHeavy }
+
+// ServersUsed returns the total servers the layout spans.
+func (gp *GenericPlan) ServersUsed() int { return gp.totalServers }
+
+// NumPatterns returns the number of heavy/light output patterns.
+func (gp *GenericPlan) NumPatterns() int { return len(gp.patterns) }
+
+// PrepareGeneric computes heavy sets and the pattern layout — the statistics
+// and planning phase of RunGeneric, split out so its result can be cached.
+func PrepareGeneric(q *query.Query, db *data.Database, p int, maxHeavyPerVar int) *GenericPlan {
 	if !q.IsConnected() {
 		panic("skew: RunGeneric requires a connected query")
 	}
@@ -110,7 +167,52 @@ func RunGenericCap(q *query.Query, db *data.Database, p int, seed int64, maxHeav
 	}
 	total += inputServers
 
+	nHeavy := 0
+	for i := range heavy {
+		nHeavy += len(heavy[i])
+	}
+
+	atomDims := make([][]int, q.NumAtoms())
+	routes := make([]map[string][]*genPattern, q.NumAtoms())
+	for j, a := range q.Atoms {
+		dims := make([]int, len(a.Vars))
+		for c, v := range a.Vars {
+			dims[c] = q.VarIndex(v)
+		}
+		atomDims[j] = dims
+		routes[j] = make(map[string][]*genPattern)
+		var buf []byte
+		for _, pat := range patterns {
+			buf = appendSignature(buf[:0], dims, func(c, d int) (int64, bool) {
+				hv, pinned := pat.assign[d]
+				return hv, pinned
+			})
+			routes[j][string(buf)] = append(routes[j][string(buf)], pat)
+		}
+	}
+	return &GenericPlan{
+		heavy:        heavy,
+		patterns:     patterns,
+		inputServers: inputServers,
+		totalServers: total,
+		nHeavy:       nHeavy,
+		atomDims:     atomDims,
+		routes:       routes,
+	}
+}
+
+// RunGenericPlanned executes the pattern-routing data round under a prepared
+// layout; see RunStarPlanned for the caching contract (bit-identical to the
+// unprepared path).
+func RunGenericPlanned(gp *GenericPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
+	k := q.NumVars()
+	heavy, patterns := gp.heavy, gp.patterns
+	inputServers, total := gp.inputServers, gp.totalServers
+	atomDims, routes := gp.atomDims, gp.routes
+	bpv := data.BitsPerValue(db.N)
+
 	cluster := engine.NewCluster(total, bpv)
+	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
 	}
@@ -123,26 +225,19 @@ func RunGenericCap(q *query.Query, db *data.Database, p int, seed int64, maxHeav
 	}
 
 	family := hashing.NewFamily(seed, k)
-	atomDims := make([][]int, q.NumAtoms())
-	for j, a := range q.Atoms {
-		dims := make([]int, len(a.Vars))
-		for c, v := range a.Vars {
-			dims[c] = q.VarIndex(v)
-		}
-		atomDims[j] = dims
-	}
 
 	cluster.Round("skew-generic", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 		bins := make([]int, 8)
+		var sig []byte
 		inbox.Each(func(j int, tuple []int64) {
 			dims := atomDims[j]
 			if cap(bins) < len(dims) {
 				bins = make([]int, len(dims))
 			}
-			for _, pat := range patterns {
-				if !pat.matches(dims, tuple, heavy) {
-					continue
-				}
+			sig = appendSignature(sig[:0], dims, func(c, d int) (int64, bool) {
+				return tuple[c], heavy[d][tuple[c]]
+			})
+			for _, pat := range routes[j][string(sig)] {
 				bins = bins[:len(dims)]
 				for c, d := range dims {
 					bins[c] = family.Bin(d, tuple[c], pat.grid.Shares[d])
@@ -156,7 +251,7 @@ func RunGenericCap(q *query.Query, db *data.Database, p int, seed int64, maxHeav
 
 	outputs := make([]*data.Relation, total)
 	engine.ParallelFor(total, func(s int) {
-		if s < inputServers {
+		if s < inputServers || cluster.Inbox(s).NumTuples() == 0 {
 			outputs[s] = data.NewRelation(q.Name, k)
 			return
 		}

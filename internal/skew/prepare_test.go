@@ -1,0 +1,177 @@
+package skew
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/query"
+)
+
+func skewedTriDB(seed int64, m int, n int64, h, cnt int) *data.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := data.NewDatabase(n)
+	for _, name := range []string{"S1", "S2", "S3"} {
+		r := data.NewRelation(name, 2)
+		i := 0
+		for v := 0; v < h; v++ {
+			for c := 0; c < cnt && i < m; c++ {
+				r.Append(int64(v+1), rng.Int63n(n))
+				i++
+			}
+		}
+		for v := 0; v < h; v++ {
+			for c := 0; c < cnt && i < m; c++ {
+				r.Append(rng.Int63n(n), int64(v+1))
+				i++
+			}
+		}
+		for ; i < m; i++ {
+			r.Append(rng.Int63n(n), rng.Int63n(n))
+		}
+		db.Add(r)
+	}
+	return db
+}
+
+// TestGenericRouteIndexMatchesBruteForce pins the routing index to its
+// specification: for every tuple of every relation, the pattern list under
+// the tuple's heavy/light signature must be exactly the patterns the
+// brute-force matches() predicate accepts, in enumeration order.
+func TestGenericRouteIndexMatchesBruteForce(t *testing.T) {
+	q := query.Triangle()
+	db := skewedTriDB(7, 400, 1<<16, 4, 30)
+	gp := PrepareGeneric(q, db, 16, 6)
+
+	checked := 0
+	for j, a := range q.Atoms {
+		rel := db.Get(a.Name)
+		dims := gp.atomDims[j]
+		var sig []byte
+		for i := 0; i < rel.NumTuples(); i++ {
+			tuple := rel.Tuple(i)
+			sig = appendSignature(sig[:0], dims, func(c, d int) (int64, bool) {
+				return tuple[c], gp.heavy[d][tuple[c]]
+			})
+			indexed := gp.routes[j][string(sig)]
+			var brute []*genPattern
+			for _, pat := range gp.patterns {
+				if pat.matches(dims, tuple, gp.heavy) {
+					brute = append(brute, pat)
+				}
+			}
+			if len(indexed) != len(brute) {
+				t.Fatalf("atom %d tuple %v: index has %d patterns, brute force %d", j, tuple, len(indexed), len(brute))
+			}
+			for k := range brute {
+				if indexed[k] != brute[k] {
+					t.Fatalf("atom %d tuple %v: pattern order diverges at %d", j, tuple, k)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no tuples checked")
+	}
+}
+
+// TestPreparedRunsMatchUnprepared asserts the prepare/execute split is pure
+// refactoring: running a prepared plan twice and the one-shot entry points
+// produce identical results, and a prepared plan is reusable.
+func TestPreparedRunsMatchUnprepared(t *testing.T) {
+	n := int64(1 << 16)
+	rng := rand.New(rand.NewSource(3))
+
+	star := query.Star(2)
+	starDB := data.SkewedStarDatabase(rng, 2, 500, n, map[int64]int{7: 60, 9: 40})
+	sp := PrepareStar(star, starDB, 16)
+	a := RunStarPlanned(sp, star, starDB, 16, 5, 0)
+	b := RunStarPlanned(sp, star, starDB, 16, 5, 0)
+	c := RunStarCap(star, starDB, 16, 5, 0)
+	if a.MaxLoadBits != c.MaxLoadBits || a.TotalBits != c.TotalBits || !data.EqualMultiset(a.Output, c.Output) {
+		t.Error("star: prepared run differs from one-shot run")
+	}
+	if b.MaxLoadBits != a.MaxLoadBits || !data.EqualMultiset(a.Output, b.Output) {
+		t.Error("star: prepared plan not reusable")
+	}
+	if sp.HeavyHitters() != a.HeavyHitters || sp.ServersUsed() != a.ServersUsed {
+		t.Errorf("star plan accessors disagree with the run: %d/%d vs %d/%d",
+			sp.HeavyHitters(), sp.ServersUsed(), a.HeavyHitters, a.ServersUsed)
+	}
+
+	tri := query.Triangle()
+	triDB := data.SkewedTriangleDatabase(rng, 500, n, 7, 60)
+	tp := PrepareTriangle(tri, triDB, 16)
+	ta := RunTrianglePlanned(tp, tri, triDB, 16, 5, 0)
+	tc := RunTriangleCap(tri, triDB, 16, 5, 0)
+	if ta.MaxLoadBits != tc.MaxLoadBits || ta.TotalBits != tc.TotalBits || !data.EqualMultiset(ta.Output, tc.Output) {
+		t.Error("triangle: prepared run differs from one-shot run")
+	}
+	if tp.HeavyHitters() != ta.HeavyHitters || tp.ServersUsed() != ta.ServersUsed {
+		t.Error("triangle plan accessors disagree with the run")
+	}
+
+	genDB := skewedTriDB(11, 400, n, 3, 30)
+	gp := PrepareGeneric(tri, genDB, 16, 6)
+	ga := RunGenericPlanned(gp, tri, genDB, 16, 5, 0)
+	gc := RunGenericCap(tri, genDB, 16, 5, 6, 0)
+	if ga.MaxLoadBits != gc.MaxLoadBits || ga.TotalBits != gc.TotalBits || !data.EqualMultiset(ga.Output, gc.Output) {
+		t.Error("generic: prepared run differs from one-shot run")
+	}
+	if gp.NumPatterns() < 2 || gp.HeavyHitters() != ga.HeavyHitters {
+		t.Errorf("generic plan accessors look wrong: %d patterns, %d heavy", gp.NumPatterns(), gp.HeavyHitters())
+	}
+}
+
+// TestAddStatsChargesAccounting asserts the cached-vs-charged seam: merging
+// a StatsResult must add its round and bits, take the load max, recompute
+// replication, and join the abort flag — exactly what RunStarSampledCap does
+// inline.
+func TestAddStatsChargesAccounting(t *testing.T) {
+	res := &Result{Rounds: 1, MaxLoadBits: 100, TotalBits: 1000, InputBits: 500}
+	st := &StatsResult{Rounds: 1, MaxLoadBits: 250, TotalBits: 300, Aborted: true}
+	AddStatsCharges(res, st)
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Rounds)
+	}
+	if res.TotalBits != 1300 {
+		t.Errorf("total = %v, want 1300", res.TotalBits)
+	}
+	if res.MaxLoadBits != 250 {
+		t.Errorf("max load = %v, want 250 (stats round dominates)", res.MaxLoadBits)
+	}
+	if res.ReplicationRate != 1300.0/500 {
+		t.Errorf("replication = %v, want %v", res.ReplicationRate, 1300.0/500)
+	}
+	if !res.Aborted {
+		t.Error("abort flag not joined")
+	}
+}
+
+// TestStarStatsSpecDeterministic asserts the spec derivation and protocol
+// run are deterministic — the property that makes the stats cache sound.
+func TestStarStatsSpecDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := query.Star(2)
+	db := data.SkewedStarDatabase(rng, 2, 400, 1<<16, map[int64]int{7: 50})
+	spec := StarStatsSpec(q, db, 16)
+	st1 := spec.Run(16, 100, 42, 0)
+	st2 := StarStatsSpec(q, db, 16).Run(16, 100, 42, 0)
+	if st1.MaxLoadBits != st2.MaxLoadBits || st1.TotalBits != st2.TotalBits || st1.Rounds != st2.Rounds {
+		t.Error("stats protocol not deterministic for fixed inputs")
+	}
+	if len(st1.PerAtom) != len(st2.PerAtom) {
+		t.Fatal("estimate shapes differ")
+	}
+	for j := range st1.PerAtom {
+		if len(st1.PerAtom[j]) != len(st2.PerAtom[j]) {
+			t.Fatalf("atom %d: %d vs %d estimates", j, len(st1.PerAtom[j]), len(st2.PerAtom[j]))
+		}
+		for v, c := range st1.PerAtom[j] {
+			if st2.PerAtom[j][v] != c {
+				t.Fatalf("atom %d value %d: %d vs %d", j, v, c, st2.PerAtom[j][v])
+			}
+		}
+	}
+}

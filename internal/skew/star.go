@@ -54,12 +54,7 @@ func RunStar(q *query.Query, db *data.Database, p int, seed int64) *Result {
 // RunStarCap is RunStar with a declared per-round load cap in bits
 // (Section 2.1's abort semantics); 0 means no cap.
 func RunStarCap(q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
-	zName := q.Atoms[0].Vars[0]
-	freqs := make([]map[int64]int, q.NumAtoms())
-	for j, a := range q.Atoms {
-		freqs[j] = data.ColumnFrequencies(db.Get(a.Name), colOf(a, zName))
-	}
-	return RunStarWithFrequencies(q, db, p, seed, freqs, capBits)
+	return RunStarPlanned(PrepareStar(q, db, p), q, db, p, seed, capBits)
 }
 
 // RunStarWithFrequencies is RunStar with explicit z-frequency statistics,
@@ -69,6 +64,42 @@ func RunStarCap(q *query.Query, db *data.Database, p int, seed int64, capBits fl
 // sampled estimates are safe — bad estimates only cost load. capBits > 0
 // declares a per-round load cap (0 = none).
 func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64, freqs []map[int64]int, capBits float64) *Result {
+	return RunStarPlanned(PrepareStarWithFrequencies(q, db, p, freqs), q, db, p, seed, capBits)
+}
+
+// StarPlan is the reusable, seed-independent part of a star-query run: the
+// heavy-hitter set and the per-heavy-hitter server blocks with their
+// residual-share grids, derived from frequency statistics. A StarPlan is
+// immutable after preparation and safe for concurrent RunStarPlanned calls,
+// so a service can prepare it once per (query shape, database) and replay it
+// for every arriving query.
+type StarPlan struct {
+	zCols        []int
+	heavy        []int64
+	blocks       map[int64]*block
+	totalServers int
+}
+
+// HeavyHitters returns the number of z-values handled by dedicated blocks.
+func (sp *StarPlan) HeavyHitters() int { return len(sp.heavy) }
+
+// ServersUsed returns the total servers the layout spans (light + blocks).
+func (sp *StarPlan) ServersUsed() int { return sp.totalServers }
+
+// PrepareStar computes the star layout from exact column frequencies — the
+// statistics phase of RunStar, split out so its result can be cached.
+func PrepareStar(q *query.Query, db *data.Database, p int) *StarPlan {
+	zName := q.Atoms[0].Vars[0]
+	freqs := make([]map[int64]int, q.NumAtoms())
+	for j, a := range q.Atoms {
+		freqs[j] = data.ColumnFrequencies(db.Get(a.Name), colOf(a, zName))
+	}
+	return PrepareStarWithFrequencies(q, db, p, freqs)
+}
+
+// PrepareStarWithFrequencies computes the star layout from explicit
+// (exact or estimated) z-frequency statistics.
+func PrepareStarWithFrequencies(q *query.Query, db *data.Database, p int, freqs []map[int64]int) *StarPlan {
 	k := q.NumAtoms()
 	zName := q.Atoms[0].Vars[0]
 
@@ -138,9 +169,21 @@ func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64
 		blocks[h] = &block{offset: offset, grid: grid}
 		offset += grid.P()
 	}
-	totalServers := offset
+	return &StarPlan{zCols: zCols, heavy: heavy, blocks: blocks, totalServers: offset}
+}
+
+// RunStarPlanned executes the star algorithm's data round under a prepared
+// layout: routing, local evaluation and metering, with the statistics phase
+// already paid for (or cached) by the caller. Running a prepared plan is
+// bit-identical to the unprepared path — preparation only moves work, never
+// accounting.
+func RunStarPlanned(sp *StarPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
+	k := q.NumAtoms()
+	zCols, blocks, totalServers := sp.zCols, sp.blocks, sp.totalServers
+	bpv := data.BitsPerValue(db.N)
 
 	cluster := engine.NewCluster(totalServers, bpv)
+	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
 	}
@@ -177,6 +220,10 @@ func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64
 	// evaluate the same star query over their fragments).
 	outputs := make([]*data.Relation, totalServers)
 	engine.ParallelFor(totalServers, func(s int) {
+		if cluster.Inbox(s).NumTuples() == 0 {
+			outputs[s] = data.NewRelation(q.Name, q.NumVars())
+			return
+		}
 		frag := make(map[string]*data.Relation, k)
 		for _, a := range q.Atoms {
 			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
@@ -205,7 +252,7 @@ func RunStarWithFrequencies(q *query.Query, db *data.Database, p int, seed int64
 		TotalBits:       cluster.TotalBits(),
 		InputBits:       inputBits,
 		ReplicationRate: cluster.ReplicationRate(inputBits),
-		HeavyHitters:    len(heavy),
+		HeavyHitters:    len(sp.heavy),
 		Aborted:         cluster.Aborted(),
 	}
 }

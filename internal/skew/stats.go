@@ -63,6 +63,7 @@ func DetectHeavyHittersMPCMulti(rels []*data.Relation, cols []int, p, sampleSize
 	candidateThresholds []int, seed int64, capBits float64) *StatsResult {
 	l := len(rels)
 	cluster := engine.NewCluster(p, statsBitsPerValue)
+	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
 	}
@@ -155,22 +156,61 @@ func RunStarSampled(q *query.Query, db *data.Database, p int, seed int64, sample
 // RunStarSampledCap is RunStarSampled with a declared per-round load cap in
 // bits (0 = none); the cap applies to the statistics round too.
 func RunStarSampledCap(q *query.Query, db *data.Database, p int, seed int64, sampleSize int, capBits float64) *Result {
+	st := StarStatsSpec(q, db, p).Run(p, sampleSize, seed, capBits)
+	res := RunStarWithFrequencies(q, db, p, seed, st.PerAtom, capBits)
+	AddStatsCharges(res, st)
+	return res
+}
+
+// StatsSpec pins down one invocation of the sampling protocol: the relation
+// columns to profile and the per-relation candidate thresholds. It exists so
+// a caching layer can derive the exact same protocol inputs as the inline
+// path and replay (or skip) the round deterministically.
+type StatsSpec struct {
+	Rels       []*data.Relation
+	Cols       []int
+	Thresholds []int
+}
+
+// StarStatsSpec returns the spec RunStarSampled uses for a star query: every
+// atom's z-column, with the conservative m_j/(4p) candidate cut.
+func StarStatsSpec(q *query.Query, db *data.Database, p int) StatsSpec {
 	zName := q.Atoms[0].Vars[0]
 	l := q.NumAtoms()
-	rels := make([]*data.Relation, l)
-	cols := make([]int, l)
-	thresholds := make([]int, l)
+	spec := StatsSpec{
+		Rels:       make([]*data.Relation, l),
+		Cols:       make([]int, l),
+		Thresholds: make([]int, l),
+	}
 	for j, a := range q.Atoms {
-		rels[j] = db.Get(a.Name)
-		cols[j] = colOf(a, zName)
-		thr := rels[j].NumTuples() / (4 * p) // conservative candidate cut
+		spec.Rels[j] = db.Get(a.Name)
+		spec.Cols[j] = colOf(a, zName)
+		thr := spec.Rels[j].NumTuples() / (4 * p) // conservative candidate cut
 		if thr < 2 {
 			thr = 2
 		}
-		thresholds[j] = thr
+		spec.Thresholds[j] = thr
 	}
-	st := DetectHeavyHittersMPCMulti(rels, cols, p, sampleSize, thresholds, seed, capBits)
-	res := RunStarWithFrequencies(q, db, p, seed, st.PerAtom, capBits)
+	return spec
+}
+
+// Run executes the one-round sampling protocol for the spec. The result is
+// deterministic in (spec, p, sampleSize, seed, capBits), which is what makes
+// it cacheable: replaying a cached StatsResult and re-running the protocol
+// yield identical estimates and identical bit charges.
+func (spec StatsSpec) Run(p, sampleSize int, seed int64, capBits float64) *StatsResult {
+	return DetectHeavyHittersMPCMulti(spec.Rels, spec.Cols, p, sampleSize, spec.Thresholds, seed, capBits)
+}
+
+// AddStatsCharges folds the statistics round's cost into a data-round
+// Result: one extra round, its communication added to TotalBits, the load
+// maximum taken across both phases, and the abort flag joined. This is THE
+// accounting seam between "cached" and "charged": a service may skip
+// re-executing the sampling round when it holds the StatsResult, but it must
+// still pass the cached result through here so the Report charges the bits
+// the protocol would have moved — the paper's cost model meters
+// communication of the algorithm, not of the implementation's memoization.
+func AddStatsCharges(res *Result, st *StatsResult) {
 	res.Rounds += st.Rounds
 	res.TotalBits += st.TotalBits
 	if st.MaxLoadBits > res.MaxLoadBits {
@@ -180,5 +220,4 @@ func RunStarSampledCap(q *query.Query, db *data.Database, p int, seed int64, sam
 		res.ReplicationRate = res.TotalBits / res.InputBits
 	}
 	res.Aborted = res.Aborted || st.Aborted
-	return res
 }

@@ -47,6 +47,36 @@ func RunTriangle(q *query.Query, db *data.Database, p int, seed int64) *Result {
 // RunTriangleCap is RunTriangle with a declared per-round load cap in bits
 // (Section 2.1's abort semantics); 0 means no cap.
 func RunTriangleCap(q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
+	return RunTrianglePlanned(PrepareTriangle(q, db, p), q, db, p, seed, capBits)
+}
+
+// TrianglePlan is the reusable, seed-independent part of a triangle run:
+// per-variable frequency and heavy-hitter classifications plus the full
+// server layout (light grid, case-1 groups, case-2 pivot blocks). It is
+// immutable after preparation and safe for concurrent RunTrianglePlanned
+// calls, so a service can compute it once per database and replay it.
+type TrianglePlan struct {
+	pHeavy    []map[int64]bool
+	cubeHeavy []map[int64]bool
+	layout    *triLayout
+}
+
+// HeavyHitters returns the number of cube-heavy values across variables.
+func (tp *TrianglePlan) HeavyHitters() int {
+	n := 0
+	for i := range tp.cubeHeavy {
+		n += len(tp.cubeHeavy[i])
+	}
+	return n
+}
+
+// ServersUsed returns the total servers the layout spans.
+func (tp *TrianglePlan) ServersUsed() int { return tp.layout.totalServers }
+
+// PrepareTriangle computes the frequency statistics and server layout of the
+// Section 4.2.2 algorithm — the statistics phase of RunTriangle, split out
+// so its result can be cached across queries on the same database.
+func PrepareTriangle(q *query.Query, db *data.Database, p int) *TrianglePlan {
 	if q.NumAtoms() != 3 || q.NumVars() != 3 {
 		panic("skew: RunTriangle requires the triangle query")
 	}
@@ -100,8 +130,27 @@ func RunTriangleCap(q *query.Query, db *data.Database, p int, seed int64, capBit
 	for j := range rels {
 		relTuples[j] = rels[j].NumTuples()
 	}
-	layout := newTriLayout(q, p, freq, cubeHeavy, bpv, relTuples)
+	return &TrianglePlan{
+		pHeavy:    pHeavy,
+		cubeHeavy: cubeHeavy,
+		layout:    newTriLayout(q, p, freq, cubeHeavy, bpv, relTuples),
+	}
+}
+
+// RunTrianglePlanned executes the triangle data round under a prepared
+// layout; see RunStarPlanned for the caching contract (bit-identical to the
+// unprepared path).
+func RunTrianglePlanned(tp *TrianglePlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
+	vars := q.Vars()
+	pHeavy, cubeHeavy, layout := tp.pHeavy, tp.cubeHeavy, tp.layout
+	rels := make([]*data.Relation, 3)
+	for j, a := range q.Atoms {
+		rels[j] = db.Get(a.Name)
+	}
+
+	bpv := data.BitsPerValue(db.N)
 	cluster := engine.NewCluster(layout.totalServers, bpv)
+	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
 	}
@@ -153,6 +202,10 @@ func RunTriangleCap(q *query.Query, db *data.Database, p int, seed int64, capBit
 	// Local evaluation with per-group output predicates.
 	outputs := make([]*data.Relation, layout.totalServers)
 	engine.ParallelFor(layout.totalServers, func(s int) {
+		if cluster.Inbox(s).NumTuples() == 0 {
+			outputs[s] = data.NewRelation(q.Name, 3)
+			return
+		}
 		frag := make(map[string]*data.Relation, 3)
 		for _, a := range q.Atoms {
 			frag[a.Name] = data.NewRelation(a.Name, 2)

@@ -19,7 +19,11 @@
 //     connected-components algorithms;
 //   - bounds: TauStar, LoadLowerBound, ShareExponents, SpaceExponentLB,
 //     round-count bounds, and the skewed bounds;
-//   - the experiment harness regenerating every table in the paper.
+//   - the experiment harness regenerating every table in the paper;
+//   - serving: NewService wraps Run in a long-lived, concurrency-safe query
+//     service with plan and statistics caching (keyed by Query.ShapeKey and
+//     a database fingerprint), admission control (ErrOverloaded), and
+//     aggregate metrics — see Service and cmd/mpcload.
 //
 // Quick start:
 //

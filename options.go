@@ -15,7 +15,13 @@ type runConfig struct {
 	loadCapBits float64
 	heavyCap    int
 	roundBudget int
+	cache       *execCache // set by Service; nil for plain Run (no caching)
 }
+
+// withExecCache is the internal option a Service uses to hand Run its plan
+// and statistics caches. It is deliberately unexported: caching is only
+// sound under the Service's database-version bookkeeping.
+func withExecCache(ec *execCache) RunOption { return func(c *runConfig) { c.cache = ec } }
 
 func defaultConfig() runConfig {
 	return runConfig{

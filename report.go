@@ -2,6 +2,8 @@ package mpcquery
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
 
 	"mpcquery/internal/data"
@@ -87,6 +89,48 @@ func (r *Report) String() string {
 	}
 	if r.Output != nil {
 		fmt.Fprintf(&b, "output   : %d tuples\n", r.Output.NumTuples())
+	}
+	return b.String()
+}
+
+// Fingerprint returns a canonical digest of everything the Report asserts
+// about a run: the executed strategy, rounds, per-round and aggregate bit
+// accounting (floats rendered exactly, as hex bit patterns — no formatting
+// rounding), shares, heavy-hitter count, abort flag, and an order-sensitive
+// hash of the output tuples. Two runs with equal Fingerprints produced the
+// same answer with the same communication cost.
+//
+// This is the equality the service's caching contract is stated in: a
+// cached-plan or cached-statistics run must fingerprint identically to the
+// uncached run, and the seeded-determinism tests use it to assert that
+// concurrent same-seed runs are byte-identical. The output relation's Name
+// is excluded (it is presentation, not result).
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy=%s|rounds=%d|servers=%d", r.Strategy, r.Rounds, r.ServersUsed)
+	for _, rs := range r.RoundStats {
+		fmt.Fprintf(&b, "|r%d=%x", rs.Round, math.Float64bits(rs.MaxLoadBits))
+	}
+	fmt.Fprintf(&b, "|L=%x|T=%x|I=%x|rep=%x|pred=%x",
+		math.Float64bits(r.MaxLoadBits), math.Float64bits(r.TotalBits),
+		math.Float64bits(r.InputBits), math.Float64bits(r.ReplicationRate),
+		math.Float64bits(r.PredictedLoadBits))
+	fmt.Fprintf(&b, "|shares=%v|heavy=%d|aborted=%t", r.Shares, r.HeavyHitters, r.Aborted)
+	if r.Output == nil {
+		b.WriteString("|out=nil")
+	} else {
+		h := fnv.New64a()
+		var buf [8]byte
+		m := r.Output.NumTuples()
+		for i := 0; i < m; i++ {
+			for _, v := range r.Output.Tuple(i) {
+				for s := 0; s < 8; s++ {
+					buf[s] = byte(uint64(v) >> (8 * s))
+				}
+				h.Write(buf[:])
+			}
+		}
+		fmt.Fprintf(&b, "|out=%d/%d#%016x", m, r.Output.Arity, h.Sum64())
 	}
 	return b.String()
 }

@@ -97,6 +97,10 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		}
 	}()
 
+	if cfg.cache != nil {
+		// Scope every cache key to (shape, database version, sizes, p).
+		cfg.cache = cfg.cache.composePrefix(q, db, cfg.servers)
+	}
 	rep, err = strategy.Execute(ExecContext{
 		Query:       q,
 		DB:          db,
@@ -105,6 +109,7 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		LoadCapBits: cfg.loadCapBits,
 		HeavyCap:    cfg.heavyCap,
 		RoundBudget: cfg.roundBudget,
+		cache:       cfg.cache,
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +119,13 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 	}
 	if rep.Query == nil {
 		rep.Query = q
+	}
+	// Outputs are built fresh per execution, but a strategy replaying a
+	// cached plan names its output after the query the plan was built from;
+	// normalize to this request's query so cached and uncached runs agree
+	// on every observable field, presentation included.
+	if rep.Output != nil && rep.Query != nil && rep.Query.Name != "" {
+		rep.Output.Name = rep.Query.Name
 	}
 	return rep, nil
 }

@@ -1,0 +1,307 @@
+package mpcquery
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpcquery/internal/service"
+)
+
+// Service errors; test with errors.Is.
+var (
+	// ErrOverloaded: the request was refused at admission because the
+	// service's queue is full — the caller should back off and retry.
+	ErrOverloaded = service.ErrOverloaded
+	// ErrServiceClosed: the request arrived after Close.
+	ErrServiceClosed = service.ErrClosed
+)
+
+// Service turns the one-shot Run path into a long-lived, concurrency-safe
+// query service that amortizes planning and statistics work across a query
+// stream:
+//
+//   - a PLAN cache keyed by Query.ShapeKey() plus a database fingerprint
+//     memoizes HyperCube share allocations (the LP solutions), skew-aware
+//     layouts (heavy-hitter blocks, pattern grids), multi-round plan trees,
+//     and the Auto advisor's option enumeration;
+//   - a STATISTICS cache memoizes results of statistics protocols that cost
+//     genuine communication (the sampling round of SkewedStarSampled).
+//     Cache hits skip the recomputation but every Report still charges the
+//     protocol's bits, so cached and uncached runs are bit-identical — the
+//     paper's cost model meters the algorithm, not the memoization;
+//   - admission control: a bounded worker pool with a queue-depth limit
+//     sheds load (ErrOverloaded) instead of building an unbounded backlog;
+//   - aggregate metrics: throughput, latency percentiles, total
+//     communication across the stream, cache hit rates.
+//
+// All methods are safe for concurrent use. A zero Service is not valid; use
+// NewService.
+//
+//	svc := mpcquery.NewService(mpcquery.WithServiceWorkers(8))
+//	defer svc.Close()
+//	rep, err := svc.Run(q, db, mpcquery.WithStrategy(mpcquery.SkewedStar()))
+type Service struct {
+	pool    *service.Pool
+	metrics *service.Metrics
+	plans   *service.Cache
+	stats   *service.Cache
+	planOn  bool
+	statsOn bool
+
+	mu      sync.Mutex
+	dbs     map[*Database]*dbEntry
+	dbOrder []*Database // registration order, for bounded tracking
+	nextID  int64
+}
+
+// maxTrackedDatabases bounds the database-identity map: a long-lived
+// service streaming over many short-lived databases must not pin them (and
+// their relations) forever. Beyond the bound the oldest registration is
+// forgotten and its cache entries purged; re-serving that database simply
+// re-registers it under a fresh id (a cache miss, never a stale hit).
+const maxTrackedDatabases = 1024
+
+// dbEntry tracks the identity and version of a registered database; the
+// version is bumped by InvalidateDatabase so stale cache entries become
+// unreachable.
+type dbEntry struct {
+	id      int64
+	version int64
+}
+
+// serviceConfig collects the NewService knobs.
+type serviceConfig struct {
+	workers       int
+	queueDepth    int
+	cacheCapacity int
+	planCaching   bool
+	statsCaching  bool
+}
+
+// ServiceOption configures NewService.
+type ServiceOption func(*serviceConfig)
+
+// WithServiceWorkers sets how many queries may execute concurrently
+// (default GOMAXPROCS). Each query already parallelizes internally across
+// cores, so the default slightly oversubscribes to hide per-query serial
+// phases.
+func WithServiceWorkers(n int) ServiceOption { return func(c *serviceConfig) { c.workers = n } }
+
+// WithServiceQueue sets the admission queue depth (default 8× workers).
+// Requests beyond workers+queue are shed with ErrOverloaded.
+func WithServiceQueue(n int) ServiceOption { return func(c *serviceConfig) { c.queueDepth = n } }
+
+// WithPlanCaching toggles the plan cache (default on).
+func WithPlanCaching(on bool) ServiceOption { return func(c *serviceConfig) { c.planCaching = on } }
+
+// WithStatsCaching toggles the statistics cache (default on).
+func WithStatsCaching(on bool) ServiceOption { return func(c *serviceConfig) { c.statsCaching = on } }
+
+// WithServiceCacheCapacity bounds each cache's entry count (default 1024).
+func WithServiceCacheCapacity(n int) ServiceOption {
+	return func(c *serviceConfig) { c.cacheCapacity = n }
+}
+
+// NewService starts a query service. Close it when done to release the
+// worker goroutines.
+func NewService(opts ...ServiceOption) *Service {
+	cfg := serviceConfig{
+		workers:       runtime.GOMAXPROCS(0),
+		cacheCapacity: 1024,
+		planCaching:   true,
+		statsCaching:  true,
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 8 * cfg.workers
+	}
+	return &Service{
+		pool:    service.NewPool(cfg.workers, cfg.queueDepth),
+		metrics: service.NewMetrics(),
+		plans:   service.NewCache(cfg.cacheCapacity),
+		stats:   service.NewCache(cfg.cacheCapacity),
+		planOn:  cfg.planCaching,
+		statsOn: cfg.statsCaching,
+		dbs:     make(map[*Database]*dbEntry),
+	}
+}
+
+// Run executes one query through the service: the request is admitted to
+// the bounded worker pool (or shed with ErrOverloaded), executed by Run
+// with the service's caches attached, and recorded in the aggregate
+// metrics. The returned Report is bit-identical to what a plain Run of the
+// same request would produce, whether or not any cache was hit.
+func (s *Service) Run(q *Query, db *Database, opts ...RunOption) (*Report, error) {
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	ec := s.execCacheFor(db)
+	runOpts := make([]RunOption, 0, len(opts)+1)
+	runOpts = append(runOpts, withExecCache(ec))
+	runOpts = append(runOpts, opts...)
+
+	start := time.Now()
+	ch := make(chan outcome, 1)
+	if err := s.pool.Submit(func() {
+		// Run converts strategy panics into *StrategyError, but a panic can
+		// fire before its recover boundary (e.g. a caller-supplied RunOption
+		// that panics). Contain it here so one bad request neither kills
+		// the worker nor leaves this caller blocked on ch forever.
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{nil, fmt.Errorf("mpcquery: service request panicked: %v", r)}
+			}
+		}()
+		rep, err := Run(q, db, runOpts...)
+		ch <- outcome{rep, err}
+	}); err != nil {
+		if err == ErrOverloaded {
+			s.metrics.RecordShed()
+		}
+		return nil, fmt.Errorf("mpcquery: service admission: %w", err)
+	}
+	out := <-ch
+	latency := time.Since(start)
+	if out.err != nil {
+		s.metrics.RecordFailure(latency)
+		return nil, out.err
+	}
+	s.metrics.RecordSuccess(latency, out.rep.TotalBits, out.rep.MaxLoadBits, out.rep.Rounds)
+	return out.rep, nil
+}
+
+// execCacheFor returns the cache handle for one request, tagging keys with
+// the database's identity and current version. With both caches disabled it
+// returns nil and Run behaves exactly like the plain path.
+func (s *Service) execCacheFor(db *Database) *execCache {
+	if db == nil || (!s.planOn && !s.statsOn) {
+		return nil
+	}
+	s.mu.Lock()
+	e, ok := s.dbs[db]
+	if !ok {
+		s.nextID++
+		e = &dbEntry{id: s.nextID}
+		s.dbs[db] = e
+		s.dbOrder = append(s.dbOrder, db)
+		if len(s.dbOrder) > maxTrackedDatabases {
+			oldest := s.dbOrder[0]
+			s.dbOrder = s.dbOrder[1:]
+			if old, ok := s.dbs[oldest]; ok {
+				delete(s.dbs, oldest)
+				defer s.purgeDB(old)
+			}
+		}
+	}
+	tag := fmt.Sprintf("db%d.v%d", e.id, e.version)
+	s.mu.Unlock()
+	return &execCache{
+		plans:   s.plans,
+		stats:   s.stats,
+		planOn:  s.planOn,
+		statsOn: s.statsOn,
+		dbTag:   tag,
+	}
+}
+
+// InvalidateDatabase declares that db's contents changed in place, bumping
+// its version so every cached plan and statistic derived from it becomes
+// unreachable, and purging the now-dead entries from both caches.
+// Appending tuples to a relation is detected automatically (relation sizes
+// are part of every cache key); only in-place value edits need this call.
+func (s *Service) InvalidateDatabase(db *Database) {
+	s.mu.Lock()
+	e, ok := s.dbs[db]
+	var stale dbEntry
+	if ok {
+		stale = *e
+		e.version++
+	}
+	s.mu.Unlock()
+	if ok {
+		s.purgeDB(&stale)
+	}
+}
+
+// purgeDB drops every cache entry keyed under one database version. Keys
+// embed the tag as a |-delimited field, so the substring match is exact.
+func (s *Service) purgeDB(e *dbEntry) {
+	tag := fmt.Sprintf("|db%d.v%d|", e.id, e.version)
+	s.plans.PurgeMatching(tag)
+	s.stats.PurgeMatching(tag)
+}
+
+// ServiceCacheStats reports one cache's effectiveness (hits, misses,
+// entries, evictions, and a HitRate method).
+type ServiceCacheStats = service.CacheStats
+
+// ServiceStats is a point-in-time snapshot of the service's aggregate
+// behavior across every query it has served.
+type ServiceStats struct {
+	Completed int64 // queries that returned a Report
+	Failed    int64 // queries that returned an error
+	Shed      int64 // requests refused with ErrOverloaded
+
+	Uptime     time.Duration
+	Throughput float64 // completed queries per second of uptime
+
+	// Wall-clock latency percentiles (queue wait + execution) over the most
+	// recent queries.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+	LatencyMax time.Duration
+
+	TotalBits   float64 // Σ Report.TotalBits over the stream
+	MaxLoadBits float64 // max Report.MaxLoadBits seen
+	TotalRounds int64   // Σ Report.Rounds
+
+	PlanCache  ServiceCacheStats
+	StatsCache ServiceCacheStats
+
+	Workers    int // concurrent query executions allowed
+	QueueDepth int // admission queue capacity
+	Queued     int // requests waiting right now (snapshot)
+}
+
+// Stats returns the service's aggregate metrics.
+func (s *Service) Stats() ServiceStats {
+	sum := s.metrics.Snapshot()
+	pc, sc := s.plans.Stats(), s.stats.Stats()
+	return ServiceStats{
+		Completed:   sum.Completed,
+		Failed:      sum.Failed,
+		Shed:        sum.Shed,
+		Uptime:      sum.Uptime,
+		Throughput:  sum.Throughput,
+		LatencyP50:  sum.LatencyP50,
+		LatencyP95:  sum.LatencyP95,
+		LatencyP99:  sum.LatencyP99,
+		LatencyMax:  sum.LatencyMax,
+		TotalBits:   sum.TotalBits,
+		MaxLoadBits: sum.MaxLoadBits,
+		TotalRounds: sum.TotalRounds,
+		PlanCache:   pc,
+		StatsCache:  sc,
+		Workers:     s.pool.Workers(),
+		QueueDepth:  s.pool.QueueDepth(),
+		Queued:      s.pool.Queued(),
+	}
+}
+
+// Close stops admission (subsequent Runs return ErrServiceClosed), waits
+// for queued and in-flight queries to finish, and releases the workers.
+// Close is idempotent.
+func (s *Service) Close() {
+	s.pool.Close()
+}

@@ -22,6 +22,11 @@ type ExecContext struct {
 	LoadCapBits float64 // 0 = no cap (WithLoadCap)
 	HeavyCap    int     // per-variable heavy-hitter cap (WithHeavyCap)
 	RoundBudget int     // max rounds for Auto, 0 = unlimited (WithRoundBudget)
+
+	// cache is the Service's plan/statistics cache handle; nil for plain
+	// Run. Built-in strategies consult it through cachedPlan/cachedStats;
+	// caching is transparent to external Strategy implementations.
+	cache *execCache
 }
 
 // Strategy is one executable point in the paper's rounds/load tradeoff
@@ -64,7 +69,9 @@ func (s hyperCubeStrategy) Name() string {
 }
 
 func (s hyperCubeStrategy) Execute(ctx ExecContext) (*Report, error) {
-	plan := core.PlanForDatabase(ctx.Query, ctx.DB, ctx.Servers, s.mode)
+	plan := ctx.cachedPlan(fmt.Sprintf("hc|m%d", s.mode), func() any {
+		return core.PlanForDatabase(ctx.Query, ctx.DB, ctx.Servers, s.mode)
+	}).(*core.Plan)
 	res := core.RunPlanWithCap(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits)
 	rep := reportFromCore(s.Name(), ctx.Query, res)
 	rep.PredictedLoadBits = plan.PredictedLoadBits()
@@ -175,9 +182,24 @@ func (s skewedStarStrategy) Execute(ctx ExecContext) (*Report, error) {
 	}
 	var res *skew.Result
 	if s.sampled {
-		res = skew.RunStarSampledCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, s.sampleSize, ctx.LoadCapBits)
+		// The sampling protocol costs a genuine communication round; its
+		// result lives in the STATS cache and a hit skips the recomputation,
+		// but AddStatsCharges below always charges the round's bits to the
+		// Report — cached vs charged (see execCache).
+		st := ctx.cachedStats(fmt.Sprintf("star-stats|s%d|ss%d|c%g", ctx.Seed, s.sampleSize, ctx.LoadCapBits), func() any {
+			return skew.StarStatsSpec(ctx.Query, ctx.DB, ctx.Servers).
+				Run(ctx.Servers, s.sampleSize, ctx.Seed, ctx.LoadCapBits)
+		}).(*skew.StatsResult)
+		sp := ctx.cachedPlan(fmt.Sprintf("star-sampled|s%d|ss%d", ctx.Seed, s.sampleSize), func() any {
+			return skew.PrepareStarWithFrequencies(ctx.Query, ctx.DB, ctx.Servers, st.PerAtom)
+		}).(*skew.StarPlan)
+		res = skew.RunStarPlanned(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+		skew.AddStatsCharges(res, st)
 	} else {
-		res = skew.RunStarCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+		sp := ctx.cachedPlan("star", func() any {
+			return skew.PrepareStar(ctx.Query, ctx.DB, ctx.Servers)
+		}).(*skew.StarPlan)
+		res = skew.RunStarPlanned(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
 	}
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
@@ -209,7 +231,10 @@ func (s skewedTriangleStrategy) Execute(ctx ExecContext) (*Report, error) {
 	if ctx.Query.NumAtoms() != 3 || ctx.Query.NumVars() != 3 {
 		return nil, fmt.Errorf("mpcquery: skewed-triangle needs the triangle query C3; got %s", ctx.Query)
 	}
-	res := skew.RunTriangleCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+	tp := ctx.cachedPlan("triangle", func() any {
+		return skew.PrepareTriangle(ctx.Query, ctx.DB, ctx.Servers)
+	}).(*skew.TrianglePlan)
+	res := skew.RunTrianglePlanned(tp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -223,7 +248,10 @@ func SkewedGeneric() Strategy { return skewedGenericStrategy{} }
 func (skewedGenericStrategy) Name() string { return "skewed-generic" }
 
 func (s skewedGenericStrategy) Execute(ctx ExecContext) (*Report, error) {
-	res := skew.RunGenericCap(ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits)
+	gp := ctx.cachedPlan(fmt.Sprintf("generic|h%d", ctx.HeavyCap), func() any {
+		return skew.PrepareGeneric(ctx.Query, ctx.DB, ctx.Servers, ctx.HeavyCap)
+	}).(*skew.GenericPlan)
+	res := skew.RunGenericPlanned(gp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -270,27 +298,39 @@ func (s multiRoundStrategy) Execute(ctx ExecContext) (*Report, error) {
 	if !ctx.Query.IsConnected() {
 		return nil, fmt.Errorf("mpcquery: %s needs a connected query; got %s", s.Name(), ctx.Query)
 	}
-	var plan *multiround.Plan
 	if s.chain {
 		k := ctx.Query.NumAtoms()
 		if !query.Chain(k).SameShape(ctx.Query) {
 			return nil, fmt.Errorf("mpcquery: chain-plan needs the chain query L%d (atoms S1..S%d); got %s", k, k, ctx.Query)
 		}
-		plan = multiround.ChainPlan(k, s.eps)
-	} else {
-		plan = multiround.GreedyPlan(ctx.Query, s.eps)
 	}
-	return executeMultiRound(s.Name(), plan, s.eps, s.skewAware, ctx)
+	planKey := fmt.Sprintf("mr|c%t|sk%t|e%g", s.chain, s.skewAware, s.eps)
+	plan := ctx.cachedPlan(planKey, func() any {
+		if s.chain {
+			return multiround.ChainPlan(ctx.Query.NumAtoms(), s.eps)
+		}
+		return multiround.GreedyPlan(ctx.Query, s.eps)
+	}).(*multiround.Plan)
+	return executeMultiRound(planKey, s.Name(), plan, s.eps, s.skewAware, ctx)
 }
 
 // executeMultiRound runs a prepared plan and folds its ExecResult into a
-// Report, predicting load as M_max/p^{1−ε} (the Section 5 target).
-func executeMultiRound(name string, plan *multiround.Plan, eps float64, skewAware bool, ctx ExecContext) (*Report, error) {
+// Report, predicting load as M_max/p^{1−ε} (the Section 5 target). The
+// cacheKey scopes per-node memoized artifacts (share LPs, skew layouts over
+// intermediate views) to this particular plan — node names repeat across
+// plans, so the key must identify the plan, not just the node.
+func executeMultiRound(cacheKey string, name string, plan *multiround.Plan, eps float64, skewAware bool, ctx ExecContext) (*Report, error) {
+	var memo multiround.Memo
+	if ctx.cache != nil {
+		memo = func(key string, compute func() any) any {
+			return ctx.cachedPlan(cacheKey+"|"+key, compute)
+		}
+	}
 	var res *multiround.ExecResult
 	if skewAware {
-		res = multiround.ExecuteSkewAwareCap(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits)
+		res = multiround.ExecuteSkewAwareCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits, memo)
 	} else {
-		res = multiround.ExecuteCap(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+		res = multiround.ExecuteCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, memo)
 	}
 	rep := &Report{
 		Strategy:    name,
@@ -335,7 +375,12 @@ func (s autoStrategy) Execute(ctx ExecContext) (*Report, error) {
 	if !ctx.Query.IsConnected() {
 		return nil, fmt.Errorf("mpcquery: auto needs a connected query; got %s", ctx.Query)
 	}
-	opts := advisor.AdviseDatabase(ctx.Query, ctx.DB, ctx.Servers)
+	// The advisor's full option enumeration (two share LPs plus a greedy
+	// plan per ε-grid point) is shape+stats determined; memoize it and keep
+	// only the cheap budget-dependent Best pick per request.
+	opts := ctx.cachedPlan("advice", func() any {
+		return advisor.AdviseDatabase(ctx.Query, ctx.DB, ctx.Servers)
+	}).([]advisor.Option)
 	best, ok := advisor.Best(opts, ctx.RoundBudget)
 	if !ok {
 		return nil, fmt.Errorf("mpcquery: %w: no option fits a budget of %d round(s)",
@@ -347,7 +392,7 @@ func (s autoStrategy) Execute(ctx ExecContext) (*Report, error) {
 	)
 	switch {
 	case best.Plan != nil:
-		rep, err = executeMultiRound(s.Name(), best.Plan, best.SpaceExponent, false, ctx)
+		rep, err = executeMultiRound("auto|"+best.Name, s.Name(), best.Plan, best.SpaceExponent, false, ctx)
 	case best.SkewRobust:
 		rep, err = HyperCubeOblivious().Execute(ctx)
 	default:
