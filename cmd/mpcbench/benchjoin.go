@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mpcquery/internal/localjoin"
+	"mpcquery/internal/localjoin/baseline"
+)
+
+// JoinBench is one query shape's kernel-vs-baseline measurement: the
+// columnar kernel of internal/localjoin next to the frozen reference
+// evaluator in internal/localjoin/baseline, on the identical (query,
+// relations) instance. Speedup is baseline_ns / kernel_ns.
+type JoinBench struct {
+	Shape            string  `json:"shape"`
+	Query            string  `json:"query"`
+	InputTuples      int     `json:"input_tuples"`
+	OutputTuples     int     `json:"output_tuples"`
+	KernelNsPerOp    int64   `json:"kernel_ns_per_op"`
+	BaselineNsPerOp  int64   `json:"baseline_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	KernelAllocsOp   int64   `json:"kernel_allocs_per_op"`
+	BaselineAllocsOp int64   `json:"baseline_allocs_per_op"`
+	AllocRatio       float64 `json:"alloc_ratio"` // baseline / kernel
+}
+
+// JoinBenchFile is the top-level BENCH_localjoin.json document.
+type JoinBenchFile struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Results     []JoinBench `json:"results"`
+	MinSpeedup  float64     `json:"min_speedup"` // worst shape's speedup
+}
+
+// writeJoinBenchJSON benchmarks the local-join kernel against the preserved
+// baseline evaluator on the shared ablation shapes (the same instances
+// BenchmarkEvaluate measures) and writes BENCH_localjoin.json. When
+// minSpeedup > 0 it returns an error if any shape's speedup falls below it
+// — the CI gate for the kernel's perf contract.
+func writeJoinBenchJSON(path string, minSpeedup float64) error {
+	file := JoinBenchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	worst := 0.0
+	for _, shape := range localjoin.BenchShapes() {
+		inputTuples := 0
+		for _, r := range shape.Rels {
+			inputTuples += r.NumTuples()
+		}
+		out := localjoin.Evaluate(shape.Q, shape.Rels)
+
+		sc := localjoin.NewScratch()
+		kernel := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if sc.Evaluate(shape.Q, shape.Rels).NumTuples() == 0 {
+					b.Fatal("no output")
+				}
+			}
+		})
+		base := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if baseline.Evaluate(shape.Q, shape.Rels).NumTuples() == 0 {
+					b.Fatal("no output")
+				}
+			}
+		})
+
+		jb := JoinBench{
+			Shape:            shape.Name,
+			Query:            shape.Q.String(),
+			InputTuples:      inputTuples,
+			OutputTuples:     out.NumTuples(),
+			KernelNsPerOp:    kernel.NsPerOp(),
+			BaselineNsPerOp:  base.NsPerOp(),
+			KernelAllocsOp:   kernel.AllocsPerOp(),
+			BaselineAllocsOp: base.AllocsPerOp(),
+		}
+		if jb.KernelNsPerOp > 0 {
+			jb.Speedup = float64(jb.BaselineNsPerOp) / float64(jb.KernelNsPerOp)
+		}
+		ka := jb.KernelAllocsOp
+		if ka < 1 {
+			ka = 1
+		}
+		jb.AllocRatio = float64(jb.BaselineAllocsOp) / float64(ka)
+		file.Results = append(file.Results, jb)
+		if worst == 0 || jb.Speedup < worst {
+			worst = jb.Speedup
+		}
+		fmt.Fprintf(os.Stderr, "mpcbench: %-16s kernel %10d ns/op %6d allocs/op | baseline %10d ns/op %8d allocs/op | speedup %.2fx\n",
+			shape.Name, jb.KernelNsPerOp, jb.KernelAllocsOp, jb.BaselineNsPerOp, jb.BaselineAllocsOp, jb.Speedup)
+	}
+	file.MinSpeedup = worst
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mpcbench: wrote %d join benchmarks to %s (worst speedup %.2fx)\n",
+		len(file.Results), path, worst)
+
+	if minSpeedup > 0 && worst < minSpeedup {
+		return fmt.Errorf("kernel speedup %.2fx below required %.2fx", worst, minSpeedup)
+	}
+	return nil
+}

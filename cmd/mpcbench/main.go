@@ -7,6 +7,7 @@
 //	mpcbench [-quick] [-seed N] [-md] [-only E5]
 //	mpcbench -compare [-m 5000] [-p 64] [-seed N]
 //	mpcbench -benchjson BENCH_engine.json [-m 5000] [-p 64] [-seed N]
+//	mpcbench -benchjoin BENCH_localjoin.json [-minspeedup 4]
 //
 // -quick shrinks input sizes (useful for smoke runs); -md emits markdown
 // (the format of EXPERIMENTS.md); -only runs a single experiment by id.
@@ -16,6 +17,10 @@
 // writes machine-readable per-strategy metrics (ns/op, allocs/op, bytes/op,
 // MaxLoadBits, rounds, output size) to the given file, so CI can track the
 // engine's perf trajectory across commits.
+// -benchjoin benchmarks the columnar local-join kernel against the
+// preserved baseline evaluator per query shape and writes
+// BENCH_localjoin.json (ns/op, allocs/op, speedup); with -minspeedup it
+// exits non-zero when any shape's speedup falls below the gate.
 package main
 
 import (
@@ -41,9 +46,23 @@ func main() {
 	outPath := flag.String("out", "", "also write the output to this file")
 	compare := flag.Bool("compare", false, "benchmark every Run strategy on shared workloads")
 	benchJSON := flag.String("benchjson", "", "write per-strategy benchmark metrics as JSON to this file (e.g. BENCH_engine.json)")
+	benchJoin := flag.String("benchjoin", "", "write kernel-vs-baseline local-join benchmarks as JSON to this file (e.g. BENCH_localjoin.json)")
+	minSpeedup := flag.Float64("minspeedup", 0, "with -benchjoin: exit non-zero if any shape's kernel speedup falls below this")
 	m := flag.Int("m", 5000, "tuples per relation (-compare/-benchjson)")
 	p := flag.Int("p", 64, "servers (-compare/-benchjson)")
 	flag.Parse()
+
+	if *benchJoin != "" {
+		if *jsonOut || *md || *quick || *only != "" || *outPath != "" || *compare || *benchJSON != "" {
+			fmt.Fprintln(os.Stderr, "mpcbench: -benchjoin does not combine with other modes")
+			os.Exit(2)
+		}
+		if err := writeJoinBenchJSON(*benchJoin, *minSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if *jsonOut || *md || *quick || *only != "" || *outPath != "" || *compare {

@@ -67,14 +67,14 @@ func RunPlanCapped(pl *Plan, db *data.Database, seed int64, capBits float64) *Ca
 	})
 
 	// Computation phase under the cap: each server accepts messages in
-	// arrival order until capBits is exhausted.
+	// arrival order until capBits is exhausted. Budget cuts make fragments
+	// diverge across servers, so no index cache — just per-worker scratch.
 	outputs := make([]*data.Relation, gp)
 	dropped := make([]float64, gp)
-	engine.ParallelFor(gp, func(s int) {
-		frag := make(map[string]*data.Relation, q.NumAtoms())
-		for _, a := range q.Atoms {
-			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
-		}
+	scratches := localjoin.NewWorkerScratches()
+	cluster.Compute(func(s, w int) {
+		sc := scratches.Worker(w)
+		frag := sc.Fragments(q)
 		budget := capBits
 		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
 			cost := float64(len(tuple) * bpv)
@@ -83,10 +83,11 @@ func RunPlanCapped(pl *Plan, db *data.Database, seed int64, capBits float64) *Ca
 				return
 			}
 			budget -= cost
-			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+			frag[kind].AppendTuple(tuple)
 		})
-		outputs[s] = localjoin.Evaluate(q, frag)
+		outputs[s] = sc.EvaluateAtoms(q, frag, nil)
 	})
+	scratches.Release()
 
 	answers := 0
 	droppedTotal := 0.0

@@ -162,6 +162,11 @@ type Result struct {
 	InputBits       float64
 	ReplicationRate float64
 	Aborted         bool // a declared load cap was exceeded (RunPlanWithCap)
+
+	// Wall-clock split of the simulation (not model costs): seconds spent
+	// in local computation vs simulated communication delivery.
+	ComputeSeconds float64
+	CommSeconds    float64
 }
 
 // Run plans and executes the HyperCube algorithm for q on db with p servers.
@@ -270,34 +275,36 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, see
 		})
 	})
 
-	// Computation phase: local evaluation on every server (no communication).
+	// Computation phase: local evaluation on every server (no
+	// communication). Each worker keeps one kernel scratch whose arenas are
+	// reused across all the servers it evaluates; the round-scoped index
+	// cache shares index builds between servers that received identical
+	// fragments (whole grid slices do, since a tuple is replicated along
+	// every dimension its atom does not constrain).
 	outputs := make([]*data.Relation, gp)
-	engine.ParallelFor(gp, func(s int) {
+	cache := localjoin.NewIndexCache()
+	scratches := localjoin.NewWorkerScratches()
+	cluster.Compute(func(s, w int) {
 		if cluster.Inbox(s).NumTuples() == 0 {
 			outputs[s] = data.NewRelation(q.Name, q.NumVars())
 			return
 		}
-		frag := make(map[string]*data.Relation, q.NumAtoms())
-		for _, a := range q.Atoms {
-			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
-		}
-		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
-			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+		sc := scratches.Worker(w)
+		frag := sc.Fragments(q)
+		cluster.Inbox(s).EachBatch(func(b engine.Batch) {
+			frag[b.Kind].AppendVals(b.Vals)
 		})
-		outputs[s] = localjoin.Evaluate(q, frag)
+		outputs[s] = sc.EvaluateAtoms(q, frag, cache)
 	})
+	scratches.Release()
 
-	out := data.NewRelation(q.Name, q.NumVars())
-	for _, o := range outputs {
-		for i := 0; i < o.NumTuples(); i++ {
-			out.AppendTuple(o.Tuple(i))
-		}
-	}
+	out := data.Concat(q.Name, q.NumVars(), outputs)
 
 	inputBits := 0.0
 	for _, a := range q.Atoms {
 		inputBits += db.Get(a.Name).SizeBits(db.N)
 	}
+	computeS, commS := cluster.PhaseSeconds()
 	return &Result{
 		Plan:            pl,
 		Output:          out,
@@ -308,6 +315,8 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, see
 		InputBits:       inputBits,
 		ReplicationRate: cluster.ReplicationRate(inputBits),
 		Aborted:         cluster.Aborted(),
+		ComputeSeconds:  computeS,
+		CommSeconds:     commS,
 	}
 }
 

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
+
+	"mpcquery/internal/hashing"
 )
 
 // Relation is a bag of fixed-arity tuples over int64 values, stored in a
@@ -17,6 +20,12 @@ type Relation struct {
 	Name  string
 	Arity int
 	vals  []int64
+
+	// ident caches the content fingerprint computed by Identity; 0 means
+	// "not computed". Mutators reset it. Stored atomically so concurrent
+	// readers of a shared, no-longer-mutated relation may race only on
+	// writing the identical value.
+	ident atomic.Uint64
 }
 
 // NewRelation returns an empty relation with the given name and arity.
@@ -48,6 +57,52 @@ func (r *Relation) AppendTuple(t []int64) {
 		panic(fmt.Sprintf("data: tuple of length %d appended to %s (arity %d)", len(t), r.Name, r.Arity))
 	}
 	r.vals = append(r.vals, t...)
+	r.ident.Store(0)
+}
+
+// AppendVals bulk-appends a flat row-major block of tuples; len(vals) must
+// be a multiple of the arity. This is the columnar ingest path for engine
+// batches: one copy, no per-tuple bookkeeping.
+func (r *Relation) AppendVals(vals []int64) {
+	if len(vals)%r.Arity != 0 {
+		panic(fmt.Sprintf("data: block of %d values appended to %s (arity %d)", len(vals), r.Name, r.Arity))
+	}
+	r.vals = append(r.vals, vals...)
+	r.ident.Store(0)
+}
+
+// Vals returns the relation's flat row-major storage (tuple i occupies
+// [i*Arity, (i+1)*Arity)). It is a live view for columnar kernels: the
+// caller must not modify it, and it is invalidated by subsequent appends.
+func (r *Relation) Vals() []int64 { return r.vals }
+
+// Reset empties the relation in place, keeping the backing capacity — the
+// reuse path for per-worker fragment buffers rebuilt every server.
+func (r *Relation) Reset() {
+	r.vals = r.vals[:0]
+	r.ident.Store(0)
+}
+
+// Identity returns a 64-bit content fingerprint of (arity, values), never 0,
+// computed lazily and cached until the next mutation. Two relations with
+// equal Identity hold the same tuple sequence with overwhelming probability;
+// the local-join index cache uses it to share one index build across servers
+// that received identical fragments. Concurrent calls on a relation that is
+// no longer being mutated are safe; mutating while another goroutine reads
+// is the caller's race, as with every other accessor.
+func (r *Relation) Identity() uint64 {
+	if id := r.ident.Load(); id != 0 {
+		return id
+	}
+	h := hashing.Combine(0x9d3c0aa1786f3d2b, uint64(r.Arity))
+	for _, v := range r.vals {
+		h = hashing.Combine(h, uint64(v))
+	}
+	if h == 0 {
+		h = 1
+	}
+	r.ident.Store(h)
+	return h
 }
 
 // Tuple returns a view of tuple i; the caller must not grow it, and it is
@@ -189,6 +244,22 @@ func EqualMultiset(a, b *Relation) bool {
 		}
 	}
 	return true
+}
+
+// Concat returns one relation holding every part's tuples in part order —
+// the per-server output union of a computation phase, assembled with one
+// bulk copy per part. Every part must have the given arity.
+func Concat(name string, arity int, parts []*Relation) *Relation {
+	out := NewRelation(name, arity)
+	total := 0
+	for _, p := range parts {
+		total += p.NumTuples()
+	}
+	out.Grow(total)
+	for _, p := range parts {
+		out.AppendVals(p.Vals())
+	}
+	return out
 }
 
 // Database is a set of named relations over a common domain [n].

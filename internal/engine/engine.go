@@ -25,6 +25,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Broadcast is the destination pseudo-id that delivers a batch to every
@@ -283,6 +284,13 @@ type Cluster struct {
 	recvTuples   []int
 	rounds       []RoundStats
 	loadCap      float64 // 0 = unlimited; otherwise rounds flag Aborted
+
+	// Wall-clock split of the simulation, not a model cost: time spent in
+	// server computation (round functions and Compute phases) vs delivery
+	// (the simulated communication). cmd/mpcload reports the split per
+	// scenario so perf work knows which phase dominates.
+	computeSeconds float64
+	commSeconds    float64
 }
 
 // inboxPool recycles inbox arenas across clusters, so a service executing a
@@ -376,16 +384,19 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	// spawning would dominate small rounds. ParallelFor re-raises server
 	// panics on the caller's goroutine, so callers see them as ordinary
 	// panics.
+	t0 := time.Now()
 	for s := 0; s < c.p; s++ {
 		c.emitters[s].reset()
 	}
 	ParallelFor(c.p, func(s int) {
 		f(s, c.inbox[s], c.emitters[s])
 	})
+	c.computeSeconds += time.Since(t0).Seconds()
 
 	// Delivery phase, sharded by destination: each destination collects its
 	// batches from every sender in sender order, into a recycled arena, and
 	// accounts its own received bits — no cross-goroutine writes.
+	t1 := time.Now()
 	ParallelFor(c.p, func(d int) {
 		ib := c.spare[d]
 		ib.reset()
@@ -408,6 +419,7 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 		c.recvBits[d] = bits
 		c.recvTuples[d] = tuples
 	})
+	c.commSeconds += time.Since(t1).Seconds()
 	c.inbox, c.spare = c.spare, c.inbox
 
 	st := RoundStats{Name: name}
@@ -426,6 +438,25 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	}
 	c.rounds = append(c.rounds, st)
 	return st
+}
+
+// Compute runs one computation phase outside a communication round: f runs
+// for every server on the ParallelForWorkers pool (worker ids for per-worker
+// scratch), and the elapsed wall time is accounted to the cluster's
+// compute-phase total. This is the hook strategies use for their final
+// local-evaluation phase so PhaseSeconds covers it.
+func (c *Cluster) Compute(f func(server, worker int)) {
+	t0 := time.Now()
+	ParallelForWorkers(c.p, f)
+	c.computeSeconds += time.Since(t0).Seconds()
+}
+
+// PhaseSeconds returns the cluster's accumulated wall-clock split: seconds
+// spent computing (round functions + Compute phases) and seconds spent
+// delivering (the simulated communication). These are simulation metrics
+// for perf work, not model costs — the model only charges bits and rounds.
+func (c *Cluster) PhaseSeconds() (compute, comm float64) {
+	return c.computeSeconds, c.commSeconds
 }
 
 // SetLoadCap declares the maximum load L: any subsequent round in which a

@@ -10,13 +10,24 @@ import (
 // a communication round (e.g. final local joins). Panics in f propagate to
 // the caller.
 func ParallelFor(n int, f func(i int)) {
+	ParallelForWorkers(n, func(i, _ int) { f(i) })
+}
+
+// ParallelForWorkers is ParallelFor with the executing worker's id passed
+// alongside each item: f(i, w) runs with 0 ≤ w < min(GOMAXPROCS, n), and
+// items handled by the same w run sequentially on one goroutine. The worker
+// id is the hook for per-worker reusable state — a computation phase keeps
+// one localjoin.Scratch per worker and reuses its arenas across all the
+// servers that worker evaluates, the same way the engine reuses inbox
+// arenas across rounds. Panics in f propagate to the caller.
+func ParallelForWorkers(n int, f func(i, worker int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(i, 0)
 		}
 		return
 	}
@@ -26,7 +37,7 @@ func ParallelFor(n int, f func(i int)) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// Recover per item so a panicking iteration does not stop this
 			// worker from draining the channel (which would deadlock the
@@ -38,10 +49,10 @@ func ParallelFor(n int, f func(i int)) {
 							panicOnce.Do(func() { panicked = r })
 						}
 					}()
-					f(i)
+					f(i, w)
 				}()
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

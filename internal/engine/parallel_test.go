@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -33,4 +34,52 @@ func TestParallelForPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestParallelForWorkersIdsInRange(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	const n = 200
+	seen := make([]int32, n)
+	ParallelForWorkers(n, func(i, w int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of [0,%d)", w, workers)
+		}
+		atomic.AddInt32(&seen[i], 1)
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d executed %d times", i, c)
+		}
+	}
+}
+
+// TestParallelForWorkersSequentialPerWorker pins the property per-worker
+// scratch reuse relies on: items assigned to one worker id never run
+// concurrently, so unsynchronized per-worker state is safe.
+func TestParallelForWorkersSequentialPerWorker(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	busy := make([]atomic.Bool, workers)
+	ParallelForWorkers(500, func(i, w int) {
+		if !busy[w].CompareAndSwap(false, true) {
+			t.Errorf("worker %d entered concurrently", w)
+		}
+		busy[w].Store(false)
+	})
+}
+
+func TestClusterComputeTimesPhases(t *testing.T) {
+	c := NewCluster(4, 8)
+	defer c.Release()
+	c.Seed(0, 0, []int64{1, 2})
+	c.Round("r", func(s int, inbox *Inbox, emit *Emitter) {
+		inbox.Each(func(kind int, tu []int64) { emit.EmitTuple((s+1)%4, kind, tu) })
+	})
+	c.Compute(func(server, worker int) {})
+	compute, comm := c.PhaseSeconds()
+	if compute <= 0 {
+		t.Errorf("compute seconds not accounted: %g", compute)
+	}
+	if comm <= 0 {
+		t.Errorf("comm seconds not accounted: %g", comm)
+	}
 }

@@ -52,6 +52,18 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 exposes the SplitMix64 finalizer for hash-table keying elsewhere in
+// the tree (the local-join kernel's open-addressed indexes, relation content
+// identities): a stateless, allocation-free 64-bit mixer.
+func Mix64(z uint64) uint64 { return mix64(z) }
+
+// Combine folds one more 64-bit value into a running hash. Chaining Combine
+// over a sequence gives an order-sensitive digest suitable for multi-column
+// join keys and content fingerprints.
+func Combine(h, v uint64) uint64 {
+	return mix64(h ^ (v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)))
+}
+
 // Grid maps between linear server ids [0,p) and coordinate vectors of the
 // k-dimensional hypercube [p1]×…×[pk], where p = Πᵢ pᵢ.
 type Grid struct {

@@ -5,47 +5,58 @@ import (
 	"testing"
 
 	"mpcquery/internal/data"
+	"mpcquery/internal/localjoin/baseline"
 	"mpcquery/internal/query"
 )
 
-// BenchmarkTriangleJoin measures the local evaluator on a dense triangle
-// instance (the per-server computation phase of a HyperCube round).
-func BenchmarkTriangleJoin(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	q := query.Triangle()
-	rels := make(map[string]*data.Relation)
-	for _, a := range q.Atoms {
-		r := data.NewRelation(a.Name, 2)
-		for i := 0; i < 5000; i++ {
-			r.Append(rng.Int63n(500), rng.Int63n(500))
-		}
-		rels[a.Name] = r
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		out := Evaluate(q, rels)
-		if out.NumTuples() == 0 {
-			b.Fatal("no output")
-		}
+// BenchmarkEvaluate measures the columnar kernel against the preserved
+// baseline evaluator on every ablation shape. The acceptance gate for the
+// kernel is ≥4× ns/op and ≥10× fewer allocs/op on the triangle and skewed
+// star shapes; cmd/mpcbench -benchjoin emits the same comparison as
+// BENCH_localjoin.json for CI.
+func BenchmarkEvaluate(b *testing.B) {
+	for _, shape := range BenchShapes() {
+		b.Run(shape.Name+"/kernel", func(b *testing.B) {
+			s := NewScratch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := s.Evaluate(shape.Q, shape.Rels)
+				if out.NumTuples() == 0 {
+					b.Fatal("no output")
+				}
+			}
+		})
+		b.Run(shape.Name+"/baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := baseline.Evaluate(shape.Q, shape.Rels)
+				if out.NumTuples() == 0 {
+					b.Fatal("no output")
+				}
+			}
+		})
 	}
 }
 
-// BenchmarkChainJoin measures a 4-way chain join over matchings.
-func BenchmarkChainJoin(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	db := data.ChainMatchingDatabase(rng, 4, 20000, 1<<20)
-	q := query.Chain(4)
-	rels := make(map[string]*data.Relation)
-	for _, a := range q.Atoms {
-		rels[a.Name] = db.Get(a.Name)
+// BenchmarkEvaluateCached measures the shared-index path: the same fragment
+// evaluated repeatedly with a warm IndexCache, the profile of a replicated
+// HyperCube grid where whole server slices receive identical fragments.
+func BenchmarkEvaluateCached(b *testing.B) {
+	shape := BenchShapes()[0] // triangle
+	s := NewScratch()
+	byAtom := make([]*data.Relation, shape.Q.NumAtoms())
+	for j, a := range shape.Q.Atoms {
+		byAtom[j] = shape.Rels[a.Name]
 	}
+	cache := NewIndexCache()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := Evaluate(q, rels)
-		if out.NumTuples() != 20000 {
-			b.Fatalf("output=%d", out.NumTuples())
+		out := s.EvaluateAtoms(shape.Q, byAtom, cache)
+		if out.NumTuples() == 0 {
+			b.Fatal("no output")
 		}
 	}
 }
@@ -69,7 +80,9 @@ func BenchmarkJoinOrderAblation(b *testing.B) {
 	})
 	b.Run("endpoints-first", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			EvaluateOrdered(q, rels, []int{0, 2, 1})
+			if _, err := EvaluateOrdered(q, rels, []int{0, 2, 1}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -40,11 +40,11 @@ func GenericJoin(q *query.Query, rels map[string]*data.Relation) *data.Relation 
 	for j, a := range q.Atoms {
 		rel := rels[a.Name]
 		if rel == nil {
-			panic("localjoin: missing relation " + a.Name)
+			panic(&MissingRelationError{Atom: a.Name})
 		}
 		cols := sortedColumns(a, rank)
 		atomVarPos[j] = cols
-		tries[j] = buildTrie(rel, a, cols)
+		tries[j] = buildTrie(rel, &q.Atoms[j], cols)
 	}
 
 	assignment := make(map[string]int64, len(vars))
@@ -126,14 +126,23 @@ func newTrieNode(depth int) *trieNode {
 }
 
 // buildTrie indexes a relation by the atom's variables in global-order
-// columns; tuples inconsistent on repeated variables are dropped, and
-// repeated variables appear once (at their first sorted column).
-func buildTrie(rel *data.Relation, a query.Atom, cols []int) *trieNode {
+// columns; tuples inconsistent on repeated variables are dropped (the
+// column pairs to compare are precomputed once per atom, not rescanned per
+// tuple), and repeated variables appear once (at their first sorted column).
+func buildTrie(rel *data.Relation, a *query.Atom, cols []int) *trieNode {
 	root := newTrieNode(0)
+	eqPairs := repeatedVarPairs(a, nil)
 	m := rel.NumTuples()
 	for i := 0; i < m; i++ {
 		t := rel.Tuple(i)
-		if !selfConsistent(a, t) {
+		ok := true
+		for _, p := range eqPairs {
+			if t[p[0]] != t[p[1]] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
 			continue
 		}
 		node := root

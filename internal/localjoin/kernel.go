@@ -1,0 +1,427 @@
+package localjoin
+
+import (
+	"runtime"
+	"sync"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/localjoin/baseline"
+	"mpcquery/internal/query"
+)
+
+// Scratch is the columnar join kernel's reusable working state: the
+// struct-of-arrays binding arena (one value column per bound variable,
+// ping-ponged between join steps), the per-step hash indexes of the uncached
+// path, the join-order and column-map buffers, and the fragment relations a
+// computation phase rebuilds per server. A Scratch is not safe for
+// concurrent use; a parallel computation phase keeps one per worker
+// (engine.ParallelForWorkers / Cluster.Compute hand out worker ids for
+// exactly this). After warm-up, evaluating with a Scratch allocates only the
+// output relation.
+type Scratch struct {
+	// Binding arena: cols holds the current partial bindings column-wise
+	// (cols[c][r] = value of bound variable c in binding r); next receives
+	// the following step's bindings, then the two swap.
+	cols, next [][]int64
+
+	// Per-step indexes of the uncached path, one slot per join step,
+	// backing arrays reused across calls.
+	idxs []atomIndex
+
+	// Join-order scratch (mirrors the baseline's greedy heuristic).
+	order      []int
+	used       []bool
+	orderBound map[string]bool
+
+	// Per-step column maps, rebuilt per atom (not per tuple).
+	varPos     map[string]int // bound variable -> binding column
+	sharedBind []int          // binding column per key variable
+	keyCols    []int          // relation column per key variable
+	freshCols  []int          // relation column per fresh variable
+	freshNames []string
+	eqPairs    [][2]int
+	key        []int64 // gathered probe key values
+	row        []int64 // output row assembly buffer
+
+	// Atom-indexed views for the map-based entry points and Fragments.
+	rels  []*data.Relation
+	frags []*data.Relation
+}
+
+// NewScratch returns an empty kernel scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool recycles kernel scratches process-wide, the same way the
+// engine pools inbox arenas: a service evaluating a stream of rounds reuses
+// the same binding arenas and index tables instead of growing fresh ones
+// per run.
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// GrabScratch takes a (possibly warm) scratch from the shared pool.
+func GrabScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the scratch to the shared pool. The caller must not use
+// it afterwards. References into caller-owned data — the atom-indexed
+// relation views and the uncached indexes' value views — are dropped so a
+// pooled scratch never pins a retired database; the scratch's own arenas
+// (binding columns, index tables, fragment buffers) are retained for reuse.
+func (s *Scratch) Release() {
+	for i := range s.rels {
+		s.rels[i] = nil
+	}
+	for i := range s.idxs {
+		s.idxs[i].vals = nil // always a view here; cache-published indexes own copies
+	}
+	scratchPool.Put(s)
+}
+
+// WorkerScratches hands one pooled Scratch to each ParallelForWorkers
+// worker id, lazily on first use — the shared shape of every computation
+// phase (one scratch per worker, all released when the phase ends).
+type WorkerScratches struct {
+	s []*Scratch
+}
+
+// NewWorkerScratches sizes the set for the widest possible worker pool.
+func NewWorkerScratches() *WorkerScratches {
+	return &WorkerScratches{s: make([]*Scratch, runtime.GOMAXPROCS(0))}
+}
+
+// Worker returns worker w's scratch, grabbing one from the pool on first
+// use. Safe under ParallelForWorkers' contract: one goroutine per id.
+func (ws *WorkerScratches) Worker(w int) *Scratch {
+	if ws.s[w] == nil {
+		ws.s[w] = GrabScratch()
+	}
+	return ws.s[w]
+}
+
+// Release returns every grabbed scratch to the pool.
+func (ws *WorkerScratches) Release() {
+	for i, sc := range ws.s {
+		if sc != nil {
+			sc.Release()
+			ws.s[i] = nil
+		}
+	}
+}
+
+// Fragments returns scratch-owned relations, one per atom of q in atom
+// order, emptied and ready to receive a server's inbox (typically via
+// Relation.AppendVals from engine batches, whose kind tags are atom
+// indices). The relations are reused across calls: results derived from
+// them must be copied out (EvaluateAtoms' output always is) before the next
+// Fragments call on the same scratch.
+func (s *Scratch) Fragments(q *query.Query) []*data.Relation {
+	n := q.NumAtoms()
+	for len(s.frags) < n {
+		s.frags = append(s.frags, nil)
+	}
+	fr := s.frags[:n]
+	for j := range q.Atoms {
+		a := &q.Atoms[j]
+		if f := fr[j]; f != nil && f.Arity == a.Arity() && f.Name == a.Name {
+			f.Reset()
+		} else {
+			fr[j] = data.NewRelation(a.Name, a.Arity())
+		}
+	}
+	return fr
+}
+
+// Evaluate is Evaluate with this scratch's arenas (see the package-level
+// function for the contract).
+func (s *Scratch) Evaluate(q *query.Query, rels map[string]*data.Relation) *data.Relation {
+	if baselineMode.Load() {
+		return baseline.Evaluate(q, rels)
+	}
+	if out := emptyFastPath(q, rels); out != nil {
+		return out
+	}
+	byAtom := s.byAtom(q, rels)
+	out, err := s.run(q, byAtom, s.greedyOrder(q, byAtom), nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// EvaluateAtoms evaluates q over relations given in atom order (rels[j] is
+// atom j's relation — the natural indexing for a computation phase, whose
+// message kinds are atom indices), sharing index builds through cache when
+// non-nil. It is the kernel's primary entry point; inputs are assumed
+// validated (Run's boundary checks every atom), and a missing relation
+// panics with *MissingRelationError, which the Run boundary converts to its
+// ErrMissingRelation sentinel.
+func (s *Scratch) EvaluateAtoms(q *query.Query, rels []*data.Relation, cache *IndexCache) *data.Relation {
+	if baselineMode.Load() {
+		m := make(map[string]*data.Relation, len(rels))
+		for j, r := range rels {
+			if r != nil {
+				m[q.Atoms[j].Name] = r
+			}
+		}
+		return baseline.Evaluate(q, m)
+	}
+	for _, r := range rels {
+		if r != nil && r.NumTuples() == 0 {
+			return data.NewRelation(q.Name, q.NumVars())
+		}
+	}
+	out, err := s.run(q, rels, s.greedyOrder(q, rels), cache)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// byAtom gathers the map-keyed relations into the scratch's atom-indexed
+// buffer (nil for absent atoms).
+func (s *Scratch) byAtom(q *query.Query, rels map[string]*data.Relation) []*data.Relation {
+	n := q.NumAtoms()
+	for len(s.rels) < n {
+		s.rels = append(s.rels, nil)
+	}
+	by := s.rels[:n]
+	for j := range q.Atoms {
+		by[j] = rels[q.Atoms[j].Name]
+	}
+	return by
+}
+
+// emptyFastPath returns an empty result when any present relation is empty
+// (a full conjunctive query needs every atom to contribute), skipping all
+// ordering and index work — the common case on the many empty servers of a
+// skew-aware layout. It returns nil when evaluation must proceed.
+func emptyFastPath(q *query.Query, rels map[string]*data.Relation) *data.Relation {
+	for i := range q.Atoms {
+		if rel := rels[q.Atoms[i].Name]; rel != nil && rel.NumTuples() == 0 {
+			return data.NewRelation(q.Name, q.NumVars())
+		}
+	}
+	return nil
+}
+
+// greedyOrder picks the join order exactly as the baseline evaluator does:
+// start from the smallest relation, then repeatedly take the atom sharing
+// the most variables with the bound set (ties: smaller relation), falling
+// back to the smallest unjoined atom when none connects.
+func (s *Scratch) greedyOrder(q *query.Query, rels []*data.Relation) []int {
+	n := q.NumAtoms()
+	if cap(s.used) < n {
+		s.used = make([]bool, n)
+	}
+	used := s.used[:n]
+	for i := range used {
+		used[i] = false
+	}
+	if s.orderBound == nil {
+		s.orderBound = make(map[string]bool)
+	}
+	clear(s.orderBound)
+	bound := s.orderBound
+	s.order = s.order[:0]
+
+	size := func(j int) int {
+		if r := rels[j]; r != nil {
+			return r.NumTuples()
+		}
+		return 0
+	}
+	sharedCount := func(j int) int {
+		c := 0
+		for _, v := range q.Atoms[j].DistinctVars() {
+			if bound[v] {
+				c++
+			}
+		}
+		return c
+	}
+	for len(s.order) < n {
+		best := -1
+		bestShared, bestSize := -1, 0
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			sc := sharedCount(j)
+			sz := size(j)
+			if best < 0 || sc > bestShared || (sc == bestShared && sz < bestSize) {
+				best, bestShared, bestSize = j, sc, sz
+			}
+		}
+		used[best] = true
+		s.order = append(s.order, best)
+		for _, v := range q.Atoms[best].DistinctVars() {
+			bound[v] = true
+		}
+	}
+	return s.order
+}
+
+// repeatedVarPairs appends to buf the column pairs of the atom that a tuple
+// must agree on to be self-consistent (S(x,x) matches only equal-column
+// tuples): each later occurrence of a variable paired with its first
+// occurrence. Computed once per atom per evaluation — the per-tuple check
+// is then a handful of direct comparisons.
+func repeatedVarPairs(atom *query.Atom, buf [][2]int) [][2]int {
+	for j := 1; j < len(atom.Vars); j++ {
+		for i := 0; i < j; i++ {
+			if atom.Vars[i] == atom.Vars[j] {
+				buf = append(buf, [2]int{i, j})
+				break
+			}
+		}
+	}
+	return buf
+}
+
+// ensureCols grows cols to n columns and empties each, keeping capacity.
+func ensureCols(cols [][]int64, n int) [][]int64 {
+	for len(cols) < n {
+		cols = append(cols, nil)
+	}
+	for i := 0; i < n; i++ {
+		cols[i] = cols[i][:0]
+	}
+	return cols
+}
+
+// run is the kernel core: a hash join over the atoms in the given order,
+// with partial bindings held column-wise in the scratch arena. Output rows
+// are produced in exactly the baseline evaluator's order — bindings in
+// order, matches per binding in ascending tuple order — so downstream
+// order-sensitive digests (Report.Fingerprint) cannot tell the two apart.
+func (s *Scratch) run(q *query.Query, rels []*data.Relation, order []int, cache *IndexCache) (*data.Relation, error) {
+	vars := q.Vars()
+	if s.varPos == nil {
+		s.varPos = make(map[string]int, len(vars))
+	}
+	clear(s.varPos)
+
+	rows := 1 // one empty binding to start
+	nb := 0   // bound columns so far
+
+	for step, ai := range order {
+		atom := &q.Atoms[ai]
+		rel := rels[ai]
+		if rel == nil {
+			return nil, &MissingRelationError{Atom: atom.Name}
+		}
+
+		// Column maps for this step, built once per atom.
+		s.sharedBind = s.sharedBind[:0]
+		s.keyCols = s.keyCols[:0]
+		s.freshCols = s.freshCols[:0]
+		s.freshNames = s.freshNames[:0]
+		for c, v := range atom.Vars {
+			first := true
+			for _, w := range atom.Vars[:c] {
+				if w == v {
+					first = false
+					break
+				}
+			}
+			if !first {
+				continue // repeated in-atom occurrence: handled by eqPairs
+			}
+			if pos, ok := s.varPos[v]; ok {
+				s.sharedBind = append(s.sharedBind, pos)
+				s.keyCols = append(s.keyCols, c)
+			} else {
+				s.freshCols = append(s.freshCols, c)
+				s.freshNames = append(s.freshNames, v)
+			}
+		}
+		s.eqPairs = repeatedVarPairs(atom, s.eqPairs[:0])
+
+		// Build or fetch the index.
+		var ix *atomIndex
+		if cache != nil {
+			k := indexKey{atom: atom.Name, ident: rel.Identity(), sig: colSig(rel.Arity, s.keyCols, s.eqPairs)}
+			ix = cache.getOrBuild(k, func() *atomIndex {
+				fresh := new(atomIndex)
+				fresh.build(rel, s.keyCols, s.eqPairs, true)
+				return fresh
+			})
+		} else {
+			for len(s.idxs) <= step {
+				s.idxs = append(s.idxs, atomIndex{})
+			}
+			ix = &s.idxs[step]
+			ix.build(rel, s.keyCols, s.eqPairs, false)
+		}
+
+		// Probe every binding, writing surviving rows column-wise into the
+		// next arena.
+		nOut := nb + len(s.freshCols)
+		s.next = ensureCols(s.next, nOut)
+		nk := len(s.sharedBind)
+		if cap(s.key) < nk {
+			s.key = make([]int64, nk)
+		}
+		key := s.key[:nk]
+		arity := ix.arity
+		outRows := 0
+		for r := 0; r < rows; r++ {
+			for t, bc := range s.sharedBind {
+				key[t] = s.cols[bc][r]
+			}
+			slot := hashKey(key) & ix.mask
+			for e := ix.head[slot]; e != 0; e = ix.next[e] {
+				base := int(e-1) * arity
+				match := true
+				for t, kc := range ix.keyCols {
+					if ix.vals[base+int(kc)] != key[t] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				for c := 0; c < nb; c++ {
+					s.next[c] = append(s.next[c], s.cols[c][r])
+				}
+				for f, fc := range s.freshCols {
+					s.next[nb+f] = append(s.next[nb+f], ix.vals[base+fc])
+				}
+				outRows++
+			}
+		}
+
+		for f, name := range s.freshNames {
+			s.varPos[name] = nb + f
+		}
+		nb = nOut
+		s.cols, s.next = s.next, s.cols
+		rows = outRows
+		if rows == 0 {
+			break
+		}
+	}
+
+	// Emit rows in q.Vars() order.
+	out := data.NewRelation(q.Name, len(vars))
+	if rows == 0 {
+		return out, nil
+	}
+	out.Grow(rows)
+	if cap(s.row) < len(vars) {
+		s.row = make([]int64, len(vars))
+	}
+	row := s.row[:len(vars)]
+	// Gather the output column order once (every variable is bound when
+	// rows > 0 here), then emit row-major.
+	outCols := s.sharedBind[:0]
+	for _, v := range vars {
+		outCols = append(outCols, s.varPos[v])
+	}
+	for r := 0; r < rows; r++ {
+		for i, c := range outCols {
+			row[i] = s.cols[c][r]
+		}
+		out.AppendTuple(row)
+	}
+	return out, nil
+}

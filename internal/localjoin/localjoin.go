@@ -1,284 +1,148 @@
 // Package localjoin evaluates full conjunctive queries on a single server —
 // the computation phase of an MPC round. The MPC model places no limit on
-// local computation, so any correct evaluator suffices for the model; this
-// one is a hash-based multiway join with greedy atom ordering, adequate for
-// the workload sizes the experiment harness uses.
+// local computation, but wall-clock does: the evaluator here is a columnar
+// hash-join kernel (open-addressed int64-keyed indexes, a struct-of-arrays
+// binding arena, per-worker reusable scratch) that allocates nothing on the
+// steady-state path beyond its output, with a round-scoped IndexCache that
+// shares index builds across servers holding identical routed fragments.
+// The pre-kernel evaluator is preserved verbatim in the baseline subpackage
+// for equivalence testing and ablation; the kernel reproduces its output
+// tuple-for-tuple, in order.
 package localjoin
 
 import (
-	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
 
 	"mpcquery/internal/data"
+	"mpcquery/internal/localjoin/baseline"
 	"mpcquery/internal/query"
 )
 
+// ErrMissingRelation is the sentinel wrapped by MissingRelationError; test
+// with errors.Is. The Run boundary in the root package converts it into its
+// public ErrMissingRelation.
+var ErrMissingRelation = errors.New("localjoin: missing relation")
+
+// MissingRelationError reports that evaluation referenced an atom with no
+// relation supplied. EvaluateOrdered returns it; Evaluate and EvaluateAtoms
+// — whose callers pre-validate inputs — panic with it, and the Run error
+// boundary converts the panic into an ordinary error instead of letting it
+// cross the public API.
+type MissingRelationError struct {
+	Atom string
+}
+
+func (e *MissingRelationError) Error() string {
+	return fmt.Sprintf("localjoin: missing relation %q", e.Atom)
+}
+
+// Unwrap makes errors.Is(err, ErrMissingRelation) hold.
+func (e *MissingRelationError) Unwrap() error { return ErrMissingRelation }
+
+// baselineMode routes every kernel entry point to the baseline evaluator —
+// the test hook that lets the strategy-equivalence suite run entire
+// strategies on both implementations and compare Report fingerprints.
+var baselineMode atomic.Bool
+
+// SetBaselineForTest switches evaluation to the frozen baseline evaluator
+// (true) or back to the kernel (false). It exists for equivalence tests
+// only; flipping it while evaluations are in flight is safe (the flag is
+// atomic) but makes which evaluator ran unpredictable per call.
+func SetBaselineForTest(on bool) { baselineMode.Store(on) }
+
 // Evaluate computes q over the given relations (one per atom name) and
 // returns the full result, one column per variable in q.Vars() order.
-// Duplicate output tuples are produced if the inputs are bags.
+// Duplicate output tuples are produced if the inputs are bags. Inputs are
+// assumed validated (every atom present); a missing relation panics with
+// *MissingRelationError — use EvaluateOrdered for an error-returning entry
+// point.
 func Evaluate(q *query.Query, rels map[string]*data.Relation) *data.Relation {
-	// A full conjunctive query needs every atom to contribute at least one
-	// tuple; any empty input empties the join. Skew-aware layouts route
-	// most servers nothing at all, so this fast path skips the ordering and
-	// index allocations on the (typically many) empty servers of a round.
-	for _, a := range q.Atoms {
-		if rel := rels[a.Name]; rel != nil && rel.NumTuples() == 0 {
-			return data.NewRelation(q.Name, q.NumVars())
-		}
-	}
-	return EvaluateOrdered(q, rels, atomOrder(q, rels))
+	s := GrabScratch()
+	defer s.Release()
+	return s.Evaluate(q, rels)
 }
 
 // EvaluateOrdered is Evaluate with an explicit atom join order (a
 // permutation of atom indices). It exists for join-order ablations; the
 // default greedy order of Evaluate is usually much faster on connected
-// queries because every step stays bound to previous atoms.
-func EvaluateOrdered(q *query.Query, rels map[string]*data.Relation, order []int) *data.Relation {
-	vars := q.Vars()
-	out := data.NewRelation(q.Name, len(vars))
-
-	// bindings holds one row per partial match, columns indexed by varPos.
-	varPos := make(map[string]int, len(vars))
-	var bound []string
-	bindings := [][]int64{{}} // one empty binding to start
-
+// queries because every step stays bound to previous atoms. A relation
+// missing for some atom yields a *MissingRelationError (errors.Is
+// ErrMissingRelation) rather than a panic, so an ablation harness can probe
+// incomplete databases without tripping the engine's panic propagation.
+func EvaluateOrdered(q *query.Query, rels map[string]*data.Relation, order []int) (*data.Relation, error) {
 	for _, ai := range order {
-		atom := q.Atoms[ai]
-		rel := rels[atom.Name]
-		if rel == nil {
-			panic("localjoin: missing relation " + atom.Name)
+		if ai < 0 || ai >= q.NumAtoms() {
+			return nil, fmt.Errorf("localjoin: order index %d out of range for %d atoms", ai, q.NumAtoms())
 		}
-		shared, fresh := splitVars(atom, varPos)
-		idx := buildIndex(rel, atom, shared, varPos)
-
-		var next [][]int64
-		keyBuf := make([]byte, 8*len(shared))
-		for _, b := range bindings {
-			key := bindingKey(b, shared, varPos, keyBuf)
-			for _, ti := range idx[key] {
-				t := rel.Tuple(ti)
-				row := make([]int64, len(b), len(b)+len(fresh))
-				copy(row, b)
-				ok := true
-				for _, fv := range fresh {
-					v, valid := atomValue(atom, t, fv.name)
-					if !valid {
-						ok = false
-						break
-					}
-					row = append(row, v)
-				}
-				if ok {
-					next = append(next, row)
-				}
-			}
-		}
-		for _, fv := range fresh {
-			varPos[fv.name] = len(bound)
-			bound = append(bound, fv.name)
-		}
-		bindings = next
-		if len(bindings) == 0 {
-			break
+		if rels[q.Atoms[ai].Name] == nil {
+			return nil, &MissingRelationError{Atom: q.Atoms[ai].Name}
 		}
 	}
-
-	// Emit rows in q.Vars() order.
-	out.Grow(len(bindings))
-	row := make([]int64, len(vars))
-	for _, b := range bindings {
-		for i, v := range vars {
-			row[i] = b[varPos[v]]
-		}
-		out.AppendTuple(row)
+	s := GrabScratch()
+	defer s.Release()
+	if baselineMode.Load() {
+		return baseline.EvaluateOrdered(q, rels, order), nil
 	}
-	return out
-}
-
-type freshVar struct {
-	name string
-	col  int // first column of the atom where it appears
-}
-
-// splitVars partitions the atom's distinct variables into those already
-// bound (shared) and those introduced by this atom (fresh).
-func splitVars(atom query.Atom, varPos map[string]int) (shared []string, fresh []freshVar) {
-	seen := make(map[string]bool)
-	for c, v := range atom.Vars {
-		if seen[v] {
-			continue
-		}
-		seen[v] = true
-		if _, ok := varPos[v]; ok {
-			shared = append(shared, v)
-		} else {
-			fresh = append(fresh, freshVar{name: v, col: c})
-		}
-	}
-	return shared, fresh
-}
-
-// buildIndex hashes rel's tuples by the values of the shared variables,
-// dropping tuples that are inconsistent on repeated variables.
-func buildIndex(rel *data.Relation, atom query.Atom, shared []string, varPos map[string]int) map[string][]int {
-	_ = varPos
-	idx := make(map[string][]int)
-	m := rel.NumTuples()
-	keyBuf := make([]byte, 8*len(shared))
-	for i := 0; i < m; i++ {
-		t := rel.Tuple(i)
-		if !selfConsistent(atom, t) {
-			continue
-		}
-		k := 0
-		for _, sv := range shared {
-			v, _ := atomValue(atom, t, sv)
-			binary.LittleEndian.PutUint64(keyBuf[k:], uint64(v))
-			k += 8
-		}
-		key := string(keyBuf[:k])
-		idx[key] = append(idx[key], i)
-	}
-	return idx
-}
-
-// selfConsistent checks that a tuple agrees with itself on repeated
-// variables of the atom (S(x,x) matches only tuples with equal columns).
-func selfConsistent(atom query.Atom, t []int64) bool {
-	for i := 0; i < len(atom.Vars); i++ {
-		for j := i + 1; j < len(atom.Vars); j++ {
-			if atom.Vars[i] == atom.Vars[j] && t[i] != t[j] {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// atomValue returns the value of variable v in tuple t under the atom's
-// column layout.
-func atomValue(atom query.Atom, t []int64, v string) (int64, bool) {
-	for c, w := range atom.Vars {
-		if w == v {
-			return t[c], true
-		}
-	}
-	return 0, false
-}
-
-func bindingKey(b []int64, shared []string, varPos map[string]int, buf []byte) string {
-	k := 0
-	for _, sv := range shared {
-		binary.LittleEndian.PutUint64(buf[k:], uint64(b[varPos[sv]]))
-		k += 8
-	}
-	return string(buf[:k])
-}
-
-// atomOrder picks the join order: start from the smallest relation, then
-// repeatedly take the atom sharing the most variables with the bound set
-// (ties: smaller relation), falling back to the smallest unjoined atom when
-// none connects (cartesian product step).
-func atomOrder(q *query.Query, rels map[string]*data.Relation) []int {
-	n := q.NumAtoms()
-	used := make([]bool, n)
-	bound := make(map[string]bool)
-	size := func(j int) int {
-		if r := rels[q.Atoms[j].Name]; r != nil {
-			return r.NumTuples()
-		}
-		return 0
-	}
-	sharedCount := func(j int) int {
-		c := 0
-		for _, v := range q.Atoms[j].DistinctVars() {
-			if bound[v] {
-				c++
-			}
-		}
-		return c
-	}
-	var order []int
-	for len(order) < n {
-		best := -1
-		bestShared, bestSize := -1, 0
-		for j := 0; j < n; j++ {
-			if used[j] {
-				continue
-			}
-			sc := sharedCount(j)
-			sz := size(j)
-			if best < 0 || sc > bestShared || (sc == bestShared && sz < bestSize) {
-				best, bestShared, bestSize = j, sc, sz
-			}
-		}
-		used[best] = true
-		order = append(order, best)
-		for _, v := range q.Atoms[best].DistinctVars() {
-			bound[v] = true
-		}
-	}
-	return order
+	return s.run(q, s.byAtom(q, rels), order, nil)
 }
 
 // SemiJoin returns the tuples of l that join with at least one tuple of r
-// on their common variables (the paper's ⋉ of Section 5.2).
+// on their common variables (the paper's ⋉ of Section 5.2). It probes the
+// kernel's open-addressed index over r — no string keys, no per-tuple
+// allocation.
 func SemiJoin(l, r *data.Relation, lVars, rVars []string) *data.Relation {
-	common, lCols, rCols := commonColumns(lVars, rVars)
-	_ = common
-	keys := make(map[string]bool)
-	keyBuf := make([]byte, 8*len(rCols))
-	for i := 0; i < r.NumTuples(); i++ {
-		keys[projKey(r.Tuple(i), rCols, keyBuf)] = true
-	}
-	out := data.NewRelation(l.Name, l.Arity)
-	lBuf := make([]byte, 8*len(lCols))
-	for i := 0; i < l.NumTuples(); i++ {
-		if keys[projKey(l.Tuple(i), lCols, lBuf)] {
-			out.AppendTuple(l.Tuple(i))
-		}
-	}
-	return out
+	return semiJoin(l, r, lVars, rVars, true)
 }
 
 // AntiJoin returns the tuples of l with no matching tuple in r on the
 // common variables (the paper's ▷ of Section 5.2).
 func AntiJoin(l, r *data.Relation, lVars, rVars []string) *data.Relation {
-	_, lCols, rCols := commonColumns(lVars, rVars)
-	keys := make(map[string]bool)
-	keyBuf := make([]byte, 8*len(rCols))
-	for i := 0; i < r.NumTuples(); i++ {
-		keys[projKey(r.Tuple(i), rCols, keyBuf)] = true
+	return semiJoin(l, r, lVars, rVars, false)
+}
+
+func semiJoin(l, r *data.Relation, lVars, rVars []string, keep bool) *data.Relation {
+	lCols, rCols := commonColumns(lVars, rVars)
+	s := GrabScratch()
+	defer s.Release()
+	for len(s.idxs) == 0 {
+		s.idxs = append(s.idxs, atomIndex{})
 	}
+	ix := &s.idxs[0]
+	ix.build(r, rCols, nil, false)
+
 	out := data.NewRelation(l.Name, l.Arity)
-	lBuf := make([]byte, 8*len(lCols))
-	for i := 0; i < l.NumTuples(); i++ {
-		if !keys[projKey(l.Tuple(i), lCols, lBuf)] {
-			out.AppendTuple(l.Tuple(i))
+	nk := len(lCols)
+	if cap(s.key) < nk {
+		s.key = make([]int64, nk)
+	}
+	key := s.key[:nk]
+	m := l.NumTuples()
+	for i := 0; i < m; i++ {
+		t := l.Tuple(i)
+		for c, lc := range lCols {
+			key[c] = t[lc]
+		}
+		if ix.contains(key) == keep {
+			out.AppendTuple(t)
 		}
 	}
 	return out
 }
 
-func commonColumns(lVars, rVars []string) (common []string, lCols, rCols []int) {
+// commonColumns maps the shared variables of two schemas to their column
+// positions on each side.
+func commonColumns(lVars, rVars []string) (lCols, rCols []int) {
 	rIdx := make(map[string]int, len(rVars))
 	for i, v := range rVars {
 		rIdx[v] = i
 	}
 	for i, v := range lVars {
 		if j, ok := rIdx[v]; ok {
-			common = append(common, v)
 			lCols = append(lCols, i)
 			rCols = append(rCols, j)
 		}
 	}
-	return common, lCols, rCols
-}
-
-func projKey(t []int64, cols []int, buf []byte) string {
-	k := 0
-	for _, c := range cols {
-		binary.LittleEndian.PutUint64(buf[k:], uint64(t[c]))
-		k += 8
-	}
-	return string(buf[:k])
+	return lCols, rCols
 }

@@ -105,7 +105,7 @@ func Yannakakis(q *query.Query, rels map[string]*data.Relation) *data.Relation {
 	for j, a := range q.Atoms {
 		rel := rels[a.Name]
 		if rel == nil {
-			panic("localjoin: missing relation " + a.Name)
+			panic(&MissingRelationError{Atom: a.Name})
 		}
 		red[j] = rel
 	}
@@ -138,5 +138,10 @@ func Yannakakis(q *query.Query, rels map[string]*data.Relation) *data.Relation {
 	for j, a := range q.Atoms {
 		reduced[a.Name] = red[j]
 	}
-	return EvaluateOrdered(q, reduced, joinOrder)
+	out, err := EvaluateOrdered(q, reduced, joinOrder)
+	if err != nil {
+		// Unreachable: every atom's relation was checked present above.
+		panic(err)
+	}
+	return out
 }

@@ -24,6 +24,11 @@ type ExecResult struct {
 	// Aborted is set when a declared load cap was exceeded by any node of
 	// any round (Section 2.1's abort semantics).
 	Aborted bool
+
+	// Wall-clock split summed over every node's cluster (not model costs):
+	// seconds in local computation vs simulated communication delivery.
+	ComputeSeconds float64
+	CommSeconds    float64
 }
 
 // nodeResult is what the pluggable one-round operator reports per node.
@@ -32,6 +37,8 @@ type nodeResult struct {
 	loadBits  float64
 	totalBits float64
 	aborted   bool
+	computeS  float64
+	commS     float64
 }
 
 // Memo is an optional per-node artifact memoizer supplied by a caching
@@ -75,7 +82,8 @@ func ExecuteCapMemo(p *Plan, db *data.Database, servers int, seed int64, capBits
 			return core.PlanForDatabase(n.Query, sub, perNode, core.SkewFree)
 		}).(*core.Plan)
 		run := core.RunPlanWithCap(pl, sub, seed+int64(d), capBits)
-		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted}
+		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted,
+			computeS: run.ComputeSeconds, commS: run.CommSeconds}
 	})
 }
 
@@ -150,6 +158,8 @@ func executeWith(p *Plan, db *data.Database, servers int,
 			}
 			res.TotalBits += nr.totalBits
 			res.Aborted = res.Aborted || nr.aborted
+			res.ComputeSeconds += nr.computeS
+			res.CommSeconds += nr.commS
 		}
 		res.RoundLoads = append(res.RoundLoads, roundLoad)
 		if roundLoad > res.MaxLoadBits {
@@ -188,6 +198,7 @@ func ExecuteSkewAwareCapMemo(p *Plan, db *data.Database, servers int, seed int64
 			return skew.PrepareGeneric(n.Query, sub, perNode, maxHeavyPerVar)
 		}).(*skew.GenericPlan)
 		run := skew.RunGenericPlanned(gp, n.Query, sub, perNode, seed+int64(d), capBits)
-		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted}
+		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted,
+			computeS: run.ComputeSeconds, commS: run.CommSeconds}
 	})
 }

@@ -9,7 +9,6 @@ import (
 	"mpcquery/internal/data"
 	"mpcquery/internal/engine"
 	"mpcquery/internal/hashing"
-	"mpcquery/internal/localjoin"
 	"mpcquery/internal/packing"
 	"mpcquery/internal/query"
 )
@@ -249,28 +248,12 @@ func RunGenericPlanned(gp *GenericPlan, q *query.Query, db *data.Database, p int
 		})
 	})
 
-	outputs := make([]*data.Relation, total)
-	engine.ParallelFor(total, func(s int) {
-		if s < inputServers || cluster.Inbox(s).NumTuples() == 0 {
-			outputs[s] = data.NewRelation(q.Name, k)
-			return
-		}
-		frag := make(map[string]*data.Relation, q.NumAtoms())
-		for _, a := range q.Atoms {
-			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
-		}
-		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
-			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+	outputs := evaluatePhase(cluster, q, total,
+		func(s int) bool { return s < inputServers },
+		func(s int, res *data.Relation) *data.Relation {
+			return filterPattern(res, patternOf(patterns, s), heavy)
 		})
-		res := localjoin.Evaluate(q, frag)
-		outputs[s] = filterPattern(res, patternOf(patterns, s), heavy)
-	})
-	out := data.NewRelation(q.Name, k)
-	for _, o := range outputs {
-		for i := 0; i < o.NumTuples(); i++ {
-			out.AppendTuple(o.Tuple(i))
-		}
-	}
+	out := data.Concat(q.Name, k, outputs)
 
 	inputBits := 0.0
 	for _, a := range q.Atoms {
@@ -280,6 +263,7 @@ func RunGenericPlanned(gp *GenericPlan, q *query.Query, db *data.Database, p int
 	for i := range heavy {
 		nHeavy += len(heavy[i])
 	}
+	computeS, commS := cluster.PhaseSeconds()
 	return &Result{
 		Output:          out,
 		ServersUsed:     total,
@@ -290,6 +274,8 @@ func RunGenericPlanned(gp *GenericPlan, q *query.Query, db *data.Database, p int
 		ReplicationRate: cluster.ReplicationRate(inputBits),
 		HeavyHitters:    nHeavy,
 		Aborted:         cluster.Aborted(),
+		ComputeSeconds:  computeS,
+		CommSeconds:     commS,
 	}
 }
 

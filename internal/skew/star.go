@@ -37,6 +37,11 @@ type Result struct {
 	ReplicationRate float64
 	HeavyHitters    int
 	Aborted         bool // a declared load cap (capBits > 0) was exceeded
+
+	// Wall-clock split of the simulation (not model costs): seconds spent
+	// in local computation vs simulated communication delivery.
+	ComputeSeconds float64
+	CommSeconds    float64
 }
 
 // RunStar computes the star query T_k (atoms S_j(z, x_j)) on db with a
@@ -217,33 +222,16 @@ func RunStarPlanned(sp *StarPlan, q *query.Query, db *data.Database, p int, seed
 	})
 
 	// Local evaluation everywhere (both light servers and heavy blocks
-	// evaluate the same star query over their fragments).
-	outputs := make([]*data.Relation, totalServers)
-	engine.ParallelFor(totalServers, func(s int) {
-		if cluster.Inbox(s).NumTuples() == 0 {
-			outputs[s] = data.NewRelation(q.Name, q.NumVars())
-			return
-		}
-		frag := make(map[string]*data.Relation, k)
-		for _, a := range q.Atoms {
-			frag[a.Name] = data.NewRelation(a.Name, a.Arity())
-		}
-		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
-			frag[q.Atoms[kind].Name].AppendTuple(tuple)
-		})
-		outputs[s] = localjoin.Evaluate(q, frag)
-	})
-	out := data.NewRelation(q.Name, q.NumVars())
-	for _, o := range outputs {
-		for i := 0; i < o.NumTuples(); i++ {
-			out.AppendTuple(o.Tuple(i))
-		}
-	}
+	// evaluate the same star query over their fragments), with per-worker
+	// kernel scratch and a round-scoped shared index cache.
+	outputs := evaluatePhase(cluster, q, totalServers, nil, nil)
+	out := data.Concat(q.Name, q.NumVars(), outputs)
 
 	inputBits := 0.0
 	for _, a := range q.Atoms {
 		inputBits += db.Get(a.Name).SizeBits(db.N)
 	}
+	computeS, commS := cluster.PhaseSeconds()
 	return &Result{
 		Output:          out,
 		ServersUsed:     totalServers,
@@ -254,7 +242,43 @@ func RunStarPlanned(sp *StarPlan, q *query.Query, db *data.Database, p int, seed
 		ReplicationRate: cluster.ReplicationRate(inputBits),
 		HeavyHitters:    len(sp.heavy),
 		Aborted:         cluster.Aborted(),
+		ComputeSeconds:  computeS,
+		CommSeconds:     commS,
 	}
+}
+
+// evaluatePhase is the shared computation phase of the skew algorithms: for
+// every server with a non-empty inbox (and not excluded by skip — the
+// generalized algorithm's input-only servers) it rebuilds the atom fragments
+// into per-worker scratch relations (bulk batch appends, kinds are atom
+// indices), evaluates q with the columnar kernel, and applies filter (when
+// non-nil) to the server's raw result. One index cache spans the phase so
+// servers holding identical routed fragments (broadcast heavy-heavy groups,
+// replicated grid slices) share index builds.
+func evaluatePhase(cluster *engine.Cluster, q *query.Query, servers int,
+	skip func(s int) bool,
+	filter func(s int, res *data.Relation) *data.Relation) []*data.Relation {
+	outputs := make([]*data.Relation, servers)
+	cache := localjoin.NewIndexCache()
+	scratches := localjoin.NewWorkerScratches()
+	cluster.Compute(func(s, w int) {
+		if (skip != nil && skip(s)) || cluster.Inbox(s).NumTuples() == 0 {
+			outputs[s] = data.NewRelation(q.Name, q.NumVars())
+			return
+		}
+		sc := scratches.Worker(w)
+		frag := sc.Fragments(q)
+		cluster.Inbox(s).EachBatch(func(b engine.Batch) {
+			frag[b.Kind].AppendVals(b.Vals)
+		})
+		res := sc.EvaluateAtoms(q, frag, cache)
+		if filter != nil {
+			res = filter(s, res)
+		}
+		outputs[s] = res
+	})
+	scratches.Release()
+	return outputs
 }
 
 type block struct {

@@ -7,7 +7,6 @@ import (
 	"mpcquery/internal/data"
 	"mpcquery/internal/engine"
 	"mpcquery/internal/hashing"
-	"mpcquery/internal/localjoin"
 	"mpcquery/internal/packing"
 	"mpcquery/internal/query"
 )
@@ -200,28 +199,11 @@ func RunTrianglePlanned(tp *TrianglePlan, q *query.Query, db *data.Database, p i
 	})
 
 	// Local evaluation with per-group output predicates.
-	outputs := make([]*data.Relation, layout.totalServers)
-	engine.ParallelFor(layout.totalServers, func(s int) {
-		if cluster.Inbox(s).NumTuples() == 0 {
-			outputs[s] = data.NewRelation(q.Name, 3)
-			return
-		}
-		frag := make(map[string]*data.Relation, 3)
-		for _, a := range q.Atoms {
-			frag[a.Name] = data.NewRelation(a.Name, 2)
-		}
-		cluster.Inbox(s).Each(func(kind int, tuple []int64) {
-			frag[q.Atoms[kind].Name].AppendTuple(tuple)
+	outputs := evaluatePhase(cluster, q, layout.totalServers, nil,
+		func(s int, res *data.Relation) *data.Relation {
+			return layout.filter(s, res, pHeavy, cubeHeavy)
 		})
-		res := localjoin.Evaluate(q, frag)
-		outputs[s] = layout.filter(s, res, pHeavy, cubeHeavy)
-	})
-	out := data.NewRelation(q.Name, 3)
-	for _, o := range outputs {
-		for i := 0; i < o.NumTuples(); i++ {
-			out.AppendTuple(o.Tuple(i))
-		}
-	}
+	out := data.Concat(q.Name, 3, outputs)
 
 	inputBits := 0.0
 	for j := range rels {
@@ -231,6 +213,7 @@ func RunTrianglePlanned(tp *TrianglePlan, q *query.Query, db *data.Database, p i
 	for i := range vars {
 		nHeavy += len(cubeHeavy[i])
 	}
+	computeS, commS := cluster.PhaseSeconds()
 	return &Result{
 		Output:          out,
 		ServersUsed:     layout.totalServers,
@@ -241,6 +224,8 @@ func RunTrianglePlanned(tp *TrianglePlan, q *query.Query, db *data.Database, p i
 		ReplicationRate: cluster.ReplicationRate(inputBits),
 		HeavyHitters:    nHeavy,
 		Aborted:         cluster.Aborted(),
+		ComputeSeconds:  computeS,
+		CommSeconds:     commS,
 	}
 }
 

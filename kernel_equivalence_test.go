@@ -1,0 +1,91 @@
+package mpcquery
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcquery/internal/localjoin"
+)
+
+// TestKernelFingerprintIdenticalToBaselinePerStrategy is the whole-system
+// equivalence pin for the columnar join kernel: every strategy family is
+// executed twice on identical inputs and seeds — once with the kernel, once
+// with the frozen baseline evaluator (localjoin.SetBaselineForTest) — and
+// the two Reports must have bit-identical Fingerprints. Fingerprint hashes
+// the output tuples in order and renders every float as its exact bit
+// pattern, so this asserts that the kernel changes nothing observable: not
+// the answer, not its order, not a single bit of the communication
+// accounting.
+func TestKernelFingerprintIdenticalToBaselinePerStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := 400
+	n := int64(1 << 14)
+
+	tri := Triangle()
+	triSkew := SkewedTriangleDatabase(rng, m, n, 7, m/4)
+	star := Star(2)
+	starSkew := SkewedStarDatabase(rng, 2, m, n, map[int64]int{5: m / 4, 9: m / 8})
+	chain := Chain(4)
+	chainDB := ChainMatchingDatabase(rng, 4, m, n)
+	triFree := MatchingDatabase(rng, tri, m, n)
+
+	edges := NewRelation("E", 2)
+	for i := 0; i < m; i++ {
+		edges.Append(rng.Int63n(64), rng.Int63n(64))
+	}
+	pathsDB := NewDatabase(n)
+	pathsDB.Add(edges)
+	pathAtoms := []Atom{
+		{Name: "E", Vars: []string{"x", "y"}},
+		{Name: "E", Vars: []string{"y", "z"}},
+	}
+
+	cases := []struct {
+		name     string
+		q        *Query
+		db       *Database
+		strategy Strategy
+		extra    []RunOption
+	}{
+		{"hypercube", tri, triSkew, HyperCube(), nil},
+		{"hypercube-oblivious", tri, triSkew, HyperCubeOblivious(), nil},
+		{"hypercube-shares", tri, triFree, HyperCubeShares(4, 4, 4), nil},
+		{"selfjoin", nil, pathsDB, SelfJoin("paths", pathAtoms...), nil},
+		{"skewed-star", star, starSkew, SkewedStar(), nil},
+		{"skewed-star-sampled", star, starSkew, SkewedStarSampled(100), nil},
+		{"skewed-triangle", tri, triSkew, SkewedTriangle(), nil},
+		{"skewed-generic", tri, triSkew, SkewedGeneric(), []RunOption{WithHeavyCap(4)}},
+		{"chain-plan", chain, chainDB, ChainPlan(0), nil},
+		{"greedy-plan", chain, chainDB, GreedyPlan(0), nil},
+		{"greedy-plan-skewaware", chain, chainDB, GreedyPlanSkewAware(0), []RunOption{WithHeavyCap(4)}},
+		{"auto", chain, chainDB, Auto(), nil},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append([]RunOption{
+				WithStrategy(tc.strategy), WithServers(32), WithSeed(3),
+			}, tc.extra...)
+
+			kernelRep, err := Run(tc.q, tc.db, opts...)
+			if err != nil {
+				t.Fatalf("kernel run: %v", err)
+			}
+
+			localjoin.SetBaselineForTest(true)
+			baseRep, err := Run(tc.q, tc.db, opts...)
+			localjoin.SetBaselineForTest(false)
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+
+			kfp, bfp := kernelRep.Fingerprint(), baseRep.Fingerprint()
+			if kfp != bfp {
+				t.Errorf("kernel fingerprint diverges from baseline\nkernel:   %s\nbaseline: %s", kfp, bfp)
+			}
+			if !EqualRelations(kernelRep.Output, baseRep.Output) {
+				t.Error("output multisets differ")
+			}
+		})
+	}
+}

@@ -47,6 +47,14 @@ type Report struct {
 	Shares       []int // per-variable integer HyperCube shares, when one grid was used
 	HeavyHitters int   // heavy hitters handled by a skew-aware strategy
 	Aborted      bool  // a declared load cap (WithLoadCap) was exceeded
+
+	// ComputeSeconds and CommSeconds split the run's wall-clock between the
+	// computation phases (local evaluation, the localjoin kernel) and the
+	// simulated communication (engine delivery). They are simulation
+	// diagnostics, not model costs, and are deliberately excluded from
+	// Fingerprint — two bit-identical runs will time differently.
+	ComputeSeconds float64
+	CommSeconds    float64
 }
 
 // LoadRatio returns observed/predicted load, or 0 when there is no

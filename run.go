@@ -3,6 +3,8 @@ package mpcquery
 import (
 	"errors"
 	"fmt"
+
+	"mpcquery/internal/localjoin"
 )
 
 // Sentinel errors returned (wrapped) by Run; test with errors.Is.
@@ -92,9 +94,20 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 	}
 
 	defer func() {
-		if r := recover(); r != nil {
-			rep, err = nil, &StrategyError{Strategy: strategy.Name(), Value: r}
+		r := recover()
+		if r == nil {
+			return
 		}
+		// The local-join kernel signals a relation missing mid-evaluation
+		// with a typed panic (its computation phase runs inside the engine's
+		// parallel workers, which have no error channel). Surface it as the
+		// ErrMissingRelation sentinel — the same class the pre-execution
+		// validation reports — rather than as an opaque StrategyError.
+		if e, ok := r.(error); ok && errors.Is(e, localjoin.ErrMissingRelation) {
+			rep, err = nil, fmt.Errorf("mpcquery: %w: %v (strategy %s)", ErrMissingRelation, e, strategy.Name())
+			return
+		}
+		rep, err = nil, &StrategyError{Strategy: strategy.Name(), Value: r}
 	}()
 
 	if cfg.cache != nil {

@@ -333,15 +333,17 @@ func executeMultiRound(cacheKey string, name string, plan *multiround.Plan, eps 
 		res = multiround.ExecuteCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, memo)
 	}
 	rep := &Report{
-		Strategy:    name,
-		Query:       ctx.Query,
-		Output:      res.Output,
-		Rounds:      res.Rounds,
-		ServersUsed: ctx.Servers,
-		MaxLoadBits: res.MaxLoadBits,
-		TotalBits:   res.TotalBits,
-		InputBits:   res.InputBits,
-		Aborted:     res.Aborted,
+		Strategy:       name,
+		Query:          ctx.Query,
+		Output:         res.Output,
+		Rounds:         res.Rounds,
+		ServersUsed:    ctx.Servers,
+		MaxLoadBits:    res.MaxLoadBits,
+		TotalBits:      res.TotalBits,
+		InputBits:      res.InputBits,
+		Aborted:        res.Aborted,
+		ComputeSeconds: res.ComputeSeconds,
+		CommSeconds:    res.CommSeconds,
 	}
 	for i, l := range res.RoundLoads {
 		rep.RoundStats = append(rep.RoundStats, RoundStat{Round: i + 1, MaxLoadBits: l})
@@ -420,6 +422,8 @@ func reportFromCore(name string, q *Query, res *core.Result) *Report {
 		InputBits:       res.InputBits,
 		ReplicationRate: res.ReplicationRate,
 		Aborted:         res.Aborted,
+		ComputeSeconds:  res.ComputeSeconds,
+		CommSeconds:     res.CommSeconds,
 	}
 	if res.Plan != nil {
 		rep.Shares = append([]int(nil), res.Plan.Shares...)
@@ -441,5 +445,7 @@ func reportFromSkew(name string, q *Query, res *skew.Result) *Report {
 		ReplicationRate: res.ReplicationRate,
 		HeavyHitters:    res.HeavyHitters,
 		Aborted:         res.Aborted,
+		ComputeSeconds:  res.ComputeSeconds,
+		CommSeconds:     res.CommSeconds,
 	}
 }
