@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mpcquery"
+)
+
+// AggScenarioResult is one pushdown-vs-no-pushdown measurement in
+// BENCH_aggregate.json: the same aggregate query executed twice, once with
+// pre-shuffle partial aggregation and once shipping every raw join-output
+// row, with the model-cost reduction and wall-clock for both.
+type AggScenarioResult struct {
+	Name     string `json:"name"`
+	Strategy string `json:"strategy"`
+	Op       string `json:"op"`
+	Gated    bool   `json:"gated"` // -minreduction applies to this scenario
+
+	Groups              int     `json:"groups"`
+	TotalBitsPushdown   float64 `json:"total_bits_pushdown"`
+	TotalBitsNoPushdown float64 `json:"total_bits_no_pushdown"`
+	Reduction           float64 `json:"reduction"` // no-pushdown / pushdown TotalBits
+	AggregateBitsSaved  float64 `json:"aggregate_bits_saved"`
+	WallNsPushdown      int64   `json:"wall_ns_pushdown"`
+	WallNsNoPushdown    int64   `json:"wall_ns_no_pushdown"`
+	ValuesMatch         bool    `json:"values_match"`
+}
+
+// AggBenchFile is the BENCH_aggregate.json document.
+type AggBenchFile struct {
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	TuplesPerM  int                 `json:"m"`
+	Servers     int                 `json:"p"`
+	Scenarios   []AggScenarioResult `json:"scenarios"`
+}
+
+// aggScenario describes one benchmarked aggregate workload.
+type aggScenario struct {
+	name     string
+	aq       mpcquery.AggregateQuery
+	db       *mpcquery.Database
+	strategy mpcquery.Strategy
+	gated    bool
+}
+
+// writeAggBenchJSON measures every aggregate scenario pushdown-on vs
+// pushdown-off and writes the snapshot; with minReduction > 0 it exits
+// non-zero when a gated scenario's TotalBits reduction falls below the gate.
+func writeAggBenchJSON(path string, m, p int, seed int64, minReduction float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := int64(1 << 16)
+
+	// The headline scenario: a high-duplicate COUNT. Two hot z values carry
+	// most of both relations, so the join output has ~(m/2)² rows for a
+	// handful of groups — exactly the workload where combining before the
+	// shuffle collapses the aggregate round.
+	hotStar := mpcquery.SkewedStarDatabase(rng, 2, m, n, map[int64]int{7: m / 2, 11: m / 4})
+
+	zipfStar := mpcquery.NewDatabase(n)
+	for _, name := range []string{"S1", "S2"} {
+		z := rand.NewZipf(rng, 1.3, 1, 256)
+		r := mpcquery.NewRelation(name, 2)
+		for i := 0; i < m; i++ {
+			r.Append(int64(z.Uint64()), rng.Int63n(n))
+		}
+		zipfStar.Add(r)
+	}
+
+	chainDB := mpcquery.ChainMatchingDatabase(rng, 4, m, n)
+
+	star := mpcquery.Star(2)
+	scenarios := []aggScenario{
+		{name: "count-hot-star", gated: true, strategy: mpcquery.HyperCube(),
+			aq: mpcquery.AggregateQuery{Join: star, Op: mpcquery.AggCount, GroupBy: []string{"z"}},
+			db: hotStar},
+		{name: "sum-zipf-star", strategy: mpcquery.HyperCube(),
+			aq: mpcquery.AggregateQuery{Join: star, Op: mpcquery.AggSum, Of: "x2", GroupBy: []string{"z"}},
+			db: zipfStar},
+		{name: "max-zipf-global", strategy: mpcquery.HyperCubeOblivious(),
+			aq: mpcquery.AggregateQuery{Join: star, Op: mpcquery.AggMax, Of: "x1"},
+			db: zipfStar},
+		{name: "count-chain-global", strategy: mpcquery.ChainPlan(0.5),
+			aq: mpcquery.AggregateQuery{Join: mpcquery.Chain(4), Op: mpcquery.AggCount},
+			db: chainDB},
+	}
+
+	file := AggBenchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		TuplesPerM:  m,
+		Servers:     p,
+	}
+	failed := false
+	for _, sc := range scenarios {
+		run := func(pushdown bool) (*mpcquery.Report, int64, error) {
+			t0 := time.Now()
+			rep, err := mpcquery.RunAggregate(sc.aq, sc.db,
+				mpcquery.WithStrategy(sc.strategy), mpcquery.WithServers(p),
+				mpcquery.WithSeed(seed), mpcquery.WithAggregatePushdown(pushdown))
+			return rep, time.Since(t0).Nanoseconds(), err
+		}
+		on, onNs, err := run(true)
+		if err != nil {
+			return fmt.Errorf("%s pushdown: %w", sc.name, err)
+		}
+		off, offNs, err := run(false)
+		if err != nil {
+			return fmt.Errorf("%s no-pushdown: %w", sc.name, err)
+		}
+		res := AggScenarioResult{
+			Name:                sc.name,
+			Strategy:            sc.strategy.Name(),
+			Op:                  sc.aq.Op.String(),
+			Gated:               sc.gated,
+			Groups:              on.Output.NumTuples(),
+			TotalBitsPushdown:   on.TotalBits,
+			TotalBitsNoPushdown: off.TotalBits,
+			AggregateBitsSaved:  on.AggregateBitsSaved,
+			WallNsPushdown:      onNs,
+			WallNsNoPushdown:    offNs,
+			ValuesMatch:         mpcquery.EqualRelations(on.Output, off.Output),
+		}
+		if on.TotalBits > 0 {
+			res.Reduction = off.TotalBits / on.TotalBits
+		}
+		file.Scenarios = append(file.Scenarios, res)
+		fmt.Fprintf(os.Stderr, "mpcbench: %-20s %-18s %8d groups  %12.0f -> %12.0f bits  %6.2fx  match=%t\n",
+			sc.name, sc.strategy.Name(), res.Groups, res.TotalBitsNoPushdown, res.TotalBitsPushdown,
+			res.Reduction, res.ValuesMatch)
+		if !res.ValuesMatch {
+			fmt.Fprintf(os.Stderr, "mpcbench: FAIL: %s aggregate values diverged between pushdown and no-pushdown\n", sc.name)
+			failed = true
+		}
+		if sc.gated && minReduction > 0 && res.Reduction < minReduction {
+			fmt.Fprintf(os.Stderr, "mpcbench: FAIL: %s reduction %.2fx below required %.2fx\n",
+				sc.name, res.Reduction, minReduction)
+			failed = true
+		}
+	}
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mpcbench: wrote %s\n", path)
+	if failed {
+		os.Exit(1)
+	}
+	return nil
+}

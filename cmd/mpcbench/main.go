@@ -8,6 +8,7 @@
 //	mpcbench -compare [-m 5000] [-p 64] [-seed N]
 //	mpcbench -benchjson BENCH_engine.json [-m 5000] [-p 64] [-seed N]
 //	mpcbench -benchjoin BENCH_localjoin.json [-minspeedup 4]
+//	mpcbench -benchagg BENCH_aggregate.json [-m 2000] [-p 64] [-minreduction 2]
 //
 // -quick shrinks input sizes (useful for smoke runs); -md emits markdown
 // (the format of EXPERIMENTS.md); -only runs a single experiment by id.
@@ -21,6 +22,11 @@
 // preserved baseline evaluator per query shape and writes
 // BENCH_localjoin.json (ns/op, allocs/op, speedup); with -minspeedup it
 // exits non-zero when any shape's speedup falls below the gate.
+// -benchagg measures aggregate queries with pre-shuffle partial aggregation
+// on vs off and writes BENCH_aggregate.json (TotalBits both ways, the
+// reduction, wall-clock); with -minreduction it exits non-zero when the
+// gated high-duplicate COUNT scenario's TotalBits reduction falls below the
+// gate, or when any scenario's final values diverge between the two modes.
 package main
 
 import (
@@ -48,9 +54,31 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write per-strategy benchmark metrics as JSON to this file (e.g. BENCH_engine.json)")
 	benchJoin := flag.String("benchjoin", "", "write kernel-vs-baseline local-join benchmarks as JSON to this file (e.g. BENCH_localjoin.json)")
 	minSpeedup := flag.Float64("minspeedup", 0, "with -benchjoin: exit non-zero if any shape's kernel speedup falls below this")
-	m := flag.Int("m", 5000, "tuples per relation (-compare/-benchjson)")
-	p := flag.Int("p", 64, "servers (-compare/-benchjson)")
+	benchAgg := flag.String("benchagg", "", "write aggregate pushdown-vs-no-pushdown benchmarks as JSON to this file (e.g. BENCH_aggregate.json)")
+	minReduction := flag.Float64("minreduction", 0, "with -benchagg: exit non-zero if the gated scenario's TotalBits reduction falls below this")
+	m := flag.Int("m", 5000, "tuples per relation (-compare/-benchjson/-benchagg)")
+	p := flag.Int("p", 64, "servers (-compare/-benchjson/-benchagg)")
 	flag.Parse()
+
+	if *benchAgg != "" {
+		if *jsonOut || *md || *quick || *only != "" || *outPath != "" || *compare || *benchJSON != "" || *benchJoin != "" {
+			fmt.Fprintln(os.Stderr, "mpcbench: -benchagg does not combine with other modes")
+			os.Exit(2)
+		}
+		// Default to a smaller m unless -m was passed explicitly (the
+		// high-duplicate scenario's join is quadratic in the hot group).
+		am := 2000
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "m" {
+				am = *m
+			}
+		})
+		if err := writeAggBenchJSON(*benchAgg, am, *p, *seed, *minReduction); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJoin != "" {
 		if *jsonOut || *md || *quick || *only != "" || *outPath != "" || *compare || *benchJSON != "" {

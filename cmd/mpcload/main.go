@@ -1,7 +1,8 @@
 // Command mpcload is the workload driver for the query service: it fires a
 // mixed stream of scenarios — skew-free HyperCube, skewed star joins (exact
 // and sampled statistics), skewed triangles, the generalized heavy/light
-// pattern algorithm, skew-aware multi-round chains, self-joins, and the
+// pattern algorithm, skew-aware multi-round chains, self-joins, semiring
+// aggregates (COUNT/SUM with pre-shuffle partial aggregation), and the
 // Auto advisor — at a Service from concurrent clients, once with plan+stats
 // caching disabled and once enabled, and writes a BENCH_service.json
 // snapshot with throughput, speedups, latency percentiles, cache hit rates,
@@ -344,6 +345,19 @@ func buildScenarios(m int) []*scenario {
 			strategy: mpcquery.HyperCube(), weight: 1},
 		{name: "chain-auto", q: mpcquery.Chain(6), db: chainDB,
 			strategy: mpcquery.Auto(), weight: 1},
+		// Aggregate scenarios: the high-duplicate star COUNT (the pushdown
+		// showcase) and a grouped SUM riding the same plan-cache entries as
+		// the plain star runs (planning is aggregate-independent).
+		{name: "star-count-agg", q: mpcquery.Star(2), db: starA,
+			strategy: mpcquery.HyperCube(),
+			extra:    []mpcquery.RunOption{mpcquery.WithAggregate(mpcquery.AggCount, "", "z")},
+			weight:   2},
+		{name: "star-sum-agg-nopush", q: mpcquery.Star(2), db: starA,
+			strategy: mpcquery.HyperCube(),
+			extra: []mpcquery.RunOption{
+				mpcquery.WithAggregate(mpcquery.AggSum, "x2", "z"),
+				mpcquery.WithAggregatePushdown(false)},
+			weight: 1},
 		{name: "selfjoin-paths", q: nil, db: pathsDB,
 			strategy: mpcquery.SelfJoin("paths",
 				mpcquery.Atom{Name: "E", Vars: []string{"x", "y"}},

@@ -1,0 +1,377 @@
+// Package aggregate implements semiring-annotated aggregation for
+// conjunctive-query workloads: COUNT/SUM/MIN/MAX over the output of a join,
+// optionally grouped by a subset of the query's variables.
+//
+// The paper's cost model charges bits on the wire, and aggregation is the
+// classic workload where combining tuples *before* the shuffle provably
+// shrinks communication: two same-group partial aggregates fold into one
+// tuple under the aggregate's commutative monoid, so a sender that combines
+// locally ships one tuple per distinct group instead of one per join-output
+// row. The package provides the small Semiring interface the rest of the
+// tree programs against, the per-tuple annotation initialization, and the
+// FoldTable — an open-addressed group-by hash table mirroring the local-join
+// kernel's columnar atomIndex design (flat int64 row storage, slot heads
+// with intra-slot chains, collisions resolved by in-place key compare).
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/hashing"
+)
+
+// Op identifies one of the supported aggregation operators.
+type Op int
+
+// The supported aggregate operators. Count annotates every join-output row
+// with 1; Sum/Min/Max annotate it with the value of the aggregated variable.
+const (
+	Count Op = iota
+	Sum
+	Min
+	Max
+)
+
+func (op Op) String() string {
+	switch op {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// Valid reports whether op is one of the defined operators.
+func (op Op) Valid() bool { return op >= Count && op <= Max }
+
+// Semiring is the combining structure of one aggregate: a commutative
+// monoid over int64 annotations. Combine must be associative and
+// commutative (int64 addition with wraparound, min, and max all are), so
+// partial aggregation may fold tuples in any grouping and any order —
+// pushdown and no-pushdown runs produce bit-identical final values.
+type Semiring interface {
+	// Name returns the operator name ("count", "sum", ...).
+	Name() string
+	// Identity returns the ⊕-identity (0 for count/sum, +∞/−∞ for min/max).
+	Identity() int64
+	// Combine folds two annotations.
+	Combine(a, b int64) int64
+}
+
+type sumSemiring struct{ name string }
+
+func (s sumSemiring) Name() string           { return s.name }
+func (sumSemiring) Identity() int64          { return 0 }
+func (sumSemiring) Combine(a, b int64) int64 { return a + b }
+
+type minSemiring struct{}
+
+func (minSemiring) Name() string    { return "min" }
+func (minSemiring) Identity() int64 { return math.MaxInt64 }
+func (minSemiring) Combine(a, b int64) int64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+type maxSemiring struct{}
+
+func (maxSemiring) Name() string    { return "max" }
+func (maxSemiring) Identity() int64 { return math.MinInt64 }
+func (maxSemiring) Combine(a, b int64) int64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// ForOp returns the semiring of one operator.
+func ForOp(op Op) Semiring {
+	switch op {
+	case Count:
+		return sumSemiring{name: "count"}
+	case Sum:
+		return sumSemiring{name: "sum"}
+	case Min:
+		return minSemiring{}
+	case Max:
+		return maxSemiring{}
+	default:
+		panic(fmt.Sprintf("aggregate: unknown op %d", int(op)))
+	}
+}
+
+// Plan is a resolved aggregate specification handed down to the executors:
+// the operator, the aggregated variable (empty for Count), the group-by
+// variables, and whether senders pre-aggregate before the shuffle.
+type Plan struct {
+	Op       Op
+	Var      string   // aggregated variable; "" for Count
+	GroupBy  []string // group-by variables (possibly empty: global aggregate)
+	Semiring Semiring
+	Pushdown bool
+}
+
+// NewPlan builds a Plan for op over variable of (ignored for Count).
+func NewPlan(op Op, of string, groupBy []string, pushdown bool) *Plan {
+	return &Plan{Op: op, Var: of, GroupBy: append([]string(nil), groupBy...),
+		Semiring: ForOp(op), Pushdown: pushdown}
+}
+
+// KeyArity returns the wire arity of a group key. A global aggregate (no
+// group-by variables) uses one synthetic all-zero key column, so partial
+// aggregates always have at least one key column ahead of the annotation.
+func (p *Plan) KeyArity() int {
+	if len(p.GroupBy) == 0 {
+		return 1
+	}
+	return len(p.GroupBy)
+}
+
+// Describe renders the plan for Report display: "count() by z",
+// "sum(x1) global", ...
+func (p *Plan) Describe() string {
+	by := "global"
+	if len(p.GroupBy) > 0 {
+		by = "by " + strings.Join(p.GroupBy, ",")
+	}
+	return fmt.Sprintf("%s(%s) %s", p.Op, p.Var, by)
+}
+
+// InitAnnotation returns the annotation one join-output row contributes:
+// 1 for Count, the aggregated variable's value otherwise.
+func (p *Plan) InitAnnotation(aggVal int64) int64 {
+	if p.Op == Count {
+		return 1
+	}
+	return aggVal
+}
+
+// DestOf routes one group key to a server in [0, p): the same multiply-shift
+// reduction the HyperCube grid uses, over a Combine-chained key hash. Every
+// sender must agree on it, pushdown or not.
+func DestOf(key []int64, p int) int {
+	if p <= 1 {
+		return 0
+	}
+	h := hashing.CombineSlice(0xa6c5_1c7e_93d3_0f6b, key)
+	return int((h >> 32) * uint64(p) >> 32)
+}
+
+// FoldTable is the group-by hash table: flat columnar key rows plus one
+// annotation per row, an open-addressed slot table with intra-slot chains
+// (the PR 4 atomIndex layout, adapted from probe-only to insert-or-combine).
+// Rows keep first-insertion order, so a single-threaded fold is
+// deterministic. A FoldTable is not safe for concurrent use.
+type FoldTable struct {
+	keyArity int
+	sr       Semiring
+
+	keys   []int64 // flat row-major group keys
+	annots []int64 // one annotation per row
+	head   []int32 // slot -> first chained row index + 1 (0 = empty)
+	next   []int32 // row index + 1 -> next chained row + 1
+	mask   uint64
+}
+
+// NewFoldTable returns an empty fold table for keys of the given arity.
+func NewFoldTable(keyArity int, sr Semiring) *FoldTable {
+	t := &FoldTable{sr: sr}
+	t.Reset(keyArity)
+	return t
+}
+
+// Reset empties the table in place for a new fold, keeping capacity.
+func (t *FoldTable) Reset(keyArity int) {
+	t.keyArity = keyArity
+	t.keys = t.keys[:0]
+	t.annots = t.annots[:0]
+	if cap(t.head) < 16 {
+		t.head = make([]int32, 16)
+	} else {
+		t.head = t.head[:16]
+		for i := range t.head {
+			t.head[i] = 0
+		}
+	}
+	t.next = t.next[:0]
+	t.mask = uint64(len(t.head) - 1)
+}
+
+// Len returns the number of distinct groups folded so far.
+func (t *FoldTable) Len() int { return len(t.annots) }
+
+func hashGroupKey(key []int64) uint64 {
+	return hashing.CombineSlice(0x51a0_f3c2_b44e_9d17, key)
+}
+
+// Add folds one (key, annotation) pair into the table.
+func (t *FoldTable) Add(key []int64, annot int64) {
+	slot := hashGroupKey(key) & t.mask
+	for e := t.head[slot]; e != 0; e = t.next[e-1] {
+		base := int(e-1) * t.keyArity
+		match := true
+		for c, v := range key {
+			if t.keys[base+c] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			t.annots[e-1] = t.sr.Combine(t.annots[e-1], annot)
+			return
+		}
+	}
+	t.keys = append(t.keys, key...)
+	t.annots = append(t.annots, annot)
+	t.next = append(t.next, t.head[slot])
+	t.head[slot] = int32(len(t.annots))
+	if uint64(len(t.annots))*2 > uint64(len(t.head)) {
+		t.grow()
+	}
+}
+
+// AddRows folds a flat block of (key..., annot) rows of arity keyArity+1 —
+// the wire format of the aggregate shuffle.
+func (t *FoldTable) AddRows(vals []int64) {
+	w := t.keyArity + 1
+	for off := 0; off+w <= len(vals); off += w {
+		t.Add(vals[off:off+t.keyArity], vals[off+t.keyArity])
+	}
+}
+
+// grow doubles the slot table and rechains every row.
+func (t *FoldTable) grow() {
+	size := 1 << bits.Len(uint(2*len(t.annots)))
+	if size <= len(t.head) {
+		size = len(t.head) * 2
+	}
+	if cap(t.head) < size {
+		t.head = make([]int32, size)
+	} else {
+		t.head = t.head[:size]
+		for i := range t.head {
+			t.head[i] = 0
+		}
+	}
+	t.mask = uint64(size - 1)
+	for i := range t.annots {
+		slot := hashGroupKey(t.keys[i*t.keyArity:(i+1)*t.keyArity]) & t.mask
+		t.next[i] = t.head[slot]
+		t.head[slot] = int32(i + 1)
+	}
+}
+
+// Result materializes the fold as a fresh annotated relation (arity =
+// keyArity, annotation column = folded values), rows in first-insertion
+// order. The relation owns its storage: the table may be reset afterwards.
+func (t *FoldTable) Result(name string) *data.Relation {
+	out := data.NewRelation(name, t.keyArity)
+	out.Grow(len(t.annots))
+	for i, a := range t.annots {
+		out.AppendAnnotatedTuple(t.keys[i*t.keyArity:(i+1)*t.keyArity], a)
+	}
+	return out
+}
+
+// ProjectRaw projects a full join output to unfolded annotated rows, one per
+// output tuple — the no-pushdown wire payload. groupCols are the output
+// columns forming the group key (empty for a global aggregate, which gets
+// one synthetic zero key column); aggCol is the aggregated column (-1 for
+// Count).
+func ProjectRaw(out *data.Relation, groupCols []int, aggCol int, p *Plan) *data.Relation {
+	ka := p.KeyArity()
+	raw := data.NewRelation(out.Name, ka)
+	m := out.NumTuples()
+	raw.Grow(m)
+	key := make([]int64, ka)
+	for i := 0; i < m; i++ {
+		t := out.Tuple(i)
+		for c, gc := range groupCols {
+			key[c] = t[gc]
+		}
+		av := int64(0)
+		if aggCol >= 0 {
+			av = t[aggCol]
+		}
+		raw.AppendAnnotatedTuple(key, p.InitAnnotation(av))
+	}
+	return raw
+}
+
+// Finalize assembles the canonical aggregate output from per-destination
+// folded partials: rows become plain (group key..., value) tuples — the
+// synthetic key column of a global aggregate is dropped — sorted
+// lexicographically. Group keys are disjoint across destinations (the
+// shuffle partitions by key), so the sort makes the output independent of
+// server count, strategy, and pushdown setting.
+func Finalize(name string, parts []*data.Relation, p *Plan) *data.Relation {
+	ka := p.KeyArity()
+	dropKey := len(p.GroupBy) == 0
+	outArity := ka + 1
+	if dropKey {
+		outArity = 1
+	}
+	out := data.NewRelation(name, outArity)
+	total := 0
+	for _, part := range parts {
+		if part != nil {
+			total += part.NumTuples()
+		}
+	}
+	out.Grow(total)
+	row := make([]int64, outArity)
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for i := 0; i < part.NumTuples(); i++ {
+			if dropKey {
+				row[0] = part.Annotation(i)
+			} else {
+				copy(row, part.Tuple(i))
+				row[ka] = part.Annotation(i)
+			}
+			out.AppendTuple(row)
+		}
+	}
+	sortRelation(out)
+	return out
+}
+
+// sortRelation sorts a plain relation's tuples lexicographically in place.
+func sortRelation(r *data.Relation) {
+	m, a := r.NumTuples(), r.Arity
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	vals := r.Vals()
+	sort.Slice(idx, func(i, j int) bool {
+		ti, tj := vals[idx[i]*a:(idx[i]+1)*a], vals[idx[j]*a:(idx[j]+1)*a]
+		for c := 0; c < a; c++ {
+			if ti[c] != tj[c] {
+				return ti[c] < tj[c]
+			}
+		}
+		return false
+	})
+	sorted := make([]int64, 0, m*a)
+	for _, i := range idx {
+		sorted = append(sorted, vals[i*a:(i+1)*a]...)
+	}
+	r.Reset()
+	r.AppendVals(sorted)
+}

@@ -1,0 +1,189 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpcquery/internal/data"
+)
+
+func TestSemiringLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range []Op{Count, Sum, Min, Max} {
+		sr := ForOp(op)
+		for trial := 0; trial < 200; trial++ {
+			a, b, c := rng.Int63n(1000)-500, rng.Int63n(1000)-500, rng.Int63n(1000)-500
+			if got, want := sr.Combine(a, b), sr.Combine(b, a); got != want {
+				t.Fatalf("%s: not commutative: %d vs %d", sr.Name(), got, want)
+			}
+			l := sr.Combine(sr.Combine(a, b), c)
+			r := sr.Combine(a, sr.Combine(b, c))
+			if l != r {
+				t.Fatalf("%s: not associative: %d vs %d", sr.Name(), l, r)
+			}
+			if got := sr.Combine(a, sr.Identity()); got != a {
+				t.Fatalf("%s: identity broken: combine(%d, id) = %d", sr.Name(), a, got)
+			}
+		}
+	}
+}
+
+func TestSemiringIdentities(t *testing.T) {
+	if ForOp(Count).Identity() != 0 || ForOp(Sum).Identity() != 0 {
+		t.Fatal("count/sum identity must be 0")
+	}
+	if ForOp(Min).Identity() != math.MaxInt64 {
+		t.Fatal("min identity must be MaxInt64")
+	}
+	if ForOp(Max).Identity() != math.MinInt64 {
+		t.Fatal("max identity must be MinInt64")
+	}
+}
+
+func TestFoldTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ka := 1 + rng.Intn(3)
+		tbl := NewFoldTable(ka, ForOp(Sum))
+		want := make(map[string]int64)
+		order := []string{}
+		key := make([]int64, ka)
+		for i := 0; i < 500; i++ {
+			for c := range key {
+				key[c] = rng.Int63n(8) // few values -> many collisions and merges
+			}
+			v := rng.Int63n(100)
+			ks := keyString(key)
+			if _, ok := want[ks]; !ok {
+				order = append(order, ks)
+			}
+			want[ks] += v
+			tbl.Add(key, v)
+		}
+		if tbl.Len() != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, tbl.Len(), len(want))
+		}
+		res := tbl.Result("g")
+		if !res.Annotated() || res.Arity != ka || res.NumTuples() != len(want) {
+			t.Fatalf("trial %d: bad result shape", trial)
+		}
+		for i := 0; i < res.NumTuples(); i++ {
+			ks := keyString(res.Tuple(i))
+			if res.Annotation(i) != want[ks] {
+				t.Fatalf("trial %d: group %v = %d, want %d", trial, res.Tuple(i), res.Annotation(i), want[ks])
+			}
+			if ks != order[i] {
+				t.Fatalf("trial %d: group %d out of first-insertion order", trial, i)
+			}
+		}
+	}
+}
+
+func keyString(key []int64) string {
+	b := make([]byte, 0, len(key)*8)
+	for _, v := range key {
+		for s := 0; s < 8; s++ {
+			b = append(b, byte(uint64(v)>>(8*s)))
+		}
+	}
+	return string(b)
+}
+
+func TestFoldTableAddRowsMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ka := 2
+	a := NewFoldTable(ka, ForOp(Max))
+	b := NewFoldTable(ka, ForOp(Max))
+	flat := make([]int64, 0, 300*(ka+1))
+	for i := 0; i < 300; i++ {
+		row := []int64{rng.Int63n(5), rng.Int63n(5), rng.Int63n(1000)}
+		a.Add(row[:ka], row[ka])
+		flat = append(flat, row...)
+	}
+	b.AddRows(flat)
+	ra, rb := a.Result("x"), b.Result("x")
+	if ra.NumTuples() != rb.NumTuples() {
+		t.Fatalf("AddRows diverged: %d vs %d groups", ra.NumTuples(), rb.NumTuples())
+	}
+	for i := 0; i < ra.NumTuples(); i++ {
+		for c := 0; c < ka; c++ {
+			if ra.At(i, c) != rb.At(i, c) {
+				t.Fatalf("group %d key mismatch", i)
+			}
+		}
+		if ra.Annotation(i) != rb.Annotation(i) {
+			t.Fatalf("group %d annotation mismatch", i)
+		}
+	}
+}
+
+func TestDestOfRangeAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 1000; trial++ {
+		key := []int64{rng.Int63(), rng.Int63()}
+		for _, p := range []int{1, 2, 7, 64} {
+			d := DestOf(key, p)
+			if d < 0 || d >= p {
+				t.Fatalf("DestOf out of range: %d for p=%d", d, p)
+			}
+			if d != DestOf(key, p) {
+				t.Fatal("DestOf not deterministic")
+			}
+		}
+	}
+	if DestOf([]int64{42}, 1) != 0 {
+		t.Fatal("single server must receive everything")
+	}
+}
+
+func TestFinalizeSortsAndDropsSyntheticKey(t *testing.T) {
+	grouped := NewPlan(Count, "", []string{"z"}, true)
+	p1 := data.NewRelation("a", 1)
+	p1.AppendAnnotatedTuple([]int64{5}, 2)
+	p1.AppendAnnotatedTuple([]int64{1}, 7)
+	p2 := data.NewRelation("a", 1)
+	p2.AppendAnnotatedTuple([]int64{3}, 4)
+	out := Finalize("q", []*data.Relation{p1, nil, p2}, grouped)
+	if out.Arity != 2 || out.NumTuples() != 3 {
+		t.Fatalf("bad grouped output shape: arity %d, %d tuples", out.Arity, out.NumTuples())
+	}
+	wantRows := [][2]int64{{1, 7}, {3, 4}, {5, 2}}
+	for i, w := range wantRows {
+		if out.At(i, 0) != w[0] || out.At(i, 1) != w[1] {
+			t.Fatalf("row %d = (%d,%d), want %v", i, out.At(i, 0), out.At(i, 1), w)
+		}
+	}
+
+	global := NewPlan(Count, "", nil, true)
+	g := data.NewRelation("a", 1)
+	g.AppendAnnotatedTuple([]int64{0}, 11)
+	gout := Finalize("q", []*data.Relation{g}, global)
+	if gout.Arity != 1 || gout.NumTuples() != 1 || gout.At(0, 0) != 11 {
+		t.Fatalf("global output wrong: arity %d tuples %d", gout.Arity, gout.NumTuples())
+	}
+	// Empty join: no partials anywhere -> zero rows, not a zero row.
+	empty := Finalize("q", []*data.Relation{nil, nil}, global)
+	if empty.NumTuples() != 0 {
+		t.Fatal("empty aggregate must have no rows")
+	}
+}
+
+func TestProjectRawKeepsMultiplicity(t *testing.T) {
+	out := data.FromTuples("q", 2, []int64{1, 10}, []int64{1, 20}, []int64{1, 10})
+	p := NewPlan(Count, "", []string{"x"}, false)
+	raw := ProjectRaw(out, []int{0}, -1, p)
+	if raw.NumTuples() != 3 || !raw.Annotated() {
+		t.Fatalf("raw projection must keep one row per output tuple, got %d", raw.NumTuples())
+	}
+	for i := 0; i < 3; i++ {
+		if raw.Annotation(i) != 1 {
+			t.Fatal("count projection must annotate 1 per row")
+		}
+	}
+	sum := NewPlan(Sum, "y", []string{"x"}, false)
+	rawSum := ProjectRaw(out, []int{0}, 1, sum)
+	if rawSum.Annotation(0) != 10 || rawSum.Annotation(1) != 20 {
+		t.Fatal("sum projection must annotate the aggregated column value")
+	}
+}

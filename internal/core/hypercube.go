@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"mpcquery/internal/aggregate"
 	"mpcquery/internal/data"
 	"mpcquery/internal/engine"
 	"mpcquery/internal/hashing"
@@ -59,8 +60,17 @@ func (pl *Plan) GridP() int {
 	return g
 }
 
-// PredictedLoadBits returns the LP's load prediction L = p^λ in bits.
+// PredictedLoadBits returns the LP's load prediction L = p^λ in bits. A
+// single server (p ≤ 1) receives the whole input, where log_p L is
+// undefined.
 func (pl *Plan) PredictedLoadBits() float64 {
+	if pl.P <= 1 {
+		total := 0.0
+		for _, m := range pl.StatsBits {
+			total += m
+		}
+		return total
+	}
 	return math.Pow(float64(pl.P), pl.Lambda)
 }
 
@@ -150,18 +160,25 @@ func IntegerShares(e []float64, p int) []int {
 	}
 }
 
-// Result reports an executed one-round HyperCube run.
+// Result reports an executed one-round HyperCube run (two rounds when an
+// aggregate was requested: the input shuffle plus the aggregate shuffle).
 type Result struct {
 	Plan   *Plan
 	Output *data.Relation // full query result (union over servers)
 
 	ServersUsed     int
-	MaxLoadBits     float64 // L: max bits received by any server in round 1
+	MaxLoadBits     float64 // L: max bits received by any server in any round
 	MaxLoadTuples   int
+	RoundLoads      []float64 // per-round max received bits, in round order
 	TotalBits       float64
 	InputBits       float64
 	ReplicationRate float64
 	Aborted         bool // a declared load cap was exceeded (RunPlanWithCap)
+
+	// AggregateBitsSaved is the communication the pre-shuffle partial
+	// aggregation removed: (raw join rows − shipped partial rows) × row bits,
+	// summed over senders. 0 for plain runs and no-pushdown aggregate runs.
+	AggregateBitsSaved float64
 
 	// Wall-clock split of the simulation (not model costs): seconds spent
 	// in local computation vs simulated communication delivery.
@@ -181,9 +198,15 @@ func RunWithShares(q *query.Query, db *data.Database, shares []int, seed int64) 
 
 // RunWithSharesCap is RunWithShares with a declared load cap (0 = none).
 func RunWithSharesCap(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64) *Result {
-	pl := &Plan{Query: q, P: prodInt(shares), Shares: append([]int(nil), shares...),
+	return RunPlanWithCap(sharesPlan(q, db, shares), db, seed, capBits)
+}
+
+// sharesPlan wraps explicit integer shares in a Plan (no LP, zero
+// exponents) — the construction shared by the plain and aggregate
+// explicit-shares entry points.
+func sharesPlan(q *query.Query, db *data.Database, shares []int) *Plan {
+	return &Plan{Query: q, P: prodInt(shares), Shares: append([]int(nil), shares...),
 		Exponents: make([]float64, len(shares)), StatsBits: StatsBits(q, db)}
-	return RunPlanWithCap(pl, db, seed, capBits)
 }
 
 func prodInt(xs []int) int {
@@ -205,7 +228,30 @@ func RunPlan(pl *Plan, db *data.Database, seed int64) *Result {
 // Aborted flag is set. The output is still computed (the caller decides
 // whether to retry with a fresh hash seed).
 func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *Result {
-	return runPlanSeeded(pl, db, seed, capBits, func(cluster *engine.Cluster, q *query.Query, gp int) {
+	return runPlanSeeded(pl, db, seed, capBits, nil, partitionedSeeding(db))
+}
+
+// RunPlanAggregate executes pl and then computes agg over the join output
+// with one extra communication round: every server folds (pushdown) or
+// projects (no pushdown) its local join output into (group key, annotation)
+// rows, routes them by key hash, and destinations fold their received rows
+// into the final groups. The Result's Output is the canonical aggregate
+// relation — (group key..., value) tuples sorted lexicographically, the
+// synthetic key of a global aggregate dropped — identical whether or not
+// pushdown ran; only the second round's bits differ.
+func RunPlanAggregate(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan) *Result {
+	return runPlanSeeded(pl, db, seed, capBits, agg, partitionedSeeding(db))
+}
+
+// RunWithSharesAggregate is RunPlanAggregate over explicit integer shares.
+func RunWithSharesAggregate(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, agg *aggregate.Plan) *Result {
+	return RunPlanAggregate(sharesPlan(q, db, shares), db, seed, capBits, agg)
+}
+
+// partitionedSeeding deals each relation round-robin across the grid — the
+// partitioned-input model of Section 2.1.
+func partitionedSeeding(db *data.Database) func(*engine.Cluster, *query.Query, int) {
+	return func(cluster *engine.Cluster, q *query.Query, gp int) {
 		for j, a := range q.Atoms {
 			rel := db.Get(a.Name)
 			m := rel.NumTuples()
@@ -213,7 +259,7 @@ func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *R
 				cluster.Seed(i%gp, j, rel.Tuple(i))
 			}
 		}
-	})
+	}
 }
 
 // RunPlanInputServers executes under the input-server model of Section 2.1:
@@ -222,7 +268,7 @@ func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *R
 // partitioned-input run — the equivalence the paper uses to transfer its
 // lower bounds between the two models.
 func RunPlanInputServers(pl *Plan, db *data.Database, seed int64) *Result {
-	return runPlanSeeded(pl, db, seed, 0, func(cluster *engine.Cluster, q *query.Query, gp int) {
+	return runPlanSeeded(pl, db, seed, 0, nil, func(cluster *engine.Cluster, q *query.Query, gp int) {
 		for j, a := range q.Atoms {
 			rel := db.Get(a.Name)
 			m := rel.NumTuples()
@@ -233,7 +279,7 @@ func RunPlanInputServers(pl *Plan, db *data.Database, seed int64) *Result {
 	})
 }
 
-func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, seedInput func(*engine.Cluster, *query.Query, int)) *Result {
+func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, seedInput func(*engine.Cluster, *query.Query, int)) *Result {
 	q := pl.Query
 	grid := hashing.NewGrid(pl.Shares)
 	gp := grid.P()
@@ -281,12 +327,78 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, see
 	// cache shares index builds between servers that received identical
 	// fragments (whole grid slices do, since a tuple is replicated along
 	// every dimension its atom does not constrain).
-	outputs := make([]*data.Relation, gp)
 	cache := localjoin.NewIndexCache()
 	scratches := localjoin.NewWorkerScratches()
+	var out *data.Relation
+	aggSaved := 0.0
+	if agg == nil {
+		outputs := make([]*data.Relation, gp)
+		cluster.Compute(func(s, w int) {
+			if cluster.Inbox(s).NumTuples() == 0 {
+				outputs[s] = data.NewRelation(q.Name, q.NumVars())
+				return
+			}
+			sc := scratches.Worker(w)
+			frag := sc.Fragments(q)
+			cluster.Inbox(s).EachBatch(func(b engine.Batch) {
+				frag[b.Kind].AppendVals(b.Vals)
+			})
+			outputs[s] = sc.EvaluateAtoms(q, frag, cache)
+		})
+		scratches.Release()
+		out = data.Concat(q.Name, q.NumVars(), outputs)
+	} else {
+		out, aggSaved = runAggregatePhases(cluster, q, gp, agg, cache, scratches)
+	}
+
+	inputBits := 0.0
+	for _, a := range q.Atoms {
+		inputBits += db.Get(a.Name).SizeBits(db.N)
+	}
+	roundLoads := make([]float64, 0, cluster.NumRounds())
+	for _, rs := range cluster.Rounds() {
+		roundLoads = append(roundLoads, rs.MaxRecvBits)
+	}
+	computeS, commS := cluster.PhaseSeconds()
+	return &Result{
+		Plan:               pl,
+		Output:             out,
+		ServersUsed:        gp,
+		MaxLoadBits:        cluster.MaxLoadBits(),
+		MaxLoadTuples:      cluster.MaxLoadTuples(),
+		RoundLoads:         roundLoads,
+		TotalBits:          cluster.TotalBits(),
+		InputBits:          inputBits,
+		ReplicationRate:    cluster.ReplicationRate(inputBits),
+		Aborted:            cluster.Aborted(),
+		AggregateBitsSaved: aggSaved,
+		ComputeSeconds:     computeS,
+		CommSeconds:        commS,
+	}
+}
+
+// runAggregatePhases runs the aggregate tail of a plan execution: the local
+// evaluation (folding when pushdown is on, materializing and projecting raw
+// rows when off), the aggregate-shuffle round that routes partial rows by
+// group-key hash — through the Emitter's pre-shuffle combiner on the
+// pushdown path — and the destination-side final fold. It returns the
+// canonical aggregate output and the bits the pushdown saved.
+func runAggregatePhases(cluster *engine.Cluster, q *query.Query, gp int, agg *aggregate.Plan,
+	cache *localjoin.IndexCache, scratches *localjoin.WorkerScratches) (*data.Relation, float64) {
+	ka := agg.KeyArity()
+	groupCols := make([]int, len(agg.GroupBy))
+	for i, v := range agg.GroupBy {
+		groupCols[i] = q.VarIndex(v)
+	}
+	aggCol := -1
+	if agg.Var != "" {
+		aggCol = q.VarIndex(agg.Var)
+	}
+
+	partials := make([]*data.Relation, gp)
+	rawRows := make([]int, gp)
 	cluster.Compute(func(s, w int) {
 		if cluster.Inbox(s).NumTuples() == 0 {
-			outputs[s] = data.NewRelation(q.Name, q.NumVars())
 			return
 		}
 		sc := scratches.Worker(w)
@@ -294,30 +406,67 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, see
 		cluster.Inbox(s).EachBatch(func(b engine.Batch) {
 			frag[b.Kind].AppendVals(b.Vals)
 		})
-		outputs[s] = sc.EvaluateAtoms(q, frag, cache)
+		if agg.Pushdown {
+			partials[s], rawRows[s] = sc.EvaluateAtomsAggregate(q, frag, cache, agg)
+		} else {
+			o := sc.EvaluateAtoms(q, frag, cache)
+			rawRows[s] = o.NumTuples()
+			partials[s] = aggregate.ProjectRaw(o, groupCols, aggCol, agg)
+		}
 	})
 	scratches.Release()
 
-	out := data.Concat(q.Name, q.NumVars(), outputs)
+	sentRows := make([]int, gp)
+	cluster.Round("aggregate-shuffle", func(s int, _ *engine.Inbox, emit *engine.Emitter) {
+		pr := partials[s]
+		if pr == nil || pr.NumTuples() == 0 {
+			return
+		}
+		m := pr.NumTuples()
+		row := make([]int64, ka+1)
+		if agg.Pushdown {
+			// The kernel fold already left one row per distinct group key on
+			// this sender, so the combiner acts as the destination
+			// partitioner and raw-vs-sent meter here; its same-key merging
+			// kicks in for emitters that route unfolded rows (it is the
+			// general pre-shuffle hook, exercised directly in the engine
+			// tests).
+			cb := emit.Combiner(0, ka, agg.Semiring.Combine)
+			for i := 0; i < m; i++ {
+				copy(row, pr.Tuple(i))
+				row[ka] = pr.Annotation(i)
+				cb.Add(aggregate.DestOf(row[:ka], gp), row)
+			}
+			_, sentRows[s] = cb.Flush()
+		} else {
+			for i := 0; i < m; i++ {
+				copy(row, pr.Tuple(i))
+				row[ka] = pr.Annotation(i)
+				emit.EmitTuple(aggregate.DestOf(row[:ka], gp), 0, row)
+			}
+			sentRows[s] = m
+		}
+	})
 
-	inputBits := 0.0
-	for _, a := range q.Atoms {
-		inputBits += db.Get(a.Name).SizeBits(db.N)
+	outputs := make([]*data.Relation, gp)
+	cluster.Compute(func(s, w int) {
+		ib := cluster.Inbox(s)
+		if ib.NumTuples() == 0 {
+			return
+		}
+		t := aggregate.NewFoldTable(ka, agg.Semiring)
+		ib.EachBatch(func(b engine.Batch) {
+			t.AddRows(b.Vals)
+		})
+		outputs[s] = t.Result(q.Name)
+	})
+
+	saved := 0
+	for s := 0; s < gp; s++ {
+		saved += rawRows[s] - sentRows[s]
 	}
-	computeS, commS := cluster.PhaseSeconds()
-	return &Result{
-		Plan:            pl,
-		Output:          out,
-		ServersUsed:     gp,
-		MaxLoadBits:     cluster.MaxLoadBits(),
-		MaxLoadTuples:   cluster.MaxLoadTuples(),
-		TotalBits:       cluster.TotalBits(),
-		InputBits:       inputBits,
-		ReplicationRate: cluster.ReplicationRate(inputBits),
-		Aborted:         cluster.Aborted(),
-		ComputeSeconds:  computeS,
-		CommSeconds:     commS,
-	}
+	return aggregate.Finalize(q.Name, outputs, agg),
+		float64(saved) * float64(ka+1) * float64(cluster.BitsPerValue())
 }
 
 // SequentialAnswer computes q(db) on one node — the ground truth for

@@ -1,0 +1,97 @@
+package data
+
+import "testing"
+
+// relationFromBytes decodes a small relation from fuzz input: arity, then
+// tuples over a tiny value alphabet (collisions and duplicates on purpose).
+func relationFromBytes(b []byte) *Relation {
+	if len(b) < 1 {
+		return nil
+	}
+	arity := 1 + int(b[0])%3
+	b = b[1:]
+	r := NewRelation("fz", arity)
+	row := make([]int64, arity)
+	for len(b) >= arity {
+		for c := 0; c < arity; c++ {
+			row[c] = int64(b[c] % 8)
+		}
+		b = b[arity:]
+		r.AppendTuple(row)
+	}
+	return r
+}
+
+// permuted returns a copy of r with tuples reordered by a permutation
+// derived deterministically from salt.
+func permuted(r *Relation, salt uint64) *Relation {
+	m := r.NumTuples()
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	s := salt
+	for i := m - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := int(s % uint64(i+1))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := NewRelation(r.Name, r.Arity)
+	out.Grow(m)
+	for _, i := range idx {
+		out.AppendTuple(r.Tuple(i))
+	}
+	return out
+}
+
+// FuzzEqualMultiset pins the bag-comparison invariants every output check in
+// the tree rests on: permutation invariance, multiplicity sensitivity, and
+// symmetry.
+func FuzzEqualMultiset(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 3, 1}, uint64(42))
+	f.Add([]byte{2, 1, 2, 1, 2, 3, 4}, uint64(7))
+	f.Add([]byte{0, 5, 5, 5, 5}, uint64(0))
+	f.Add([]byte{2, 0, 0, 0, 0, 1, 1}, uint64(99))
+	f.Fuzz(func(t *testing.T, b []byte, salt uint64) {
+		r := relationFromBytes(b)
+		if r == nil {
+			t.Skip()
+		}
+		// Reflexivity and clone equality.
+		if !EqualMultiset(r, r) || !EqualMultiset(r, r.Clone()) {
+			t.Fatal("relation must equal itself and its clone")
+		}
+		// Permutation invariance, both directions.
+		p := permuted(r, salt)
+		if !EqualMultiset(r, p) || !EqualMultiset(p, r) {
+			t.Fatalf("multiset equality must ignore order (m=%d)", r.NumTuples())
+		}
+		if r.NumTuples() > 0 {
+			// Duplicating one tuple changes the bag.
+			dup := r.Clone()
+			dup.AppendTuple(r.Tuple(int(salt) % r.NumTuples()))
+			if EqualMultiset(r, dup) || EqualMultiset(dup, r) {
+				t.Fatal("multiset equality must respect multiplicity")
+			}
+			// Dropping the last tuple changes the bag.
+			short := NewRelation(r.Name, r.Arity)
+			for i := 0; i < r.NumTuples()-1; i++ {
+				short.AppendTuple(r.Tuple(i))
+			}
+			if EqualMultiset(r, short) {
+				t.Fatal("multiset equality must respect cardinality")
+			}
+			// Shifting one value changes exactly one tuple, so the bag can
+			// never stay equal (one copy of the old tuple is gone).
+			mut := r.Clone()
+			mut.Vals()[int(salt)%len(mut.Vals())]++
+			if EqualMultiset(r, mut) || EqualMultiset(mut, r) {
+				t.Fatal("value mutation went unnoticed")
+			}
+		}
+		// Set equality is implied by bag equality.
+		if !Equal(r, p) {
+			t.Fatal("bag-equal relations must be set-equal")
+		}
+	})
+}

@@ -16,10 +16,17 @@ import (
 
 // Relation is a bag of fixed-arity tuples over int64 values, stored in a
 // single flat slice (row-major) to keep per-tuple overhead at zero.
+//
+// A relation may additionally carry one semiring annotation per tuple (see
+// package aggregate): partial aggregates travel as annotated relations whose
+// Arity covers the group key and whose annotation column holds the folded
+// value. A relation is either fully annotated or not at all; the two append
+// families must not be mixed.
 type Relation struct {
 	Name  string
 	Arity int
 	vals  []int64
+	annot []int64 // nil = unannotated; else one value per tuple
 
 	// ident caches the content fingerprint computed by Identity; 0 means
 	// "not computed". Mutators reset it. Stored atomically so concurrent
@@ -56,7 +63,37 @@ func (r *Relation) AppendTuple(t []int64) {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("data: tuple of length %d appended to %s (arity %d)", len(t), r.Name, r.Arity))
 	}
+	if r.annot != nil {
+		panic(fmt.Sprintf("data: plain append to annotated relation %s", r.Name))
+	}
 	r.vals = append(r.vals, t...)
+	r.ident.Store(0)
+}
+
+// Annotated reports whether the relation carries an annotation column.
+func (r *Relation) Annotated() bool { return r.annot != nil }
+
+// Annotation returns tuple i's annotation; the relation must be annotated.
+func (r *Relation) Annotation(i int) int64 { return r.annot[i] }
+
+// Annotations returns the annotation column (nil for plain relations); the
+// caller must not modify it.
+func (r *Relation) Annotations() []int64 { return r.annot }
+
+// AppendAnnotatedTuple adds one tuple with its semiring annotation. Plain
+// and annotated appends must not be mixed on one relation.
+func (r *Relation) AppendAnnotatedTuple(t []int64, a int64) {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("data: tuple of length %d appended to %s (arity %d)", len(t), r.Name, r.Arity))
+	}
+	if r.annot == nil && len(r.vals) > 0 {
+		panic(fmt.Sprintf("data: annotated append to plain relation %s", r.Name))
+	}
+	if r.annot == nil {
+		r.annot = make([]int64, 0, 8)
+	}
+	r.vals = append(r.vals, t...)
+	r.annot = append(r.annot, a)
 	r.ident.Store(0)
 }
 
@@ -66,6 +103,9 @@ func (r *Relation) AppendTuple(t []int64) {
 func (r *Relation) AppendVals(vals []int64) {
 	if len(vals)%r.Arity != 0 {
 		panic(fmt.Sprintf("data: block of %d values appended to %s (arity %d)", len(vals), r.Name, r.Arity))
+	}
+	if r.annot != nil {
+		panic(fmt.Sprintf("data: plain append to annotated relation %s", r.Name))
 	}
 	r.vals = append(r.vals, vals...)
 	r.ident.Store(0)
@@ -77,9 +117,11 @@ func (r *Relation) AppendVals(vals []int64) {
 func (r *Relation) Vals() []int64 { return r.vals }
 
 // Reset empties the relation in place, keeping the backing capacity — the
-// reuse path for per-worker fragment buffers rebuilt every server.
+// reuse path for per-worker fragment buffers rebuilt every server. An
+// annotated relation becomes plain again (both append families are open).
 func (r *Relation) Reset() {
 	r.vals = r.vals[:0]
+	r.annot = nil
 	r.ident.Store(0)
 }
 
@@ -97,6 +139,12 @@ func (r *Relation) Identity() uint64 {
 	h := hashing.Combine(0x9d3c0aa1786f3d2b, uint64(r.Arity))
 	for _, v := range r.vals {
 		h = hashing.Combine(h, uint64(v))
+	}
+	if r.annot != nil {
+		h = hashing.Combine(h, 0x5ca1_ab1e_0000_0001)
+		for _, a := range r.annot {
+			h = hashing.Combine(h, uint64(a))
+		}
 	}
 	if h == 0 {
 		h = 1
@@ -126,13 +174,22 @@ func (r *Relation) Grow(n int) {
 
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
-	return &Relation{Name: r.Name, Arity: r.Arity, vals: append([]int64(nil), r.vals...)}
+	c := &Relation{Name: r.Name, Arity: r.Arity, vals: append([]int64(nil), r.vals...)}
+	if r.annot != nil {
+		c.annot = append([]int64(nil), r.annot...)
+	}
+	return c
 }
 
 // SizeBits returns M_j = a_j · m_j · ⌈log₂ n⌉, the paper's size-in-bits
-// measure for a relation over domain [n].
+// measure for a relation over domain [n]. An annotation column counts as one
+// extra value per tuple — it travels on the wire like any other column.
 func (r *Relation) SizeBits(n int64) float64 {
-	return float64(r.Arity) * float64(r.NumTuples()) * float64(BitsPerValue(n))
+	a := r.Arity
+	if r.annot != nil {
+		a++
+	}
+	return float64(a) * float64(r.NumTuples()) * float64(BitsPerValue(n))
 }
 
 // BitsPerValue returns ⌈log₂ n⌉, the bits needed to encode one domain value.

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+
+	"mpcquery/internal/hashing"
+)
+
+// Combiner is the Emitter's pre-shuffle partial-aggregation hook: it accepts
+// (key..., annotation) rows of arity keyArity+1 bound for per-tuple-decided
+// destinations, merges rows with equal destination and key through the
+// supplied combine function *before* any bits are charged, and ships each
+// destination's surviving rows as one columnar batch on Flush. Fewer tuples
+// on the wire means fewer bits, metered by the engine's ordinary accounting
+// — the combiner is invisible to the cost model except through the rows it
+// removes.
+//
+// A Combiner belongs to one round function invocation: obtain it from the
+// round's Emitter, Add rows, and Flush before returning. Like the Emitter it
+// wraps, it must not be retained or shared across goroutines. Determinism:
+// surviving rows keep first-insertion order per destination, destinations
+// flush in first-touch order, and combine is applied in arrival order — with
+// an associative, commutative combine the shipped values are independent of
+// arrival order entirely.
+type Combiner struct {
+	e        *Emitter
+	kind     int
+	keyArity int
+	combine  func(a, b int64) int64
+
+	tables  map[int]*combTable
+	touched []int // destinations in first-touch order
+	raw     int   // rows accepted by Add
+	flushed bool
+}
+
+// combTable accumulates one destination's pending rows: flat (key..., annot)
+// storage plus hash chains over the key columns, collisions resolved by
+// comparing keys in place (the local-join kernel's index discipline).
+type combTable struct {
+	rows   []int64
+	chains map[uint64][]int32 // key hash -> row indices
+}
+
+// Combiner returns a fresh pre-shuffle combiner for same-key aggregate rows
+// of the given kind. keyArity is the number of key columns; every row passed
+// to Add must have keyArity+1 values, the last being the annotation. combine
+// must be associative and commutative for the result to be order-independent.
+func (e *Emitter) Combiner(kind, keyArity int, combine func(a, b int64) int64) *Combiner {
+	if keyArity < 1 {
+		panic("engine: combiner key arity must be positive")
+	}
+	if combine == nil {
+		panic("engine: combiner needs a combine function")
+	}
+	return &Combiner{e: e, kind: kind, keyArity: keyArity, combine: combine,
+		tables: make(map[int]*combTable)}
+}
+
+func combHashKey(key []int64) uint64 {
+	return hashing.CombineSlice(0x243f_6a88_85a3_08d3, key)
+}
+
+// Add routes one (key..., annotation) row toward dest, combining it into an
+// already-pending row with the same key when one exists.
+func (cb *Combiner) Add(dest int, row []int64) {
+	if len(row) != cb.keyArity+1 {
+		panic(fmt.Sprintf("engine: combiner row of %d values, want key arity %d + 1", len(row), cb.keyArity))
+	}
+	if cb.flushed {
+		panic("engine: combiner used after Flush")
+	}
+	cb.raw++
+	t := cb.tables[dest]
+	if t == nil {
+		t = &combTable{chains: make(map[uint64][]int32)}
+		cb.tables[dest] = t
+		cb.touched = append(cb.touched, dest)
+	}
+	w := cb.keyArity + 1
+	key := row[:cb.keyArity]
+	h := combHashKey(key)
+	for _, ri := range t.chains[h] {
+		base := int(ri) * w
+		match := true
+		for c, v := range key {
+			if t.rows[base+c] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			t.rows[base+cb.keyArity] = cb.combine(t.rows[base+cb.keyArity], row[cb.keyArity])
+			return
+		}
+	}
+	t.chains[h] = append(t.chains[h], int32(len(t.rows)/w))
+	t.rows = append(t.rows, row...)
+}
+
+// Flush emits every destination's combined rows as one batch (first-touch
+// destination order, first-insertion row order) and returns the number of
+// rows accepted and the number actually shipped — the difference, times the
+// row width and the cluster's bits per value, is exactly the communication
+// the pre-shuffle combining saved. Flush must be called before the round
+// function returns; the combiner is dead afterwards.
+func (cb *Combiner) Flush() (raw, sent int) {
+	if cb.flushed {
+		panic("engine: combiner flushed twice")
+	}
+	cb.flushed = true
+	for _, dest := range cb.touched {
+		t := cb.tables[dest]
+		cb.e.EmitBatch(dest, cb.kind, cb.keyArity+1, t.rows)
+		sent += len(t.rows) / (cb.keyArity + 1)
+	}
+	return cb.raw, sent
+}

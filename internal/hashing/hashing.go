@@ -64,6 +64,18 @@ func Combine(h, v uint64) uint64 {
 	return mix64(h ^ (v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)))
 }
 
+// CombineSlice folds a whole []int64 key into a running hash starting from
+// seed — the shared shape of every composite-key hash in the tree (group
+// keys, combiner keys, routing keys). Distinct call sites keep distinct
+// seeds so their hash spaces stay independent.
+func CombineSlice(seed uint64, vals []int64) uint64 {
+	h := seed
+	for _, v := range vals {
+		h = Combine(h, uint64(v))
+	}
+	return h
+}
+
 // Grid maps between linear server ids [0,p) and coordinate vectors of the
 // k-dimensional hypercube [p1]×…×[pk], where p = Πᵢ pᵢ.
 type Grid struct {

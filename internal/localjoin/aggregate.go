@@ -1,0 +1,100 @@
+package localjoin
+
+import (
+	"mpcquery/internal/aggregate"
+	"mpcquery/internal/data"
+	"mpcquery/internal/query"
+)
+
+// EvaluateAtomsAggregate is the kernel's aggregate output path: it runs the
+// same columnar hash join as EvaluateAtoms but folds each surviving binding
+// straight into a group-by table instead of materializing the output
+// relation — the binding arena is read column-wise once and only one row per
+// distinct group is ever allocated. It returns the server's partial
+// aggregates as an annotated relation (arity = plan.KeyArity(), annotation
+// column = folded values, first-contact group order) plus the number of raw
+// join rows folded, which the caller uses to meter the communication the
+// pre-shuffle aggregation saved.
+//
+// Inputs follow the EvaluateAtoms contract: rels in atom order, a missing
+// relation panics with *MissingRelationError, cache may be nil.
+func (s *Scratch) EvaluateAtomsAggregate(q *query.Query, rels []*data.Relation, cache *IndexCache, plan *aggregate.Plan) (partials *data.Relation, rawRows int) {
+	ka := plan.KeyArity()
+	if baselineMode.Load() {
+		out := s.EvaluateAtoms(q, rels, cache)
+		return FoldOutput(out, q, plan), out.NumTuples()
+	}
+	// A missing relation outranks the empty fast path: an instance with both
+	// a nil and an empty relation must raise, not fold to nothing.
+	for j, r := range rels {
+		if r == nil {
+			panic(&MissingRelationError{Atom: q.Atoms[j].Name})
+		}
+	}
+	for _, r := range rels {
+		if r.NumTuples() == 0 {
+			return data.NewRelation(q.Name, ka), 0
+		}
+	}
+	rows, err := s.joinLoop(q, rels, s.greedyOrder(q, rels), cache)
+	if err != nil {
+		panic(err)
+	}
+	if rows == 0 {
+		return data.NewRelation(q.Name, ka), 0
+	}
+
+	// Resolve the group-by and aggregated variables to binding columns (every
+	// query variable is bound once rows > 0).
+	t := aggregate.NewFoldTable(ka, plan.Semiring)
+	groupCols := make([]int, len(plan.GroupBy))
+	for i, v := range plan.GroupBy {
+		groupCols[i] = s.varPos[v]
+	}
+	aggCol := -1
+	if plan.Var != "" {
+		aggCol = s.varPos[plan.Var]
+	}
+	key := make([]int64, ka) // synthetic all-zero key for global aggregates
+	for r := 0; r < rows; r++ {
+		for i, c := range groupCols {
+			key[i] = s.cols[c][r]
+		}
+		av := int64(0)
+		if aggCol >= 0 {
+			av = s.cols[aggCol][r]
+		}
+		t.Add(key, plan.InitAnnotation(av))
+	}
+	return t.Result(q.Name), rows
+}
+
+// FoldOutput folds a fully materialized join output (tuples in q.Vars()
+// order) into partial aggregates — the reference fold the baseline mode and
+// the no-pushdown raw projection are checked against.
+func FoldOutput(out *data.Relation, q *query.Query, plan *aggregate.Plan) *data.Relation {
+	ka := plan.KeyArity()
+	t := aggregate.NewFoldTable(ka, plan.Semiring)
+	groupCols := make([]int, len(plan.GroupBy))
+	for i, v := range plan.GroupBy {
+		groupCols[i] = q.VarIndex(v)
+	}
+	aggCol := -1
+	if plan.Var != "" {
+		aggCol = q.VarIndex(plan.Var)
+	}
+	key := make([]int64, ka)
+	m := out.NumTuples()
+	for i := 0; i < m; i++ {
+		tp := out.Tuple(i)
+		for c, gc := range groupCols {
+			key[c] = tp[gc]
+		}
+		av := int64(0)
+		if aggCol >= 0 {
+			av = tp[aggCol]
+		}
+		t.Add(key, plan.InitAnnotation(av))
+	}
+	return t.Result(out.Name)
+}

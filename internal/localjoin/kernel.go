@@ -294,8 +294,44 @@ func ensureCols(cols [][]int64, n int) [][]int64 {
 // order-sensitive digests (Report.Fingerprint) cannot tell the two apart.
 func (s *Scratch) run(q *query.Query, rels []*data.Relation, order []int, cache *IndexCache) (*data.Relation, error) {
 	vars := q.Vars()
+	rows, err := s.joinLoop(q, rels, order, cache)
+	if err != nil {
+		return nil, err
+	}
+
+	// Emit rows in q.Vars() order.
+	out := data.NewRelation(q.Name, len(vars))
+	if rows == 0 {
+		return out, nil
+	}
+	out.Grow(rows)
+	if cap(s.row) < len(vars) {
+		s.row = make([]int64, len(vars))
+	}
+	row := s.row[:len(vars)]
+	// Gather the output column order once (every variable is bound when
+	// rows > 0 here), then emit row-major.
+	outCols := s.sharedBind[:0]
+	for _, v := range vars {
+		outCols = append(outCols, s.varPos[v])
+	}
+	for r := 0; r < rows; r++ {
+		for i, c := range outCols {
+			row[i] = s.cols[c][r]
+		}
+		out.AppendTuple(row)
+	}
+	return out, nil
+}
+
+// joinLoop executes the hash join, leaving the surviving bindings
+// column-wise in s.cols (s.varPos maps each bound variable to its column)
+// and returning the number of binding rows. It is shared by the
+// materializing output path (run) and the aggregate output path, which folds
+// the bindings instead of emitting them.
+func (s *Scratch) joinLoop(q *query.Query, rels []*data.Relation, order []int, cache *IndexCache) (int, error) {
 	if s.varPos == nil {
-		s.varPos = make(map[string]int, len(vars))
+		s.varPos = make(map[string]int, q.NumVars())
 	}
 	clear(s.varPos)
 
@@ -306,7 +342,7 @@ func (s *Scratch) run(q *query.Query, rels []*data.Relation, order []int, cache 
 		atom := &q.Atoms[ai]
 		rel := rels[ai]
 		if rel == nil {
-			return nil, &MissingRelationError{Atom: atom.Name}
+			return 0, &MissingRelationError{Atom: atom.Name}
 		}
 
 		// Column maps for this step, built once per atom.
@@ -400,28 +436,5 @@ func (s *Scratch) run(q *query.Query, rels []*data.Relation, order []int, cache 
 			break
 		}
 	}
-
-	// Emit rows in q.Vars() order.
-	out := data.NewRelation(q.Name, len(vars))
-	if rows == 0 {
-		return out, nil
-	}
-	out.Grow(rows)
-	if cap(s.row) < len(vars) {
-		s.row = make([]int64, len(vars))
-	}
-	row := s.row[:len(vars)]
-	// Gather the output column order once (every variable is bound when
-	// rows > 0 here), then emit row-major.
-	outCols := s.sharedBind[:0]
-	for _, v := range vars {
-		outCols = append(outCols, s.varPos[v])
-	}
-	for r := 0; r < rows; r++ {
-		for i, c := range outCols {
-			row[i] = s.cols[c][r]
-		}
-		out.AppendTuple(row)
-	}
-	return out, nil
+	return rows, nil
 }

@@ -3,6 +3,7 @@ package multiround
 import (
 	"fmt"
 
+	"mpcquery/internal/aggregate"
 	"mpcquery/internal/core"
 	"mpcquery/internal/data"
 	"mpcquery/internal/skew"
@@ -25,6 +26,10 @@ type ExecResult struct {
 	// any round (Section 2.1's abort semantics).
 	Aborted bool
 
+	// AggregateBitsSaved is the communication the root node's pre-shuffle
+	// partial aggregation removed; 0 for plain and no-pushdown runs.
+	AggregateBitsSaved float64
+
 	// Wall-clock split summed over every node's cluster (not model costs):
 	// seconds in local computation vs simulated communication delivery.
 	ComputeSeconds float64
@@ -34,11 +39,16 @@ type ExecResult struct {
 // nodeResult is what the pluggable one-round operator reports per node.
 type nodeResult struct {
 	out       *data.Relation
-	loadBits  float64
+	loadBits  float64 // load of the node's primary round
 	totalBits float64
 	aborted   bool
 	computeS  float64
 	commS     float64
+
+	// extraLoads are per-round loads beyond the node's primary round (the
+	// root's aggregate shuffle); each is an additional plan round.
+	extraLoads []float64
+	aggSaved   float64
 }
 
 // Memo is an optional per-node artifact memoizer supplied by a caching
@@ -77,10 +87,25 @@ func ExecuteCap(p *Plan, db *data.Database, servers int, seed int64, capBits flo
 // intermediate views, and a service replaying the same multi-round query
 // can reuse them all.
 func ExecuteCapMemo(p *Plan, db *data.Database, servers int, seed int64, capBits float64, memo Memo) *ExecResult {
+	return ExecuteAggregateCapMemo(p, db, servers, seed, capBits, nil, memo)
+}
+
+// ExecuteAggregateCapMemo is ExecuteCapMemo with an optional aggregate
+// computed at the root node: intermediate views stay full joins (later
+// rounds need every binding), and the root runs core.RunPlanAggregate — its
+// aggregate-shuffle round is appended to the plan's round accounting. A nil
+// agg executes the plain plan.
+func ExecuteAggregateCapMemo(p *Plan, db *data.Database, servers int, seed int64, capBits float64, agg *aggregate.Plan, memo Memo) *ExecResult {
 	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) nodeResult {
 		pl := memo.do(fmt.Sprintf("node|%s|d%d|pn%d|s%d", n.Name, d, perNode, seed), func() any {
 			return core.PlanForDatabase(n.Query, sub, perNode, core.SkewFree)
 		}).(*core.Plan)
+		if agg != nil && n == p.Root {
+			run := core.RunPlanAggregate(pl, sub, seed+int64(d), capBits, agg)
+			return nodeResult{out: run.Output, loadBits: run.RoundLoads[0], totalBits: run.TotalBits, aborted: run.Aborted,
+				computeS: run.ComputeSeconds, commS: run.CommSeconds,
+				extraLoads: run.RoundLoads[1:], aggSaved: run.AggregateBitsSaved}
+		}
 		run := core.RunPlanWithCap(pl, sub, seed+int64(d), capBits)
 		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted,
 			computeS: run.ComputeSeconds, commS: run.CommSeconds}
@@ -131,6 +156,7 @@ func executeWith(p *Plan, db *data.Database, servers int,
 			perNode = 1
 		}
 		roundLoad := 0.0
+		var extraLoads []float64
 		for _, n := range nodes {
 			sub := data.NewDatabase(db.N)
 			for _, a := range n.Query.Atoms {
@@ -160,12 +186,24 @@ func executeWith(p *Plan, db *data.Database, servers int,
 			res.Aborted = res.Aborted || nr.aborted
 			res.ComputeSeconds += nr.computeS
 			res.CommSeconds += nr.commS
+			res.AggregateBitsSaved += nr.aggSaved
+			extraLoads = append(extraLoads, nr.extraLoads...)
 		}
 		res.RoundLoads = append(res.RoundLoads, roundLoad)
 		if roundLoad > res.MaxLoadBits {
 			res.MaxLoadBits = roundLoad
 		}
 		res.Rounds++
+		// Extra per-node rounds (the root's aggregate shuffle) extend the
+		// plan's round accounting; only the deepest level, which holds the
+		// lone root node, ever contributes them.
+		for _, l := range extraLoads {
+			res.RoundLoads = append(res.RoundLoads, l)
+			if l > res.MaxLoadBits {
+				res.MaxLoadBits = l
+			}
+			res.Rounds++
+		}
 	}
 	res.Output = materialized[p.Root.Name]
 	return res

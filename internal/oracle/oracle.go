@@ -1,0 +1,170 @@
+// Package oracle is the differential-testing reference: a deliberately
+// naive, single-server evaluator for full conjunctive queries and their
+// aggregates, sharing no code with the engine, the local-join kernel, or the
+// aggregation subsystem. The root-level differential suite runs every
+// strategy family against it on randomized instances — if a fast path and
+// the oracle ever disagree, the fast path is wrong.
+//
+// Everything here favors obviousness over speed: backtracking nested-loop
+// join in textual atom order, linear scans, map-based grouping with sorted
+// output. Keep it that way; its only job is to be visibly correct.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcquery/internal/data"
+	"mpcquery/internal/query"
+)
+
+// Evaluate computes q(db) by backtracking over the atoms in query order:
+// for each atom, scan its whole relation for tuples consistent with the
+// bindings so far. The output is a bag (duplicates from duplicate input
+// tuples are kept) with columns in q.Vars() order.
+func Evaluate(q *query.Query, db *data.Database) *data.Relation {
+	out := data.NewRelation(q.Name, q.NumVars())
+	bind := make(map[string]int64, q.NumVars())
+	var rec func(ai int)
+	rec = func(ai int) {
+		if ai == q.NumAtoms() {
+			row := make([]int64, 0, q.NumVars())
+			for _, v := range q.Vars() {
+				row = append(row, bind[v])
+			}
+			out.AppendTuple(row)
+			return
+		}
+		atom := q.Atoms[ai]
+		rel := db.Get(atom.Name)
+		m := rel.NumTuples()
+		for i := 0; i < m; i++ {
+			t := rel.Tuple(i)
+			ok := true
+			assigned := make([]string, 0, len(atom.Vars))
+			for c, v := range atom.Vars {
+				if b, bound := bind[v]; bound {
+					if b != t[c] {
+						ok = false
+						break
+					}
+				} else {
+					bind[v] = t[c]
+					assigned = append(assigned, v)
+				}
+			}
+			if ok {
+				rec(ai + 1)
+			}
+			for _, v := range assigned {
+				delete(bind, v)
+			}
+		}
+	}
+	if q.NumAtoms() > 0 {
+		rec(0)
+	}
+	return out
+}
+
+// Aggregate computes op (one of "count", "sum", "min", "max") over variable
+// of (ignored for count) of q(db), grouped by the groupBy variables. The
+// result matches the engine's canonical aggregate format: plain tuples
+// (group key..., value) sorted lexicographically; a global aggregate yields
+// a single (value) tuple, or none when the join is empty. Arithmetic is
+// int64 with Go's wraparound, like the engine's.
+func Aggregate(q *query.Query, db *data.Database, op string, of string, groupBy []string) *data.Relation {
+	switch op {
+	case "count", "sum", "min", "max":
+	default:
+		panic(fmt.Sprintf("oracle: unknown aggregate op %q", op))
+	}
+	join := Evaluate(q, db)
+	groupCols := make([]int, len(groupBy))
+	for i, v := range groupBy {
+		c := q.VarIndex(v)
+		if c < 0 {
+			panic(fmt.Sprintf("oracle: group-by variable %q not in %s", v, q))
+		}
+		groupCols[i] = c
+	}
+	aggCol := -1
+	if op != "count" {
+		aggCol = q.VarIndex(of)
+		if aggCol < 0 {
+			panic(fmt.Sprintf("oracle: aggregated variable %q not in %s", of, q))
+		}
+	}
+
+	type group struct {
+		key []int64
+		val int64
+	}
+	groups := make(map[string]*group)
+	keybuf := make([]byte, 0, 64)
+	m := join.NumTuples()
+	for i := 0; i < m; i++ {
+		t := join.Tuple(i)
+		keybuf = keybuf[:0]
+		for _, c := range groupCols {
+			keybuf = appendInt64(keybuf, t[c])
+		}
+		var contrib int64 = 1
+		if aggCol >= 0 {
+			contrib = t[aggCol]
+		}
+		g, ok := groups[string(keybuf)]
+		if !ok {
+			key := make([]int64, len(groupCols))
+			for j, c := range groupCols {
+				key[j] = t[c]
+			}
+			groups[string(keybuf)] = &group{key: key, val: contrib}
+			continue
+		}
+		switch op {
+		case "count", "sum":
+			g.val += contrib
+		case "min":
+			if contrib < g.val {
+				g.val = contrib
+			}
+		case "max":
+			if contrib > g.val {
+				g.val = contrib
+			}
+		default:
+			panic(fmt.Sprintf("oracle: unknown aggregate op %q", op))
+		}
+	}
+
+	rows := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		rows = append(rows, g)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for c := range a.key {
+			if a.key[c] != b.key[c] {
+				return a.key[c] < b.key[c]
+			}
+		}
+		return a.val < b.val
+	})
+	out := data.NewRelation(q.Name, len(groupCols)+1)
+	row := make([]int64, len(groupCols)+1)
+	for _, g := range rows {
+		copy(row, g.key)
+		row[len(groupCols)] = g.val
+		out.AppendTuple(row)
+	}
+	return out
+}
+
+// appendInt64 appends a fixed-width big-endian encoding, so distinct key
+// vectors never collide as map keys.
+func appendInt64(b []byte, v int64) []byte {
+	u := uint64(v)
+	return append(b, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}

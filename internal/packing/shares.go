@@ -16,11 +16,30 @@ type Shares struct {
 	Exponents []float64 // e_i per variable, Σ e_i ≤ 1
 	Lambda    float64   // λ = log_p(L)
 	P         float64   // number of servers used to form µ_j
+
+	// trivial marks the degenerate single-server solution (p ≤ 1), where
+	// λ = log_p L is undefined: the lone server receives every input bit, so
+	// Load() reports trivialLoad = Σ_j M_j instead of p^λ.
+	trivial     bool
+	trivialLoad float64
 }
 
 // Load returns the optimized load L = p^λ (in the same units as the
-// statistics passed to the solver, i.e. bits if M was in bits).
-func (s Shares) Load() float64 { return math.Pow(s.P, s.Lambda) }
+// statistics passed to the solver, i.e. bits if M was in bits). On the
+// degenerate single-server instance it returns Σ_j M_j.
+func (s Shares) Load() float64 {
+	if s.trivial {
+		return s.trivialLoad
+	}
+	return math.Pow(s.P, s.Lambda)
+}
+
+// trivialShares is the p ≤ 1 solution shared by both LPs: all exponents
+// zero (every share is 1), load = the whole input.
+func trivialShares(q *query.Query, M []float64, p float64) Shares {
+	return Shares{Query: q, Exponents: make([]float64, q.NumVars()), P: p,
+		trivial: true, trivialLoad: sum(M)}
+}
 
 // Share returns the (real-valued) share p^{e_i} of variable i.
 func (s Shares) Share(i int) float64 { return math.Pow(s.P, s.Exponents[i]) }
@@ -38,7 +57,9 @@ func ShareExponents(q *query.Query, M []float64, p float64) Shares {
 		panic(fmt.Sprintf("packing: %d statistics for %d atoms", len(M), q.NumAtoms()))
 	}
 	if p <= 1 {
-		panic("packing: need p > 1")
+		// One server: shares are all 1 and it receives everything; there is
+		// no LP to solve (µ_j = log_p M_j is undefined at p = 1).
+		return trivialShares(q, M, p)
 	}
 	k := q.NumVars()
 	n := k + 1 // e_1..e_k, λ
@@ -77,6 +98,9 @@ func ShareExponents(q *query.Query, M []float64, p float64) Shares {
 func SkewShareExponents(q *query.Query, M []float64, p float64) Shares {
 	if len(M) != q.NumAtoms() {
 		panic(fmt.Sprintf("packing: %d statistics for %d atoms", len(M), q.NumAtoms()))
+	}
+	if p <= 1 {
+		return trivialShares(q, M, p)
 	}
 	k := q.NumVars()
 	l := q.NumAtoms()

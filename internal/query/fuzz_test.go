@@ -1,0 +1,90 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+)
+
+// queryFromBytes decodes a small query from fuzz input: atom count, then per
+// atom an arity and variable picks from a bounded alphabet. Relation names
+// are positional (R0, R1, ...), so two decoded queries always share a name
+// space and shape comparison is meaningful. Returns nil when the input is
+// too short.
+func queryFromBytes(b []byte) *Query {
+	if len(b) < 2 {
+		return nil
+	}
+	nAtoms := 1 + int(b[0])%4
+	b = b[1:]
+	atoms := make([]Atom, 0, nAtoms)
+	for j := 0; j < nAtoms; j++ {
+		if len(b) < 1 {
+			return nil
+		}
+		arity := 1 + int(b[0])%3
+		b = b[1:]
+		if len(b) < arity {
+			return nil
+		}
+		vars := make([]string, arity)
+		for c := 0; c < arity; c++ {
+			vars[c] = fmt.Sprintf("v%d", int(b[c])%6)
+		}
+		b = b[arity:]
+		atoms = append(atoms, Atom{Name: fmt.Sprintf("R%d", j), Vars: vars})
+	}
+	return New("fz", atoms...)
+}
+
+// renameVars applies a systematic variable renaming (v<i> -> w<i>), which
+// must preserve the shape and therefore the ShapeKey.
+func renameVars(q *Query) *Query {
+	atoms := make([]Atom, len(q.Atoms))
+	for j, a := range q.Atoms {
+		vars := make([]string, len(a.Vars))
+		for c, v := range a.Vars {
+			vars[c] = "w" + v
+		}
+		atoms[j] = Atom{Name: a.Name, Vars: vars}
+	}
+	return New(q.Name, atoms...)
+}
+
+// FuzzShapeKey pins the cache-key contract the service's plan cache depends
+// on: equal ShapeKeys exactly when SameShape holds, and the key is stable
+// under cloning and under variable renaming.
+func FuzzShapeKey(f *testing.F) {
+	f.Add([]byte{2, 2, 0, 1, 2, 1, 2}, []byte{2, 2, 3, 4, 2, 4, 5})
+	f.Add([]byte{0, 1, 0}, []byte{0, 1, 1})
+	f.Add([]byte{3, 2, 0, 0, 2, 0, 1, 2, 1, 1}, []byte{3, 2, 0, 1, 2, 1, 1, 2, 1, 0})
+	f.Add([]byte{1, 3, 0, 1, 2, 9}, []byte{1, 3, 2, 1, 0, 9})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		qa := queryFromBytes(ab)
+		qb := queryFromBytes(bb)
+		if qa == nil || qb == nil {
+			t.Skip()
+		}
+		keyEq := qa.ShapeKey() == qb.ShapeKey()
+		shapeEq := qa.SameShape(qb)
+		if keyEq != shapeEq {
+			t.Fatalf("ShapeKey equality (%t) disagrees with SameShape (%t)\n  a: %s -> %q\n  b: %s -> %q",
+				keyEq, shapeEq, qa, qa.ShapeKey(), qb, qb.ShapeKey())
+		}
+		// SameShape must be symmetric; the key equality trivially is.
+		if shapeEq != qb.SameShape(qa) {
+			t.Fatalf("SameShape not symmetric for %s / %s", qa, qb)
+		}
+		// Round-trip stability: cloning and recomputing never changes the key.
+		if qa.ShapeKey() != qa.Clone().ShapeKey() {
+			t.Fatalf("ShapeKey unstable across Clone for %s", qa)
+		}
+		if qa.ShapeKey() != qa.ShapeKey() {
+			t.Fatalf("ShapeKey unstable across calls for %s", qa)
+		}
+		// Renaming variables preserves shape and key.
+		ren := renameVars(qa)
+		if !qa.SameShape(ren) || qa.ShapeKey() != ren.ShapeKey() {
+			t.Fatalf("variable renaming changed the shape key: %s vs %s", qa, ren)
+		}
+	})
+}

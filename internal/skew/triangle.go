@@ -485,10 +485,27 @@ func (lay *triLayout) filter(s int, res *data.Relation, pHeavy, cubeHeavy []map[
 		return data.NewRelation(res.Name, res.Arity)
 	}
 	if s < lay.lightOffset+lay.light.P() {
-		// Light group: all three values must be cube-light. Routing already
-		// guarantees per-tuple lightness; the predicate is implied, so no
-		// filtering is needed.
-		return res
+		// Light group: routing already guarantees all three values are
+		// cube-light, but a triangle may still contain a p-heavy (yet
+		// cube-light) PAIR — the cube threshold m/p^{1/3} sits above the
+		// case-1 threshold m/p — and such triangles belong to their case-1
+		// group, which also computes them. Keep only triangles with at most
+		// one p-heavy value so the classes stay disjoint (found by the
+		// differential-oracle suite on multi-heavy inputs).
+		out := data.NewRelation(res.Name, res.Arity)
+		for i := 0; i < res.NumTuples(); i++ {
+			t := res.Tuple(i)
+			heavy := 0
+			for v := 0; v < 3; v++ {
+				if pHeavy[v][t[v]] {
+					heavy++
+				}
+			}
+			if heavy < 2 {
+				out.AppendTuple(t)
+			}
+		}
+		return out
 	}
 	for _, g := range lay.case1 {
 		if s >= g.offset && s < g.offset+g.size {

@@ -23,7 +23,11 @@
 //   - serving: NewService wraps Run in a long-lived, concurrency-safe query
 //     service with plan and statistics caching (keyed by Query.ShapeKey and
 //     a database fingerprint), admission control (ErrOverloaded), and
-//     aggregate metrics — see Service and cmd/mpcload.
+//     aggregate metrics — see Service and cmd/mpcload;
+//   - aggregation: AggregateQuery / RunAggregate / WithAggregate compute
+//     COUNT/SUM/MIN/MAX over a join with group-by, with pre-shuffle partial
+//     aggregation (senders combine same-group tuples before routing —
+//     WithAggregatePushdown, Report.AggregateBitsSaved).
 //
 // Quick start:
 //

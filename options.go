@@ -15,6 +15,8 @@ type runConfig struct {
 	loadCapBits float64
 	heavyCap    int
 	roundBudget int
+	aggregate   *AggregateSpec // nil = plain join run
+	aggPushdown bool
 	cache       *execCache // set by Service; nil for plain Run (no caching)
 }
 
@@ -25,9 +27,10 @@ func withExecCache(ec *execCache) RunOption { return func(c *runConfig) { c.cach
 
 func defaultConfig() runConfig {
 	return runConfig{
-		servers:  64,
-		seed:     1,
-		heavyCap: 32,
+		servers:     64,
+		seed:        1,
+		heavyCap:    32,
+		aggPushdown: true,
 	}
 }
 
@@ -59,3 +62,23 @@ func WithHeavyCap(maxPerVar int) RunOption { return func(c *runConfig) { c.heavy
 // WithRoundBudget caps the rounds the Auto strategy may spend (0 = default
 // = unlimited); other strategies ignore it.
 func WithRoundBudget(rounds int) RunOption { return func(c *runConfig) { c.roundBudget = rounds } }
+
+// WithAggregate turns the run into an aggregate query: op over variable of
+// (must be "" for AggCount), grouped by the given variables (none = global
+// aggregate). The Report's Output becomes the sorted (group key..., value)
+// relation and TotalBits includes the aggregate-shuffle round. Supported by
+// the HyperCube one-round family, the multi-round plans, and Auto; every
+// other strategy — including external Strategy implementations — is refused
+// with ErrAggregateUnsupported before it executes.
+func WithAggregate(op AggregateOp, of string, groupBy ...string) RunOption {
+	return func(c *runConfig) {
+		c.aggregate = &AggregateSpec{Op: op, Of: of, GroupBy: append([]string(nil), groupBy...)}
+	}
+}
+
+// WithAggregatePushdown toggles pre-shuffle partial aggregation (default
+// on): senders fold same-group tuples before routing them, shrinking the
+// aggregate shuffle — Report.AggregateBitsSaved meters the difference. The
+// final aggregate values are identical either way; only communication
+// changes. Ignored without WithAggregate.
+func WithAggregatePushdown(on bool) RunOption { return func(c *runConfig) { c.aggPushdown = on } }

@@ -48,6 +48,16 @@ type Report struct {
 	HeavyHitters int   // heavy hitters handled by a skew-aware strategy
 	Aborted      bool  // a declared load cap (WithLoadCap) was exceeded
 
+	// Aggregate describes the aggregate computed over the join output
+	// ("count() by z"); empty for plain join runs. Output then holds the
+	// sorted (group key..., value) relation instead of join tuples.
+	Aggregate string
+	// AggregateBitsSaved is the communication removed by pre-shuffle
+	// partial aggregation (WithAggregatePushdown): the bits the raw
+	// join-output rows would have cost minus the bits the folded partial
+	// aggregates actually cost. 0 for plain runs and no-pushdown runs.
+	AggregateBitsSaved float64
+
 	// ComputeSeconds and CommSeconds split the run's wall-clock between the
 	// computation phases (local evaluation, the localjoin kernel) and the
 	// simulated communication (engine delivery). They are simulation
@@ -86,6 +96,9 @@ func (r *Report) String() string {
 		}
 	}
 	fmt.Fprintf(&b, "total    : %.0f bits, replication %.2f\n", r.TotalBits, r.ReplicationRate)
+	if r.Aggregate != "" {
+		fmt.Fprintf(&b, "aggregate: %s, pushdown saved %.0f bits\n", r.Aggregate, r.AggregateBitsSaved)
+	}
 	if r.Shares != nil {
 		fmt.Fprintf(&b, "shares   : %v\n", r.Shares)
 	}
@@ -124,6 +137,9 @@ func (r *Report) Fingerprint() string {
 		math.Float64bits(r.InputBits), math.Float64bits(r.ReplicationRate),
 		math.Float64bits(r.PredictedLoadBits))
 	fmt.Fprintf(&b, "|shares=%v|heavy=%d|aborted=%t", r.Shares, r.HeavyHitters, r.Aborted)
+	if r.Aggregate != "" {
+		fmt.Fprintf(&b, "|agg=%s|aggsaved=%x", r.Aggregate, math.Float64bits(r.AggregateBitsSaved))
+	}
 	if r.Output == nil {
 		b.WriteString("|out=nil")
 	} else {

@@ -76,6 +76,18 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 	if q.NumAtoms() == 0 {
 		return nil, fmt.Errorf("mpcquery: query %q has no atoms", q.Name)
 	}
+	if cfg.aggregate != nil {
+		if err := cfg.aggregate.validate(q); err != nil {
+			return nil, err
+		}
+		// Refuse here, not in the strategy: a strategy without an aggregate
+		// path would otherwise execute a plain join and have its output
+		// mislabeled as aggregate rows below. External Strategy
+		// implementations always land here.
+		if !supportsAggregateStrategy(strategy) {
+			return nil, errAggregateUnsupported(strategy.Name())
+		}
+	}
 	// Strategies that carry their own query (SelfJoin) resolve relations
 	// through views; everything else needs each atom present at the right
 	// arity, checked here so strategies can assume a well-formed input.
@@ -122,10 +134,15 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		LoadCapBits: cfg.loadCapBits,
 		HeavyCap:    cfg.heavyCap,
 		RoundBudget: cfg.roundBudget,
+		Aggregate:   cfg.aggregate,
+		AggPushdown: cfg.aggPushdown,
 		cache:       cfg.cache,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.aggregate != nil && rep.Aggregate == "" {
+		rep.Aggregate = aggDescribe(cfg.aggregate)
 	}
 	if rep.Strategy == "" {
 		rep.Strategy = strategy.Name()

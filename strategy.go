@@ -23,6 +23,13 @@ type ExecContext struct {
 	HeavyCap    int     // per-variable heavy-hitter cap (WithHeavyCap)
 	RoundBudget int     // max rounds for Auto, 0 = unlimited (WithRoundBudget)
 
+	// Aggregate is the aggregate attached by WithAggregate (nil for plain
+	// join runs); AggPushdown selects pre-shuffle partial aggregation.
+	// Strategies without an aggregate path must return
+	// ErrAggregateUnsupported when Aggregate is set.
+	Aggregate   *AggregateSpec
+	AggPushdown bool
+
 	// cache is the Service's plan/statistics cache handle; nil for plain
 	// Run. Built-in strategies consult it through cachedPlan/cachedStats;
 	// caching is transparent to external Strategy implementations.
@@ -47,6 +54,22 @@ type queryProvider interface {
 	provideQuery() *Query
 }
 
+// aggregateCapable marks the built-in strategies with an aggregate path.
+// Run refuses WithAggregate for any strategy that does not declare support,
+// so a strategy that would silently ignore ExecContext.Aggregate — and
+// return plain join tuples mislabeled as aggregate rows — can never execute
+// one. The method is deliberately unexported: external Strategy
+// implementations cannot opt in yet, and get ErrAggregateUnsupported.
+type aggregateCapable interface {
+	supportsAggregate() bool
+}
+
+// supportsAggregateStrategy reports whether s declares an aggregate path.
+func supportsAggregateStrategy(s Strategy) bool {
+	ac, ok := s.(aggregateCapable)
+	return ok && ac.supportsAggregate()
+}
+
 // ---- one-round HyperCube ---------------------------------------------------
 
 type hyperCubeStrategy struct {
@@ -68,11 +91,18 @@ func (s hyperCubeStrategy) Name() string {
 	return "hypercube"
 }
 
+func (hyperCubeStrategy) supportsAggregate() bool { return true }
+
 func (s hyperCubeStrategy) Execute(ctx ExecContext) (*Report, error) {
 	plan := ctx.cachedPlan(fmt.Sprintf("hc|m%d", s.mode), func() any {
 		return core.PlanForDatabase(ctx.Query, ctx.DB, ctx.Servers, s.mode)
 	}).(*core.Plan)
-	res := core.RunPlanWithCap(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits)
+	var res *core.Result
+	if ap := ctx.aggregatePlan(); ap != nil {
+		res = core.RunPlanAggregate(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ap)
+	} else {
+		res = core.RunPlanWithCap(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits)
+	}
 	rep := reportFromCore(s.Name(), ctx.Query, res)
 	rep.PredictedLoadBits = plan.PredictedLoadBits()
 	return rep, nil
@@ -94,6 +124,8 @@ func HyperCubeShares(shares ...int) Strategy {
 
 func (s sharesStrategy) Name() string { return "hypercube-shares" }
 
+func (sharesStrategy) supportsAggregate() bool { return true }
+
 func (s sharesStrategy) Execute(ctx ExecContext) (*Report, error) {
 	if got, want := len(s.shares), ctx.Query.NumVars(); got != want {
 		return nil, fmt.Errorf("mpcquery: HyperCubeShares: %d shares for %d variables", got, want)
@@ -103,7 +135,12 @@ func (s sharesStrategy) Execute(ctx ExecContext) (*Report, error) {
 			return nil, fmt.Errorf("mpcquery: HyperCubeShares: shares must be ≥ 1, got %v", s.shares)
 		}
 	}
-	res := core.RunWithSharesCap(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits)
+	var res *core.Result
+	if ap := ctx.aggregatePlan(); ap != nil {
+		res = core.RunWithSharesAggregate(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ap)
+	} else {
+		res = core.RunWithSharesCap(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits)
+	}
 	return reportFromCore(s.Name(), ctx.Query, res), nil
 }
 
@@ -280,6 +317,10 @@ func GreedyPlanSkewAware(eps float64) Strategy {
 	return multiRoundStrategy{eps: eps, skewAware: true}
 }
 
+// supportsAggregate: the plain executors aggregate at the root node; the
+// skew-aware executor does not have an aggregate path yet.
+func (s multiRoundStrategy) supportsAggregate() bool { return !s.skewAware }
+
 func (s multiRoundStrategy) Name() string {
 	switch {
 	case s.chain:
@@ -326,24 +367,29 @@ func executeMultiRound(cacheKey string, name string, plan *multiround.Plan, eps 
 			return ctx.cachedPlan(cacheKey+"|"+key, compute)
 		}
 	}
+	ap := ctx.aggregatePlan()
+	if ap != nil && skewAware {
+		return nil, errAggregateUnsupported(name)
+	}
 	var res *multiround.ExecResult
 	if skewAware {
 		res = multiround.ExecuteSkewAwareCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits, memo)
 	} else {
-		res = multiround.ExecuteCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, memo)
+		res = multiround.ExecuteAggregateCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ap, memo)
 	}
 	rep := &Report{
-		Strategy:       name,
-		Query:          ctx.Query,
-		Output:         res.Output,
-		Rounds:         res.Rounds,
-		ServersUsed:    ctx.Servers,
-		MaxLoadBits:    res.MaxLoadBits,
-		TotalBits:      res.TotalBits,
-		InputBits:      res.InputBits,
-		Aborted:        res.Aborted,
-		ComputeSeconds: res.ComputeSeconds,
-		CommSeconds:    res.CommSeconds,
+		Strategy:           name,
+		Query:              ctx.Query,
+		Output:             res.Output,
+		Rounds:             res.Rounds,
+		ServersUsed:        ctx.Servers,
+		MaxLoadBits:        res.MaxLoadBits,
+		TotalBits:          res.TotalBits,
+		InputBits:          res.InputBits,
+		Aborted:            res.Aborted,
+		AggregateBitsSaved: res.AggregateBitsSaved,
+		ComputeSeconds:     res.ComputeSeconds,
+		CommSeconds:        res.CommSeconds,
 	}
 	for i, l := range res.RoundLoads {
 		rep.RoundStats = append(rep.RoundStats, RoundStat{Round: i + 1, MaxLoadBits: l})
@@ -372,6 +418,10 @@ type autoStrategy struct{}
 func Auto() Strategy { return autoStrategy{} }
 
 func (autoStrategy) Name() string { return "auto" }
+
+// supportsAggregate: every strategy Auto delegates to (HyperCube variants,
+// plain multi-round plans) has an aggregate path.
+func (autoStrategy) supportsAggregate() bool { return true }
 
 func (s autoStrategy) Execute(ctx ExecContext) (*Report, error) {
 	if !ctx.Query.IsConnected() {
@@ -408,22 +458,31 @@ func (s autoStrategy) Execute(ctx ExecContext) (*Report, error) {
 	return rep, nil
 }
 
-// reportFromCore folds a one-round core.Result into the unified Report.
+// reportFromCore folds a one-round core.Result into the unified Report
+// (two rounds when the run carried an aggregate shuffle).
 func reportFromCore(name string, q *Query, res *core.Result) *Report {
 	rep := &Report{
-		Strategy:        name,
-		Query:           q,
-		Output:          res.Output,
-		Rounds:          1,
-		RoundStats:      []RoundStat{{Round: 1, MaxLoadBits: res.MaxLoadBits}},
-		ServersUsed:     res.ServersUsed,
-		MaxLoadBits:     res.MaxLoadBits,
-		TotalBits:       res.TotalBits,
-		InputBits:       res.InputBits,
-		ReplicationRate: res.ReplicationRate,
-		Aborted:         res.Aborted,
-		ComputeSeconds:  res.ComputeSeconds,
-		CommSeconds:     res.CommSeconds,
+		Strategy:           name,
+		Query:              q,
+		Output:             res.Output,
+		Rounds:             1,
+		RoundStats:         []RoundStat{{Round: 1, MaxLoadBits: res.MaxLoadBits}},
+		ServersUsed:        res.ServersUsed,
+		MaxLoadBits:        res.MaxLoadBits,
+		TotalBits:          res.TotalBits,
+		InputBits:          res.InputBits,
+		ReplicationRate:    res.ReplicationRate,
+		Aborted:            res.Aborted,
+		AggregateBitsSaved: res.AggregateBitsSaved,
+		ComputeSeconds:     res.ComputeSeconds,
+		CommSeconds:        res.CommSeconds,
+	}
+	if len(res.RoundLoads) > 0 {
+		rep.Rounds = len(res.RoundLoads)
+		rep.RoundStats = rep.RoundStats[:0]
+		for i, l := range res.RoundLoads {
+			rep.RoundStats = append(rep.RoundStats, RoundStat{Round: i + 1, MaxLoadBits: l})
+		}
 	}
 	if res.Plan != nil {
 		rep.Shares = append([]int(nil), res.Plan.Shares...)
