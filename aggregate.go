@@ -1,6 +1,7 @@
 package mpcquery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -111,8 +112,8 @@ func RunAggregate(aq AggregateQuery, db *Database, opts ...RunOption) (*Report, 
 // same admission control, caching, and metrics as Run. Plan-cache entries
 // are shared with plain runs of the same join shape — planning is
 // aggregate-independent.
-func (s *Service) RunAggregate(aq AggregateQuery, db *Database, opts ...RunOption) (*Report, error) {
-	return s.Run(aq.Join, db, append(append([]RunOption(nil), opts...),
+func (s *Service) RunAggregate(ctx context.Context, aq AggregateQuery, db *Database, opts ...RunOption) (*Report, error) {
+	return s.Run(ctx, aq.Join, db, append(append([]RunOption(nil), opts...),
 		WithAggregate(aq.Op, aq.Of, aq.GroupBy...))...)
 }
 

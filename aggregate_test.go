@@ -1,6 +1,7 @@
 package mpcquery
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -218,11 +219,11 @@ func TestAggregateServiceCachingBitIdentical(t *testing.T) {
 	svc := NewService(WithServiceWorkers(2))
 	defer svc.Close()
 	// Warm the plan cache with a plain join of the same shape.
-	if _, err := svc.Run(q, db, WithServers(16), WithSeed(5)); err != nil {
+	if _, err := svc.Run(context.Background(), q, db, WithServers(16), WithSeed(5)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		rep, err := svc.RunAggregate(aq, db, WithServers(16), WithSeed(5))
+		rep, err := svc.RunAggregate(context.Background(), aq, db, WithServers(16), WithSeed(5))
 		if err != nil {
 			t.Fatal(err)
 		}

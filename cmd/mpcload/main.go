@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -129,6 +130,11 @@ func main() {
 	workers := flag.Int("workers", 0, "service worker pool size (default GOMAXPROCS)")
 	benchjson := flag.String("benchjson", "", "write BENCH_service.json to this path")
 	minSpeedup := flag.Float64("minspeedup", 0, "exit non-zero if the skew-aware speedup falls below this")
+	listen := flag.String("listen", "", "worker mode: this rank's listen address (must appear in -peers)")
+	peers := flag.String("peers", "", "worker mode: comma-separated addresses of every rank, in rank order")
+	transportBench := flag.Bool("transportbench", false,
+		"run the distributed-runtime benchmark (loopback verification + coalescing soak) instead of the service bench")
+	waves := flag.Int("waves", 40, "transportbench: identical-request waves in the soak")
 	flag.Parse()
 
 	if *workers <= 0 {
@@ -136,6 +142,17 @@ func main() {
 	}
 	if *clients <= 0 {
 		*clients = *workers
+	}
+
+	if *listen != "" || *peers != "" {
+		if *listen == "" || *peers == "" {
+			fmt.Fprintln(os.Stderr, "mpcload: worker mode needs both -listen and -peers")
+			os.Exit(2)
+		}
+		os.Exit(workerMain(*listen, *peers, *m, *p))
+	}
+	if *transportBench {
+		os.Exit(transportBenchMain(*m, *p, *clients, *waves, *benchjson, *minSpeedup))
 	}
 
 	scenarios := buildScenarios(*m)
@@ -147,8 +164,13 @@ func main() {
 	// Pass 1: caching disabled. Collect garbage before each measured pass
 	// so one pass doesn't pay the other's GC debt.
 	runtime.GC()
+	// Coalescing off in both passes: the cached-vs-uncached comparison
+	// measures the caches; single-flight collapsing identical in-flight
+	// requests would hide exactly the work being compared (the
+	// -transportbench mode measures coalescing itself).
 	unSvc := mpcquery.NewService(
 		mpcquery.WithPlanCaching(false), mpcquery.WithStatsCaching(false),
+		mpcquery.WithRequestCoalescing(false),
 		mpcquery.WithServiceWorkers(*workers), mpcquery.WithServiceQueue(len(stream)))
 	unWall, unLat, unFPs, err := drive(unSvc, stream, *p, *clients)
 	if err != nil {
@@ -161,6 +183,7 @@ func main() {
 	// Pass 2: caching enabled, identical stream.
 	runtime.GC()
 	caSvc := mpcquery.NewService(
+		mpcquery.WithRequestCoalescing(false),
 		mpcquery.WithServiceWorkers(*workers), mpcquery.WithServiceQueue(len(stream)))
 	caWall, caLat, caFPs, err := drive(caSvc, stream, *p, *clients)
 	if err != nil {
@@ -439,7 +462,7 @@ func drive(svc *mpcquery.Service, stream []request, p, clients int) (time.Durati
 					mpcquery.WithSeed(rq.seed),
 				}, rq.sc.extra...)
 				t0 := time.Now()
-				rep, err := svc.Run(rq.sc.q, rq.sc.db, opts...)
+				rep, err := svc.Run(context.Background(), rq.sc.q, rq.sc.db, opts...)
 				lat[i] = time.Since(t0)
 				if err != nil {
 					errOnce.Do(func() { firstErr = fmt.Errorf("request %d (%s): %w", i, rq.sc.name, err) })
@@ -490,7 +513,10 @@ func (g *gatedStrategy) Execute(ctx mpcquery.ExecContext) (*mpcquery.Report, err
 // the worker is provably busy, so once the queue fills every further
 // request must be refused rather than buffered without bound.
 func overloadProbe(sc *scenario, p int) (submitted int, shed int64) {
-	svc := mpcquery.NewService(mpcquery.WithServiceWorkers(1), mpcquery.WithServiceQueue(2))
+	// Coalescing off: the probe floods identical requests to fill the queue,
+	// which single-flight would otherwise collapse into one execution.
+	svc := mpcquery.NewService(mpcquery.WithServiceWorkers(1), mpcquery.WithServiceQueue(2),
+		mpcquery.WithRequestCoalescing(false))
 	defer svc.Close()
 	gs := &gatedStrategy{gate: make(chan struct{}), started: make(chan struct{}, 1)}
 	const burst = 32
@@ -500,7 +526,7 @@ func overloadProbe(sc *scenario, p int) (submitted int, shed int64) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := svc.Run(sc.q, sc.db, mpcquery.WithStrategy(gs), mpcquery.WithServers(sc.p(p))); errors.Is(err, mpcquery.ErrOverloaded) {
+			if _, err := svc.Run(context.Background(), sc.q, sc.db, mpcquery.WithStrategy(gs), mpcquery.WithServers(sc.p(p))); errors.Is(err, mpcquery.ErrOverloaded) {
 				count.Add(1)
 			}
 		}()

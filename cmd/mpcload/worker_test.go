@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpcquery/internal/transport"
+)
+
+// TestWorkerProcessHelper is not a test of its own: it is the worker body
+// TestWorkerProcesses re-executes this test binary into, selected by the
+// MPCLOAD_WORKER_LISTEN environment variable. Run directly it skips.
+func TestWorkerProcessHelper(t *testing.T) {
+	listen := os.Getenv("MPCLOAD_WORKER_LISTEN")
+	if listen == "" {
+		t.Skip("helper: only runs when re-executed by TestWorkerProcesses")
+	}
+	if code := workerMain(listen, os.Getenv("MPCLOAD_WORKER_PEERS"), 400, 16); code != 0 {
+		t.Fatalf("workerMain exited %d", code)
+	}
+}
+
+// TestWorkerProcesses is the acceptance check for mpcload's worker mode
+// with real OS-process isolation: it re-executes this test binary as three
+// worker processes joined over TCP loopback, then asserts every rank (a)
+// matched its own in-process reference on every scenario, and (b) printed
+// fingerprints byte-identical to every other rank's.
+func TestWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := transport.FreeLoopbackAddrs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := strings.Join(addrs, ",")
+
+	outs := make([]bytes.Buffer, len(addrs))
+	errs := make([]bytes.Buffer, len(addrs))
+	var wg sync.WaitGroup
+	fail := make([]error, len(addrs))
+	for rank, listen := range addrs {
+		cmd := exec.Command(exe, "-test.run=TestWorkerProcessHelper$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			"MPCLOAD_WORKER_LISTEN="+listen,
+			"MPCLOAD_WORKER_PEERS="+peers)
+		cmd.Stdout = &outs[rank]
+		cmd.Stderr = &errs[rank]
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := cmd.Run(); err != nil {
+				fail[rank] = fmt.Errorf("rank %d: %v", rank, err)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range fail {
+		if err != nil {
+			t.Errorf("%v\nstderr:\n%s", err, errs[rank].String())
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	files := make([]WorkerFile, len(addrs))
+	for rank := range addrs {
+		// The helper's stdout is the worker JSON followed by the test
+		// framework's own chatter; the document is the outermost braces.
+		raw := outs[rank].Bytes()
+		lo, hi := bytes.IndexByte(raw, '{'), bytes.LastIndexByte(raw, '}')
+		if lo < 0 || hi < lo {
+			t.Fatalf("rank %d: no JSON document on stdout:\n%s", rank, raw)
+		}
+		if err := json.Unmarshal(raw[lo:hi+1], &files[rank]); err != nil {
+			t.Fatalf("rank %d: decoding worker JSON: %v", rank, err)
+		}
+	}
+	for rank, f := range files {
+		if f.Rank != rank || f.Ranks != len(addrs) {
+			t.Errorf("rank %d reported rank %d/%d", rank, f.Rank, f.Ranks)
+		}
+		if !f.AllIdentical {
+			t.Errorf("rank %d diverged from its in-process reference", rank)
+		}
+		if f.ChargedBits > f.BilledPayloadBytes*8 {
+			t.Errorf("rank %d charged %d bits over %d billed payload bytes",
+				rank, f.ChargedBits, f.BilledPayloadBytes)
+		}
+		if len(f.Scenarios) == 0 {
+			t.Errorf("rank %d ran no scenarios", rank)
+		}
+	}
+	for rank := 1; rank < len(files); rank++ {
+		if len(files[rank].Scenarios) != len(files[0].Scenarios) {
+			t.Fatalf("rank %d ran %d scenarios, rank 0 ran %d",
+				rank, len(files[rank].Scenarios), len(files[0].Scenarios))
+		}
+		for i, sc := range files[rank].Scenarios {
+			if want := files[0].Scenarios[i]; sc.Fingerprint != want.Fingerprint {
+				t.Errorf("scenario %s: rank %d fingerprint differs from rank 0:\n  %s\n  %s",
+					sc.Name, rank, sc.Fingerprint, want.Fingerprint)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package mpcquery
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -146,7 +147,7 @@ func TestSeededServiceRunsDeterministicUnderConcurrency(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for _, c := range cases {
-				rep, err := svc.Run(c.q, c.db, c.runOpts()...)
+				rep, err := svc.Run(context.Background(), c.q, c.db, c.runOpts()...)
 				if err != nil {
 					errs <- fmt.Errorf("%s: %w", c.name, err)
 					continue

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -52,7 +53,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rep, err := svc.Run(q, db,
+			rep, err := svc.Run(context.Background(), q, db,
 				mpcquery.WithStrategy(mpcquery.SkewedStarSampled(200)),
 				mpcquery.WithServers(p), mpcquery.WithSeed(5))
 			if errors.Is(err, mpcquery.ErrOverloaded) {

@@ -198,7 +198,13 @@ func RunWithShares(q *query.Query, db *data.Database, shares []int, seed int64) 
 
 // RunWithSharesCap is RunWithShares with a declared load cap (0 = none).
 func RunWithSharesCap(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64) *Result {
-	return RunPlanWithCap(sharesPlan(q, db, shares), db, seed, capBits)
+	return RunWithSharesCapNet(q, db, shares, seed, capBits, nil)
+}
+
+// RunWithSharesCapNet is RunWithSharesCap with round delivery through net
+// (nil = in-process).
+func RunWithSharesCapNet(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, net engine.Transport) *Result {
+	return RunPlanWithCapNet(sharesPlan(q, db, shares), db, seed, capBits, net)
 }
 
 // sharesPlan wraps explicit integer shares in a Plan (no LP, zero
@@ -228,7 +234,15 @@ func RunPlan(pl *Plan, db *data.Database, seed int64) *Result {
 // Aborted flag is set. The output is still computed (the caller decides
 // whether to retry with a fresh hash seed).
 func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *Result {
-	return runPlanSeeded(pl, db, seed, capBits, nil, partitionedSeeding(db))
+	return RunPlanWithCapNet(pl, db, seed, capBits, nil)
+}
+
+// RunPlanWithCapNet is RunPlanWithCap with round delivery through net (nil
+// = in-process). Every strategy path threads its transport exclusively
+// through these Net variants — the algorithms themselves are
+// transport-oblivious, as the delivery seam requires.
+func RunPlanWithCapNet(pl *Plan, db *data.Database, seed int64, capBits float64, net engine.Transport) *Result {
+	return runPlanSeeded(pl, db, seed, capBits, nil, partitionedSeeding(db), net)
 }
 
 // RunPlanAggregate executes pl and then computes agg over the join output
@@ -240,12 +254,24 @@ func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *R
 // synthetic key of a global aggregate dropped — identical whether or not
 // pushdown ran; only the second round's bits differ.
 func RunPlanAggregate(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan) *Result {
-	return runPlanSeeded(pl, db, seed, capBits, agg, partitionedSeeding(db))
+	return RunPlanAggregateNet(pl, db, seed, capBits, agg, nil)
+}
+
+// RunPlanAggregateNet is RunPlanAggregate with round delivery through net
+// (nil = in-process).
+func RunPlanAggregateNet(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, net engine.Transport) *Result {
+	return runPlanSeeded(pl, db, seed, capBits, agg, partitionedSeeding(db), net)
 }
 
 // RunWithSharesAggregate is RunPlanAggregate over explicit integer shares.
 func RunWithSharesAggregate(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, agg *aggregate.Plan) *Result {
-	return RunPlanAggregate(sharesPlan(q, db, shares), db, seed, capBits, agg)
+	return RunWithSharesAggregateNet(q, db, shares, seed, capBits, agg, nil)
+}
+
+// RunWithSharesAggregateNet is RunWithSharesAggregate with round delivery
+// through net (nil = in-process).
+func RunWithSharesAggregateNet(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, agg *aggregate.Plan, net engine.Transport) *Result {
+	return RunPlanAggregateNet(sharesPlan(q, db, shares), db, seed, capBits, agg, net)
 }
 
 // partitionedSeeding deals each relation round-robin across the grid — the
@@ -268,7 +294,7 @@ func partitionedSeeding(db *data.Database) func(*engine.Cluster, *query.Query, i
 // partitioned-input run — the equivalence the paper uses to transfer its
 // lower bounds between the two models.
 func RunPlanInputServers(pl *Plan, db *data.Database, seed int64) *Result {
-	return runPlanSeeded(pl, db, seed, 0, nil, func(cluster *engine.Cluster, q *query.Query, gp int) {
+	return runPlanSeededLocal(pl, db, seed, 0, nil, func(cluster *engine.Cluster, q *query.Query, gp int) {
 		for j, a := range q.Atoms {
 			rel := db.Get(a.Name)
 			m := rel.NumTuples()
@@ -279,12 +305,16 @@ func RunPlanInputServers(pl *Plan, db *data.Database, seed int64) *Result {
 	})
 }
 
-func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, seedInput func(*engine.Cluster, *query.Query, int)) *Result {
+func runPlanSeededLocal(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, seedInput func(*engine.Cluster, *query.Query, int)) *Result {
+	return runPlanSeeded(pl, db, seed, capBits, agg, seedInput, nil)
+}
+
+func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, seedInput func(*engine.Cluster, *query.Query, int), net engine.Transport) *Result {
 	q := pl.Query
 	grid := hashing.NewGrid(pl.Shares)
 	gp := grid.P()
 	family := hashing.NewFamily(seed, q.NumVars())
-	cluster := engine.NewCluster(gp, data.BitsPerValue(db.N))
+	cluster := engine.NewClusterNet(net, gp, data.BitsPerValue(db.N))
 	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)

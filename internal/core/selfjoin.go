@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpcquery/internal/data"
+	"mpcquery/internal/engine"
 	"mpcquery/internal/query"
 )
 
@@ -45,6 +46,12 @@ func RunWithSelfJoins(name string, atoms []query.Atom, db *data.Database, p int,
 // RunWithSelfJoinsCap is RunWithSelfJoins with a declared load cap in bits
 // (Section 2.1's abort semantics); 0 means no cap.
 func RunWithSelfJoinsCap(name string, atoms []query.Atom, db *data.Database, p int, seed int64, mode Mode, capBits float64) *Result {
+	return RunWithSelfJoinsCapNet(name, atoms, db, p, seed, mode, capBits, nil)
+}
+
+// RunWithSelfJoinsCapNet is RunWithSelfJoinsCap with round delivery through
+// net (nil = in-process).
+func RunWithSelfJoinsCapNet(name string, atoms []query.Atom, db *data.Database, p int, seed int64, mode Mode, capBits float64, net engine.Transport) *Result {
 	q, mapping := DesugarSelfJoins(name, atoms)
 	view := data.NewDatabase(db.N)
 	for newName, orig := range mapping {
@@ -56,7 +63,7 @@ func RunWithSelfJoinsCap(name string, atoms []query.Atom, db *data.Database, p i
 		}
 		view.Add(rel)
 	}
-	return RunPlanWithCap(PlanForDatabase(q, view, p, mode), view, seed, capBits)
+	return RunPlanWithCapNet(PlanForDatabase(q, view, p, mode), view, seed, capBits, net)
 }
 
 // SequentialAnswerWithSelfJoins is the single-node ground truth for

@@ -2,6 +2,7 @@ package data
 
 import (
 	"math/rand"
+	"sort"
 
 	"mpcquery/internal/query"
 )
@@ -111,16 +112,24 @@ func SkewedPair(rng *rand.Rand, m int, n int64, heavyVal int64, heavyFrac float6
 // heavy hitters on z: each relation S_j(z,x_j) gets, for every (value,count)
 // in heavy, count tuples with z = value; the rest of the m tuples use
 // matching (degree-1) z values. The x_j columns are always matchings.
+// Heavy values are planted in ascending value order, so the generated
+// database is a pure function of (rng state, arguments) even when the
+// requested counts exceed m and the tail is truncated.
 func SkewedStarDatabase(rng *rand.Rand, k, m int, n int64, heavy map[int64]int) *Database {
 	db := NewDatabase(n)
 	q := query.Star(k)
+	heavyVals := make([]int64, 0, len(heavy))
+	for val := range heavy {
+		heavyVals = append(heavyVals, val)
+	}
+	sort.Slice(heavyVals, func(i, j int) bool { return heavyVals[i] < heavyVals[j] })
 	for _, a := range q.Atoms {
 		r := NewRelation(a.Name, 2)
 		r.Grow(m)
 		x := SampleDistinct(rng, m, n)
 		i := 0
-		for val, cnt := range heavy {
-			for c := 0; c < cnt && i < m; c++ {
+		for _, val := range heavyVals {
+			for c := 0; c < heavy[val] && i < m; c++ {
 				r.Append(val, x[i])
 				i++
 			}

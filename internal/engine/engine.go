@@ -284,6 +284,7 @@ type Cluster struct {
 	recvTuples   []int
 	rounds       []RoundStats
 	loadCap      float64 // 0 = unlimited; otherwise rounds flag Aborted
+	link         Link    // non-nil when delivery goes through a Transport
 
 	// Wall-clock split of the simulation, not a model cost: time spent in
 	// server computation (round functions and Compute phases) vs delivery
@@ -328,10 +329,15 @@ func NewCluster(p, bitsPerValue int) *Cluster {
 }
 
 // Release returns the cluster's inbox arenas to the shared pool for reuse by
-// later clusters. It must be the last use of the cluster: every Inbox,
-// Batch, or tuple view previously obtained from it is invalidated (round
-// statistics, being plain values, stay valid). Release is idempotent.
+// later clusters, and closes the cluster's transport link, if any. It must
+// be the last use of the cluster: every Inbox, Batch, or tuple view
+// previously obtained from it is invalidated (round statistics, being plain
+// values, stay valid). Release is idempotent.
 func (c *Cluster) Release() {
+	if c.link != nil {
+		_ = c.link.Close()
+		c.link = nil
+	}
 	for s := 0; s < c.p; s++ {
 		if c.inbox[s] != nil {
 			c.inbox[s].reset()
@@ -393,32 +399,32 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	})
 	c.computeSeconds += time.Since(t0).Seconds()
 
-	// Delivery phase, sharded by destination: each destination collects its
-	// batches from every sender in sender order, into a recycled arena, and
-	// accounts its own received bits — no cross-goroutine writes.
+	// Delivery phase, through the transport seam: the default (no link) is
+	// DeliverLocal — sharded by destination, each destination collecting its
+	// batches from every sender in sender order into a recycled arena. A
+	// linked cluster hands the round to its Transport instead, which must
+	// reproduce the same delivery order (see Link.Deliver); a delivery error
+	// aborts the run via panic, mapped to a typed error at the API boundary.
 	t1 := time.Now()
-	ParallelFor(c.p, func(d int) {
-		ib := c.spare[d]
-		ib.reset()
-		bits, tuples := 0.0, 0
-		for s := 0; s < c.p; s++ {
-			em := c.emitters[s]
-			if em.perDest != nil {
-				for _, b := range em.perDest[d].batches {
-					ib.appendBlock(b.kind, b.arity, b.vals)
-					tuples += len(b.vals) / b.arity
-					bits += float64(len(b.vals) * c.bitsPerValue)
-				}
-			}
-			for _, b := range em.bcast.batches {
-				ib.appendBlock(b.kind, b.arity, b.vals)
-				tuples += len(b.vals) / b.arity
-				bits += float64(len(b.vals) * c.bitsPerValue)
-			}
+	for d := 0; d < c.p; d++ {
+		c.spare[d].reset()
+	}
+	io := &DeliveryRound{
+		Round:        len(c.rounds),
+		P:            c.p,
+		BitsPerValue: c.bitsPerValue,
+		Senders:      c.emitters,
+		Inboxes:      c.spare,
+		RecvBits:     c.recvBits,
+		RecvTuples:   c.recvTuples,
+	}
+	if c.link != nil {
+		if err := c.link.Deliver(io); err != nil {
+			panic(fmt.Errorf("engine: round %q delivery failed: %w", name, err))
 		}
-		c.recvBits[d] = bits
-		c.recvTuples[d] = tuples
-	})
+	} else {
+		DeliverLocal(io)
+	}
 	c.commSeconds += time.Since(t1).Seconds()
 	c.inbox, c.spare = c.spare, c.inbox
 

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Flight coalesces concurrent duplicate requests: while one call for a key
+// is in flight, later calls for the same key wait for its result instead
+// of executing again. Unlike the Cache, a Flight holds nothing after the
+// call completes — it deduplicates concurrency, not history, so it is
+// sound even for requests whose execution has side effects that must
+// happen at least once per burst (metering a query's communication) but
+// are wasteful to repeat within one.
+type Flight struct {
+	mu     sync.Mutex
+	flying map[string]*flightCall
+
+	hits   atomic.Int64 // calls that waited on another's execution
+	misses atomic.Int64 // calls that executed
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewFlight returns an empty coalescing group.
+func NewFlight() *Flight {
+	return &Flight{flying: make(map[string]*flightCall)}
+}
+
+// Do executes fn for key, unless an identical call is already in flight —
+// then it waits and returns that call's result instead. The boolean
+// reports whether this call was coalesced onto another's execution.
+// Callers of a coalesced Do share the leader's result value; they must
+// treat it as read-only.
+func (f *Flight) Do(key string, fn func() (any, error)) (any, bool, error) {
+	f.mu.Lock()
+	if c, ok := f.flying[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		f.hits.Add(1)
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.flying[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.flying, key)
+	f.mu.Unlock()
+	close(c.done)
+	f.misses.Add(1)
+	return c.val, false, c.err
+}
+
+// FlightStats reports a Flight's lifetime coalescing effectiveness.
+type FlightStats struct {
+	Hits   int64 // calls served by another call's execution
+	Misses int64 // calls that executed themselves
+}
+
+// HitRate returns the fraction of calls coalesced onto another execution.
+func (s FlightStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the flight counters.
+func (f *Flight) Stats() FlightStats {
+	return FlightStats{Hits: f.hits.Load(), Misses: f.misses.Load()}
+}

@@ -183,11 +183,17 @@ func PrepareStarWithFrequencies(q *query.Query, db *data.Database, p int, freqs 
 // bit-identical to the unprepared path — preparation only moves work, never
 // accounting.
 func RunStarPlanned(sp *StarPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
+	return RunStarPlannedNet(sp, q, db, p, seed, capBits, nil)
+}
+
+// RunStarPlannedNet is RunStarPlanned with round delivery through net (nil
+// = in-process).
+func RunStarPlannedNet(sp *StarPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64, net engine.Transport) *Result {
 	k := q.NumAtoms()
 	zCols, blocks, totalServers := sp.zCols, sp.blocks, sp.totalServers
 	bpv := data.BitsPerValue(db.N)
 
-	cluster := engine.NewCluster(totalServers, bpv)
+	cluster := engine.NewClusterNet(net, totalServers, bpv)
 	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)

@@ -1,0 +1,28 @@
+package transport
+
+import "net"
+
+// FreeLoopbackAddrs reserves n distinct loopback TCP addresses by
+// listening on port 0 and immediately releasing the listeners. It is a
+// convenience for tests and single-machine drivers that need to hand the
+// same address list to every rank before any rank has started; the tiny
+// window in which the kernel could reassign a released port is absorbed
+// by Dial's bind/retry error path.
+func FreeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}

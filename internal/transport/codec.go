@@ -1,0 +1,257 @@
+// Package transport moves the engine's rounds between servers. It provides
+// the two implementations of the engine's delivery seam
+// (engine.Transport):
+//
+//   - Inproc: today's sharded, zero-copy, in-memory delivery — the default.
+//   - TCP sessions (Dial): N real OS processes (or N goroutines over real
+//     loopback sockets) executing the same strategy in SPMD style, with
+//     every charged bit serialized through the wire codec below and every
+//     inbox assembled exclusively from received frames.
+//
+// The distributed protocol is replicated compute, partitioned wire: every
+// rank runs the full strategy deterministically (all p model servers'
+// round functions and compute phases), but each model server's emissions
+// are serialized and sent by exactly one owning rank, to all ranks
+// (itself included, over a real socket). Inboxes are rebuilt only from
+// received frames, so the wire is load-bearing for correctness — a
+// dropped or corrupted frame changes the answer, it does not just skew a
+// counter. RoundStats are recomputed identically at every rank from the
+// assembled inboxes, so no statistics exchange is needed and every rank
+// produces the identical Report.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame types. Every frame on the wire is a little-endian u32 length
+// prefix (length of everything after itself) followed by a type byte and
+// a type-specific body.
+const (
+	frameHello    byte = 1 // body: magic u32, version u32, rank u32
+	frameData     byte = 2 // body: dataHeader + payload
+	frameRoundEnd byte = 3 // body: cluster u32, round u32, frames u32
+)
+
+const (
+	helloMagic   uint32 = 0x4d504351 // "MPCQ"
+	helloVersion uint32 = 1
+)
+
+// dataHeaderLen is the fixed part of a data frame's body: cluster(4),
+// round(4), seq(4), sender(4), dest(4), kind(4), arity(2), width(1),
+// reserved(1), count(4).
+const dataHeaderLen = 32
+
+// DataFrameOverheadBytes is the full framing overhead of one data frame:
+// the 4-byte length prefix, the type byte, and the fixed header. This is
+// the constant the README's accounting section documents: wire bytes of a
+// round = Σ payload + DataFrameOverheadBytes × frames + round-end/hello
+// control frames.
+const DataFrameOverheadBytes = 4 + 1 + dataHeaderLen
+
+// maxFrameLen bounds a frame body so a corrupt or hostile length prefix
+// cannot make the reader allocate unboundedly (64 MiB ≫ any real round
+// batch in this codebase).
+const maxFrameLen = 1 << 26
+
+// errMalformed is wrapped by every decode error, so tests can assert the
+// decoder rejects (rather than panics on) arbitrary input.
+var errMalformed = errors.New("transport: malformed frame")
+
+// dataFrame is one decoded columnar batch in flight: the emissions of one
+// model server (Sender) to one destination (Dest, or -1 for broadcast)
+// within round Round of cluster Cluster. Seq numbers the frames a rank
+// sends for one (cluster, round), letting receivers drop duplicates when
+// a failed write is retried with a full resend. Payload holds
+// Count×Arity values, little-endian, Width bytes each; it aliases the
+// decode input buffer.
+type dataFrame struct {
+	Cluster uint32
+	Round   uint32
+	Seq     uint32
+	Sender  uint32
+	Dest    int32
+	Kind    uint32
+	Arity   uint16
+	Width   uint8
+	Count   uint32
+	Payload []byte
+}
+
+// frame is the decoded union of all frame types; Typ selects which fields
+// are meaningful.
+type frame struct {
+	typ byte
+
+	data dataFrame // frameData
+
+	rank uint32 // frameHello
+
+	cluster uint32 // frameRoundEnd
+	round   uint32 // frameRoundEnd
+	frames  uint32 // frameRoundEnd
+}
+
+// widthFor picks the per-value byte width of one batch: the compact width
+// ⌈bitsPerValue/8⌉ when every value fits it, widened when values exceed
+// the domain (annotation columns — a SUM can outgrow ⌈log₂ n⌉ bits), and
+// the full 8 bytes when any value is negative. Widening keeps the wire ≥
+// the model's charge: payload bits are always ≥ Count×Arity×bitsPerValue.
+func widthFor(bitsPerValue int, vals []int64) uint8 {
+	w := uint(bitsPerValue+7) / 8
+	if w < 1 {
+		w = 1
+	}
+	if w > 8 {
+		w = 8
+	}
+	var maxv int64
+	for _, v := range vals {
+		if v < 0 {
+			return 8
+		}
+		if v > maxv {
+			maxv = v
+		}
+	}
+	for w < 8 && maxv >= int64(1)<<(8*w) {
+		w++
+	}
+	return uint8(w)
+}
+
+// appendDataFrame serializes one batch as a data frame onto dst. width
+// must come from widthFor for these vals (values are truncated to width
+// bytes; widthFor guarantees that is lossless).
+func appendDataFrame(dst []byte, cluster, round, seq, sender uint32, dest int32, kind uint32, arity int, width uint8, vals []int64) []byte {
+	count := len(vals) / arity
+	payload := count * arity * int(width)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+dataHeaderLen+payload))
+	dst = append(dst, frameData)
+	dst = binary.LittleEndian.AppendUint32(dst, cluster)
+	dst = binary.LittleEndian.AppendUint32(dst, round)
+	dst = binary.LittleEndian.AppendUint32(dst, seq)
+	dst = binary.LittleEndian.AppendUint32(dst, sender)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dest))
+	dst = binary.LittleEndian.AppendUint32(dst, kind)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(arity))
+	dst = append(dst, width, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(count))
+	for _, v := range vals {
+		u := uint64(v)
+		for b := uint8(0); b < width; b++ {
+			dst = append(dst, byte(u>>(8*b)))
+		}
+	}
+	return dst
+}
+
+// appendRoundEnd serializes the barrier frame a rank sends after the last
+// data frame of one (cluster, round): frames declares how many data
+// frames preceded it, so receivers know when the round is complete.
+func appendRoundEnd(dst []byte, cluster, round, frames uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1+12)
+	dst = append(dst, frameRoundEnd)
+	dst = binary.LittleEndian.AppendUint32(dst, cluster)
+	dst = binary.LittleEndian.AppendUint32(dst, round)
+	dst = binary.LittleEndian.AppendUint32(dst, frames)
+	return dst
+}
+
+// appendHello serializes the handshake frame, the first frame on every
+// connection: it names the dialing rank (all later frames on the
+// connection are attributed to it) and pins the protocol version.
+func appendHello(dst []byte, rank uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1+12)
+	dst = append(dst, frameHello)
+	dst = binary.LittleEndian.AppendUint32(dst, helloMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, helloVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, rank)
+	return dst
+}
+
+// decodeFrame parses one frame body (everything after the length prefix).
+// Malformed input of any shape returns an error wrapping errMalformed —
+// never a panic — which the fuzz target FuzzFrameDecode enforces.
+func decodeFrame(body []byte) (frame, error) {
+	var f frame
+	if len(body) < 1 {
+		return f, fmt.Errorf("%w: empty body", errMalformed)
+	}
+	f.typ = body[0]
+	rest := body[1:]
+	switch f.typ {
+	case frameHello:
+		if len(rest) != 12 {
+			return f, fmt.Errorf("%w: hello body is %d bytes, want 12", errMalformed, len(rest))
+		}
+		if magic := binary.LittleEndian.Uint32(rest[0:4]); magic != helloMagic {
+			return f, fmt.Errorf("%w: bad hello magic %#x", errMalformed, magic)
+		}
+		if v := binary.LittleEndian.Uint32(rest[4:8]); v != helloVersion {
+			return f, fmt.Errorf("%w: protocol version %d, want %d", errMalformed, v, helloVersion)
+		}
+		f.rank = binary.LittleEndian.Uint32(rest[8:12])
+		return f, nil
+	case frameRoundEnd:
+		if len(rest) != 12 {
+			return f, fmt.Errorf("%w: round-end body is %d bytes, want 12", errMalformed, len(rest))
+		}
+		f.cluster = binary.LittleEndian.Uint32(rest[0:4])
+		f.round = binary.LittleEndian.Uint32(rest[4:8])
+		f.frames = binary.LittleEndian.Uint32(rest[8:12])
+		return f, nil
+	case frameData:
+		if len(rest) < dataHeaderLen {
+			return f, fmt.Errorf("%w: data header is %d bytes, want %d", errMalformed, len(rest), dataHeaderLen)
+		}
+		d := &f.data
+		d.Cluster = binary.LittleEndian.Uint32(rest[0:4])
+		d.Round = binary.LittleEndian.Uint32(rest[4:8])
+		d.Seq = binary.LittleEndian.Uint32(rest[8:12])
+		d.Sender = binary.LittleEndian.Uint32(rest[12:16])
+		d.Dest = int32(binary.LittleEndian.Uint32(rest[16:20]))
+		d.Kind = binary.LittleEndian.Uint32(rest[20:24])
+		d.Arity = binary.LittleEndian.Uint16(rest[24:26])
+		d.Width = rest[26]
+		d.Count = binary.LittleEndian.Uint32(rest[28:32])
+		if d.Arity < 1 {
+			return f, fmt.Errorf("%w: zero arity", errMalformed)
+		}
+		if d.Width < 1 || d.Width > 8 {
+			return f, fmt.Errorf("%w: width %d out of range [1,8]", errMalformed, d.Width)
+		}
+		if d.Dest < -1 {
+			return f, fmt.Errorf("%w: destination %d", errMalformed, d.Dest)
+		}
+		want := uint64(d.Count) * uint64(d.Arity) * uint64(d.Width)
+		got := uint64(len(rest) - dataHeaderLen)
+		if want != got {
+			return f, fmt.Errorf("%w: payload is %d bytes, header declares %d", errMalformed, got, want)
+		}
+		d.Payload = rest[dataHeaderLen:]
+		return f, nil
+	default:
+		return f, fmt.Errorf("%w: unknown frame type %d", errMalformed, f.typ)
+	}
+}
+
+// decodeValues appends the frame's Count×Arity values onto dst. Widths
+// below 8 are zero-extended (widthFor never narrows a negative value);
+// width 8 is the identity encoding of int64.
+func (d *dataFrame) decodeValues(dst []int64) []int64 {
+	w := int(d.Width)
+	n := int(d.Count) * int(d.Arity)
+	for i := 0; i < n; i++ {
+		var u uint64
+		off := i * w
+		for b := 0; b < w; b++ {
+			u |= uint64(d.Payload[off+b]) << (8 * b)
+		}
+		dst = append(dst, int64(u))
+	}
+	return dst
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestWidthFor pins the width rules: compact ⌈bpv/8⌉ by default, widened
+// when values outgrow the domain width, full 8 bytes for negatives.
+func TestWidthFor(t *testing.T) {
+	cases := []struct {
+		bpv  int
+		vals []int64
+		want uint8
+	}{
+		{16, []int64{0, 1, 65535}, 2},
+		{17, []int64{0, 1 << 16}, 3},
+		{16, []int64{1 << 20}, 3},       // annotation outgrew the domain
+		{16, []int64{1 << 30}, 4},       //
+		{16, []int64{-1}, 8},            // negative → identity width
+		{16, []int64{5, -3, 7}, 8},      //
+		{1, []int64{0, 1}, 1},           //
+		{64, []int64{1}, 8},             //
+		{16, nil, 2},                    // empty batch keeps compact width
+		{8, []int64{255}, 1},            //
+		{8, []int64{256}, 2},            //
+		{16, []int64{(1 << 56) - 1}, 7}, //
+		{16, []int64{1 << 56}, 8},       //
+		{16, []int64{0x7fffffffffffffff}, 8},
+	}
+	for _, c := range cases {
+		if got := widthFor(c.bpv, c.vals); got != c.want {
+			t.Errorf("widthFor(%d, %v) = %d, want %d", c.bpv, c.vals, got, c.want)
+		}
+	}
+}
+
+// TestCodecRoundTripProperty encodes random batches — including
+// annotation-style columns with values far above the domain and negative
+// values — and checks a decode returns the frame and values exactly.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		bpv := 1 + rng.Intn(64)
+		arity := 1 + rng.Intn(5)
+		count := rng.Intn(50)
+		vals := make([]int64, count*arity)
+		for i := range vals {
+			switch rng.Intn(5) {
+			case 0: // domain value
+				vals[i] = rng.Int63n(1 << uint(minInt(bpv, 62)))
+			case 1: // annotation value, possibly far above the domain
+				vals[i] = rng.Int63()
+			case 2: // negative annotation (e.g. a SUM of negatives)
+				vals[i] = -rng.Int63()
+			case 3:
+				vals[i] = 0
+			case 4:
+				vals[i] = int64(rng.Intn(3)) - 1
+			}
+		}
+		cluster, round, seq := rng.Uint32(), rng.Uint32(), rng.Uint32()
+		sender := rng.Uint32() % 1000
+		dest := int32(rng.Intn(100) - 1)
+		kind := rng.Uint32() % 64
+
+		w := widthFor(bpv, vals)
+		enc := appendDataFrame(nil, cluster, round, seq, sender, dest, kind, arity, w, vals)
+
+		// Strip the length prefix, as the reader does.
+		if len(enc) < 4 {
+			t.Fatal("frame too short")
+		}
+		f, err := decodeFrame(enc[4:])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if f.typ != frameData {
+			t.Fatalf("type %d", f.typ)
+		}
+		d := f.data
+		if d.Cluster != cluster || d.Round != round || d.Seq != seq || d.Sender != sender ||
+			d.Dest != dest || d.Kind != kind || int(d.Arity) != arity || d.Width != w || int(d.Count) != count {
+			t.Fatalf("header mismatch: %+v", d)
+		}
+		got := d.decodeValues(nil)
+		if count == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty batch decoded %d values", len(got))
+			}
+			continue
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("iter %d: value %d: got %d, want %d (width %d, bpv %d)", iter, i, got[i], vals[i], w, bpv)
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestCodecControlRoundTrip covers the hello and round-end frames.
+func TestCodecControlRoundTrip(t *testing.T) {
+	enc := appendHello(nil, 7)
+	f, err := decodeFrame(enc[4:])
+	if err != nil || f.typ != frameHello || f.rank != 7 {
+		t.Fatalf("hello round-trip: %+v, %v", f, err)
+	}
+	enc = appendRoundEnd(nil, 3, 9, 42)
+	f, err = decodeFrame(enc[4:])
+	if err != nil || f.typ != frameRoundEnd || f.cluster != 3 || f.round != 9 || f.frames != 42 {
+		t.Fatalf("round-end round-trip: %+v, %v", f, err)
+	}
+}
+
+// TestDecodeMalformed feeds systematically broken frames and requires an
+// error — never a panic, never a silent success.
+func TestDecodeMalformed(t *testing.T) {
+	valid := appendDataFrame(nil, 1, 2, 0, 3, 4, 5, 2, 2, []int64{10, 20, 30, 40})[4:]
+	cases := map[string][]byte{
+		"empty":           {},
+		"unknown type":    {99},
+		"hello short":     {frameHello, 1, 2},
+		"hello bad magic": append([]byte{frameHello}, make([]byte, 12)...),
+		"round-end short": {frameRoundEnd, 1},
+		"data no header":  {frameData, 1, 2, 3},
+		"data truncated":  valid[:len(valid)-1],
+		"data extra byte": append(bytes.Clone(valid), 0),
+		"data zero arity": mutate(valid, 24+1, 0, 0), // arity u16 at body offset 1+24
+		"data width 0":    mutate(valid, 26+1, 0),
+		"data width 9":    mutate(valid, 26+1, 9),
+		"data dest -2":    mutate(valid, 16+1, 0xfe, 0xff, 0xff, 0xff),
+		"data count lies": mutate(valid, 28+1, 0xff, 0xff),
+	}
+	for name, body := range cases {
+		if _, err := decodeFrame(body); err == nil {
+			t.Errorf("%s: decode accepted malformed frame", name)
+		}
+	}
+	if _, err := decodeFrame(valid); err != nil {
+		t.Fatalf("control: valid frame rejected: %v", err)
+	}
+}
+
+// mutate returns a copy of b with the bytes at off replaced.
+func mutate(b []byte, off int, repl ...byte) []byte {
+	c := bytes.Clone(b)
+	copy(c[off:], repl)
+	return c
+}

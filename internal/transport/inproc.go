@@ -1,0 +1,26 @@
+package transport
+
+import "mpcquery/internal/engine"
+
+// Inproc returns the in-process transport: round delivery via
+// engine.DeliverLocal, the sharded zero-copy path the engine uses when no
+// transport is attached at all. It exists so code can be written against
+// the Transport seam unconditionally and still get the default behavior
+// (and so tests can assert that the seam itself is free: a cluster with
+// the Inproc transport is bit- and allocation-identical to a plain one).
+func Inproc() engine.Transport { return inprocTransport{} }
+
+type inprocTransport struct{}
+
+func (inprocTransport) Attach(p, bitsPerValue int) (engine.Link, error) {
+	return inprocLink{}, nil
+}
+
+type inprocLink struct{}
+
+func (inprocLink) Deliver(io *engine.DeliveryRound) error {
+	engine.DeliverLocal(io)
+	return nil
+}
+
+func (inprocLink) Close() error { return nil }

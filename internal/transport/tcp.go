@@ -1,0 +1,737 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpcquery/internal/engine"
+)
+
+// ErrPeerUnavailable is returned (wrapped, with peer and round context)
+// when a peer cannot be dialed or written within the session's retry
+// budget, or when a round's frames do not arrive within the round
+// timeout. The round fails loudly — bits are never silently dropped.
+var ErrPeerUnavailable = errors.New("transport: peer unavailable")
+
+// ErrSessionClosed is returned by operations on a closed session.
+var ErrSessionClosed = errors.New("transport: session closed")
+
+// Options tunes a TCP session's failure handling. The zero value means
+// defaults.
+type Options struct {
+	// DialAttempts bounds connection attempts per peer (default 40).
+	// Combined with DialBackoff this absorbs the startup race where
+	// peers come up in arbitrary order.
+	DialAttempts int
+	// DialBackoff is the base backoff between dial attempts (default
+	// 50ms), doubling per attempt up to 1s.
+	DialBackoff time.Duration
+	// WriteRetries bounds how many times a failed round write to one
+	// peer is retried with a fresh connection and a full resend of the
+	// round's frames (default 2). Receivers deduplicate resent frames by
+	// sequence number, so a retry never double-delivers.
+	WriteRetries int
+	// RoundTimeout bounds how long Deliver waits for the other ranks'
+	// frames of one round (default 60s) before failing with
+	// ErrPeerUnavailable.
+	RoundTimeout time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.DialAttempts <= 0 {
+		v.DialAttempts = 40
+	}
+	if v.DialBackoff <= 0 {
+		v.DialBackoff = 50 * time.Millisecond
+	}
+	if v.WriteRetries < 0 {
+		v.WriteRetries = 0
+	} else if v.WriteRetries == 0 {
+		v.WriteRetries = 2
+	}
+	if v.RoundTimeout <= 0 {
+		v.RoundTimeout = 60 * time.Second
+	}
+	return v
+}
+
+// WireStats is a snapshot of everything a session has put on (and
+// accounted against) the wire. All byte counters are for this session's
+// sends only; summing the snapshots of all ranks covers the whole run.
+//
+// The accounting identity the tests assert: ChargedBits() — the model
+// bits this rank's owned senders were charged — equals the engine's
+// Report.TotalBits summed over ranks, exactly, for every strategy. And
+// ChargedBits() ≤ BilledPayloadBytes×8 always (values are byte-padded,
+// never truncated), with equality when bitsPerValue is a multiple of 8
+// and no value outgrows its domain width.
+type WireStats struct {
+	// DataFrames counts unique data frames serialized (one per sender
+	// batch; each is then shipped to every rank — see WireBytes).
+	DataFrames int64
+	// CtrlFrames counts hello and round-end frames actually sent.
+	CtrlFrames int64
+
+	// WireBytes is every byte handed to a socket, across all peers —
+	// data frames are counted once per peer shipped.
+	WireBytes int64
+
+	// PayloadBytes / HeaderBytes split one copy of all data frames into
+	// value payload and framing overhead (DataFrameOverheadBytes each).
+	PayloadBytes int64
+	HeaderBytes  int64
+
+	// UnicastPayloadBytes and BroadcastPayloadBytes split PayloadBytes
+	// by delivery mode.
+	UnicastPayloadBytes   int64
+	BroadcastPayloadBytes int64
+
+	// BilledPayloadBytes weights each frame's payload by its number of
+	// model receivers: ×1 for a unicast, ×p for a broadcast (the model
+	// charges every one of the p servers; the wire ships one copy per
+	// rank). This is the wire-side quantity TotalBits is compared to.
+	BilledPayloadBytes int64
+
+	// UnicastChargedBits / BroadcastChargedBits are the model bits
+	// charged for this rank's sends: count×arity×bitsPerValue per
+	// unicast frame, ×p per broadcast frame.
+	UnicastChargedBits   int64
+	BroadcastChargedBits int64
+
+	// Redials counts failed connection attempts; Resends counts round
+	// write retries after a connection failure.
+	Redials int64
+	Resends int64
+}
+
+// ChargedBits is the total model communication charged to this rank's
+// owned senders.
+func (w WireStats) ChargedBits() int64 { return w.UnicastChargedBits + w.BroadcastChargedBits }
+
+type wireCounters struct {
+	dataFrames            atomic.Int64
+	ctrlFrames            atomic.Int64
+	wireBytes             atomic.Int64
+	payloadBytes          atomic.Int64
+	headerBytes           atomic.Int64
+	unicastPayloadBytes   atomic.Int64
+	broadcastPayloadBytes atomic.Int64
+	billedPayloadBytes    atomic.Int64
+	unicastChargedBits    atomic.Int64
+	broadcastChargedBits  atomic.Int64
+	redials               atomic.Int64
+	resends               atomic.Int64
+}
+
+func (c *wireCounters) snapshot() WireStats {
+	return WireStats{
+		DataFrames:            c.dataFrames.Load(),
+		CtrlFrames:            c.ctrlFrames.Load(),
+		WireBytes:             c.wireBytes.Load(),
+		PayloadBytes:          c.payloadBytes.Load(),
+		HeaderBytes:           c.headerBytes.Load(),
+		UnicastPayloadBytes:   c.unicastPayloadBytes.Load(),
+		BroadcastPayloadBytes: c.broadcastPayloadBytes.Load(),
+		BilledPayloadBytes:    c.billedPayloadBytes.Load(),
+		UnicastChargedBits:    c.unicastChargedBits.Load(),
+		BroadcastChargedBits:  c.broadcastChargedBits.Load(),
+		Redials:               c.redials.Load(),
+		Resends:               c.resends.Load(),
+	}
+}
+
+// peerConn is the session's one outgoing connection to a peer. The mutex
+// serializes round writes (a write is one conn.Write of a complete frame
+// stream, so concurrent clusters interleave at frame granularity, never
+// mid-frame).
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// clusterState buffers the received frames of one cluster, keyed by round.
+type clusterState struct {
+	rounds map[uint32]*roundState
+}
+
+// roundState accumulates one (cluster, round)'s frames per source rank,
+// in arrival order, until every rank has declared (via round-end) and
+// delivered its frame count.
+type roundState struct {
+	byRank    [][]dataFrame
+	ends      []int64 // -1 until the rank's round-end arrives
+	assembled bool    // frames handed to Deliver; late duplicates are dropped
+}
+
+func newRoundState(n int) *roundState {
+	rd := &roundState{byRank: make([][]dataFrame, n), ends: make([]int64, n)}
+	for i := range rd.ends {
+		rd.ends[i] = -1
+	}
+	return rd
+}
+
+func (rd *roundState) complete(n int) bool {
+	for r := 0; r < n; r++ {
+		if rd.ends[r] < 0 || int64(len(rd.byRank[r])) != rd.ends[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Session is one rank of a distributed run: a listener at addrs[rank], an
+// outgoing connection to every rank (itself included — self-delivery
+// crosses the real loopback socket, it is not short-circuited), and the
+// receive-side buffers that rounds are assembled from. A Session is an
+// engine.Transport; attach it via engine.NewClusterNet (or the public
+// WithRuntime option).
+//
+// All ranks must execute the same sequence of runs: cluster identities
+// are assigned by Attach order, and round payloads are only exchanged,
+// never negotiated. One session must not serve concurrent runs.
+type Session struct {
+	rank  int
+	n     int
+	addrs []string
+	opts  Options
+	ln    net.Listener
+
+	peers []*peerConn
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	clusters    map[uint32]*clusterState
+	nextCluster uint32
+	conns       []net.Conn // accepted connections, closed with the session
+	closed      bool
+	fatal       error
+
+	queued atomic.Int64
+	ctr    wireCounters
+	wg     sync.WaitGroup
+}
+
+// Dial starts rank's session of an n-rank run: it listens at addrs[rank],
+// connects to every address in addrs (with bounded retry, absorbing
+// arbitrary startup order), and serves incoming frames. addrs must be
+// identical, in the same order, at every rank.
+func Dial(rank int, addrs []string, opts *Options) (*Session, error) {
+	n := len(addrs)
+	if n < 1 {
+		return nil, fmt.Errorf("transport: need at least one rank address")
+	}
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d addresses", rank, n)
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	s := &Session{
+		rank:     rank,
+		n:        n,
+		addrs:    append([]string(nil), addrs...),
+		opts:     opts.withDefaults(),
+		ln:       ln,
+		peers:    make([]*peerConn, n),
+		clusters: make(map[uint32]*clusterState),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.peers {
+		s.peers[i] = &peerConn{}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	for r := 0; r < n; r++ {
+		c, err := s.dialPeer(r)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		pc := s.peers[r]
+		pc.mu.Lock()
+		pc.conn = c
+		pc.mu.Unlock()
+	}
+	return s, nil
+}
+
+// Rank returns this session's rank.
+func (s *Session) Rank() int { return s.rank }
+
+// Ranks returns the number of ranks in the run.
+func (s *Session) Ranks() int { return s.n }
+
+// Addr returns the session's actual listen address.
+func (s *Session) Addr() string { return s.ln.Addr().String() }
+
+// QueuedSendBytes returns the bytes currently queued into (or in flight
+// through) peer sockets — the send-queue depth the service tier's
+// backpressure admission reads. It is an instantaneous, racy snapshot.
+func (s *Session) QueuedSendBytes() int64 { return s.queued.Load() }
+
+// Stats returns a snapshot of the session's wire accounting.
+func (s *Session) Stats() WireStats { return s.ctr.snapshot() }
+
+// Err returns the session's fatal protocol error, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatal
+}
+
+// Close shuts the session down: the listener and every connection are
+// closed, in-flight Delivers fail with ErrSessionClosed, and reader
+// goroutines are joined. Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := s.conns
+	s.conns = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, pc := range s.peers {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+			pc.conn = nil
+		}
+		pc.mu.Unlock()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Session) setFatal(err error) {
+	s.mu.Lock()
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Attach implements engine.Transport: it assigns the next cluster
+// identity (creation order is the cross-rank agreement on identities) and
+// returns the cluster's delivery link.
+func (s *Session) Attach(p, bitsPerValue int) (engine.Link, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if s.fatal != nil {
+		return nil, s.fatal
+	}
+	id := s.nextCluster
+	s.nextCluster++
+	if _, ok := s.clusters[id]; !ok {
+		s.clusters[id] = &clusterState{rounds: make(map[uint32]*roundState)}
+	}
+	return &tcpLink{s: s, id: id, bpv: bitsPerValue}, nil
+}
+
+// ownedRange block-partitions the p model servers across the n ranks:
+// rank owns (serializes and sends the emissions of) servers [lo, hi).
+func ownedRange(rank, ranks, p int) (lo, hi int) {
+	return rank * p / ranks, (rank + 1) * p / ranks
+}
+
+func backoffFor(attempt int, base time.Duration) time.Duration {
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5
+	}
+	d := base << uint(shift)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// dialPeer connects to rank r with the session's retry budget and sends
+// the hello handshake.
+func (s *Session) dialPeer(r int) (net.Conn, error) {
+	hello := appendHello(nil, uint32(s.rank))
+	var lastErr error
+	for attempt := 0; attempt < s.opts.DialAttempts; attempt++ {
+		if attempt > 0 {
+			s.ctr.redials.Add(1)
+			time.Sleep(backoffFor(attempt, s.opts.DialBackoff))
+		}
+		if s.isClosed() {
+			return nil, ErrSessionClosed
+		}
+		c, err := net.DialTimeout("tcp", s.addrs[r], time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := c.Write(hello); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		s.ctr.wireBytes.Add(int64(len(hello)))
+		s.ctr.ctrlFrames.Add(1)
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: rank %d dial %s: %v", ErrPeerUnavailable, s.rank, s.addrs[r], lastErr)
+}
+
+func (s *Session) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns = append(s.conns, c)
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// readFrame reads one length-prefixed frame and decodes it. The returned
+// frame's payload aliases a per-frame buffer, safe to retain.
+func readFrame(br *bufio.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 1 || n > maxFrameLen {
+		return frame{}, fmt.Errorf("%w: frame length %d", errMalformed, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return frame{}, err
+	}
+	return decodeFrame(body)
+}
+
+func (s *Session) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 1<<16)
+	f, err := readFrame(br)
+	if err != nil || f.typ != frameHello || int(f.rank) >= s.n {
+		// Not a valid peer handshake: drop the connection without
+		// poisoning the session (a stray connect must not kill a run).
+		return
+	}
+	peer := int(f.rank)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			// Connection closed or broken mid-stream. Not fatal: the
+			// peer redials and resends on its side; sequence numbers
+			// dedupe whatever prefix of the round already arrived.
+			if errors.Is(err, errMalformed) {
+				s.setFatal(fmt.Errorf("transport: rank %d sent a malformed frame: %v", peer, err))
+			}
+			return
+		}
+		if err := s.ingest(peer, f); err != nil {
+			s.setFatal(err)
+			return
+		}
+	}
+}
+
+// roundLocked returns (lazily creating) the buffer for one (cluster,
+// round). Frames may arrive before the local Attach of their cluster —
+// state is keyed purely by the wire identities.
+func (s *Session) roundLocked(cluster, round uint32) *roundState {
+	cs, ok := s.clusters[cluster]
+	if !ok {
+		cs = &clusterState{rounds: make(map[uint32]*roundState)}
+		s.clusters[cluster] = cs
+	}
+	rd, ok := cs.rounds[round]
+	if !ok {
+		rd = newRoundState(s.n)
+		cs.rounds[round] = rd
+	}
+	return rd
+}
+
+func (s *Session) ingest(peer int, f frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch f.typ {
+	case frameData:
+		rd := s.roundLocked(f.data.Cluster, f.data.Round)
+		if rd.assembled {
+			return nil // duplicate after completion (resend overlap)
+		}
+		seq, have := int64(f.data.Seq), int64(len(rd.byRank[peer]))
+		if seq < have {
+			return nil // duplicate prefix of a resend
+		}
+		if seq > have {
+			return fmt.Errorf("transport: rank %d: frame gap in cluster %d round %d: seq %d, want %d",
+				peer, f.data.Cluster, f.data.Round, seq, have)
+		}
+		rd.byRank[peer] = append(rd.byRank[peer], f.data)
+		if rd.ends[peer] >= 0 && int64(len(rd.byRank[peer])) == rd.ends[peer] {
+			s.cond.Broadcast()
+		}
+	case frameRoundEnd:
+		rd := s.roundLocked(f.cluster, f.round)
+		if rd.assembled {
+			return nil
+		}
+		if rd.ends[peer] >= 0 {
+			if rd.ends[peer] != int64(f.frames) {
+				return fmt.Errorf("transport: rank %d: conflicting round-end for cluster %d round %d: %d vs %d",
+					peer, f.cluster, f.round, rd.ends[peer], f.frames)
+			}
+			return nil
+		}
+		rd.ends[peer] = int64(f.frames)
+		s.cond.Broadcast()
+	case frameHello:
+		return fmt.Errorf("transport: rank %d: unexpected mid-stream hello", peer)
+	}
+	return nil
+}
+
+// writePeer ships one round's complete frame stream to rank r, retrying
+// with a fresh connection (and a full resend — receivers dedupe by
+// sequence number) up to WriteRetries times.
+func (s *Session) writePeer(r int, buf []byte) error {
+	pc := s.peers[r]
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.WriteRetries; attempt++ {
+		if attempt > 0 {
+			s.ctr.resends.Add(1)
+			time.Sleep(backoffFor(attempt, s.opts.DialBackoff))
+		}
+		if s.isClosed() {
+			return ErrSessionClosed
+		}
+		if pc.conn == nil {
+			c, err := s.dialPeer(r)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			pc.conn = c
+		}
+		s.queued.Add(int64(len(buf)))
+		_, err := pc.conn.Write(buf)
+		s.queued.Add(-int64(len(buf)))
+		if err == nil {
+			s.ctr.wireBytes.Add(int64(len(buf)))
+			return nil
+		}
+		lastErr = err
+		pc.conn.Close()
+		pc.conn = nil
+	}
+	return fmt.Errorf("%w: rank %d write to peer %d (%s): %v", ErrPeerUnavailable, s.rank, r, s.addrs[r], lastErr)
+}
+
+// waitRound blocks until every rank's frames for (cluster, round) have
+// arrived, then claims them for assembly. On timeout the round fails
+// with ErrPeerUnavailable — the barrier never resolves silently short.
+func (s *Session) waitRound(cluster, round uint32) ([][]dataFrame, error) {
+	timeout := s.opts.RoundTimeout
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rd := s.roundLocked(cluster, round)
+	for {
+		if s.fatal != nil {
+			return nil, s.fatal
+		}
+		if s.closed {
+			return nil, ErrSessionClosed
+		}
+		if rd.complete(s.n) {
+			rd.assembled = true
+			frames := rd.byRank
+			rd.byRank = nil
+			return frames, nil
+		}
+		if !time.Now().Before(deadline) {
+			missing := 0
+			for r := 0; r < s.n; r++ {
+				if rd.ends[r] < 0 || int64(len(rd.byRank[r])) != rd.ends[r] {
+					missing++
+				}
+			}
+			return nil, fmt.Errorf("%w: rank %d: cluster %d round %d incomplete after %v (%d/%d ranks pending)",
+				ErrPeerUnavailable, s.rank, cluster, round, timeout, missing, s.n)
+		}
+		s.cond.Wait()
+	}
+}
+
+// tcpLink delivers the rounds of one cluster over the session.
+type tcpLink struct {
+	s       *Session
+	id      uint32
+	bpv     int
+	buf     []byte  // serialize scratch, reused across rounds
+	scratch []int64 // decode scratch, reused across frames
+}
+
+func (l *tcpLink) Close() error {
+	s := l.s
+	s.mu.Lock()
+	delete(s.clusters, l.id)
+	s.mu.Unlock()
+	return nil
+}
+
+// Deliver implements one round of the SPMD protocol: serialize this
+// rank's owned senders' emissions and ship the identical frame stream to
+// every rank (self included, over the socket), wait for all ranks'
+// streams, then assemble every inbox — in the exact delivery order
+// DeliverLocal defines — from the received frames alone.
+func (l *tcpLink) Deliver(io *engine.DeliveryRound) error {
+	s := l.s
+	if err := s.Err(); err != nil {
+		return err
+	}
+	round := uint32(io.Round)
+
+	// Serialize. Frames for one rank's senders are emitted sender-
+	// ascending; combined with rank-block-ascending assembly this
+	// reproduces the engine's sender-ascending delivery order globally.
+	buf := l.buf[:0]
+	frames := uint32(0)
+	var payloadUni, payloadBc, billed int64
+	var bitsUni, bitsBc int64
+	lo, hi := ownedRange(s.rank, s.n, io.P)
+	for sv := lo; sv < hi; sv++ {
+		io.Senders[sv].EachPending(func(dest, kind, arity int, vals []int64) {
+			w := widthFor(l.bpv, vals)
+			buf = appendDataFrame(buf, l.id, round, frames, uint32(sv), int32(dest), uint32(kind), arity, w, vals)
+			frames++
+			pb := int64(len(vals)) * int64(w)
+			cb := int64(len(vals)) * int64(l.bpv)
+			if dest == engine.Broadcast {
+				payloadBc += pb
+				billed += pb * int64(io.P)
+				bitsBc += cb * int64(io.P)
+			} else {
+				payloadUni += pb
+				billed += pb
+				bitsUni += cb
+			}
+		})
+	}
+	buf = appendRoundEnd(buf, l.id, round, frames)
+	l.buf = buf
+
+	s.ctr.dataFrames.Add(int64(frames))
+	s.ctr.ctrlFrames.Add(int64(s.n))
+	s.ctr.payloadBytes.Add(payloadUni + payloadBc)
+	s.ctr.headerBytes.Add(int64(frames) * DataFrameOverheadBytes)
+	s.ctr.unicastPayloadBytes.Add(payloadUni)
+	s.ctr.broadcastPayloadBytes.Add(payloadBc)
+	s.ctr.billedPayloadBytes.Add(billed)
+	s.ctr.unicastChargedBits.Add(bitsUni)
+	s.ctr.broadcastChargedBits.Add(bitsBc)
+
+	for r := 0; r < s.n; r++ {
+		if err := s.writePeer(r, buf); err != nil {
+			return err
+		}
+	}
+
+	byRank, err := s.waitRound(l.id, round)
+	if err != nil {
+		return err
+	}
+	return l.assemble(byRank, io)
+}
+
+// assemble rebuilds every inbox and the per-destination accounting from
+// the received frames. Iteration order — ranks ascending, frames in
+// arrival order — yields, per destination, exactly DeliverLocal's order:
+// senders ascending, each sender's unicasts (in emission order) before
+// its broadcasts. The float accumulation order also matches, batch for
+// batch, so RecvBits is bit-identical to the in-process run.
+func (l *tcpLink) assemble(byRank [][]dataFrame, io *engine.DeliveryRound) error {
+	p := io.P
+	for d := 0; d < p; d++ {
+		io.RecvBits[d] = 0
+		io.RecvTuples[d] = 0
+	}
+	scratch := l.scratch
+	for r := range byRank {
+		for i := range byRank[r] {
+			f := &byRank[r][i]
+			if int(f.Sender) >= p {
+				return fmt.Errorf("transport: cluster %d: frame sender %d out of range for %d servers", l.id, f.Sender, p)
+			}
+			if int(f.Dest) >= p {
+				return fmt.Errorf("transport: cluster %d: frame destination %d out of range for %d servers", l.id, f.Dest, p)
+			}
+			scratch = f.decodeValues(scratch[:0])
+			arity := int(f.Arity)
+			bits := float64(len(scratch) * io.BitsPerValue)
+			tuples := len(scratch) / arity
+			if f.Dest == int32(engine.Broadcast) {
+				for d := 0; d < p; d++ {
+					io.Inboxes[d].Append(int(f.Kind), arity, scratch)
+					io.RecvBits[d] += bits
+					io.RecvTuples[d] += tuples
+				}
+			} else {
+				d := int(f.Dest)
+				io.Inboxes[d].Append(int(f.Kind), arity, scratch)
+				io.RecvBits[d] += bits
+				io.RecvTuples[d] += tuples
+			}
+		}
+	}
+	l.scratch = scratch
+	return nil
+}

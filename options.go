@@ -1,5 +1,7 @@
 package mpcquery
 
+import "mpcquery/internal/engine"
+
 // RunOption configures one Run invocation. Options follow the functional
 // options pattern so call sites read like the sentence they mean:
 //
@@ -17,7 +19,8 @@ type runConfig struct {
 	roundBudget int
 	aggregate   *AggregateSpec // nil = plain join run
 	aggPushdown bool
-	cache       *execCache // set by Service; nil for plain Run (no caching)
+	cache       *execCache       // set by Service; nil for plain Run (no caching)
+	net         engine.Transport // set by WithRuntime; nil = in-process delivery
 }
 
 // withExecCache is the internal option a Service uses to hand Run its plan

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mpcquery/internal/localjoin"
+	"mpcquery/internal/transport"
 )
 
 // Sentinel errors returned (wrapped) by Run; test with errors.Is.
@@ -119,6 +120,15 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 			rep, err = nil, fmt.Errorf("mpcquery: %w: %v (strategy %s)", ErrMissingRelation, e, strategy.Name())
 			return
 		}
+		// Likewise the distributed runtime: a peer failure or a closed
+		// session surfaces from the engine's delivery seam as a typed panic.
+		// It is an operational condition of the worker group, not a strategy
+		// bug, so it keeps its sentinel (ErrPeerUnavailable /
+		// ErrRuntimeClosed) instead of becoming an opaque StrategyError.
+		if e, ok := r.(error); ok && (errors.Is(e, transport.ErrPeerUnavailable) || errors.Is(e, transport.ErrSessionClosed)) {
+			rep, err = nil, fmt.Errorf("mpcquery: distributed delivery failed (strategy %s): %w", strategy.Name(), e)
+			return
+		}
 		rep, err = nil, &StrategyError{Strategy: strategy.Name(), Value: r}
 	}()
 
@@ -137,6 +147,7 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		Aggregate:   cfg.aggregate,
 		AggPushdown: cfg.aggPushdown,
 		cache:       cfg.cache,
+		net:         cfg.net,
 	})
 	if err != nil {
 		return nil, err

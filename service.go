@@ -1,9 +1,11 @@
 package mpcquery
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpcquery/internal/service"
@@ -41,7 +43,7 @@ var (
 //
 //	svc := mpcquery.NewService(mpcquery.WithServiceWorkers(8))
 //	defer svc.Close()
-//	rep, err := svc.Run(q, db, mpcquery.WithStrategy(mpcquery.SkewedStar()))
+//	rep, err := svc.Run(ctx, q, db, mpcquery.WithStrategy(mpcquery.SkewedStar()))
 type Service struct {
 	pool    *service.Pool
 	metrics *service.Metrics
@@ -49,6 +51,11 @@ type Service struct {
 	stats   *service.Cache
 	planOn  bool
 	statsOn bool
+
+	flight     *service.Flight
+	coalesceOn bool
+	bpDepth    func() int64 // send-queue depth probe; nil = no backpressure
+	bpLimit    int64
 
 	mu      sync.Mutex
 	dbs     map[*Database]*dbEntry
@@ -78,6 +85,9 @@ type serviceConfig struct {
 	cacheCapacity int
 	planCaching   bool
 	statsCaching  bool
+	coalescing    bool
+	bpDepth       func() int64
+	bpLimit       int64
 }
 
 // ServiceOption configures NewService.
@@ -104,6 +114,29 @@ func WithServiceCacheCapacity(n int) ServiceOption {
 	return func(c *serviceConfig) { c.cacheCapacity = n }
 }
 
+// WithRequestCoalescing toggles single-flight request coalescing (default
+// on): while one request executes, concurrent requests that are
+// byte-for-byte identical — same strategy, options, query, and database —
+// wait for its result instead of executing again, and all callers receive
+// the same Report (treat it as read-only). Sound because identical
+// requests are deterministic: the coalesced Report is bit-identical to
+// what a separate execution would have produced. Requests that carry a
+// DistributedRuntime are never coalesced — every rank of an SPMD group
+// must execute every run, so skipping one rank's execution would desync
+// the group.
+func WithRequestCoalescing(on bool) ServiceOption {
+	return func(c *serviceConfig) { c.coalescing = on }
+}
+
+// WithSendQueueBackpressure ties admission to transport pressure: when
+// depth() exceeds limit at admission time, the request is shed with
+// ErrOverloaded before it queues. Pass DistributedRuntime.QueuedSendBytes
+// as the probe to stop accepting work while the runtime's sockets are
+// backed up; a nil probe or non-positive limit disables the check.
+func WithSendQueueBackpressure(depth func() int64, limit int64) ServiceOption {
+	return func(c *serviceConfig) { c.bpDepth, c.bpLimit = depth, limit }
+}
+
 // NewService starts a query service. Close it when done to release the
 // worker goroutines.
 func NewService(opts ...ServiceOption) *Service {
@@ -112,6 +145,7 @@ func NewService(opts ...ServiceOption) *Service {
 		cacheCapacity: 1024,
 		planCaching:   true,
 		statsCaching:  true,
+		coalescing:    true,
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -125,13 +159,17 @@ func NewService(opts ...ServiceOption) *Service {
 		cfg.queueDepth = 8 * cfg.workers
 	}
 	return &Service{
-		pool:    service.NewPool(cfg.workers, cfg.queueDepth),
-		metrics: service.NewMetrics(),
-		plans:   service.NewCache(cfg.cacheCapacity),
-		stats:   service.NewCache(cfg.cacheCapacity),
-		planOn:  cfg.planCaching,
-		statsOn: cfg.statsCaching,
-		dbs:     make(map[*Database]*dbEntry),
+		pool:       service.NewPool(cfg.workers, cfg.queueDepth),
+		metrics:    service.NewMetrics(),
+		plans:      service.NewCache(cfg.cacheCapacity),
+		stats:      service.NewCache(cfg.cacheCapacity),
+		planOn:     cfg.planCaching,
+		statsOn:    cfg.statsCaching,
+		flight:     service.NewFlight(),
+		coalesceOn: cfg.coalescing,
+		bpDepth:    cfg.bpDepth,
+		bpLimit:    cfg.bpLimit,
+		dbs:        make(map[*Database]*dbEntry),
 	}
 }
 
@@ -140,7 +178,74 @@ func NewService(opts ...ServiceOption) *Service {
 // with the service's caches attached, and recorded in the aggregate
 // metrics. The returned Report is bit-identical to what a plain Run of the
 // same request would produce, whether or not any cache was hit.
-func (s *Service) Run(q *Query, db *Database, opts ...RunOption) (*Report, error) {
+//
+// ctx bounds the request's whole lifetime, queue wait included: when it is
+// canceled before execution starts, the queued work is abandoned; when it
+// is canceled mid-execution, Run returns immediately with ctx.Err() and
+// the execution's result is discarded on completion. A nil ctx means
+// context.Background().
+//
+// Concurrent identical requests are coalesced onto one execution by
+// default — see WithRequestCoalescing.
+func (s *Service) Run(ctx context.Context, q *Query, db *Database, opts ...RunOption) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mpcquery: service request canceled: %w", err)
+	}
+	if s.bpDepth != nil && s.bpLimit > 0 && s.bpDepth() > s.bpLimit {
+		s.metrics.RecordShed()
+		return nil, fmt.Errorf("mpcquery: service admission: %w (transport send queue over limit)", ErrOverloaded)
+	}
+	if s.coalesceOn {
+		// Resolve the options once to decide coalescing soundness and build
+		// the identity key. A request carrying a DistributedRuntime is never
+		// coalesced: in an SPMD group every rank must execute every run.
+		// Caller-supplied options may panic; contain that here just as the
+		// pooled execution path does, so the worker answer is an error.
+		cfg := defaultConfig()
+		if perr := func() (perr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					perr = fmt.Errorf("mpcquery: service request panicked: %v", r)
+				}
+			}()
+			for _, opt := range opts {
+				if opt != nil {
+					opt(&cfg)
+				}
+			}
+			return nil
+		}(); perr != nil {
+			s.metrics.RecordFailure(0)
+			return nil, perr
+		}
+		if cfg.net == nil {
+			start := time.Now()
+			v, coalesced, err := s.flight.Do(s.requestKey(&cfg, q, db), func() (any, error) {
+				return s.execute(ctx, q, db, opts)
+			})
+			rep, _ := v.(*Report)
+			if coalesced {
+				// A coalesced completion is a served request — it counts
+				// toward throughput with its real wait latency — that moved
+				// no bits of its own.
+				if err != nil {
+					s.metrics.RecordFailure(time.Since(start))
+				} else {
+					s.metrics.RecordSuccess(time.Since(start), 0, 0, 0)
+				}
+			}
+			return rep, err
+		}
+	}
+	return s.execute(ctx, q, db, opts)
+}
+
+// execute admits one request to the pool and waits for its result or the
+// context, recording metrics either way.
+func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []RunOption) (*Report, error) {
 	type outcome struct {
 		rep *Report
 		err error
@@ -152,7 +257,11 @@ func (s *Service) Run(q *Query, db *Database, opts ...RunOption) (*Report, error
 
 	start := time.Now()
 	ch := make(chan outcome, 1)
+	var abandoned atomic.Bool
 	if err := s.pool.Submit(func() {
+		if abandoned.Load() {
+			return // caller already gone; skip the work entirely
+		}
 		// Run converts strategy panics into *StrategyError, but a panic can
 		// fire before its recover boundary (e.g. a caller-supplied RunOption
 		// that panics). Contain it here so one bad request neither kills
@@ -170,22 +279,55 @@ func (s *Service) Run(q *Query, db *Database, opts ...RunOption) (*Report, error
 		}
 		return nil, fmt.Errorf("mpcquery: service admission: %w", err)
 	}
-	out := <-ch
-	latency := time.Since(start)
-	if out.err != nil {
-		s.metrics.RecordFailure(latency)
-		return nil, out.err
+	select {
+	case out := <-ch:
+		latency := time.Since(start)
+		if out.err != nil {
+			s.metrics.RecordFailure(latency)
+			return nil, out.err
+		}
+		s.metrics.RecordSuccess(latency, out.rep.TotalBits, out.rep.MaxLoadBits, out.rep.Rounds)
+		return out.rep, nil
+	case <-ctx.Done():
+		abandoned.Store(true)
+		s.metrics.RecordFailure(time.Since(start))
+		return nil, fmt.Errorf("mpcquery: service request canceled: %w", ctx.Err())
 	}
-	s.metrics.RecordSuccess(latency, out.rep.TotalBits, out.rep.MaxLoadBits, out.rep.Rounds)
-	return out.rep, nil
 }
 
-// execCacheFor returns the cache handle for one request, tagging keys with
-// the database's identity and current version. With both caches disabled it
-// returns nil and Run behaves exactly like the plain path.
-func (s *Service) execCacheFor(db *Database) *execCache {
-	if db == nil || (!s.planOn && !s.statsOn) {
-		return nil
+// requestKey renders a request's full identity — strategy and every
+// result-affecting option, the query, and the database's registration id
+// and version — for single-flight coalescing. Two requests with equal keys
+// are guaranteed (by seeded determinism) to produce bit-identical Reports.
+func (s *Service) requestKey(cfg *runConfig, q *Query, db *Database) string {
+	qs := "<nil>"
+	if q != nil {
+		qs = q.Name + "|" + q.String()
+	}
+	// Per-atom tuple counts fingerprint growth, exactly as the plan cache's
+	// composePrefix does (deterministic order: the query's atoms, never a
+	// map walk).
+	sizes := ""
+	if q != nil && db != nil {
+		for _, a := range q.Atoms {
+			if rel, ok := db.Relations[a.Name]; ok {
+				sizes += fmt.Sprintf("|%d", rel.NumTuples())
+			} else {
+				sizes += "|-"
+			}
+		}
+	}
+	return fmt.Sprintf("%#v|p%d|s%d|cap%g|h%d|rb%d|agg%#v|push%t|%s|%s%s",
+		cfg.strategy, cfg.servers, cfg.seed, cfg.loadCapBits, cfg.heavyCap,
+		cfg.roundBudget, cfg.aggregate, cfg.aggPushdown, qs, s.dbTag(db), sizes)
+}
+
+// dbTag registers db (if new) and returns its identity-and-version tag —
+// the field both cache keys and coalescing keys embed so entries die with
+// InvalidateDatabase.
+func (s *Service) dbTag(db *Database) string {
+	if db == nil {
+		return "db<nil>"
 	}
 	s.mu.Lock()
 	e, ok := s.dbs[db]
@@ -205,12 +347,22 @@ func (s *Service) execCacheFor(db *Database) *execCache {
 	}
 	tag := fmt.Sprintf("db%d.v%d", e.id, e.version)
 	s.mu.Unlock()
+	return tag
+}
+
+// execCacheFor returns the cache handle for one request, tagging keys with
+// the database's identity and current version. With both caches disabled it
+// returns nil and Run behaves exactly like the plain path.
+func (s *Service) execCacheFor(db *Database) *execCache {
+	if db == nil || (!s.planOn && !s.statsOn) {
+		return nil
+	}
 	return &execCache{
 		plans:   s.plans,
 		stats:   s.stats,
 		planOn:  s.planOn,
 		statsOn: s.statsOn,
-		dbTag:   tag,
+		dbTag:   s.dbTag(db),
 	}
 }
 
@@ -269,6 +421,12 @@ type ServiceStats struct {
 	PlanCache  ServiceCacheStats
 	StatsCache ServiceCacheStats
 
+	// Request coalescing (WithRequestCoalescing): completed requests served
+	// by another in-flight execution's result, and the fraction of all
+	// resolved requests they represent.
+	Coalesced    int64
+	CoalesceRate float64
+
 	Workers    int // concurrent query executions allowed
 	QueueDepth int // admission queue capacity
 	Queued     int // requests waiting right now (snapshot)
@@ -278,24 +436,27 @@ type ServiceStats struct {
 func (s *Service) Stats() ServiceStats {
 	sum := s.metrics.Snapshot()
 	pc, sc := s.plans.Stats(), s.stats.Stats()
+	fl := s.flight.Stats()
 	return ServiceStats{
-		Completed:   sum.Completed,
-		Failed:      sum.Failed,
-		Shed:        sum.Shed,
-		Uptime:      sum.Uptime,
-		Throughput:  sum.Throughput,
-		LatencyP50:  sum.LatencyP50,
-		LatencyP95:  sum.LatencyP95,
-		LatencyP99:  sum.LatencyP99,
-		LatencyMax:  sum.LatencyMax,
-		TotalBits:   sum.TotalBits,
-		MaxLoadBits: sum.MaxLoadBits,
-		TotalRounds: sum.TotalRounds,
-		PlanCache:   pc,
-		StatsCache:  sc,
-		Workers:     s.pool.Workers(),
-		QueueDepth:  s.pool.QueueDepth(),
-		Queued:      s.pool.Queued(),
+		Completed:    sum.Completed,
+		Failed:       sum.Failed,
+		Shed:         sum.Shed,
+		Uptime:       sum.Uptime,
+		Throughput:   sum.Throughput,
+		LatencyP50:   sum.LatencyP50,
+		LatencyP95:   sum.LatencyP95,
+		LatencyP99:   sum.LatencyP99,
+		LatencyMax:   sum.LatencyMax,
+		TotalBits:    sum.TotalBits,
+		MaxLoadBits:  sum.MaxLoadBits,
+		TotalRounds:  sum.TotalRounds,
+		PlanCache:    pc,
+		StatsCache:   sc,
+		Coalesced:    fl.Hits,
+		CoalesceRate: fl.HitRate(),
+		Workers:      s.pool.Workers(),
+		QueueDepth:   s.pool.QueueDepth(),
+		Queued:       s.pool.Queued(),
 	}
 }
 

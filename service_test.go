@@ -1,6 +1,7 @@
 package mpcquery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -86,21 +87,21 @@ func TestServiceCachedReportsBitIdentical(t *testing.T) {
 			}
 			want := base.Fingerprint()
 
-			cold, err := svc.Run(c.q, c.db, c.runOpts()...)
+			cold, err := svc.Run(context.Background(), c.q, c.db, c.runOpts()...)
 			if err != nil {
 				t.Fatalf("service cold: %v", err)
 			}
 			if got := cold.Fingerprint(); got != want {
 				t.Errorf("cold service run differs from plain Run:\n got %s\nwant %s", got, want)
 			}
-			warm, err := svc.Run(c.q, c.db, c.runOpts()...)
+			warm, err := svc.Run(context.Background(), c.q, c.db, c.runOpts()...)
 			if err != nil {
 				t.Fatalf("service warm: %v", err)
 			}
 			if got := warm.Fingerprint(); got != want {
 				t.Errorf("warm (cached) service run differs from plain Run:\n got %s\nwant %s", got, want)
 			}
-			off, err := svcOff.Run(c.q, c.db, c.runOpts()...)
+			off, err := svcOff.Run(context.Background(), c.q, c.db, c.runOpts()...)
 			if err != nil {
 				t.Fatalf("service caching-off: %v", err)
 			}
@@ -133,11 +134,11 @@ func TestServiceShapeRenamedQuerySharesCache(t *testing.T) {
 
 	svc := NewService()
 	defer svc.Close()
-	if _, err := svc.Run(q1, db, WithServers(16)); err != nil {
+	if _, err := svc.Run(context.Background(), q1, db, WithServers(16)); err != nil {
 		t.Fatal(err)
 	}
 	misses := svc.Stats().PlanCache.Misses
-	rep2, err := svc.Run(q2, db, WithServers(16))
+	rep2, err := svc.Run(context.Background(), q2, db, WithServers(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,12 +171,12 @@ func TestServiceSizeChangeInvalidates(t *testing.T) {
 	svc := NewService()
 	defer svc.Close()
 
-	if _, err := svc.Run(q, db, WithServers(8)); err != nil {
+	if _, err := svc.Run(context.Background(), q, db, WithServers(8)); err != nil {
 		t.Fatal(err)
 	}
 	misses := svc.Stats().PlanCache.Misses
 	db.Get("S1").Append(1, 2) // grow a relation
-	rep, err := svc.Run(q, db, WithServers(8))
+	rep, err := svc.Run(context.Background(), q, db, WithServers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,13 +198,13 @@ func TestServiceInvalidateDatabase(t *testing.T) {
 	svc := NewService()
 	defer svc.Close()
 
-	if _, err := svc.Run(q, db, WithStrategy(SkewedStar()), WithServers(8)); err != nil {
+	if _, err := svc.Run(context.Background(), q, db, WithStrategy(SkewedStar()), WithServers(8)); err != nil {
 		t.Fatal(err)
 	}
 	// Swap a value in place: same sizes, different frequencies.
 	db.Get("S1").Tuple(0)[0] = 9999
 	svc.InvalidateDatabase(db)
-	rep, err := svc.Run(q, db, WithStrategy(SkewedStar()), WithServers(8))
+	rep, err := svc.Run(context.Background(), q, db, WithStrategy(SkewedStar()), WithServers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,8 +239,10 @@ func TestServiceAdmissionControl(t *testing.T) {
 	q := Star(2)
 	db := MatchingDatabase(rng, q, 10, 1<<10)
 
+	// Coalescing off: this test floods identical requests to fill the queue,
+	// which single-flight would otherwise collapse into one execution.
 	stub := &blockingStrategy{gate: make(chan struct{}), started: make(chan struct{}, 16)}
-	svc := NewService(WithServiceWorkers(1), WithServiceQueue(1))
+	svc := NewService(WithServiceWorkers(1), WithServiceQueue(1), WithRequestCoalescing(false))
 	defer svc.Close()
 
 	var wg sync.WaitGroup
@@ -248,7 +251,7 @@ func TestServiceAdmissionControl(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := svc.Run(q, db, WithStrategy(stub))
+			_, err := svc.Run(context.Background(), q, db, WithStrategy(stub))
 			results <- err
 		}()
 	}
@@ -262,7 +265,7 @@ func TestServiceAdmissionControl(t *testing.T) {
 	for !shed && time.Now().Before(deadline) {
 		done := make(chan error, 1)
 		go func() {
-			_, err := svc.Run(q, db, WithStrategy(stub))
+			_, err := svc.Run(context.Background(), q, db, WithStrategy(stub))
 			done <- err
 		}()
 		select {
@@ -304,11 +307,11 @@ func TestServicePanicContainment(t *testing.T) {
 	defer svc.Close()
 
 	bad := RunOption(func(*runConfig) { panic("option boom") })
-	if _, err := svc.Run(q, db, bad); err == nil {
+	if _, err := svc.Run(context.Background(), q, db, bad); err == nil {
 		t.Fatal("panicking option returned no error")
 	}
 	// The single worker must have survived.
-	if _, err := svc.Run(q, db); err != nil {
+	if _, err := svc.Run(context.Background(), q, db); err != nil {
 		t.Fatalf("service dead after contained panic: %v", err)
 	}
 }
@@ -319,11 +322,11 @@ func TestServiceClose(t *testing.T) {
 	q := Star(2)
 	db := MatchingDatabase(rng, q, 10, 1<<10)
 	svc := NewService()
-	if _, err := svc.Run(q, db); err != nil {
+	if _, err := svc.Run(context.Background(), q, db); err != nil {
 		t.Fatal(err)
 	}
 	svc.Close()
-	if _, err := svc.Run(q, db); !errors.Is(err, ErrServiceClosed) {
+	if _, err := svc.Run(context.Background(), q, db); !errors.Is(err, ErrServiceClosed) {
 		t.Fatalf("Run after Close = %v, want ErrServiceClosed", err)
 	}
 	svc.Close() // idempotent
@@ -340,12 +343,12 @@ func TestServiceMetrics(t *testing.T) {
 
 	const runs = 6
 	for i := 0; i < runs; i++ {
-		if _, err := svc.Run(q, db, WithServers(8), WithSeed(int64(i))); err != nil {
+		if _, err := svc.Run(context.Background(), q, db, WithServers(8), WithSeed(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// One failing request (S4 is missing from the triangle database).
-	if _, err := svc.Run(Star(4), db); err == nil {
+	if _, err := svc.Run(context.Background(), Star(4), db); err == nil {
 		t.Fatal("expected missing-relation error")
 	}
 
@@ -391,7 +394,7 @@ func TestServiceConcurrentMixedStream(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				rep, err := svc.Run(c.q, c.db, c.runOpts()...)
+				rep, err := svc.Run(context.Background(), c.q, c.db, c.runOpts()...)
 				if err != nil {
 					errs <- fmt.Errorf("%s: %w", c.name, err)
 					return

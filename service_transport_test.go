@@ -1,0 +1,162 @@
+package mpcquery
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestServiceContextCanceled asserts both cancellation points: a request
+// arriving with a dead context is refused before admission, and a request
+// canceled while queued returns the context error instead of blocking.
+func TestServiceContextCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q := Star(2)
+	db := MatchingDatabase(rng, q, 2000, 1<<16)
+
+	svc := NewService(WithRequestCoalescing(false), WithServiceWorkers(1), WithServiceQueue(8))
+	defer svc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Run(ctx, q, db, WithServers(16)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with pre-canceled context = %v, want context.Canceled", err)
+	}
+
+	// Occupy the single worker, then cancel a queued request mid-wait.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		svc.Run(context.Background(), q, db, WithServers(16), WithStrategy(HyperCube()))
+	}()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	wg.Add(1)
+	var queuedErr error
+	go func() {
+		defer wg.Done()
+		_, queuedErr = svc.Run(ctx2, q, db, WithServers(16), WithStrategy(HyperCubeOblivious()))
+	}()
+	cancel2()
+	wg.Wait()
+	// The queued request either lost the race with cancellation (error) or
+	// had already completed; an error must carry the context cause.
+	if queuedErr != nil && !errors.Is(queuedErr, context.Canceled) {
+		t.Fatalf("canceled queued request = %v, want context.Canceled", queuedErr)
+	}
+}
+
+// TestServiceRequestCoalescing asserts concurrent identical requests share
+// one execution: at least one hit is counted, every caller still gets the
+// bit-identical Report, and the stats expose the hit rate.
+func TestServiceRequestCoalescing(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	q := Star(2)
+	db := SkewedStarDatabase(rng, 2, 4000, 1<<16, map[int64]int{7: 500})
+
+	svc := NewService(WithServiceWorkers(1), WithServiceQueue(64),
+		WithPlanCaching(false), WithStatsCaching(false))
+	defer svc.Close()
+
+	const clients = 16
+	fps := make([]string, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rep, err := svc.Run(context.Background(), q, db,
+				WithStrategy(HyperCube()), WithServers(32), WithSeed(5))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			fps[c] = rep.Fingerprint()
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	for c := 1; c < clients; c++ {
+		if fps[c] != fps[0] {
+			t.Fatalf("client %d got a different Report:\n%s\n%s", c, fps[c], fps[0])
+		}
+	}
+	st := svc.Stats()
+	if st.Coalesced == 0 {
+		t.Fatal("no request was coalesced across 16 concurrent identical requests")
+	}
+	if st.CoalesceRate <= 0 || st.CoalesceRate >= 1 {
+		t.Fatalf("CoalesceRate = %v, want in (0,1)", st.CoalesceRate)
+	}
+	if st.Completed != clients {
+		t.Fatalf("Completed = %d, want %d (coalesced requests count as served)", st.Completed, clients)
+	}
+}
+
+// TestServiceCoalescingDisjointKeys asserts requests that differ in any
+// result-affecting option never share an execution: different seeds must
+// yield their own Reports (loads differ seed to seed).
+func TestServiceCoalescingDisjointKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	q := Star(2)
+	db := MatchingDatabase(rng, q, 400, 1<<16)
+
+	svc := NewService(WithPlanCaching(false), WithStatsCaching(false))
+	defer svc.Close()
+
+	a, err := svc.Run(context.Background(), q, db, WithStrategy(HyperCube()), WithServers(16), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Run(context.Background(), q, db, WithStrategy(HyperCube()), WithServers(16), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different seeds produced identical fingerprints — key too coarse?")
+	}
+}
+
+// TestServiceBackpressureShed asserts the transport-coupled admission
+// valve: a send-queue depth probe over the limit sheds with ErrOverloaded
+// (counted in Stats.Shed) and a healthy depth admits normally.
+func TestServiceBackpressureShed(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	q := Star(2)
+	db := MatchingDatabase(rng, q, 200, 1<<12)
+
+	depth := int64(0)
+	var mu sync.Mutex
+	svc := NewService(WithSendQueueBackpressure(func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return depth
+	}, 1<<20))
+	defer svc.Close()
+
+	if _, err := svc.Run(context.Background(), q, db, WithServers(8)); err != nil {
+		t.Fatalf("healthy depth must admit: %v", err)
+	}
+	mu.Lock()
+	depth = 1<<20 + 1
+	mu.Unlock()
+	if _, err := svc.Run(context.Background(), q, db, WithServers(8)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-limit depth = %v, want ErrOverloaded", err)
+	}
+	if st := svc.Stats(); st.Shed == 0 {
+		t.Fatal("shed request not counted in Stats.Shed")
+	}
+	mu.Lock()
+	depth = 0
+	mu.Unlock()
+	if _, err := svc.Run(context.Background(), q, db, WithServers(8)); err != nil {
+		t.Fatalf("recovered depth must admit again: %v", err)
+	}
+}

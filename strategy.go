@@ -6,6 +6,7 @@ import (
 
 	"mpcquery/internal/advisor"
 	"mpcquery/internal/core"
+	"mpcquery/internal/engine"
 	"mpcquery/internal/multiround"
 	"mpcquery/internal/query"
 	"mpcquery/internal/skew"
@@ -34,6 +35,10 @@ type ExecContext struct {
 	// Run. Built-in strategies consult it through cachedPlan/cachedStats;
 	// caching is transparent to external Strategy implementations.
 	cache *execCache
+
+	// net is the transport every cluster's round delivery goes through; nil
+	// means in-process delivery (the default). Set by WithRuntime.
+	net engine.Transport
 }
 
 // Strategy is one executable point in the paper's rounds/load tradeoff
@@ -99,9 +104,9 @@ func (s hyperCubeStrategy) Execute(ctx ExecContext) (*Report, error) {
 	}).(*core.Plan)
 	var res *core.Result
 	if ap := ctx.aggregatePlan(); ap != nil {
-		res = core.RunPlanAggregate(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ap)
+		res = core.RunPlanAggregateNet(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ap, ctx.net)
 	} else {
-		res = core.RunPlanWithCap(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits)
+		res = core.RunPlanWithCapNet(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ctx.net)
 	}
 	rep := reportFromCore(s.Name(), ctx.Query, res)
 	rep.PredictedLoadBits = plan.PredictedLoadBits()
@@ -137,9 +142,9 @@ func (s sharesStrategy) Execute(ctx ExecContext) (*Report, error) {
 	}
 	var res *core.Result
 	if ap := ctx.aggregatePlan(); ap != nil {
-		res = core.RunWithSharesAggregate(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ap)
+		res = core.RunWithSharesAggregateNet(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ap, ctx.net)
 	} else {
-		res = core.RunWithSharesCap(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits)
+		res = core.RunWithSharesCapNet(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ctx.net)
 	}
 	return reportFromCore(s.Name(), ctx.Query, res), nil
 }
@@ -177,7 +182,7 @@ func (s selfJoinStrategy) Execute(ctx ExecContext) (*Report, error) {
 			return nil, fmt.Errorf("mpcquery: SelfJoin: %w: %q", ErrMissingRelation, a.Name)
 		}
 	}
-	res := core.RunWithSelfJoinsCap(s.name, s.atoms, ctx.DB, ctx.Servers, ctx.Seed, core.SkewFree, ctx.LoadCapBits)
+	res := core.RunWithSelfJoinsCapNet(s.name, s.atoms, ctx.DB, ctx.Servers, ctx.Seed, core.SkewFree, ctx.LoadCapBits, ctx.net)
 	rep := reportFromCore(s.Name(), res.Plan.Query, res)
 	rep.PredictedLoadBits = res.Plan.PredictedLoadBits()
 	return rep, nil
@@ -225,18 +230,18 @@ func (s skewedStarStrategy) Execute(ctx ExecContext) (*Report, error) {
 		// Report — cached vs charged (see execCache).
 		st := ctx.cachedStats(fmt.Sprintf("star-stats|s%d|ss%d|c%g", ctx.Seed, s.sampleSize, ctx.LoadCapBits), func() any {
 			return skew.StarStatsSpec(ctx.Query, ctx.DB, ctx.Servers).
-				Run(ctx.Servers, s.sampleSize, ctx.Seed, ctx.LoadCapBits)
+				RunNet(ctx.Servers, s.sampleSize, ctx.Seed, ctx.LoadCapBits, ctx.net)
 		}).(*skew.StatsResult)
 		sp := ctx.cachedPlan(fmt.Sprintf("star-sampled|s%d|ss%d", ctx.Seed, s.sampleSize), func() any {
 			return skew.PrepareStarWithFrequencies(ctx.Query, ctx.DB, ctx.Servers, st.PerAtom)
 		}).(*skew.StarPlan)
-		res = skew.RunStarPlanned(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+		res = skew.RunStarPlannedNet(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
 		skew.AddStatsCharges(res, st)
 	} else {
 		sp := ctx.cachedPlan("star", func() any {
 			return skew.PrepareStar(ctx.Query, ctx.DB, ctx.Servers)
 		}).(*skew.StarPlan)
-		res = skew.RunStarPlanned(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+		res = skew.RunStarPlannedNet(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
 	}
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
@@ -271,7 +276,7 @@ func (s skewedTriangleStrategy) Execute(ctx ExecContext) (*Report, error) {
 	tp := ctx.cachedPlan("triangle", func() any {
 		return skew.PrepareTriangle(ctx.Query, ctx.DB, ctx.Servers)
 	}).(*skew.TrianglePlan)
-	res := skew.RunTrianglePlanned(tp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+	res := skew.RunTrianglePlannedNet(tp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -288,7 +293,7 @@ func (s skewedGenericStrategy) Execute(ctx ExecContext) (*Report, error) {
 	gp := ctx.cachedPlan(fmt.Sprintf("generic|h%d", ctx.HeavyCap), func() any {
 		return skew.PrepareGeneric(ctx.Query, ctx.DB, ctx.Servers, ctx.HeavyCap)
 	}).(*skew.GenericPlan)
-	res := skew.RunGenericPlanned(gp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits)
+	res := skew.RunGenericPlannedNet(gp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -373,9 +378,9 @@ func executeMultiRound(cacheKey string, name string, plan *multiround.Plan, eps 
 	}
 	var res *multiround.ExecResult
 	if skewAware {
-		res = multiround.ExecuteSkewAwareCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits, memo)
+		res = multiround.ExecuteSkewAwareCapMemoNet(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits, memo, ctx.net)
 	} else {
-		res = multiround.ExecuteAggregateCapMemo(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ap, memo)
+		res = multiround.ExecuteAggregateCapMemoNet(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ap, memo, ctx.net)
 	}
 	rep := &Report{
 		Strategy:           name,
