@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpcquery/internal/analysis"
+)
+
+// vetConfig is the per-package configuration cmd/go hands a vet tool (the
+// same JSON x/tools' unitchecker consumes). Fields we do not need are
+// accepted and ignored by the decoder.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs one vet unit of work and returns the process exit code.
+// Protocol obligations: always write the VetxOutput facts file (ours is
+// empty — the analyzers are fact-free), print diagnostics to stderr as
+// file:line:col: message, and exit non-zero only for real findings.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpclint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mpclint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// Facts file first: cmd/go requires it to exist even for packages we
+	// skip entirely.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mpclint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "mpclint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly || !inScope(cfg.ImportPath) {
+		return 0
+	}
+	// Vet also checks test variants ("pkg.test", "pkg [pkg.test]"); the
+	// invariants govern shipped code, so lint only the non-test files.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	pkg, err := analysis.LoadUnit(cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mpclint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkgs := []*analysis.Package{pkg}
+	analyzers := analysis.All()
+	raw, err := analysis.Analyze(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpclint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	diags := analysis.Filter(pkgs, analyzers, raw)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// inScope mirrors the driver's module scoping: only mpcquery packages are
+// analyzed (vet invokes the tool for every dependency, stdlib included),
+// and test-binary pseudo-packages are handled by their file filter above.
+func inScope(importPath string) bool {
+	importPath = strings.TrimSuffix(importPath, ".test")
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	return strings.HasPrefix(importPath, analysis.ModulePrefix)
+}

@@ -1,0 +1,148 @@
+// Package analysis is mpclint's home: a stdlib-only implementation of the
+// go/analysis idea (Analyzer, Pass, Diagnostic, a loader, a driver) plus the
+// project's analyzers. The repo's correctness story leans on invariants the
+// compiler cannot see — SPMD determinism, bit-accounted communication, a
+// single panic-recover boundary — and two of them have already been violated
+// in shipped code (PR 3's viewCounter race, PR 6's SkewedStarDatabase
+// map-iteration bug). The analyzers in this package turn those postmortems
+// into machine-checked rules.
+//
+// The framework mirrors golang.org/x/tools/go/analysis deliberately, but is
+// built on go/ast + go/types + `go list -export` alone so the module keeps
+// its zero-dependency go.mod. If x/tools ever becomes a dependency, each
+// Analyzer here ports to a x/tools analysis.Analyzer mechanically.
+//
+// Suppressions: a diagnostic is silenced by a comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory, unknown analyzer names are errors, and allows that silence
+// nothing are themselves reported — suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePrefix scopes every analyzer: packages outside this module (stdlib,
+// future vendored deps) are never analyzed, which keeps `go vet -vettool`
+// runs — where the driver is invoked for every dependency — quiet.
+const ModulePrefix = "mpcquery"
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns every analyzer mpclint ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		Metering,
+		PanicDiscipline,
+		Nondeterminism,
+		ErrCmp,
+	}
+}
+
+// byName maps analyzer names for //lint:allow validation.
+func byName(analyzers []*Analyzer) map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Analyze runs every analyzer over every package and returns the raw
+// (unsuppressed) diagnostics sorted by position. Packages outside
+// ModulePrefix are skipped.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !strings.HasPrefix(pkg.ImportPath, ModulePrefix) {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

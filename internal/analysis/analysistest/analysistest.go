@@ -1,0 +1,148 @@
+// Package analysistest runs an analyzer over a GOPATH-style fixture tree and
+// checks its diagnostics against // want "regexp" comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the stdlib-only
+// framework in internal/analysis.
+//
+// A fixture line earns a diagnostic by carrying a trailing comment of the form
+//
+//	code here // want "must match the message"
+//	more code // want "first" "second"
+//
+// Each quoted string is a regular expression matched against the diagnostic
+// message; expectations and diagnostics on the same file:line are matched as
+// a multiset, so two identical wants require two diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mpcquery/internal/analysis"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture packages under testdata/src (paths are import paths
+// relative to that root, e.g. "mpcquery/internal/maporder"), applies the
+// analyzers, filters through the //lint:allow machinery, and reports any
+// mismatch between the produced diagnostics and the // want expectations in
+// the fixture sources as test errors.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	pkgs, err := analysis.LoadTestdata(srcRoot, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", paths, err)
+	}
+	diags, err := analysis.Analyze(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixtures %v: %v", paths, err)
+	}
+	diags = analysis.Filter(pkgs, analyzers, diags)
+
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos, d.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s (%s)",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d: no message matched %q",
+				filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unhit expectation on the diagnostic's line whose
+// regexp matches the message. Returns false when no expectation claims it.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every fixture file's comments for // want clauses.
+func collectWants(pkgs []*analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					i := strings.Index(text, "want ")
+					if !strings.HasPrefix(text, "//") || i < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					res, err := parseWants(text[i+len("want "):])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					}
+					for _, r := range res {
+						re, err := regexp.Compile(r)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, r, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: r})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWants splits `"a" "b"` into its quoted regexp strings.
+func parseWants(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quoted regexp in %q", s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

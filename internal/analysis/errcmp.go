@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ErrCmp flags error comparisons that break under wrapping. Run's contract
+// is explicit — "Sentinel errors returned (wrapped) by Run; test with
+// errors.Is" — and every sentinel this module surfaces is wrapped at least
+// once (fmt.Errorf("...: %w", ErrX)) before a caller sees it, so `err ==
+// ErrX` is not merely unidiomatic, it is wrong. Flagged shapes:
+//
+//   - err == sentinel / err != sentinel (either operand error-typed,
+//     neither nil);
+//   - switch err { case ErrA, ErrB: } on an error-typed tag;
+//   - string-matching an error: err.Error() compared with == / !=, or
+//     passed to strings.Contains/HasPrefix/HasSuffix/EqualFold/Index.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "sentinel errors must be compared with errors.Is, never == / != or string matching",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				if isNilIdent(info, v.X) || isNilIdent(info, v.Y) {
+					return true // err == nil is the one sanctioned identity test
+				}
+				if isErrorStringCall(pass, v.X) || isErrorStringCall(pass, v.Y) {
+					pass.Reportf(v.Pos(),
+						"comparing err.Error() text; match the sentinel with errors.Is (messages are not API)")
+					return true
+				}
+				if isErrorInterface(pass.TypeOf(v.X)) || isErrorInterface(pass.TypeOf(v.Y)) {
+					op := "=="
+					if v.Op == token.NEQ {
+						op = "!="
+					}
+					pass.Reportf(v.Pos(),
+						"error compared with %s; use errors.Is — sentinels are wrapped before callers see them", op)
+				}
+			case *ast.SwitchStmt:
+				if v.Tag == nil || !isErrorInterface(pass.TypeOf(v.Tag)) {
+					return true
+				}
+				for _, stmt := range v.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if !isNilIdent(info, e) {
+							pass.Reportf(e.Pos(),
+								"switch on an error value matches by identity; use an errors.Is chain")
+							return true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				f := calleeFunc(info, v)
+				if f == nil || funcPkgPath(f) != "strings" {
+					return true
+				}
+				switch f.Name() {
+				case "Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index":
+					for _, arg := range v.Args {
+						if isErrorStringCall(pass, arg) {
+							pass.Reportf(v.Pos(),
+								"string-matching err.Error() with strings.%s; match the sentinel with errors.Is", f.Name())
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorStringCall reports whether e is a call of the form err.Error()
+// on an error-typed receiver.
+func isErrorStringCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isErrorType(pass.TypeOf(sel.X))
+}

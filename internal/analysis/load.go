@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// loader resolves imports three ways, in priority order: export data
+// produced by `go list -export` (module deps and stdlib), then source
+// directories registered for the path (analysis targets, testdata
+// fixtures), then failure. One loader instance is one consistent
+// type-checking universe: a FileSet plus a package identity per path.
+type loader struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	srcDirs map[string]string // import path -> source directory
+	loaded  map[string]*Package
+	gc      types.Importer
+}
+
+func newLoader() *loader {
+	l := &loader{
+		fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		srcDirs: map[string]string{},
+		loaded:  map[string]*Package{},
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l
+}
+
+// Import implements types.Importer over the loader's universe. Export
+// data wins over source-loaded packages: analysis targets are loaded from
+// source AND imported by later targets, and serving the source instance
+// would clash with the gc-imported instance already referenced through
+// transitive dependencies' export data (one import path, two
+// *types.Package identities).
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.exports[path]; ok {
+		return l.gc.Import(path)
+	}
+	if p, ok := l.loaded[path]; ok {
+		return p.Types, nil
+	}
+	if dir, ok := l.srcDirs[path]; ok {
+		p, err := l.loadSource(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("cannot resolve import %q: no export data or source directory", path)
+}
+
+// loadSource parses and type-checks the package in dir (non-test files).
+func (l *loader) loadSource(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return l.loadFiles(importPath, dir, names)
+}
+
+func (l *loader) loadFiles(importPath, dir string, names []string) (*Package, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("package %s: no Go files in %s", importPath, dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		path := n
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, n)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.loaded[importPath] = p
+	return p, nil
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding: %w", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads the packages matched by patterns in the module rooted
+// at (or containing) dir, type-checked from source, with all dependencies
+// resolved through `go list -export` build-cache export data. This is the
+// production entry point used by cmd/mpclint.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-e", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	for _, d := range deps {
+		if d.Export != "" {
+			l.exports[d.ImportPath] = d.Export
+		}
+	}
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		l.srcDirs[t.ImportPath] = t.Dir
+		p, err := l.loadFiles(t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadUnit type-checks one package from an explicit file list with imports
+// resolved through pre-built export data — the `go vet -vettool` unit of
+// work, where cmd/go supplies the import map and export files and the tool
+// must not run the build itself.
+func LoadUnit(importPath string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	l := newLoader()
+	for path, file := range packageFile {
+		l.exports[path] = file
+	}
+	// Route source-level import paths through the vet config's ImportMap
+	// (vendoring, "std" remapping) before the export lookup.
+	for src, canonical := range importMap {
+		if src == canonical {
+			continue
+		}
+		if f, ok := packageFile[canonical]; ok {
+			l.exports[src] = f
+		}
+	}
+	return l.loadFiles(importPath, "", goFiles)
+}
+
+// LoadTestdata loads fixture packages from a GOPATH-style tree: srcRoot
+// contains one directory per import path (srcRoot/<importPath>/*.go).
+// Imports between fixtures resolve within the tree; everything else is
+// expected to be standard library and resolves through export data from
+// one `go list -export` call. This is the analysistest entry point.
+func LoadTestdata(srcRoot string, paths ...string) ([]*Package, error) {
+	l := newLoader()
+	var std []string
+	seenStd := map[string]bool{}
+	// Register every fixture directory, collecting external imports.
+	err := filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(srcRoot, dir)
+		if err != nil {
+			return err
+		}
+		importPath := filepath.ToSlash(rel)
+		l.srcDirs[importPath] = dir
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if !seenStd[ip] {
+				seenStd[ip] = true
+				std = append(std, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var external []string
+	for _, ip := range std {
+		if _, ok := l.srcDirs[ip]; !ok {
+			external = append(external, ip)
+		}
+	}
+	if len(external) > 0 {
+		sort.Strings(external)
+		deps, err := goList(srcRoot, append([]string{"-e", "-export", "-deps", "-json=ImportPath,Export"}, external...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			if d.Export != "" {
+				l.exports[d.ImportPath] = d.Export
+			}
+		}
+	}
+	var out []*Package
+	for _, p := range paths {
+		dir, ok := l.srcDirs[p]
+		if !ok {
+			return nil, fmt.Errorf("no fixture package %q under %s", p, srcRoot)
+		}
+		pkg, err := l.loadSource(p, dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

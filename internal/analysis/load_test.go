@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpcquery/internal/analysis"
+)
+
+// TestLoadPackagesModule smoke-tests the production loader against the real
+// module: the analyzed package must come back type-checked with its imports
+// resolved through export data.
+func TestLoadPackagesModule(t *testing.T) {
+	pkgs, err := analysis.LoadPackages(".", "mpcquery/internal/data")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "mpcquery/internal/data" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+		t.Errorf("package not fully loaded: Types=%v files=%d", p.Types, len(p.Files))
+	}
+	if p.Types.Scope().Lookup("Relation") == nil {
+		t.Errorf("data.Relation not found in loaded package scope")
+	}
+}
+
+// TestAnalyzeSkipsForeignPackages checks the ModulePrefix scope: analyzers
+// never fire on packages outside the module.
+func TestAnalyzeSkipsForeignPackages(t *testing.T) {
+	diags, err := analysis.Analyze([]*analysis.Package{{ImportPath: "example.com/foreign"}}, analysis.All())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("got %d diagnostics for a foreign package, want 0", len(diags))
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// meteredPackages are the strategy packages whose cross-server data
+// movement must be bit-accounted: every value that travels between model
+// servers has to pass through an Emitter inside a Cluster.Round, where
+// RoundStats charges it. Writing into an Inbox directly, draining an
+// Emitter with the transport-facing EachPending, invoking the delivery
+// kernel by hand, or constructing engine delivery machinery from a
+// composite literal would all move data the Report never meters.
+var meteredPackages = []string{
+	"internal/core",
+	"internal/skew",
+	"internal/multiround",
+	"internal/aggregate",
+}
+
+// Metering enforces the bit-accounting boundary in strategy packages. The
+// engine itself and internal/transport legitimately touch these APIs (they
+// ARE the accounting and delivery layer); the packages above must not.
+var Metering = &Analyzer{
+	Name: "metering",
+	Doc:  "strategy packages must move cross-server data through engine.Emitter, never by direct inbox/delivery writes",
+	Run:  runMetering,
+}
+
+func runMetering(pass *Pass) error {
+	metered := false
+	for _, p := range meteredPackages {
+		if pathHasSuffix(pass.Pkg.Path(), p) {
+			metered = true
+			break
+		}
+	}
+	if !metered {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				f := calleeFunc(pass.TypesInfo, v)
+				if f == nil {
+					return true
+				}
+				pkgPath, typeName := recvTypeName(f)
+				if typeName == "" {
+					pkgPath = funcPkgPath(f)
+				}
+				if !pathHasSuffix(pkgPath, "internal/engine") {
+					return true
+				}
+				switch {
+				case typeName == "Inbox" && f.Name() == "Append":
+					pass.Reportf(v.Pos(),
+						"direct Inbox.Append bypasses bit accounting; emit through engine.Emitter inside Cluster.Round")
+				case typeName == "Emitter" && f.Name() == "EachPending":
+					pass.Reportf(v.Pos(),
+						"Emitter.EachPending is the transport-facing drain; strategies must let Cluster.Round deliver")
+				case typeName == "" && f.Name() == "DeliverLocal":
+					pass.Reportf(v.Pos(),
+						"calling engine.DeliverLocal directly skips RoundStats charging; use Cluster.Round")
+				}
+			case *ast.CompositeLit:
+				t := pass.TypeOf(v)
+				switch named := namedTypeName(t); named {
+				case "Inbox", "Emitter", "DeliveryRound":
+					if pathHasSuffix(typePkgPath(t), "internal/engine") {
+						pass.Reportf(v.Pos(),
+							"constructing engine.%s directly creates unmetered delivery state; obtain it from a Cluster", named)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

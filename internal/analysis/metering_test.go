@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpcquery/internal/analysis"
+	"mpcquery/internal/analysis/analysistest"
+)
+
+func TestMetering(t *testing.T) {
+	// skew is on the metered list; driver is not and must stay silent.
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{analysis.Metering},
+		"mpcquery/internal/skew", "mpcquery/internal/driver")
+}

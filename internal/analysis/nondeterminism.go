@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ndTimeAllowedPkgs may call time.Now/time.Since: operational layers whose
+// wall-clock readings never reach a Report fingerprint. internal/service
+// feeds latency metrics; internal/transport arms dial/IO deadlines. The
+// engine's phase timers are NOT allowlisted wholesale — its three sites
+// carry individual //lint:allow comments so any new wall-clock read in the
+// engine has to justify itself.
+var ndTimeAllowedPkgs = []string{
+	"internal/service",
+	"internal/transport",
+}
+
+// ndRandAllowedFuncs are the package-level math/rand functions that do not
+// touch the global (process-seeded) source: constructors for explicit
+// seeded sources. Everything else (rand.Intn, rand.Int63, rand.Perm,
+// rand.Shuffle, rand.Seed, ...) draws from process-global state that SPMD
+// ranks cannot replicate.
+var ndRandAllowedFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes an explicit *rand.Rand
+}
+
+// Nondeterminism flags ambient-entropy reads in deterministic code. Every
+// rank of the distributed runtime re-executes the full strategy and must
+// derive bit-identical plans, layouts, and outputs; the only sanctioned
+// randomness is a *rand.Rand built from a seed threaded through options,
+// and the only sanctioned clocks live in the operational allowlist above.
+// Tools (package main) are exempt: stamping a benchmark JSON with
+// time.Now is their job.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "time.Now only in the operational allowlist; math/rand only through explicitly seeded sources",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	timeAllowed := false
+	for _, p := range ndTimeAllowedPkgs {
+		if pathHasSuffix(pass.Pkg.Path(), p) {
+			timeAllowed = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, call)
+			if f == nil {
+				return true
+			}
+			if _, typeName := recvTypeName(f); typeName != "" {
+				return true // methods (e.g. (*rand.Rand).Intn) are seeded-source calls
+			}
+			switch funcPkgPath(f) {
+			case "time":
+				if !timeAllowed && (f.Name() == "Now" || f.Name() == "Since" || f.Name() == "Until") {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock in deterministic code; only the phase-timing/metrics allowlist may (ranks would disagree)", f.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !ndRandAllowedFuncs[f.Name()] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the process-global source; thread a seeded *rand.Rand from options instead", f.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpcquery/internal/analysis"
+	"mpcquery/internal/analysis/analysistest"
+)
+
+func TestNondeterminism(t *testing.T) {
+	// nd is deterministic code; service is on the operational allowlist and
+	// must stay silent.
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{analysis.Nondeterminism},
+		"mpcquery/internal/nd", "mpcquery/internal/service")
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// PanicDiscipline classifies every panic site against the contract of
+// Run's recover boundary (run.go): internal packages use panics as their
+// error channel through the engine's parallel workers, and the boundary
+// rewraps what reaches it — typed errors keep their sentinel identity
+// (errors.Is works through the wrap), everything else becomes an opaque
+// *StrategyError whose message is all the operator ever sees. The
+// discipline that keeps those messages attributable and the sentinels
+// intact:
+//
+//   - string panics must carry a subsystem prefix ("engine: ...",
+//     "skew: ..."), including through fmt.Sprintf and string
+//     concatenation — an unprefixed "index out of range" in a
+//     StrategyError is undebuggable;
+//   - error panics must be classifiable at the panic site: a typed error
+//     value (&MissingRelationError{...}, a constructor returning a
+//     concrete error type) or fmt.Errorf with a subsystem prefix.
+//     Re-raising an opaque `err` of interface type is flagged — wrap it
+//     (fmt.Errorf("pkg: context: %w", err)) so the boundary and the log
+//     both know where it came from;
+//   - panics with non-error, non-string values (ints, structs) are always
+//     flagged;
+//   - public (non-internal, non-main) packages may not panic at all: the
+//     API contract is "Run never panics", and a panic before the recover
+//     boundary is installed escapes to the caller.
+//
+// Deliberate re-panic propagation sites (recover-and-rethrow in the
+// engine's worker pool and the service cache) carry //lint:allow.
+var PanicDiscipline = &Analyzer{
+	Name: "panicdiscipline",
+	Doc:  "panics must be typed errors or subsystem-prefixed strings inside internal/, and absent from public packages",
+	Run:  runPanicDiscipline,
+}
+
+// panicPrefixRe is the required shape of a string panic's prefix: a
+// lowercase subsystem name followed by ": ". The subsystem need not equal
+// the package name (internal/localjoin/baseline deliberately reports as
+// "localjoin:") — the requirement is that SOME subsystem owns the message.
+var panicPrefixRe = regexp.MustCompile(`^[a-z][a-zA-Z0-9_/]*: `)
+
+func runPanicDiscipline(pass *Pass) error {
+	path := pass.Pkg.Path()
+	internal := strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			switch {
+			case isMain:
+				// Tools own their process; a panic is theirs to spend.
+			case !internal:
+				pass.Reportf(call.Pos(),
+					"public package %s must return errors, not panic: nothing above this frame recovers", pass.Pkg.Name())
+			default:
+				classifyInternalPanic(pass, call.Args[0])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func classifyInternalPanic(pass *Pass, arg ast.Expr) {
+	info := pass.TypesInfo
+
+	// Constant string (possibly the head of a + concatenation chain).
+	if s, ok := leftmostString(info, arg); ok {
+		if !panicPrefixRe.MatchString(s) {
+			pass.Reportf(arg.Pos(),
+				"panic string %q lacks a subsystem prefix (want \"<subsystem>: ...\"): the StrategyError it becomes is unattributable", truncate(s, 40))
+		}
+		return
+	}
+
+	switch v := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		f := calleeFunc(info, v)
+		if f != nil && funcPkgPath(f) == "fmt" && (f.Name() == "Sprintf" || f.Name() == "Errorf") {
+			if len(v.Args) == 0 {
+				return
+			}
+			if s, ok := constStringValue(info, v.Args[0]); ok && !panicPrefixRe.MatchString(s) {
+				pass.Reportf(arg.Pos(),
+					"panic(fmt.%s) format %q lacks a subsystem prefix (want \"<subsystem>: ...\")", f.Name(), truncate(s, 40))
+			}
+			return
+		}
+		// Constructor-style call: fine if it returns a concrete error type,
+		// opaque if it returns the bare error interface.
+		t := pass.TypeOf(v)
+		if isErrorType(t) && !isErrorInterface(t) {
+			return
+		}
+		if isErrorInterface(t) {
+			pass.Reportf(arg.Pos(),
+				"panic with an opaque error value: wrap it with a subsystem prefix (fmt.Errorf(\"<subsystem>: ...: %%w\", err)) so the recover boundary can attribute it")
+			return
+		}
+		pass.Reportf(arg.Pos(), "panic value of type %s is neither an error nor a prefixed string", typeString(t))
+	case *ast.UnaryExpr, *ast.CompositeLit:
+		t := pass.TypeOf(arg)
+		if isErrorType(t) {
+			return // typed error panic, e.g. &MissingRelationError{...}
+		}
+		pass.Reportf(arg.Pos(), "panic value of type %s is neither an error nor a prefixed string", typeString(t))
+	default:
+		t := pass.TypeOf(arg)
+		switch {
+		case isErrorInterface(t):
+			pass.Reportf(arg.Pos(),
+				"panic with an opaque error value: wrap it with a subsystem prefix (fmt.Errorf(\"<subsystem>: ...: %%w\", err)) so the recover boundary can attribute it")
+		case isErrorType(t):
+			// A concrete error value re-raised by name keeps its type
+			// through the boundary; errors.Is still works.
+		case t != nil && t.String() == "string":
+			pass.Reportf(arg.Pos(),
+				"panic with a non-constant string: prefix it with its subsystem (\"<subsystem>: \" + ...)")
+		default:
+			pass.Reportf(arg.Pos(), "panic value of type %s is neither an error nor a prefixed string", typeString(t))
+		}
+	}
+}
+
+func typeString(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return t.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

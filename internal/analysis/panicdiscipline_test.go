@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpcquery/internal/analysis"
+	"mpcquery/internal/analysis/analysistest"
+)
+
+func TestPanicDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{analysis.PanicDiscipline},
+		"mpcquery/internal/pd", "mpcquery/pub")
+}

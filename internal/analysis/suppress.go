@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+const allowPrefix = "//lint:allow"
+
+// An Allow is one parsed //lint:allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	used     bool
+}
+
+// collectAllows scans every file of every package for //lint:allow
+// directives. Malformed directives (missing analyzer, missing reason, or an
+// analyzer name the running set does not know) are returned as diagnostics
+// attributed to the pseudo-analyzer "lintdirective" — a suppression that
+// cannot be audited is itself a finding.
+func collectAllows(pkgs []*Package, known map[string]bool) (map[string]map[int][]*Allow, []Diagnostic) {
+	allows := map[string]map[int][]*Allow{} // filename -> line -> directives
+	var malformed []Diagnostic
+	bad := func(pos token.Position, msg string) {
+		malformed = append(malformed, Diagnostic{Analyzer: "lintdirective", Pos: pos, Message: msg})
+	}
+	for _, pkg := range pkgs {
+		if !strings.HasPrefix(pkg.ImportPath, ModulePrefix) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // some other //lint:allowX token
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						bad(pos, "malformed //lint:allow: missing analyzer name and reason")
+						continue
+					}
+					name := fields[0]
+					if !known[name] {
+						bad(pos, "//lint:allow names unknown analyzer "+name)
+						continue
+					}
+					if len(fields) < 2 {
+						bad(pos, "//lint:allow "+name+" needs a reason")
+						continue
+					}
+					byLine := allows[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]*Allow{}
+						allows[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &Allow{
+						Analyzer: name,
+						Reason:   strings.Join(fields[1:], " "),
+						Pos:      pos,
+					})
+				}
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// Filter applies //lint:allow suppressions to raw diagnostics. It returns
+// the surviving diagnostics — including, appended, any directive-audit
+// findings: malformed directives and directives that suppressed nothing.
+// A directive suppresses a diagnostic of its analyzer on the same line or
+// the line directly below it (i.e. the comment sits on the flagged line or
+// immediately above).
+func Filter(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := byName(analyzers)
+	allows, audit := collectAllows(pkgs, known)
+	var kept []Diagnostic
+	for _, d := range diags {
+		byLine := allows[d.Pos.Filename]
+		suppressed := false
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, a := range byLine[line] {
+				if a.Analyzer == d.Analyzer {
+					a.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	// Deterministic audit order: the maps are keyed by file and line, so
+	// walk them sorted (our own maporder analyzer flags the naive range).
+	files := make([]string, 0, len(allows))
+	for f := range allows {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		byLine := allows[f]
+		lines := make([]int, 0, len(byLine))
+		for l := range byLine {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			for _, a := range byLine[l] {
+				if !a.used {
+					audit = append(audit, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      a.Pos,
+						Message:  "unused //lint:allow " + a.Analyzer + ": no diagnostic here to suppress",
+					})
+				}
+			}
+		}
+	}
+	kept = append(kept, audit...)
+	sortDiagnostics(kept)
+	return kept
+}

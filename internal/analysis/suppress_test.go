@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpcquery/internal/analysis"
+)
+
+// TestSuppression drives the //lint:allow machinery end-to-end on the sup
+// fixture: well-formed directives suppress, malformed and unused ones are
+// audit findings, and a missing-reason directive does NOT suppress.
+func TestSuppression(t *testing.T) {
+	analyzers := []*analysis.Analyzer{analysis.Nondeterminism}
+	pkgs, err := analysis.LoadTestdata("testdata/src", "mpcquery/internal/sup")
+	if err != nil {
+		t.Fatalf("loading sup fixture: %v", err)
+	}
+	diags, err := analysis.Analyze(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing sup fixture: %v", err)
+	}
+	filtered := analysis.Filter(pkgs, analyzers, diags)
+
+	// Raw run: three time.Now findings (two suppressed later, one under the
+	// reasonless directive).
+	if len(diags) != 3 {
+		t.Errorf("raw diagnostics = %d, want 3:\n%s", len(diags), render(diags))
+	}
+
+	wantSubstrings := []string{
+		"needs a reason",                     // //lint:allow nondeterminism (no reason)
+		"reads the wall clock",               // the time.Now the reasonless allow failed to cover
+		"unknown analyzer doesnotexist",      // //lint:allow doesnotexist ...
+		"unused //lint:allow nondeterminism", // allow over a clean line
+	}
+	if len(filtered) != len(wantSubstrings) {
+		t.Fatalf("filtered diagnostics = %d, want %d:\n%s", len(filtered), len(wantSubstrings), render(filtered))
+	}
+	for _, sub := range wantSubstrings {
+		found := false
+		for _, d := range filtered {
+			if strings.Contains(d.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no filtered diagnostic contains %q:\n%s", sub, render(filtered))
+		}
+	}
+	// The two well-formed allows must have silenced their time.Now calls.
+	nd := 0
+	for _, d := range filtered {
+		if d.Analyzer == "nondeterminism" {
+			nd++
+		}
+	}
+	if nd != 1 {
+		t.Errorf("surviving nondeterminism diagnostics = %d, want 1 (only the reasonless-allow line):\n%s", nd, render(filtered))
+	}
+}
+
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,9 @@
+// Package data is a fixture stub of the relation container whose append
+// order is fingerprint-visible.
+package data
+
+// Relation is an ordered tuple container.
+type Relation struct{}
+
+func (r *Relation) Append(tuple ...int64)     {}
+func (r *Relation) AppendTuple(tuple []int64) {}

@@ -1,0 +1,12 @@
+// Package driver is NOT on the metering list: it may touch the delivery
+// machinery freely (this is the engine-adjacent layer's privilege), so
+// metering reports nothing here.
+package driver
+
+import "mpcquery/internal/engine"
+
+func deliver(in *engine.Inbox, tuple []int64) {
+	in.Append(tuple)
+	io := &engine.DeliveryRound{Round: 0, P: 2}
+	engine.DeliverLocal(io)
+}

@@ -1,0 +1,45 @@
+// Package ec exercises errcmp: sentinels are wrapped before callers see
+// them, so identity and string comparison are wrong, not just unidiomatic.
+package ec
+
+import (
+	"errors"
+	"strings"
+)
+
+var ErrGone = errors.New("ec: gone")
+var ErrBusy = errors.New("ec: busy")
+
+func identity(err error) bool {
+	return err == ErrGone // want "use errors.Is"
+}
+
+func negIdentity(err error) bool {
+	return err != ErrBusy // want "use errors.Is"
+}
+
+func nilCheck(err error) bool {
+	return err == nil // fine: the one sanctioned identity test
+}
+
+func textMatch(err error) bool {
+	return err.Error() == "ec: gone" // want "err.Error\\(\\) text"
+}
+
+func switchIdentity(err error) int {
+	switch err { // matching by identity through the tag
+	case ErrGone: // want "errors.Is chain"
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func containsMatch(err error) bool {
+	return strings.Contains(err.Error(), "gone") // want "strings.Contains"
+}
+
+func sanctioned(err error) bool {
+	return errors.Is(err, ErrGone) // fine
+}

@@ -1,0 +1,36 @@
+// Package engine is a fixture stub exposing the API shapes the analyzers
+// classify: emission/seeding sinks for maporder and the delivery machinery
+// metering fences off. Signatures only; no behavior.
+package engine
+
+// Emitter is the metered emission path.
+type Emitter struct{}
+
+func (e *Emitter) EmitTuple(dst int, tuple []int64)       {}
+func (e *Emitter) EmitBatch(dst int, tuples [][]int64)    {}
+func (e *Emitter) EachPending(f func(dst int, t []int64)) {}
+
+// Combiner accumulates pre-shuffle partial aggregates in add order.
+type Combiner struct{}
+
+func (c *Combiner) Add(dst int, key []int64, val int64) {}
+
+// Inbox is a destination's received-tuple arena.
+type Inbox struct{}
+
+func (i *Inbox) Append(tuple []int64) {}
+
+// Cluster is the round driver.
+type Cluster struct{}
+
+func (c *Cluster) Seed(server int, tuple []int64)    {}
+func (c *Cluster) SeedBatch(server int, t [][]int64) {}
+
+// DeliveryRound is one round's transport view.
+type DeliveryRound struct {
+	Round int
+	P     int
+}
+
+// DeliverLocal is the in-process delivery kernel.
+func DeliverLocal(io *DeliveryRound) {}

@@ -1,0 +1,32 @@
+package maporder
+
+import "sort"
+
+// skewedStarIDs is the PR 6 SkewedStarDatabase regression shape: heavy-hitter
+// ids collected in map iteration order and then truncated. The truncation
+// keeps a DIFFERENT k-subset on every rank, so three ranks built three
+// different star layouts. maporder must catch the collection.
+func skewedStarIDs(heavy map[int64]int, k int) []int64 {
+	var ids []int64
+	for v := range heavy {
+		ids = append(ids, v) // want "leaks map iteration order"
+	}
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// skewedStarIDsFixed is the PR 6 fix: sort before truncating, so every rank
+// keeps the same k-subset in the same order.
+func skewedStarIDsFixed(heavy map[int64]int, k int) []int64 {
+	var ids []int64
+	for v := range heavy {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids
+}

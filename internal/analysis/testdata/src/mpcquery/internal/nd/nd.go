@@ -1,0 +1,26 @@
+// Package nd exercises nondeterminism: ambient clocks and the process-global
+// rand source are flagged; explicitly seeded sources and their methods are
+// the sanctioned randomness.
+package nd
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "reads the wall clock"
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "process-global source"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // fine: explicit seeded source
+	return r.Intn(10)                   // fine: method on seeded *rand.Rand
+}

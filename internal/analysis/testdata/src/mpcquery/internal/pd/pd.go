@@ -1,0 +1,56 @@
+// Package pd exercises panicdiscipline inside internal/: panics are the
+// error channel to Run's recover boundary, so every panic value must be
+// attributable — a typed error or a subsystem-prefixed string.
+package pd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BadInputError is a typed error the recover boundary can classify.
+type BadInputError struct{ Atom string }
+
+func (e *BadInputError) Error() string { return "pd: bad input " + e.Atom }
+
+func prefixedString() {
+	panic("pd: invariant violated") // fine: subsystem-prefixed
+}
+
+func unprefixedString() {
+	panic("invariant violated") // want "lacks a subsystem prefix"
+}
+
+func prefixedConcat(what string) {
+	panic("pd: unknown " + what) // fine: prefixed concatenation head
+}
+
+func prefixedSprintf(n int) {
+	panic(fmt.Sprintf("pd: bad count %d", n)) // fine: prefixed format
+}
+
+func unprefixedSprintf(n int) {
+	panic(fmt.Sprintf("bad count %d", n)) // want "lacks a subsystem prefix"
+}
+
+func typedError(atom string) {
+	panic(&BadInputError{Atom: atom}) // fine: typed error value
+}
+
+func wrappedError(err error) {
+	panic(fmt.Errorf("pd: stage failed: %w", err)) // fine: prefixed wrap
+}
+
+func opaqueError(err error) {
+	if err != nil {
+		panic(err) // want "opaque error value"
+	}
+}
+
+func nonErrorValue() {
+	panic(42) // want "neither an error nor a prefixed string"
+}
+
+func opaqueConstructor() {
+	panic(errors.New("no prefix here")) // want "opaque error value"
+}

@@ -1,0 +1,28 @@
+// Package skew is a METERED fixture package (its import path suffix is on
+// the metering list): cross-server data movement must go through
+// engine.Emitter inside Cluster.Round. Direct inbox writes, transport-facing
+// drains, hand-invoked delivery, and hand-built delivery state are flagged.
+package skew
+
+import "mpcquery/internal/engine"
+
+func goodEmit(em *engine.Emitter, tuple []int64) {
+	em.EmitTuple(0, tuple) // metered path: not flagged
+}
+
+func badInboxWrite(in *engine.Inbox, tuple []int64) {
+	in.Append(tuple) // want "bypasses bit accounting"
+}
+
+func badDrain(em *engine.Emitter) {
+	em.EachPending(func(dst int, t []int64) {}) // want "transport-facing drain"
+}
+
+func badDeliver() {
+	io := &engine.DeliveryRound{Round: 0, P: 2} // want "unmetered delivery state"
+	engine.DeliverLocal(io)                     // want "skips RoundStats charging"
+}
+
+func badInboxLit() engine.Inbox {
+	return engine.Inbox{} // want "unmetered delivery state"
+}

@@ -1,0 +1,32 @@
+// Package sup exercises the //lint:allow machinery (run with the
+// nondeterminism analyzer; see suppress_test.go for the expected set): a
+// well-formed directive suppresses its line, a missing reason and an
+// unknown analyzer name are audit findings, and a directive with nothing
+// to suppress is flagged as unused.
+package sup
+
+import "time"
+
+func allowedAbove() time.Time {
+	//lint:allow nondeterminism startup stamp for a log line, never fingerprinted
+	return time.Now()
+}
+
+func allowedInline() time.Time {
+	return time.Now() //lint:allow nondeterminism startup stamp for a log line, never fingerprinted
+}
+
+func missingReason() time.Time {
+	//lint:allow nondeterminism
+	return time.Now()
+}
+
+func unknownAnalyzer() int {
+	//lint:allow doesnotexist some reason
+	return 1
+}
+
+func unusedAllow() int {
+	//lint:allow nondeterminism nothing here needs this
+	return 2
+}

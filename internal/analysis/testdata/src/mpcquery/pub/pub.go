@@ -1,0 +1,8 @@
+// Package pub is a public (non-internal) fixture: the API contract is
+// "Run never panics", so any panic here escapes to the caller and is
+// flagged regardless of its value.
+package pub
+
+func explode() {
+	panic("pub: even a prefixed string escapes the caller") // want "must return errors, not panic"
+}

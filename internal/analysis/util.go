@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// pathHasSuffix reports whether an import path is, or ends with, suffix as
+// a whole path element ("internal/engine" matches "mpcquery/internal/engine"
+// but not "mpcquery/internal/engine2" or "myinternal/engine").
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix) ||
+		strings.Contains(path, "/"+suffix+"/") ||
+		strings.HasPrefix(path, suffix+"/")
+}
+
+// calleeFunc resolves the *types.Func a call invokes (method or package
+// function), or nil for builtins, conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f ("" for
+// universe-scope functions like error.Error).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvTypeName returns (package path, type name) of a method's receiver
+// base type, or ("", "") when f is not a method on a named type.
+func recvTypeName(f *types.Func) (pkgPath, typeName string) {
+	if f == nil {
+		return "", ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// namedTypeName returns the name of t's named type, unwrapping one
+// pointer, or "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// typePkgPath returns the declaring package path of t's named type,
+// unwrapping one pointer, or "" when there is none.
+func typePkgPath(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	return ""
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface (directly or
+// through a pointer receiver).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, errorInterface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), errorInterface)
+	}
+	return false
+}
+
+// isErrorInterface reports whether t IS an interface type implementing
+// error (the static type carries no concrete identity).
+func isErrorInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok && types.Implements(t, errorInterface)
+}
+
+// constStringValue returns the compile-time string value of e, if any.
+func constStringValue(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// leftmostString digs through a + concatenation chain and returns the
+// constant value of its leftmost operand, if it is a constant string.
+func leftmostString(info *types.Info, e ast.Expr) (string, bool) {
+	for {
+		if s, ok := constStringValue(info, e); ok {
+			return s, true
+		}
+		bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok {
+			return "", false
+		}
+		e = bin.X
+	}
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// objectOf resolves the object an identifier or selector leaf denotes:
+// for `x` the variable, for `s.f` the field. Returns nil otherwise.
+func objectOf(info *types.Info, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[v]; o != nil {
+			return o
+		}
+		return info.Defs[v]
+	case *ast.SelectorExpr:
+		return info.Uses[v.Sel]
+	case *ast.IndexExpr:
+		return objectOf(info, v.X)
+	}
+	return nil
+}
+
+// usesObject reports whether the subtree rooted at n mentions obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -6,6 +6,20 @@ import (
 	"sort"
 )
 
+// SortedKeys returns m's keys in ascending order. Go randomizes map
+// iteration, so a loop whose effects are order-sensitive — emitting
+// tuples, appending to a relation, anything fingerprint-visible — must
+// iterate this slice instead of the map; the mpclint maporder analyzer
+// enforces exactly that, and SPMD ranks diverge when it is violated.
+func SortedKeys[V any](m map[int64]V) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // ColumnFrequencies returns the frequency of every value in the given column
 // (m_j(h) of Section 4.2, as counts).
 func ColumnFrequencies(r *Relation, col int) map[int64]int {

@@ -390,6 +390,7 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	// spawning would dominate small rounds. ParallelFor re-raises server
 	// panics on the caller's goroutine, so callers see them as ordinary
 	// panics.
+	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	t0 := time.Now()
 	for s := 0; s < c.p; s++ {
 		c.emitters[s].reset()
@@ -397,6 +398,7 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	ParallelFor(c.p, func(s int) {
 		f(s, c.inbox[s], c.emitters[s])
 	})
+	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	c.computeSeconds += time.Since(t0).Seconds()
 
 	// Delivery phase, through the transport seam: the default (no link) is
@@ -405,6 +407,7 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	// linked cluster hands the round to its Transport instead, which must
 	// reproduce the same delivery order (see Link.Deliver); a delivery error
 	// aborts the run via panic, mapped to a typed error at the API boundary.
+	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	t1 := time.Now()
 	for d := 0; d < c.p; d++ {
 		c.spare[d].reset()
@@ -425,6 +428,7 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	} else {
 		DeliverLocal(io)
 	}
+	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	c.commSeconds += time.Since(t1).Seconds()
 	c.inbox, c.spare = c.spare, c.inbox
 
@@ -452,8 +456,10 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 // compute-phase total. This is the hook strategies use for their final
 // local-evaluation phase so PhaseSeconds covers it.
 func (c *Cluster) Compute(f func(server, worker int)) {
+	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	t0 := time.Now()
 	ParallelForWorkers(c.p, f)
+	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	c.computeSeconds += time.Since(t0).Seconds()
 }
 

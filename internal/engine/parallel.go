@@ -60,6 +60,7 @@ func ParallelForWorkers(n int, f func(i, worker int)) {
 	close(next)
 	wg.Wait()
 	if panicked != nil {
+		//lint:allow panicdiscipline re-panic of the captured worker panic, already classified at its original site
 		panic(panicked)
 	}
 }

@@ -38,6 +38,7 @@ func (s *Scratch) EvaluateAtomsAggregate(q *query.Query, rels []*data.Relation, 
 	}
 	rows, err := s.joinLoop(q, rels, s.greedyOrder(q, rels), cache)
 	if err != nil {
+		//lint:allow panicdiscipline typed *MissingRelationError panic; Run's recover maps it to the public ErrMissingRelation sentinel
 		panic(err)
 	}
 	if rows == 0 {

@@ -141,6 +141,7 @@ func (s *Scratch) Evaluate(q *query.Query, rels map[string]*data.Relation) *data
 	byAtom := s.byAtom(q, rels)
 	out, err := s.run(q, byAtom, s.greedyOrder(q, byAtom), nil)
 	if err != nil {
+		//lint:allow panicdiscipline typed *MissingRelationError panic; Run's recover maps it to the public ErrMissingRelation sentinel
 		panic(err)
 	}
 	return out
@@ -170,6 +171,7 @@ func (s *Scratch) EvaluateAtoms(q *query.Query, rels []*data.Relation, cache *In
 	}
 	out, err := s.run(q, rels, s.greedyOrder(q, rels), cache)
 	if err != nil {
+		//lint:allow panicdiscipline typed *MissingRelationError panic; Run's recover maps it to the public ErrMissingRelation sentinel
 		panic(err)
 	}
 	return out

@@ -141,6 +141,7 @@ func Yannakakis(q *query.Query, rels map[string]*data.Relation) *data.Relation {
 	out, err := EvaluateOrdered(q, reduced, joinOrder)
 	if err != nil {
 		// Unreachable: every atom's relation was checked present above.
+		//lint:allow panicdiscipline typed *MissingRelationError panic (and unreachable: atoms pre-checked)
 		panic(err)
 	}
 	return out

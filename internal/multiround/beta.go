@@ -1,6 +1,7 @@
 package multiround
 
 import (
+	"fmt"
 	"math"
 
 	"mpcquery/internal/bounds"
@@ -22,7 +23,7 @@ func (p *EpsPlan) Contractions() []*query.Query {
 	for _, names := range p.Sets {
 		idx, err := indicesOf(cur, names)
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("multiround: contraction set: %w", err))
 		}
 		cur = cur.Contract(Complement(cur, idx))
 		out = append(out, cur)

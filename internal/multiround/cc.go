@@ -99,7 +99,9 @@ func LabelPropagation(g *data.Graph, p int, seed int64, maxRounds int) *CCResult
 				}
 			})
 			pair := make([]int64, 2)
-			for v := range changed[s] {
+			// Sorted, not map order: emission order is inbox order is wire
+			// order, and SPMD ranks must serialize identical frames.
+			for _, v := range data.SortedKeys(changed[s]) {
 				l := local.label[v]
 				for _, u := range local.adj[v] {
 					if l < u { // only useful updates travel
@@ -160,7 +162,9 @@ func PointerJumping(g *data.Graph, p int, seed int64, maxRounds int) *CCResult {
 		cluster.Round("cc-jump-request", func(s int, inbox *engine.Inbox, emit *engine.Emitter) {
 			local := states[s]
 			pair := make([]int64, 2)
-			for v, ptr := range local.label {
+			// Sorted for deterministic emission order (see cc-update above).
+			for _, v := range data.SortedKeys(local.label) {
+				ptr := local.label[v]
 				if ptr != v {
 					pair[0], pair[1] = v, ptr
 					emit.EmitTuple(owner(ptr), ccPtrReq, pair)

@@ -48,7 +48,7 @@ func Parse(s string) (*Query, error) {
 func MustParse(s string) *Query {
 	q, err := Parse(s)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("query: MustParse: %w", err))
 	}
 	return q
 }

@@ -69,6 +69,7 @@ func (c *Cache) GetOrCompute(key string, compute func() any) any {
 		<-e.ready
 		if e.panicked != nil {
 			c.misses.Add(1)
+			//lint:allow panicdiscipline re-panic of the computing caller's panic so every waiter observes the original failure
 			panic(e.panicked)
 		}
 		c.hits.Add(1)
@@ -94,6 +95,7 @@ func (c *Cache) GetOrCompute(key string, compute func() any) any {
 			}
 			c.mu.Unlock()
 			close(e.ready)
+			//lint:allow panicdiscipline re-panic of the recovered compute panic, already classified at its original site
 			panic(r)
 		}
 	}()

@@ -122,8 +122,11 @@ func DetectHeavyHittersMPCMultiNet(rels []*data.Relation, cols []int, p, sampleS
 				}
 			}
 			scale := float64(local) / float64(n)
-			for v, c := range counts {
-				est := int(float64(c) * scale)
+			// Broadcast candidates in ascending value order, not map order:
+			// emission order reaches every inbox (and, distributed, the
+			// wire), so it must be a pure function of the sampled counts.
+			for _, v := range data.SortedKeys(counts) {
+				est := int(float64(counts[v]) * scale)
 				if est >= candidateThresholds[j] {
 					pair[0], pair[1] = v, int64(est)
 					emit.EmitTuple(engine.Broadcast, j, pair)

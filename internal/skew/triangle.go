@@ -326,7 +326,10 @@ func (pb *pivotBlocks) route(q *query.Query, j int, tuple []int64, pivot, i0, i1
 		if isPHeavy(i0, v0) || isPHeavy(i1, v1) {
 			return
 		}
-		for _, b := range pb.blocks {
+		// Sorted by pivot value, not map order: replication order feeds
+		// inbox order, which must match across runs and SPMD ranks.
+		for _, pv := range data.SortedKeys(pb.blocks) {
+			b := pb.blocks[pv]
 			d0, d1 := 0, 1
 			if b.dims[0] == i1 {
 				d0, d1 = 1, 0

@@ -2,6 +2,7 @@ package mpcquery
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -222,6 +223,7 @@ func (s *Service) Run(ctx context.Context, q *Query, db *Database, opts ...RunOp
 			return nil, perr
 		}
 		if cfg.net == nil {
+			//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 			start := time.Now()
 			v, coalesced, err := s.flight.Do(s.requestKey(&cfg, q, db), func() (any, error) {
 				return s.execute(ctx, q, db, opts)
@@ -232,8 +234,10 @@ func (s *Service) Run(ctx context.Context, q *Query, db *Database, opts ...RunOp
 				// toward throughput with its real wait latency — that moved
 				// no bits of its own.
 				if err != nil {
+					//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 					s.metrics.RecordFailure(time.Since(start))
 				} else {
+					//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 					s.metrics.RecordSuccess(time.Since(start), 0, 0, 0)
 				}
 			}
@@ -255,6 +259,7 @@ func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []Ru
 	runOpts = append(runOpts, withExecCache(ec))
 	runOpts = append(runOpts, opts...)
 
+	//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 	start := time.Now()
 	ch := make(chan outcome, 1)
 	var abandoned atomic.Bool
@@ -274,13 +279,14 @@ func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []Ru
 		rep, err := Run(q, db, runOpts...)
 		ch <- outcome{rep, err}
 	}); err != nil {
-		if err == ErrOverloaded {
+		if errors.Is(err, ErrOverloaded) {
 			s.metrics.RecordShed()
 		}
 		return nil, fmt.Errorf("mpcquery: service admission: %w", err)
 	}
 	select {
 	case out := <-ch:
+		//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 		latency := time.Since(start)
 		if out.err != nil {
 			s.metrics.RecordFailure(latency)
@@ -290,6 +296,7 @@ func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []Ru
 		return out.rep, nil
 	case <-ctx.Done():
 		abandoned.Store(true)
+		//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 		s.metrics.RecordFailure(time.Since(start))
 		return nil, fmt.Errorf("mpcquery: service request canceled: %w", ctx.Err())
 	}
