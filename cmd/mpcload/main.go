@@ -135,6 +135,11 @@ func main() {
 	transportBench := flag.Bool("transportbench", false,
 		"run the distributed-runtime benchmark (loopback verification + coalescing soak) instead of the service bench")
 	waves := flag.Int("waves", 40, "transportbench: identical-request waves in the soak")
+	obsBench := flag.Bool("obsbench", false,
+		"run the observability benchmark (tracing overhead + fingerprint equivalence + kernel allocation audit) instead of the service bench")
+	maxOverhead := flag.Float64("maxoverhead", 0.05, "obsbench: exit non-zero if tracing overhead exceeds this fraction")
+	obsReps := flag.Int("obsreps", 5, "obsbench: interleaved repetitions per configuration")
+	debugAddr := flag.String("debugaddr", "", "worker mode: serve the debug endpoint (/metrics, /debug/pprof/) on this address")
 	flag.Parse()
 
 	if *workers <= 0 {
@@ -149,10 +154,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mpcload: worker mode needs both -listen and -peers")
 			os.Exit(2)
 		}
-		os.Exit(workerMain(*listen, *peers, *m, *p))
+		os.Exit(workerMain(*listen, *peers, *m, *p, *debugAddr))
 	}
 	if *transportBench {
 		os.Exit(transportBenchMain(*m, *p, *clients, *waves, *benchjson, *minSpeedup))
+	}
+	if *obsBench {
+		os.Exit(obsBenchMain(*m, *p, *obsReps, *benchjson, *maxOverhead))
 	}
 
 	scenarios := buildScenarios(*m)

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -51,7 +53,21 @@ type WorkerFile struct {
 // Report bit-identical to an in-process run of the same request. Exit 0
 // means this rank's distributed results are exactly the single-process
 // truth; all ranks printing the same fingerprints means the group agrees.
-func workerMain(listen, peers string, m, p int) int {
+func workerMain(listen, peers string, m, p int, debugAddr string) int {
+	if debugAddr != "" {
+		// The process-wide debug endpoint: engine/kernel/transport counters
+		// in Prometheus text plus pprof. Bind failure is reported but not
+		// fatal — observability never takes a worker down.
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: debug listener %s: %v\n", debugAddr, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "mpcload: debug endpoint on http://%s/metrics\n", ln.Addr())
+			srv := &http.Server{Handler: mpcquery.DebugHandler()}
+			defer srv.Close()
+			go srv.Serve(ln)
+		}
+	}
 	addrs := strings.Split(peers, ",")
 	rank := -1
 	for i, a := range addrs {

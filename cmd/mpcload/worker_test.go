@@ -21,7 +21,7 @@ func TestWorkerProcessHelper(t *testing.T) {
 	if listen == "" {
 		t.Skip("helper: only runs when re-executed by TestWorkerProcesses")
 	}
-	if code := workerMain(listen, os.Getenv("MPCLOAD_WORKER_PEERS"), 400, 16); code != 0 {
+	if code := workerMain(listen, os.Getenv("MPCLOAD_WORKER_PEERS"), 400, 16, ""); code != 0 {
 		t.Fatalf("workerMain exited %d", code)
 	}
 }

@@ -6,11 +6,14 @@ import (
 
 // ndTimeAllowedPkgs may call time.Now/time.Since: operational layers whose
 // wall-clock readings never reach a Report fingerprint. internal/service
-// feeds latency metrics; internal/transport arms dial/IO deadlines. The
-// engine's phase timers are NOT allowlisted wholesale — its three sites
-// carry individual //lint:allow comments so any new wall-clock read in the
-// engine has to justify itself.
+// feeds latency metrics; internal/transport arms dial/IO deadlines;
+// internal/obs is telemetry by definition — traces carry timestamps and a
+// trace's deterministic skeleton (Structure) excludes them. The engine's
+// phase timers are NOT allowlisted wholesale — its sites carry individual
+// //lint:allow comments so any new wall-clock read in the engine has to
+// justify itself.
 var ndTimeAllowedPkgs = []string{
+	"internal/obs",
 	"internal/service",
 	"internal/transport",
 }

@@ -1,0 +1,15 @@
+// Package obs sits on the nondeterminism time allowlist: it is the
+// telemetry layer — traces and metrics carry wall-clock readings by
+// design, and the deterministic views (a trace's Structure, a Report's
+// fingerprint) exclude them. time.Now here is clean.
+package obs
+
+import "time"
+
+func spanStart() time.Time {
+	return time.Now()
+}
+
+func spanDuration(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

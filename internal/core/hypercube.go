@@ -198,13 +198,13 @@ func RunWithShares(q *query.Query, db *data.Database, shares []int, seed int64) 
 
 // RunWithSharesCap is RunWithShares with a declared load cap (0 = none).
 func RunWithSharesCap(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64) *Result {
-	return RunWithSharesCapNet(q, db, shares, seed, capBits, nil)
+	return RunWithSharesCapNet(q, db, shares, seed, capBits, engine.Env{})
 }
 
 // RunWithSharesCapNet is RunWithSharesCap with round delivery through net
 // (nil = in-process).
-func RunWithSharesCapNet(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, net engine.Transport) *Result {
-	return RunPlanWithCapNet(sharesPlan(q, db, shares), db, seed, capBits, net)
+func RunWithSharesCapNet(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, env engine.Env) *Result {
+	return RunPlanWithCapNet(sharesPlan(q, db, shares), db, seed, capBits, env)
 }
 
 // sharesPlan wraps explicit integer shares in a Plan (no LP, zero
@@ -234,15 +234,15 @@ func RunPlan(pl *Plan, db *data.Database, seed int64) *Result {
 // Aborted flag is set. The output is still computed (the caller decides
 // whether to retry with a fresh hash seed).
 func RunPlanWithCap(pl *Plan, db *data.Database, seed int64, capBits float64) *Result {
-	return RunPlanWithCapNet(pl, db, seed, capBits, nil)
+	return RunPlanWithCapNet(pl, db, seed, capBits, engine.Env{})
 }
 
 // RunPlanWithCapNet is RunPlanWithCap with round delivery through net (nil
 // = in-process). Every strategy path threads its transport exclusively
 // through these Net variants — the algorithms themselves are
 // transport-oblivious, as the delivery seam requires.
-func RunPlanWithCapNet(pl *Plan, db *data.Database, seed int64, capBits float64, net engine.Transport) *Result {
-	return runPlanSeeded(pl, db, seed, capBits, nil, partitionedSeeding(db), net)
+func RunPlanWithCapNet(pl *Plan, db *data.Database, seed int64, capBits float64, env engine.Env) *Result {
+	return runPlanSeeded(pl, db, seed, capBits, nil, partitionedSeeding(db), env)
 }
 
 // RunPlanAggregate executes pl and then computes agg over the join output
@@ -254,24 +254,24 @@ func RunPlanWithCapNet(pl *Plan, db *data.Database, seed int64, capBits float64,
 // synthetic key of a global aggregate dropped — identical whether or not
 // pushdown ran; only the second round's bits differ.
 func RunPlanAggregate(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan) *Result {
-	return RunPlanAggregateNet(pl, db, seed, capBits, agg, nil)
+	return RunPlanAggregateNet(pl, db, seed, capBits, agg, engine.Env{})
 }
 
 // RunPlanAggregateNet is RunPlanAggregate with round delivery through net
 // (nil = in-process).
-func RunPlanAggregateNet(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, net engine.Transport) *Result {
-	return runPlanSeeded(pl, db, seed, capBits, agg, partitionedSeeding(db), net)
+func RunPlanAggregateNet(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, env engine.Env) *Result {
+	return runPlanSeeded(pl, db, seed, capBits, agg, partitionedSeeding(db), env)
 }
 
 // RunWithSharesAggregate is RunPlanAggregate over explicit integer shares.
 func RunWithSharesAggregate(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, agg *aggregate.Plan) *Result {
-	return RunWithSharesAggregateNet(q, db, shares, seed, capBits, agg, nil)
+	return RunWithSharesAggregateNet(q, db, shares, seed, capBits, agg, engine.Env{})
 }
 
 // RunWithSharesAggregateNet is RunWithSharesAggregate with round delivery
 // through net (nil = in-process).
-func RunWithSharesAggregateNet(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, agg *aggregate.Plan, net engine.Transport) *Result {
-	return RunPlanAggregateNet(sharesPlan(q, db, shares), db, seed, capBits, agg, net)
+func RunWithSharesAggregateNet(q *query.Query, db *data.Database, shares []int, seed int64, capBits float64, agg *aggregate.Plan, env engine.Env) *Result {
+	return RunPlanAggregateNet(sharesPlan(q, db, shares), db, seed, capBits, agg, env)
 }
 
 // partitionedSeeding deals each relation round-robin across the grid — the
@@ -306,15 +306,15 @@ func RunPlanInputServers(pl *Plan, db *data.Database, seed int64) *Result {
 }
 
 func runPlanSeededLocal(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, seedInput func(*engine.Cluster, *query.Query, int)) *Result {
-	return runPlanSeeded(pl, db, seed, capBits, agg, seedInput, nil)
+	return runPlanSeeded(pl, db, seed, capBits, agg, seedInput, engine.Env{})
 }
 
-func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, seedInput func(*engine.Cluster, *query.Query, int), net engine.Transport) *Result {
+func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg *aggregate.Plan, seedInput func(*engine.Cluster, *query.Query, int), env engine.Env) *Result {
 	q := pl.Query
 	grid := hashing.NewGrid(pl.Shares)
 	gp := grid.P()
 	family := hashing.NewFamily(seed, q.NumVars())
-	cluster := engine.NewClusterNet(net, gp, data.BitsPerValue(db.N))
+	cluster := engine.NewClusterEnv(env, gp, data.BitsPerValue(db.N))
 	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
@@ -380,6 +380,7 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg
 	} else {
 		out, aggSaved = runAggregatePhases(cluster, q, gp, agg, cache, scratches)
 	}
+	cache.Publish(cluster.Trace())
 
 	inputBits := 0.0
 	for _, a := range q.Atoms {

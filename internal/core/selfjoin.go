@@ -46,12 +46,12 @@ func RunWithSelfJoins(name string, atoms []query.Atom, db *data.Database, p int,
 // RunWithSelfJoinsCap is RunWithSelfJoins with a declared load cap in bits
 // (Section 2.1's abort semantics); 0 means no cap.
 func RunWithSelfJoinsCap(name string, atoms []query.Atom, db *data.Database, p int, seed int64, mode Mode, capBits float64) *Result {
-	return RunWithSelfJoinsCapNet(name, atoms, db, p, seed, mode, capBits, nil)
+	return RunWithSelfJoinsCapNet(name, atoms, db, p, seed, mode, capBits, engine.Env{})
 }
 
 // RunWithSelfJoinsCapNet is RunWithSelfJoinsCap with round delivery through
 // net (nil = in-process).
-func RunWithSelfJoinsCapNet(name string, atoms []query.Atom, db *data.Database, p int, seed int64, mode Mode, capBits float64, net engine.Transport) *Result {
+func RunWithSelfJoinsCapNet(name string, atoms []query.Atom, db *data.Database, p int, seed int64, mode Mode, capBits float64, env engine.Env) *Result {
 	q, mapping := DesugarSelfJoins(name, atoms)
 	view := data.NewDatabase(db.N)
 	for newName, orig := range mapping {
@@ -63,7 +63,7 @@ func RunWithSelfJoinsCapNet(name string, atoms []query.Atom, db *data.Database, 
 		}
 		view.Add(rel)
 	}
-	return RunPlanWithCapNet(PlanForDatabase(q, view, p, mode), view, seed, capBits, net)
+	return RunPlanWithCapNet(PlanForDatabase(q, view, p, mode), view, seed, capBits, env)
 }
 
 // SequentialAnswerWithSelfJoins is the single-node ground truth for

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"mpcquery/internal/obs"
 )
 
 // Broadcast is the destination pseudo-id that delivers a batch to every
@@ -286,6 +288,12 @@ type Cluster struct {
 	loadCap      float64 // 0 = unlimited; otherwise rounds flag Aborted
 	link         Link    // non-nil when delivery goes through a Transport
 
+	// tr receives round/phase spans when the run carries a Trace (see
+	// NewClusterEnv); nil — the default — disables tracing, and every
+	// tracing branch below is gated on that nil check so the disabled
+	// path costs a predicted branch and zero allocations.
+	tr *obs.ClusterTrace
+
 	// Wall-clock split of the simulation, not a model cost: time spent in
 	// server computation (round functions and Compute phases) vs delivery
 	// (the simulated communication). cmd/mpcload reports the split per
@@ -325,6 +333,7 @@ func NewCluster(p, bitsPerValue int) *Cluster {
 		c.spare[s] = inboxPool.Get().(*Inbox)
 		c.emitters[s] = &Emitter{c: c}
 	}
+	obsClustersTotal.Inc()
 	return c
 }
 
@@ -395,11 +404,28 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	for s := 0; s < c.p; s++ {
 		c.emitters[s].reset()
 	}
-	ParallelFor(c.p, func(s int) {
-		f(s, c.inbox[s], c.emitters[s])
-	})
+	// When tracing, each server's closure is individually timed so the
+	// trace can show per-server emit spans (the skew the load L is about);
+	// untraced, the closures run bare — same calls, no per-server clock
+	// reads, no slice.
+	var serverSecs []float64
+	if c.tr != nil {
+		serverSecs = make([]float64, c.p)
+		ParallelFor(c.p, func(s int) {
+			//lint:allow nondeterminism per-server emit spans are trace telemetry, excluded from Report.Fingerprint
+			ts := time.Now()
+			f(s, c.inbox[s], c.emitters[s])
+			//lint:allow nondeterminism per-server emit spans are trace telemetry, excluded from Report.Fingerprint
+			serverSecs[s] = time.Since(ts).Seconds()
+		})
+	} else {
+		ParallelFor(c.p, func(s int) {
+			f(s, c.inbox[s], c.emitters[s])
+		})
+	}
 	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
-	c.computeSeconds += time.Since(t0).Seconds()
+	computeDur := time.Since(t0).Seconds()
+	c.computeSeconds += computeDur
 
 	// Delivery phase, through the transport seam: the default (no link) is
 	// DeliverLocal — sharded by destination, each destination collecting its
@@ -421,6 +447,9 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 		RecvBits:     c.recvBits,
 		RecvTuples:   c.recvTuples,
 	}
+	if c.tr != nil {
+		io.PerDestSeconds = make([]float64, c.p)
+	}
 	if c.link != nil {
 		if err := c.link.Deliver(io); err != nil {
 			panic(fmt.Errorf("engine: round %q delivery failed: %w", name, err))
@@ -429,7 +458,8 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 		DeliverLocal(io)
 	}
 	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
-	c.commSeconds += time.Since(t1).Seconds()
+	commDur := time.Since(t1).Seconds()
+	c.commSeconds += commDur
 	c.inbox, c.spare = c.spare, c.inbox
 
 	st := RoundStats{Name: name}
@@ -447,6 +477,31 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 		st.Aborted = true
 	}
 	c.rounds = append(c.rounds, st)
+
+	obsRoundsTotal.Inc()
+	obsRecvTuplesTotal.Add(int64(st.TotalRecvTuples))
+	obsRecvBitsTotal.Add(st.TotalRecvBits)
+	if st.Aborted {
+		obsRoundAborts.Inc()
+	}
+	if c.tr != nil {
+		c.tr.ObserveRound(obs.RoundObservation{
+			Name:                 name,
+			ComputeStart:         t0,
+			ComputeSeconds:       computeDur,
+			DeliverStart:         t1,
+			DeliverSeconds:       commDur,
+			ServerComputeSeconds: serverSecs,
+			DestDeliverSeconds:   io.PerDestSeconds,
+			RecvBits:             c.recvBits,
+			RecvTuples:           c.recvTuples,
+			MaxRecvBits:          st.MaxRecvBits,
+			TotalRecvBits:        st.TotalRecvBits,
+			MaxRecvTuples:        st.MaxRecvTuples,
+			TotalRecvTuples:      st.TotalRecvTuples,
+			Aborted:              st.Aborted,
+		})
+	}
 	return st
 }
 
@@ -460,7 +515,9 @@ func (c *Cluster) Compute(f func(server, worker int)) {
 	t0 := time.Now()
 	ParallelForWorkers(c.p, f)
 	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
-	c.computeSeconds += time.Since(t0).Seconds()
+	dur := time.Since(t0).Seconds()
+	c.computeSeconds += dur
+	c.tr.ObserveCompute(t0, dur)
 }
 
 // PhaseSeconds returns the cluster's accumulated wall-clock split: seconds

@@ -1,0 +1,40 @@
+package engine
+
+import "mpcquery/internal/obs"
+
+// Env bundles the per-run execution environment a strategy threads down to
+// every cluster it creates: the delivery transport (nil = in-process) and
+// the trace sink (nil = tracing disabled). Strategies receive one Env at
+// the API boundary and pass it unchanged to NewClusterEnv, so a new
+// environment concern never changes their signatures again.
+type Env struct {
+	Net   Transport
+	Trace *obs.Trace
+}
+
+// NewClusterEnv creates a cluster wired to the environment: delivery goes
+// through env.Net (nil = in-process, as NewClusterNet) and, when env.Trace
+// is set, the cluster registers itself with the trace and records a span
+// per round. Cluster registration order is the trace's cluster identity;
+// strategies create clusters deterministically (seeded control flow), so
+// traces of seeded runs are structurally reproducible.
+func NewClusterEnv(env Env, p, bitsPerValue int) *Cluster {
+	c := NewClusterNet(env.Net, p, bitsPerValue)
+	c.tr = env.Trace.NewCluster(p, bitsPerValue)
+	return c
+}
+
+// Trace returns the cluster's trace sink, nil when tracing is disabled.
+// The nil sink is valid: all its observation methods are no-ops.
+func (c *Cluster) Trace() *obs.ClusterTrace { return c.tr }
+
+// Engine totals in the process-wide registry. Bumped with one atomic op
+// per round/cluster — never per tuple — so the always-on cost is
+// negligible and allocation-free.
+var (
+	obsClustersTotal   = obs.Default().Counter("mpc_engine_clusters_total")
+	obsRoundsTotal     = obs.Default().Counter("mpc_engine_rounds_total")
+	obsRoundAborts     = obs.Default().Counter("mpc_engine_round_aborts_total")
+	obsRecvTuplesTotal = obs.Default().Counter("mpc_engine_recv_tuples_total")
+	obsRecvBitsTotal   = obs.Default().Gauge("mpc_engine_recv_bits_total")
+)

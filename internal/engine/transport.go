@@ -1,6 +1,9 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // This file is the engine's delivery seam: everything a transport needs to
 // move one round of emissions into the next round's inboxes, without seeing
@@ -52,6 +55,12 @@ type DeliveryRound struct {
 	Inboxes      []*Inbox
 	RecvBits     []float64
 	RecvTuples   []int
+
+	// PerDestSeconds, when non-nil (a traced round), asks the delivery to
+	// record each destination's assembly wall time. DeliverLocal fills it;
+	// a network link may leave it zeroed (its delivery time is dominated by
+	// the wire, which the transport meters separately).
+	PerDestSeconds []float64
 }
 
 // DeliverLocal is the in-process delivery kernel: sharded by destination,
@@ -62,6 +71,11 @@ type DeliveryRound struct {
 // Transport must reproduce.
 func DeliverLocal(io *DeliveryRound) {
 	ParallelFor(io.P, func(d int) {
+		var t0 time.Time
+		if io.PerDestSeconds != nil {
+			//lint:allow nondeterminism per-destination delivery spans are trace telemetry, excluded from Report.Fingerprint
+			t0 = time.Now()
+		}
 		ib := io.Inboxes[d]
 		bits, tuples := 0.0, 0
 		for s := 0; s < io.P; s++ {
@@ -81,6 +95,10 @@ func DeliverLocal(io *DeliveryRound) {
 		}
 		io.RecvBits[d] = bits
 		io.RecvTuples[d] = tuples
+		if io.PerDestSeconds != nil {
+			//lint:allow nondeterminism per-destination delivery spans are trace telemetry, excluded from Report.Fingerprint
+			io.PerDestSeconds[d] = time.Since(t0).Seconds()
+		}
 	})
 }
 

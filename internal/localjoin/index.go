@@ -6,6 +6,7 @@ import (
 
 	"mpcquery/internal/data"
 	"mpcquery/internal/hashing"
+	"mpcquery/internal/obs"
 )
 
 // atomIndex is the kernel's hash index over one relation: tuples bucketed by
@@ -219,4 +220,24 @@ func (c *IndexCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Kernel index-cache totals in the process-wide registry, fed by Publish
+// once per computation phase — the kernel's inner loops never touch them.
+var (
+	obsCacheHits   = obs.Default().Counter("mpc_kernel_index_cache_hits_total")
+	obsCacheMisses = obs.Default().Counter("mpc_kernel_index_cache_misses_total")
+)
+
+// Publish flushes the cache's final hit/miss totals into the process-wide
+// registry and, when ct is a live trace sink, into the run's trace.
+// Strategies call it once, after the computation phase the cache served.
+// The totals are deterministic for a seeded run: single-flight keying
+// makes misses exactly the number of distinct (atom, fragment) keys,
+// regardless of worker scheduling.
+func (c *IndexCache) Publish(ct *obs.ClusterTrace) {
+	hits, misses := c.Stats()
+	obsCacheHits.Add(int64(hits))
+	obsCacheMisses.Add(int64(misses))
+	ct.ObserveKernelCache(int64(hits), int64(misses))
 }

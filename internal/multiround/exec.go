@@ -97,25 +97,25 @@ func ExecuteCapMemo(p *Plan, db *data.Database, servers int, seed int64, capBits
 // aggregate-shuffle round is appended to the plan's round accounting. A nil
 // agg executes the plain plan.
 func ExecuteAggregateCapMemo(p *Plan, db *data.Database, servers int, seed int64, capBits float64, agg *aggregate.Plan, memo Memo) *ExecResult {
-	return ExecuteAggregateCapMemoNet(p, db, servers, seed, capBits, agg, memo, nil)
+	return ExecuteAggregateCapMemoNet(p, db, servers, seed, capBits, agg, memo, engine.Env{})
 }
 
 // ExecuteAggregateCapMemoNet is ExecuteAggregateCapMemo with every node's
 // round delivery through net (nil = in-process). Nodes execute
 // sequentially, so a distributed run attaches one cluster at a time, in
 // the same deterministic order at every rank.
-func ExecuteAggregateCapMemoNet(p *Plan, db *data.Database, servers int, seed int64, capBits float64, agg *aggregate.Plan, memo Memo, net engine.Transport) *ExecResult {
+func ExecuteAggregateCapMemoNet(p *Plan, db *data.Database, servers int, seed int64, capBits float64, agg *aggregate.Plan, memo Memo, env engine.Env) *ExecResult {
 	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) nodeResult {
 		pl := memo.do(fmt.Sprintf("node|%s|d%d|pn%d|s%d", n.Name, d, perNode, seed), func() any {
 			return core.PlanForDatabase(n.Query, sub, perNode, core.SkewFree)
 		}).(*core.Plan)
 		if agg != nil && n == p.Root {
-			run := core.RunPlanAggregateNet(pl, sub, seed+int64(d), capBits, agg, net)
+			run := core.RunPlanAggregateNet(pl, sub, seed+int64(d), capBits, agg, env)
 			return nodeResult{out: run.Output, loadBits: run.RoundLoads[0], totalBits: run.TotalBits, aborted: run.Aborted,
 				computeS: run.ComputeSeconds, commS: run.CommSeconds,
 				extraLoads: run.RoundLoads[1:], aggSaved: run.AggregateBitsSaved}
 		}
-		run := core.RunPlanWithCapNet(pl, sub, seed+int64(d), capBits, net)
+		run := core.RunPlanWithCapNet(pl, sub, seed+int64(d), capBits, env)
 		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted,
 			computeS: run.ComputeSeconds, commS: run.CommSeconds}
 	})
@@ -240,17 +240,17 @@ func ExecuteSkewAwareCap(p *Plan, db *data.Database, servers int, seed int64, ma
 // drawn from memo — the per-node statistics recomputation is the bulk of
 // the skew-aware executor's planning cost.
 func ExecuteSkewAwareCapMemo(p *Plan, db *data.Database, servers int, seed int64, maxHeavyPerVar int, capBits float64, memo Memo) *ExecResult {
-	return ExecuteSkewAwareCapMemoNet(p, db, servers, seed, maxHeavyPerVar, capBits, memo, nil)
+	return ExecuteSkewAwareCapMemoNet(p, db, servers, seed, maxHeavyPerVar, capBits, memo, engine.Env{})
 }
 
 // ExecuteSkewAwareCapMemoNet is ExecuteSkewAwareCapMemo with every node's
 // round delivery through net (nil = in-process).
-func ExecuteSkewAwareCapMemoNet(p *Plan, db *data.Database, servers int, seed int64, maxHeavyPerVar int, capBits float64, memo Memo, net engine.Transport) *ExecResult {
+func ExecuteSkewAwareCapMemoNet(p *Plan, db *data.Database, servers int, seed int64, maxHeavyPerVar int, capBits float64, memo Memo, env engine.Env) *ExecResult {
 	return executeWith(p, db, servers, func(n *Node, sub *data.Database, perNode int, d int) nodeResult {
 		gp := memo.do(fmt.Sprintf("node-skew|%s|d%d|pn%d|s%d|h%d", n.Name, d, perNode, seed, maxHeavyPerVar), func() any {
 			return skew.PrepareGeneric(n.Query, sub, perNode, maxHeavyPerVar)
 		}).(*skew.GenericPlan)
-		run := skew.RunGenericPlannedNet(gp, n.Query, sub, perNode, seed+int64(d), capBits, net)
+		run := skew.RunGenericPlannedNet(gp, n.Query, sub, perNode, seed+int64(d), capBits, env)
 		return nodeResult{out: run.Output, loadBits: run.MaxLoadBits, totalBits: run.TotalBits, aborted: run.Aborted,
 			computeS: run.ComputeSeconds, commS: run.CommSeconds}
 	})

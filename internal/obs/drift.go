@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultDriftFactor is the violation threshold used when a monitor is
+// constructed with factor <= 0: observed load may exceed the prediction
+// by 50% before an event fires. The share-LP prediction is an expectation
+// over hash placements, so modest overshoot is normal; sustained 1.5x is
+// the paper's signal that the skew assumptions behind the plan no longer
+// hold.
+const DefaultDriftFactor = 1.5
+
+// maxDriftEvents bounds the retained event list; the violation counter
+// keeps counting past it.
+const maxDriftEvents = 1024
+
+// DriftEvent is one bound violation: a round whose observed max load
+// exceeded factor × the plan's predicted load.
+type DriftEvent struct {
+	// Strategy that produced the plan (Report.Strategy).
+	Strategy string
+	// Round is the 1-based round index within the run, or 0 when the
+	// strategy reports only a whole-run load.
+	Round int
+	// ObservedBits is the round's MaxLoadBits; PredictedBits the plan's
+	// PredictedLoadBits; Ratio their quotient; Factor the threshold that
+	// was exceeded.
+	ObservedBits  float64
+	PredictedBits float64
+	Ratio         float64
+	Factor        float64
+}
+
+func (e DriftEvent) String() string {
+	return fmt.Sprintf("drift: strategy=%s round=%d observed=%.0f predicted=%.0f ratio=%.2f factor=%.2f",
+		e.Strategy, e.Round, e.ObservedBits, e.PredictedBits, e.Ratio, e.Factor)
+}
+
+// DriftMonitor compares observed per-round load against the planner's
+// prediction and records a DriftEvent whenever observed/predicted exceeds
+// the configured factor. Checks and violations also feed the Default
+// registry (mpc_drift_checks_total, mpc_drift_violations_total), so the
+// alert is visible on the /metrics endpoint without holding the monitor.
+// Safe for concurrent use; nil-receiver methods are no-ops.
+type DriftMonitor struct {
+	factor float64
+
+	mu         sync.Mutex
+	checks     int64
+	violations int64
+	events     []DriftEvent
+}
+
+var (
+	driftChecks     = Default().Counter("mpc_drift_checks_total")
+	driftViolations = Default().Counter("mpc_drift_violations_total")
+)
+
+// NewDriftMonitor returns a monitor that fires when observed load exceeds
+// factor × predicted. factor <= 0 selects DefaultDriftFactor.
+func NewDriftMonitor(factor float64) *DriftMonitor {
+	if factor <= 0 {
+		factor = DefaultDriftFactor
+	}
+	return &DriftMonitor{factor: factor}
+}
+
+// Factor returns the violation threshold.
+func (m *DriftMonitor) Factor() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.factor
+}
+
+// Observe checks one round's observed max load against the plan's
+// prediction. Rounds without a prediction (predictedBits <= 0) are not
+// checkable and are skipped. Returns the event and true when the round
+// violates the bound.
+func (m *DriftMonitor) Observe(strategy string, round int, observedBits, predictedBits float64) (DriftEvent, bool) {
+	if m == nil || predictedBits <= 0 {
+		return DriftEvent{}, false
+	}
+	driftChecks.Inc()
+	ratio := observedBits / predictedBits
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checks++
+	if ratio <= m.factor {
+		return DriftEvent{}, false
+	}
+	ev := DriftEvent{
+		Strategy:      strategy,
+		Round:         round,
+		ObservedBits:  observedBits,
+		PredictedBits: predictedBits,
+		Ratio:         ratio,
+		Factor:        m.factor,
+	}
+	m.violations++
+	driftViolations.Inc()
+	if len(m.events) < maxDriftEvents {
+		m.events = append(m.events, ev)
+	}
+	return ev, true
+}
+
+// Checks returns how many predicted rounds this monitor has examined.
+func (m *DriftMonitor) Checks() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checks
+}
+
+// Violations returns how many checks exceeded the factor.
+func (m *DriftMonitor) Violations() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violations
+}
+
+// Events returns a copy of the retained violation events (bounded at
+// maxDriftEvents; Violations keeps the true count).
+func (m *DriftMonitor) Events() []DriftEvent {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]DriftEvent(nil), m.events...)
+}

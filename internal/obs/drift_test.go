@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDriftMonitorObserve(t *testing.T) {
+	m := NewDriftMonitor(1.5)
+	if m.Factor() != 1.5 {
+		t.Fatalf("factor = %v", m.Factor())
+	}
+	// Under the bound and exactly at the bound: no event.
+	if _, viol := m.Observe("hypercube", 1, 1000, 1000); viol {
+		t.Fatal("ratio 1.0 must not violate")
+	}
+	if _, viol := m.Observe("hypercube", 2, 1500, 1000); viol {
+		t.Fatal("ratio exactly at factor must not violate")
+	}
+	// Over the bound: structured event.
+	ev, viol := m.Observe("hypercube", 3, 1501, 1000)
+	if !viol {
+		t.Fatal("ratio 1.501 must violate")
+	}
+	if ev.Strategy != "hypercube" || ev.Round != 3 || ev.ObservedBits != 1501 ||
+		ev.PredictedBits != 1000 || ev.Factor != 1.5 || ev.Ratio <= 1.5 {
+		t.Fatalf("event fields wrong: %+v", ev)
+	}
+	if !strings.Contains(ev.String(), "strategy=hypercube round=3") {
+		t.Fatalf("String() = %q", ev.String())
+	}
+	// No prediction: not checkable, not counted.
+	if _, viol := m.Observe("skew-star", 1, 99999, 0); viol {
+		t.Fatal("unpredicted round must not violate")
+	}
+	if m.Checks() != 3 || m.Violations() != 1 || len(m.Events()) != 1 {
+		t.Fatalf("checks/violations/events = %d/%d/%d, want 3/1/1",
+			m.Checks(), m.Violations(), len(m.Events()))
+	}
+}
+
+func TestDriftMonitorDefaults(t *testing.T) {
+	if NewDriftMonitor(0).Factor() != DefaultDriftFactor {
+		t.Fatal("factor <= 0 must select the default")
+	}
+	var m *DriftMonitor
+	if _, viol := m.Observe("x", 1, 10, 1); viol {
+		t.Fatal("nil monitor must be a no-op")
+	}
+	if m.Checks() != 0 || m.Violations() != 0 || m.Events() != nil || m.Factor() != 0 {
+		t.Fatal("nil monitor accessors must read zero")
+	}
+}
+
+func TestDriftMonitorEventCapAndRegistry(t *testing.T) {
+	before := driftViolations.Value()
+	m := NewDriftMonitor(1.0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				m.Observe("s", i, 2, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Violations() != 1600 {
+		t.Fatalf("violations = %d, want 1600", m.Violations())
+	}
+	if len(m.Events()) != maxDriftEvents {
+		t.Fatalf("retained events = %d, want cap %d", len(m.Events()), maxDriftEvents)
+	}
+	if got := driftViolations.Value() - before; got != 1600 {
+		t.Fatalf("registry violation counter delta = %d, want 1600", got)
+	}
+}

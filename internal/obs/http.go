@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug endpoint used by cmd/mpcload worker processes
+// and the opt-in Service listener:
+//
+//	/                 — plain-text index of the routes below
+//	/metrics          — every registry in regs, Prometheus text format
+//	/debug/trace      — latest() as Chrome trace-event JSON (404 when nil)
+//	/debug/pprof/...  — the standard net/http/pprof handlers
+//
+// latest may be nil (or return nil) when no trace is being captured; regs
+// may be empty, in which case /metrics serves the Default registry.
+func Handler(latest func() *Trace, regs ...*Registry) http.Handler {
+	if len(regs) == 0 {
+		regs = []*Registry{Default()}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("mpcquery debug endpoint\n\n/metrics\n/debug/trace\n/debug/pprof/\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			if reg == nil {
+				continue
+			}
+			if err := reg.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		var t *Trace
+		if latest != nil {
+			t = latest()
+		}
+		if t == nil {
+			http.Error(w, "no trace captured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="mpcquery-trace.json"`)
+		_ = t.WriteChrome(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

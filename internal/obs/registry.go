@@ -1,0 +1,476 @@
+// Package obs is the cluster observability layer: a process-wide metrics
+// registry (counters, gauges, fixed-bucket histograms), a per-run Trace
+// with round/phase spans exportable as Chrome trace-event JSON, and a
+// drift monitor comparing observed per-round load against the planner's
+// prediction.
+//
+// The package is stdlib-only and sits at the bottom of the dependency
+// graph: engine, localjoin, service, and transport all publish into it,
+// and nothing here imports back into them. Every hot-path operation
+// (Counter.Add, Gauge.Add, Histogram.Observe) is a handful of atomic ops
+// and allocation-free; registration (the only path that touches maps and
+// locks) happens at setup time.
+//
+// obs legitimately reads the wall clock: trace spans and latency
+// histograms are operational telemetry that never reaches a
+// Report.Fingerprint(). The package is therefore on mpclint's
+// nondeterminism time allowlist.
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// NearestRank returns the 1-based nearest-rank index of quantile q over n
+// ordered samples: ceil(q*n), clamped to [1, n]. The ceiling is the
+// defining property of the nearest-rank method — rounding instead (the
+// bug this replaces: int(q*n+0.5)-1) understates any quantile whose exact
+// rank has fractional part in (0, 0.5), e.g. p54 of 10 samples, whose
+// rank is ceil(5.4)=6, not round(5.4)=5.
+func NearestRank(n int64, q float64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	r := int64(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// Counter is a monotonically increasing int64. The zero value is unusable;
+// obtain counters from a Registry. All methods are safe for concurrent
+// use and tolerate a nil receiver (no-op / zero), so disabled telemetry
+// paths need no branching.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can be set, accumulated, or max-tracked.
+// Concurrency-safe and allocation-free: the value lives as float bits in
+// one atomic word.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accumulates v into the gauge via a CAS loop.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: ascending upper bounds plus an
+// implicit +Inf overflow bucket. Observe is lock-free and allocation-free;
+// exact min/max are tracked alongside the buckets so Quantile(1) and Max
+// are not bucket-quantized at the top end.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf overflow bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits; +Inf until first observation
+	maxBits atomic.Uint64 // float64 bits; -Inf until first observation
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bucket bounds not strictly ascending at index %d", i))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Min returns the smallest observation, or 0 before any observation.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation, or 0 before any observation.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile returns the nearest-rank q-quantile as the upper bound of the
+// bucket holding that rank — an over-estimate by at most one bucket
+// width, clamped to the exact observed Max (a true quantile never exceeds
+// the maximum, so the clamp only tightens the estimate and keeps
+// Quantile(q) <= Max for every q). Samples landing in the overflow bucket
+// resolve to Max directly. Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := NearestRank(n, q)
+	var cum int64
+	for i := range h.bounds {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if max := h.Max(); max < h.bounds[i] {
+				return max
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.Max()
+}
+
+// numShards splits the registry's name→metric maps so concurrent
+// registration from many clusters does not serialize on one lock.
+const numShards = 16
+
+type registryShard struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// Registry is a name-indexed set of metrics. Metric handles are
+// registered once (get-or-create by name) and then operated on without
+// touching the registry again, so the hot path never sees a lock.
+// Registering one name as two different kinds panics.
+type Registry struct {
+	shards [numShards]registryShard
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.counters = make(map[string]*Counter)
+		s.gauges = make(map[string]*Gauge)
+		s.hists = make(map[string]*Histogram)
+		s.funcs = make(map[string]func() float64)
+	}
+	return r
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that engine, localjoin, and
+// transport publish into.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) shard(name string) *registryShard {
+	h := fnv.New32a()
+	_, _ = io.WriteString(h, name)
+	return &r.shards[h.Sum32()%numShards]
+}
+
+func (s *registryShard) checkKind(name, want string) {
+	has := ""
+	switch {
+	case s.counters[name] != nil:
+		has = "counter"
+	case s.gauges[name] != nil:
+		has = "gauge"
+	case s.hists[name] != nil:
+		has = "histogram"
+	case s.funcs[name] != nil:
+		has = "gaugefunc"
+	}
+	if has != "" && has != want {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, requested as %s", name, has, want))
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	s := r.shard(name)
+	s.mu.RLock()
+	c := s.counters[name]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c = s.counters[name]; c != nil {
+		return c
+	}
+	s.checkKind(name, "counter")
+	c = &Counter{}
+	s.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	s := r.shard(name)
+	s.mu.RLock()
+	g := s.gauges[name]
+	s.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g = s.gauges[name]; g != nil {
+		return g
+	}
+	s.checkKind(name, "gauge")
+	g = &Gauge{}
+	s.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds if needed. Re-registering an
+// existing histogram with different bounds panics.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	s := r.shard(name)
+	s.mu.RLock()
+	h := s.hists[name]
+	s.mu.RUnlock()
+	if h == nil {
+		s.mu.Lock()
+		if h = s.hists[name]; h == nil {
+			s.checkKind(name, "histogram")
+			h = newHistogram(bounds)
+			s.hists[name] = h
+			s.mu.Unlock()
+			return h
+		}
+		s.mu.Unlock()
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bucket bounds", name))
+	}
+	for i := range bounds {
+		if h.bounds[i] != bounds[i] {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bucket bounds", name))
+		}
+	}
+	return h
+}
+
+// GaugeFunc registers a callback gauge evaluated at export time —
+// suitable for values another subsystem already tracks (pool depth, cache
+// size). Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	if f == nil {
+		panic("obs: nil GaugeFunc callback")
+	}
+	s := r.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkKind(name, "gaugefunc")
+	s.funcs[name] = f
+}
+
+// formatFloat renders a metric value the way the Prometheus text
+// exposition expects (shortest round-trip decimal).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format, sorted by name (map iteration order never reaches the output).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type entry struct {
+		name string
+		kind string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+		f    func() float64
+	}
+	var entries []entry
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for name, c := range s.counters {
+			entries = append(entries, entry{name: name, kind: "counter", c: c})
+		}
+		for name, g := range s.gauges {
+			entries = append(entries, entry{name: name, kind: "gauge", g: g})
+		}
+		for name, h := range s.hists {
+			entries = append(entries, entry{name: name, kind: "histogram", h: h})
+		}
+		for name, f := range s.funcs {
+			entries = append(entries, entry{name: name, kind: "gauge", f: f})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case e.c != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+		case e.g != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.g.Value()))
+		case e.f != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.f()))
+		case e.h != nil:
+			var cum int64
+			for i, b := range e.h.bounds {
+				cum += e.h.buckets[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += e.h.buckets[len(e.h.bounds)].Load()
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", e.name, formatFloat(e.h.Sum())); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", e.name, e.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

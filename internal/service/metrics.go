@@ -1,74 +1,80 @@
 package service
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"mpcquery/internal/obs"
 )
 
-// maxLatencySamples bounds the latency reservoir; beyond it the recorder
-// keeps a sliding window of the most recent samples, which is what a
-// service dashboard wants anyway.
-const maxLatencySamples = 1 << 14
+// latencyBuckets are the upper bounds, in seconds, of the service latency
+// histogram: a coarse exponential ladder from 100µs to 60s. Quantiles are
+// resolved to a bucket bound (nearest-rank over the bucket counts), so the
+// ladder's resolution is the quantile's resolution; the maximum is exact.
+var latencyBuckets = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10, 30, 60,
+}
 
 // Metrics aggregates what the service observed across all completed
 // queries: counts, wall-clock latency (queue wait + execution), and the
 // paper's communication measures summed/maxed over the stream.
+//
+// Internally every series lives in a per-service obs.Registry, so the
+// same numbers that feed Snapshot are exported verbatim on the debug
+// endpoint's /metrics page. The registry's hot path is allocation-free;
+// recording a request takes a handful of atomic operations.
 type Metrics struct {
-	mu        sync.Mutex
-	started   time.Time
-	completed int64
-	failed    int64
-	shed      int64
+	reg     *obs.Registry
+	started time.Time
 
-	latencies []time.Duration // ring buffer of recent samples
-	next      int             // ring position once saturated
-
-	totalBits   float64 // Σ over queries of Report.TotalBits
-	maxLoadBits float64 // max over queries of Report.MaxLoadBits
-	totalRounds int64
+	completed   *obs.Counter
+	failed      *obs.Counter
+	shed        *obs.Counter
+	totalRounds *obs.Counter
+	totalBits   *obs.Gauge
+	maxLoadBits *obs.Gauge
+	latency     *obs.Histogram
 }
 
 // NewMetrics returns a recorder; throughput is measured from now.
 func NewMetrics() *Metrics {
-	return &Metrics{started: time.Now()}
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg:         reg,
+		started:     time.Now(),
+		completed:   reg.Counter("mpc_service_requests_completed_total"),
+		failed:      reg.Counter("mpc_service_requests_failed_total"),
+		shed:        reg.Counter("mpc_service_requests_shed_total"),
+		totalRounds: reg.Counter("mpc_service_rounds_total"),
+		totalBits:   reg.Gauge("mpc_service_total_bits"),
+		maxLoadBits: reg.Gauge("mpc_service_max_load_bits"),
+		latency:     reg.Histogram("mpc_service_latency_seconds", latencyBuckets...),
+	}
 }
+
+// Registry exposes the recorder's series for the debug endpoint; the
+// Service also registers its pool/cache gauges here.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // RecordSuccess records one completed query.
 func (m *Metrics) RecordSuccess(latency time.Duration, totalBits, maxLoadBits float64, rounds int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.completed++
-	m.record(latency)
-	m.totalBits += totalBits
-	if maxLoadBits > m.maxLoadBits {
-		m.maxLoadBits = maxLoadBits
-	}
-	m.totalRounds += int64(rounds)
+	m.completed.Inc()
+	m.latency.Observe(latency.Seconds())
+	m.totalBits.Add(totalBits)
+	m.maxLoadBits.SetMax(maxLoadBits)
+	m.totalRounds.Add(int64(rounds))
 }
 
 // RecordFailure records a query that returned an error.
 func (m *Metrics) RecordFailure(latency time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.failed++
-	m.record(latency)
+	m.failed.Inc()
+	m.latency.Observe(latency.Seconds())
 }
 
 // RecordShed records a request refused at admission.
 func (m *Metrics) RecordShed() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.shed++
-}
-
-func (m *Metrics) record(latency time.Duration) {
-	if len(m.latencies) < maxLatencySamples {
-		m.latencies = append(m.latencies, latency)
-		return
-	}
-	m.latencies[m.next] = latency
-	m.next = (m.next + 1) % maxLatencySamples
+	m.shed.Inc()
 }
 
 // Summary is a point-in-time snapshot of the service's aggregate metrics.
@@ -90,44 +96,31 @@ type Summary struct {
 	TotalRounds int64   `json:"total_rounds"`
 }
 
-// Snapshot computes the summary over everything recorded so far.
+// Snapshot computes the summary over everything recorded so far. The
+// latency percentiles are nearest-rank over the histogram's buckets
+// (resolved to the bucket's upper bound); the maximum is exact.
 func (m *Metrics) Snapshot() Summary {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Summary{
-		Completed:   m.completed,
-		Failed:      m.failed,
-		Shed:        m.shed,
+		Completed:   m.completed.Value(),
+		Failed:      m.failed.Value(),
+		Shed:        m.shed.Value(),
 		Uptime:      time.Since(m.started),
-		TotalBits:   m.totalBits,
-		MaxLoadBits: m.maxLoadBits,
-		TotalRounds: m.totalRounds,
+		TotalBits:   m.totalBits.Value(),
+		MaxLoadBits: m.maxLoadBits.Value(),
+		TotalRounds: m.totalRounds.Value(),
 	}
 	if secs := s.Uptime.Seconds(); secs > 0 {
-		s.Throughput = float64(m.completed) / secs
+		s.Throughput = float64(s.Completed) / secs
 	}
-	if len(m.latencies) > 0 {
-		sorted := append([]time.Duration(nil), m.latencies...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		s.LatencyP50 = percentile(sorted, 0.50)
-		s.LatencyP95 = percentile(sorted, 0.95)
-		s.LatencyP99 = percentile(sorted, 0.99)
-		s.LatencyMax = sorted[len(sorted)-1]
+	if m.latency.Count() > 0 {
+		s.LatencyP50 = secondsToDuration(m.latency.Quantile(0.50))
+		s.LatencyP95 = secondsToDuration(m.latency.Quantile(0.95))
+		s.LatencyP99 = secondsToDuration(m.latency.Quantile(0.99))
+		s.LatencyMax = secondsToDuration(m.latency.Max())
 	}
 	return s
 }
 
-// percentile returns the nearest-rank percentile of a sorted sample.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyPercentilesHandComputed pins the nearest-rank semantics of the
+// migrated latency histogram on samples small enough to rank by hand. Each
+// expectation is the exact bucket bound nearest-rank selects: with n samples,
+// quantile q resolves to the bucket holding the ⌈q·n⌉-th smallest sample.
+// (The old reservoir rounded the rank instead of ceiling it; the case that
+// separates the two formulas is pinned in internal/obs's histogram tests.)
+func TestLatencyPercentilesHandComputed(t *testing.T) {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	cases := []struct {
+		name              string
+		samples           []time.Duration // fed via RecordSuccess
+		p50, p95, p99, mx time.Duration   // expected bucket bounds / exact max
+	}{
+		{
+			// Ten distinct samples, one per bucket: rank ⌈0.5·10⌉=5 lands
+			// on the 5th smallest (25ms bucket); ranks 10 land in the 1s
+			// bucket, whose bound clamps to the exact 900ms maximum.
+			name:    "ten-distinct",
+			samples: []time.Duration{ms(0.2), ms(0.4), ms(2), ms(4), ms(20), ms(40), ms(80), ms(200), ms(400), ms(900)},
+			p50:     ms(25), p95: ms(900), p99: ms(900), mx: ms(900),
+		},
+		{
+			// Two samples: the median rank ⌈0.5·2⌉=1 must stay on the
+			// smaller sample's bucket; ⌈0.95·2⌉=2 reaches the larger,
+			// clamped from its 500ms bucket bound to the exact 300ms max.
+			name:    "two-samples",
+			samples: []time.Duration{ms(3), ms(300)},
+			p50:     ms(5), p95: ms(300), p99: ms(300), mx: ms(300),
+		},
+		{
+			// Heavy tail: 19 fast samples and one slow one. p95 rank
+			// ⌈0.95·20⌉=19 stays in the fast bucket; p99 rank 20 reaches
+			// the tail (1s bucket, clamped to the exact 700ms max).
+			name:    "heavy-tail",
+			samples: append(repeatDur(ms(2), 19), ms(700)),
+			p50:     ms(2.5), p95: ms(2.5), p99: ms(700), mx: ms(700),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMetrics()
+			for _, d := range tc.samples {
+				m.RecordSuccess(d, 0, 0, 1)
+			}
+			s := m.Snapshot()
+			if s.LatencyP50 != tc.p50 {
+				t.Errorf("p50 = %v, want %v", s.LatencyP50, tc.p50)
+			}
+			if s.LatencyP95 != tc.p95 {
+				t.Errorf("p95 = %v, want %v", s.LatencyP95, tc.p95)
+			}
+			if s.LatencyP99 != tc.p99 {
+				t.Errorf("p99 = %v, want %v", s.LatencyP99, tc.p99)
+			}
+			if s.LatencyMax != tc.mx {
+				t.Errorf("max = %v, want %v", s.LatencyMax, tc.mx)
+			}
+		})
+	}
+}
+
+// TestRecordFailureObservesLatency: failed requests contribute latency
+// samples (a timeout is the latency signal that matters most), matching the
+// old reservoir's behavior.
+func TestRecordFailureObservesLatency(t *testing.T) {
+	m := NewMetrics()
+	m.RecordFailure(40 * time.Millisecond)
+	s := m.Snapshot()
+	if s.Failed != 1 || s.Completed != 0 {
+		t.Fatalf("counts: completed=%d failed=%d, want 0/1", s.Completed, s.Failed)
+	}
+	if s.LatencyMax != 40*time.Millisecond {
+		t.Fatalf("LatencyMax = %v, want 40ms", s.LatencyMax)
+	}
+}
+
+func repeatDur(d time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}

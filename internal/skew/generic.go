@@ -204,19 +204,19 @@ func PrepareGeneric(q *query.Query, db *data.Database, p int, maxHeavyPerVar int
 // layout; see RunStarPlanned for the caching contract (bit-identical to the
 // unprepared path).
 func RunGenericPlanned(gp *GenericPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
-	return RunGenericPlannedNet(gp, q, db, p, seed, capBits, nil)
+	return RunGenericPlannedNet(gp, q, db, p, seed, capBits, engine.Env{})
 }
 
 // RunGenericPlannedNet is RunGenericPlanned with round delivery through net
 // (nil = in-process).
-func RunGenericPlannedNet(gp *GenericPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64, net engine.Transport) *Result {
+func RunGenericPlannedNet(gp *GenericPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64, env engine.Env) *Result {
 	k := q.NumVars()
 	heavy, patterns := gp.heavy, gp.patterns
 	inputServers, total := gp.inputServers, gp.totalServers
 	atomDims, routes := gp.atomDims, gp.routes
 	bpv := data.BitsPerValue(db.N)
 
-	cluster := engine.NewClusterNet(net, total, bpv)
+	cluster := engine.NewClusterEnv(env, total, bpv)
 	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)

@@ -183,17 +183,17 @@ func PrepareStarWithFrequencies(q *query.Query, db *data.Database, p int, freqs 
 // bit-identical to the unprepared path — preparation only moves work, never
 // accounting.
 func RunStarPlanned(sp *StarPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
-	return RunStarPlannedNet(sp, q, db, p, seed, capBits, nil)
+	return RunStarPlannedNet(sp, q, db, p, seed, capBits, engine.Env{})
 }
 
 // RunStarPlannedNet is RunStarPlanned with round delivery through net (nil
 // = in-process).
-func RunStarPlannedNet(sp *StarPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64, net engine.Transport) *Result {
+func RunStarPlannedNet(sp *StarPlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64, env engine.Env) *Result {
 	k := q.NumAtoms()
 	zCols, blocks, totalServers := sp.zCols, sp.blocks, sp.totalServers
 	bpv := data.BitsPerValue(db.N)
 
-	cluster := engine.NewClusterNet(net, totalServers, bpv)
+	cluster := engine.NewClusterEnv(env, totalServers, bpv)
 	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
@@ -284,6 +284,7 @@ func evaluatePhase(cluster *engine.Cluster, q *query.Query, servers int,
 		outputs[s] = res
 	})
 	scratches.Release()
+	cache.Publish(cluster.Trace())
 	return outputs
 }
 

@@ -61,16 +61,16 @@ func DetectHeavyHittersMPC(rel *data.Relation, col, p int, sampleSize int, candi
 // capBits > 0 declares a load cap for the round (0 = none).
 func DetectHeavyHittersMPCMulti(rels []*data.Relation, cols []int, p, sampleSize int,
 	candidateThresholds []int, seed int64, capBits float64) *StatsResult {
-	return DetectHeavyHittersMPCMultiNet(rels, cols, p, sampleSize, candidateThresholds, seed, capBits, nil)
+	return DetectHeavyHittersMPCMultiNet(rels, cols, p, sampleSize, candidateThresholds, seed, capBits, engine.Env{})
 }
 
 // DetectHeavyHittersMPCMultiNet is DetectHeavyHittersMPCMulti with round
 // delivery through net (nil = in-process) — the sampling round's broadcast
 // traffic crosses the wire like any data round.
 func DetectHeavyHittersMPCMultiNet(rels []*data.Relation, cols []int, p, sampleSize int,
-	candidateThresholds []int, seed int64, capBits float64, net engine.Transport) *StatsResult {
+	candidateThresholds []int, seed int64, capBits float64, env engine.Env) *StatsResult {
 	l := len(rels)
-	cluster := engine.NewClusterNet(net, p, statsBitsPerValue)
+	cluster := engine.NewClusterEnv(env, p, statsBitsPerValue)
 	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)
@@ -210,12 +210,12 @@ func StarStatsSpec(q *query.Query, db *data.Database, p int) StatsSpec {
 // it cacheable: replaying a cached StatsResult and re-running the protocol
 // yield identical estimates and identical bit charges.
 func (spec StatsSpec) Run(p, sampleSize int, seed int64, capBits float64) *StatsResult {
-	return spec.RunNet(p, sampleSize, seed, capBits, nil)
+	return spec.RunNet(p, sampleSize, seed, capBits, engine.Env{})
 }
 
 // RunNet is Run with round delivery through net (nil = in-process).
-func (spec StatsSpec) RunNet(p, sampleSize int, seed int64, capBits float64, net engine.Transport) *StatsResult {
-	return DetectHeavyHittersMPCMultiNet(spec.Rels, spec.Cols, p, sampleSize, spec.Thresholds, seed, capBits, net)
+func (spec StatsSpec) RunNet(p, sampleSize int, seed int64, capBits float64, env engine.Env) *StatsResult {
+	return DetectHeavyHittersMPCMultiNet(spec.Rels, spec.Cols, p, sampleSize, spec.Thresholds, seed, capBits, env)
 }
 
 // AddStatsCharges folds the statistics round's cost into a data-round

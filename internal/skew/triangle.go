@@ -140,12 +140,12 @@ func PrepareTriangle(q *query.Query, db *data.Database, p int) *TrianglePlan {
 // layout; see RunStarPlanned for the caching contract (bit-identical to the
 // unprepared path).
 func RunTrianglePlanned(tp *TrianglePlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64) *Result {
-	return RunTrianglePlannedNet(tp, q, db, p, seed, capBits, nil)
+	return RunTrianglePlannedNet(tp, q, db, p, seed, capBits, engine.Env{})
 }
 
 // RunTrianglePlannedNet is RunTrianglePlanned with round delivery through
 // net (nil = in-process).
-func RunTrianglePlannedNet(tp *TrianglePlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64, net engine.Transport) *Result {
+func RunTrianglePlannedNet(tp *TrianglePlan, q *query.Query, db *data.Database, p int, seed int64, capBits float64, env engine.Env) *Result {
 	vars := q.Vars()
 	pHeavy, cubeHeavy, layout := tp.pHeavy, tp.cubeHeavy, tp.layout
 	rels := make([]*data.Relation, 3)
@@ -154,7 +154,7 @@ func RunTrianglePlannedNet(tp *TrianglePlan, q *query.Query, db *data.Database, 
 	}
 
 	bpv := data.BitsPerValue(db.N)
-	cluster := engine.NewClusterNet(net, layout.totalServers, bpv)
+	cluster := engine.NewClusterEnv(env, layout.totalServers, bpv)
 	defer cluster.Release()
 	if capBits > 0 {
 		cluster.SetLoadCap(capBits)

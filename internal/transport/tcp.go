@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mpcquery/internal/engine"
+	"mpcquery/internal/obs"
 )
 
 // ErrPeerUnavailable is returned (wrapped, with peer and round context)
@@ -133,6 +134,21 @@ type wireCounters struct {
 	redials               atomic.Int64
 	resends               atomic.Int64
 }
+
+// Process-wide transport totals in the obs registry, mirrored from the
+// per-session wireCounters at the same update sites. Sessions come and go
+// (one per runtime); the registry aggregates across all of them for the
+// /metrics endpoint, while Session.Stats() stays the per-rank snapshot
+// the accounting identities are asserted on.
+var (
+	obsDataFrames   = obs.Default().Counter("mpc_transport_data_frames_total")
+	obsCtrlFrames   = obs.Default().Counter("mpc_transport_ctrl_frames_total")
+	obsWireBytes    = obs.Default().Counter("mpc_transport_wire_bytes_total")
+	obsPayloadBytes = obs.Default().Counter("mpc_transport_payload_bytes_total")
+	obsBilledBytes  = obs.Default().Counter("mpc_transport_billed_payload_bytes_total")
+	obsRedials      = obs.Default().Counter("mpc_transport_redials_total")
+	obsResends      = obs.Default().Counter("mpc_transport_resends_total")
+)
 
 func (c *wireCounters) snapshot() WireStats {
 	return WireStats{
@@ -384,6 +400,7 @@ func (s *Session) dialPeer(r int) (net.Conn, error) {
 	for attempt := 0; attempt < s.opts.DialAttempts; attempt++ {
 		if attempt > 0 {
 			s.ctr.redials.Add(1)
+			obsRedials.Inc()
 			time.Sleep(backoffFor(attempt, s.opts.DialBackoff))
 		}
 		if s.isClosed() {
@@ -401,6 +418,8 @@ func (s *Session) dialPeer(r int) (net.Conn, error) {
 		}
 		s.ctr.wireBytes.Add(int64(len(hello)))
 		s.ctr.ctrlFrames.Add(1)
+		obsWireBytes.Add(int64(len(hello)))
+		obsCtrlFrames.Inc()
 		return c, nil
 	}
 	return nil, fmt.Errorf("%w: rank %d dial %s: %v", ErrPeerUnavailable, s.rank, s.addrs[r], lastErr)
@@ -542,6 +561,7 @@ func (s *Session) writePeer(r int, buf []byte) error {
 	for attempt := 0; attempt <= s.opts.WriteRetries; attempt++ {
 		if attempt > 0 {
 			s.ctr.resends.Add(1)
+			obsResends.Inc()
 			time.Sleep(backoffFor(attempt, s.opts.DialBackoff))
 		}
 		if s.isClosed() {
@@ -560,6 +580,7 @@ func (s *Session) writePeer(r int, buf []byte) error {
 		s.queued.Add(-int64(len(buf)))
 		if err == nil {
 			s.ctr.wireBytes.Add(int64(len(buf)))
+			obsWireBytes.Add(int64(len(buf)))
 			return nil
 		}
 		lastErr = err
@@ -678,6 +699,10 @@ func (l *tcpLink) Deliver(io *engine.DeliveryRound) error {
 	s.ctr.billedPayloadBytes.Add(billed)
 	s.ctr.unicastChargedBits.Add(bitsUni)
 	s.ctr.broadcastChargedBits.Add(bitsBc)
+	obsDataFrames.Add(int64(frames))
+	obsCtrlFrames.Add(int64(s.n))
+	obsPayloadBytes.Add(payloadUni + payloadBc)
+	obsBilledBytes.Add(billed)
 
 	for r := 0; r < s.n; r++ {
 		if err := s.writePeer(r, buf); err != nil {

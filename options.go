@@ -1,6 +1,9 @@
 package mpcquery
 
-import "mpcquery/internal/engine"
+import (
+	"mpcquery/internal/engine"
+	"mpcquery/internal/obs"
+)
 
 // RunOption configures one Run invocation. Options follow the functional
 // options pattern so call sites read like the sentence they mean:
@@ -19,8 +22,10 @@ type runConfig struct {
 	roundBudget int
 	aggregate   *AggregateSpec // nil = plain join run
 	aggPushdown bool
-	cache       *execCache       // set by Service; nil for plain Run (no caching)
-	net         engine.Transport // set by WithRuntime; nil = in-process delivery
+	cache       *execCache        // set by Service; nil for plain Run (no caching)
+	net         engine.Transport  // set by WithRuntime; nil = in-process delivery
+	trace       *obs.Trace        // set by WithTrace; nil = tracing off
+	drift       *obs.DriftMonitor // set by WithDriftMonitor; nil = no drift checks
 }
 
 // withExecCache is the internal option a Service uses to hand Run its plan

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"mpcquery/internal/engine"
 	"mpcquery/internal/localjoin"
+	"mpcquery/internal/obs"
 	"mpcquery/internal/transport"
 )
 
@@ -136,6 +138,15 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		// Scope every cache key to (shape, database version, sizes, p).
 		cfg.cache = cfg.cache.composePrefix(q, db, cfg.servers)
 	}
+	// With tracing on and a distributed runtime attached, snapshot the
+	// session's wire counters around the execution so the trace carries
+	// this run's wire delta (frames, bytes, resends). Purely observational:
+	// nothing here feeds the Report.
+	var wireBefore transport.WireStats
+	wireSrc, _ := cfg.net.(interface{ Stats() transport.WireStats })
+	if cfg.trace != nil && wireSrc != nil {
+		wireBefore = wireSrc.Stats()
+	}
 	rep, err = strategy.Execute(ExecContext{
 		Query:       q,
 		DB:          db,
@@ -147,10 +158,22 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		Aggregate:   cfg.aggregate,
 		AggPushdown: cfg.aggPushdown,
 		cache:       cfg.cache,
-		net:         cfg.net,
+		env:         engine.Env{Net: cfg.net, Trace: cfg.trace},
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.trace != nil && wireSrc != nil {
+		after := wireSrc.Stats()
+		cfg.trace.ObserveWire(obs.WireObservation{
+			DataFrames:         after.DataFrames - wireBefore.DataFrames,
+			CtrlFrames:         after.CtrlFrames - wireBefore.CtrlFrames,
+			WireBytes:          after.WireBytes - wireBefore.WireBytes,
+			PayloadBytes:       after.PayloadBytes - wireBefore.PayloadBytes,
+			BilledPayloadBytes: after.BilledPayloadBytes - wireBefore.BilledPayloadBytes,
+			Redials:            after.Redials - wireBefore.Redials,
+			Resends:            after.Resends - wireBefore.Resends,
+		})
 	}
 	if cfg.aggregate != nil && rep.Aggregate == "" {
 		rep.Aggregate = aggDescribe(cfg.aggregate)
@@ -168,5 +191,35 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 	if rep.Output != nil && rep.Query != nil && rep.Query.Name != "" {
 		rep.Output.Name = rep.Query.Name
 	}
+	observeDrift(&cfg, rep)
 	return rep, nil
+}
+
+// observeDrift feeds the finished report to the run's drift monitor (set
+// by WithDriftMonitor): every round with a plan prediction is checked, or
+// the whole-run load once when the strategy reports no per-round stats.
+// Violations become trace instants too, when a trace is attached. Reads
+// only — the Report is never modified, so Fingerprint() is unaffected.
+func observeDrift(cfg *runConfig, rep *Report) {
+	if cfg.drift == nil || rep == nil || rep.PredictedLoadBits <= 0 {
+		return
+	}
+	record := func(round int, observed float64) {
+		ev, violated := cfg.drift.Observe(rep.Strategy, round, observed, rep.PredictedLoadBits)
+		if violated {
+			cfg.trace.Instant("drift",
+				obs.KV{Key: "strategy", Value: ev.Strategy},
+				obs.KV{Key: "round", Value: fmt.Sprintf("%d", ev.Round)},
+				obs.KV{Key: "observed_bits", Value: fmt.Sprintf("%.0f", ev.ObservedBits)},
+				obs.KV{Key: "predicted_bits", Value: fmt.Sprintf("%.0f", ev.PredictedBits)},
+				obs.KV{Key: "ratio", Value: fmt.Sprintf("%.3f", ev.Ratio)})
+		}
+	}
+	if len(rep.RoundStats) == 0 {
+		record(0, rep.MaxLoadBits)
+		return
+	}
+	for _, rs := range rep.RoundStats {
+		record(rs.Round, rs.MaxLoadBits)
+	}
 }

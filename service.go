@@ -2,13 +2,17 @@ package mpcquery
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mpcquery/internal/obs"
 	"mpcquery/internal/service"
 )
 
@@ -58,6 +62,10 @@ type Service struct {
 	bpDepth    func() int64 // send-queue depth probe; nil = no backpressure
 	bpLimit    int64
 
+	drift    *obs.DriftMonitor // nil = drift monitoring off
+	debugLn  net.Listener      // nil = no debug listener
+	debugSrv *http.Server
+
 	mu      sync.Mutex
 	dbs     map[*Database]*dbEntry
 	dbOrder []*Database // registration order, for bounded tracking
@@ -89,6 +97,8 @@ type serviceConfig struct {
 	coalescing    bool
 	bpDepth       func() int64
 	bpLimit       int64
+	driftFactor   float64
+	debugAddr     string
 }
 
 // ServiceOption configures NewService.
@@ -124,7 +134,9 @@ func WithServiceCacheCapacity(n int) ServiceOption {
 // what a separate execution would have produced. Requests that carry a
 // DistributedRuntime are never coalesced — every rank of an SPMD group
 // must execute every run, so skipping one rank's execution would desync
-// the group.
+// the group. Requests carrying a WithTrace trace or their own
+// WithDriftMonitor are never coalesced either: those observers only see
+// runs that actually execute.
 func WithRequestCoalescing(on bool) ServiceOption {
 	return func(c *serviceConfig) { c.coalescing = on }
 }
@@ -136,6 +148,35 @@ func WithRequestCoalescing(on bool) ServiceOption {
 // backed up; a nil probe or non-positive limit disables the check.
 func WithSendQueueBackpressure(depth func() int64, limit int64) ServiceOption {
 	return func(c *serviceConfig) { c.bpDepth, c.bpLimit = depth, limit }
+}
+
+// WithServiceDriftFactor attaches a drift monitor to every query the
+// service executes: each round with a plan prediction is checked and a
+// violation is recorded when observed load exceeds factor × predicted —
+// the signal that the optimizer's skew assumptions no longer hold for the
+// data the service is actually seeing. Totals appear in Stats()
+// (DriftChecks, DriftViolations) and recent events in DriftEvents().
+// factor <= 0 selects the default (1.5); the zero serviceConfig leaves
+// monitoring off entirely. A request's own WithDriftMonitor overrides the
+// service's monitor for that request.
+func WithServiceDriftFactor(factor float64) ServiceOption {
+	return func(c *serviceConfig) {
+		if factor <= 0 {
+			factor = obs.DefaultDriftFactor
+		}
+		c.driftFactor = factor
+	}
+}
+
+// WithDebugListener serves the service's debug endpoint on addr:
+// /metrics (Prometheus text: the service's own series plus the
+// process-wide engine/kernel/transport registry), /debug/stats
+// (ServiceStats as JSON), and /debug/pprof/. Use "127.0.0.1:0" to bind an
+// ephemeral local port and read it back with DebugAddr. A failure to bind
+// leaves the service fully functional with no listener (DebugAddr returns
+// ""). The listener shuts down with Close.
+func WithDebugListener(addr string) ServiceOption {
+	return func(c *serviceConfig) { c.debugAddr = addr }
 }
 
 // NewService starts a query service. Close it when done to release the
@@ -159,7 +200,7 @@ func NewService(opts ...ServiceOption) *Service {
 	if cfg.queueDepth <= 0 {
 		cfg.queueDepth = 8 * cfg.workers
 	}
-	return &Service{
+	s := &Service{
 		pool:       service.NewPool(cfg.workers, cfg.queueDepth),
 		metrics:    service.NewMetrics(),
 		plans:      service.NewCache(cfg.cacheCapacity),
@@ -172,6 +213,66 @@ func NewService(opts ...ServiceOption) *Service {
 		bpLimit:    cfg.bpLimit,
 		dbs:        make(map[*Database]*dbEntry),
 	}
+	if cfg.driftFactor > 0 {
+		s.drift = obs.NewDriftMonitor(cfg.driftFactor)
+	}
+	// Pool and cache state is computed on demand, so it publishes as gauge
+	// functions sampled at scrape time rather than stored series.
+	reg := s.metrics.Registry()
+	reg.GaugeFunc("mpc_service_pool_workers", func() float64 { return float64(s.pool.Workers()) })
+	reg.GaugeFunc("mpc_service_pool_queue_depth", func() float64 { return float64(s.pool.QueueDepth()) })
+	reg.GaugeFunc("mpc_service_pool_queued", func() float64 { return float64(s.pool.Queued()) })
+	reg.GaugeFunc("mpc_service_plan_cache_hits", func() float64 { return float64(s.plans.Stats().Hits) })
+	reg.GaugeFunc("mpc_service_plan_cache_misses", func() float64 { return float64(s.plans.Stats().Misses) })
+	reg.GaugeFunc("mpc_service_plan_cache_entries", func() float64 { return float64(s.plans.Stats().Entries) })
+	reg.GaugeFunc("mpc_service_stats_cache_hits", func() float64 { return float64(s.stats.Stats().Hits) })
+	reg.GaugeFunc("mpc_service_stats_cache_misses", func() float64 { return float64(s.stats.Stats().Misses) })
+	reg.GaugeFunc("mpc_service_stats_cache_entries", func() float64 { return float64(s.stats.Stats().Entries) })
+	reg.GaugeFunc("mpc_service_coalesced_requests", func() float64 { return float64(s.flight.Stats().Hits) })
+	reg.GaugeFunc("mpc_service_drift_checks", func() float64 { return float64(s.drift.Checks()) })
+	reg.GaugeFunc("mpc_service_drift_violations", func() float64 { return float64(s.drift.Violations()) })
+	if cfg.debugAddr != "" {
+		s.startDebug(cfg.debugAddr)
+	}
+	return s
+}
+
+// startDebug binds the debug listener and serves the endpoint on it. Bind
+// failure is not fatal: the service runs without a listener and DebugAddr
+// reports "".
+func (s *Service) startDebug(addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(nil, s.metrics.Registry(), obs.Default()))
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	s.debugLn = ln
+	s.debugSrv = &http.Server{Handler: mux}
+	go s.debugSrv.Serve(ln)
+}
+
+// DebugAddr returns the bound address of the debug listener (see
+// WithDebugListener), or "" when none is serving.
+func (s *Service) DebugAddr() string {
+	if s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
+}
+
+// DriftEvents returns the drift violations recorded so far (bounded to
+// the most recent; see WithServiceDriftFactor). Nil without a monitor.
+func (s *Service) DriftEvents() []DriftEvent {
+	return s.drift.Events()
 }
 
 // Run executes one query through the service: the request is admitted to
@@ -222,7 +323,10 @@ func (s *Service) Run(ctx context.Context, q *Query, db *Database, opts ...RunOp
 			s.metrics.RecordFailure(0)
 			return nil, perr
 		}
-		if cfg.net == nil {
+		// A request carrying a trace or its own drift monitor must actually
+		// execute — a coalesced completion would leave the caller's trace
+		// empty and its monitor blind — so only plain requests coalesce.
+		if cfg.net == nil && cfg.trace == nil && cfg.drift == nil {
 			//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 			start := time.Now()
 			v, coalesced, err := s.flight.Do(s.requestKey(&cfg, q, db), func() (any, error) {
@@ -255,8 +359,12 @@ func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []Ru
 		err error
 	}
 	ec := s.execCacheFor(db)
-	runOpts := make([]RunOption, 0, len(opts)+1)
+	runOpts := make([]RunOption, 0, len(opts)+2)
 	runOpts = append(runOpts, withExecCache(ec))
+	if s.drift != nil {
+		// Prepended so a request's own WithDriftMonitor (in opts) wins.
+		runOpts = append(runOpts, WithDriftMonitor(s.drift))
+	}
 	runOpts = append(runOpts, opts...)
 
 	//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
@@ -434,6 +542,12 @@ type ServiceStats struct {
 	Coalesced    int64
 	CoalesceRate float64
 
+	// Drift monitoring (WithServiceDriftFactor): predicted rounds checked
+	// against observed load, and checks whose ratio exceeded the factor.
+	// Zero without a monitor.
+	DriftChecks     int64
+	DriftViolations int64
+
 	Workers    int // concurrent query executions allowed
 	QueueDepth int // admission queue capacity
 	Queued     int // requests waiting right now (snapshot)
@@ -445,31 +559,36 @@ func (s *Service) Stats() ServiceStats {
 	pc, sc := s.plans.Stats(), s.stats.Stats()
 	fl := s.flight.Stats()
 	return ServiceStats{
-		Completed:    sum.Completed,
-		Failed:       sum.Failed,
-		Shed:         sum.Shed,
-		Uptime:       sum.Uptime,
-		Throughput:   sum.Throughput,
-		LatencyP50:   sum.LatencyP50,
-		LatencyP95:   sum.LatencyP95,
-		LatencyP99:   sum.LatencyP99,
-		LatencyMax:   sum.LatencyMax,
-		TotalBits:    sum.TotalBits,
-		MaxLoadBits:  sum.MaxLoadBits,
-		TotalRounds:  sum.TotalRounds,
-		PlanCache:    pc,
-		StatsCache:   sc,
-		Coalesced:    fl.Hits,
-		CoalesceRate: fl.HitRate(),
-		Workers:      s.pool.Workers(),
-		QueueDepth:   s.pool.QueueDepth(),
-		Queued:       s.pool.Queued(),
+		Completed:       sum.Completed,
+		Failed:          sum.Failed,
+		Shed:            sum.Shed,
+		Uptime:          sum.Uptime,
+		Throughput:      sum.Throughput,
+		LatencyP50:      sum.LatencyP50,
+		LatencyP95:      sum.LatencyP95,
+		LatencyP99:      sum.LatencyP99,
+		LatencyMax:      sum.LatencyMax,
+		TotalBits:       sum.TotalBits,
+		MaxLoadBits:     sum.MaxLoadBits,
+		TotalRounds:     sum.TotalRounds,
+		PlanCache:       pc,
+		StatsCache:      sc,
+		Coalesced:       fl.Hits,
+		CoalesceRate:    fl.HitRate(),
+		DriftChecks:     s.drift.Checks(),
+		DriftViolations: s.drift.Violations(),
+		Workers:         s.pool.Workers(),
+		QueueDepth:      s.pool.QueueDepth(),
+		Queued:          s.pool.Queued(),
 	}
 }
 
 // Close stops admission (subsequent Runs return ErrServiceClosed), waits
-// for queued and in-flight queries to finish, and releases the workers.
-// Close is idempotent.
+// for queued and in-flight queries to finish, releases the workers, and
+// shuts down the debug listener, if any. Close is idempotent.
 func (s *Service) Close() {
+	if s.debugSrv != nil {
+		s.debugSrv.Close()
+	}
 	s.pool.Close()
 }

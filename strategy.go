@@ -36,9 +36,11 @@ type ExecContext struct {
 	// caching is transparent to external Strategy implementations.
 	cache *execCache
 
-	// net is the transport every cluster's round delivery goes through; nil
-	// means in-process delivery (the default). Set by WithRuntime.
-	net engine.Transport
+	// env is the execution environment every cluster is created against:
+	// the delivery transport (nil Net = in-process, the default; set by
+	// WithRuntime) and the trace sink (nil Trace = tracing off; set by
+	// WithTrace).
+	env engine.Env
 }
 
 // Strategy is one executable point in the paper's rounds/load tradeoff
@@ -104,9 +106,9 @@ func (s hyperCubeStrategy) Execute(ctx ExecContext) (*Report, error) {
 	}).(*core.Plan)
 	var res *core.Result
 	if ap := ctx.aggregatePlan(); ap != nil {
-		res = core.RunPlanAggregateNet(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ap, ctx.net)
+		res = core.RunPlanAggregateNet(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ap, ctx.env)
 	} else {
-		res = core.RunPlanWithCapNet(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ctx.net)
+		res = core.RunPlanWithCapNet(plan, ctx.DB, ctx.Seed, ctx.LoadCapBits, ctx.env)
 	}
 	rep := reportFromCore(s.Name(), ctx.Query, res)
 	rep.PredictedLoadBits = plan.PredictedLoadBits()
@@ -142,9 +144,9 @@ func (s sharesStrategy) Execute(ctx ExecContext) (*Report, error) {
 	}
 	var res *core.Result
 	if ap := ctx.aggregatePlan(); ap != nil {
-		res = core.RunWithSharesAggregateNet(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ap, ctx.net)
+		res = core.RunWithSharesAggregateNet(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ap, ctx.env)
 	} else {
-		res = core.RunWithSharesCapNet(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ctx.net)
+		res = core.RunWithSharesCapNet(ctx.Query, ctx.DB, s.shares, ctx.Seed, ctx.LoadCapBits, ctx.env)
 	}
 	return reportFromCore(s.Name(), ctx.Query, res), nil
 }
@@ -182,7 +184,7 @@ func (s selfJoinStrategy) Execute(ctx ExecContext) (*Report, error) {
 			return nil, fmt.Errorf("mpcquery: SelfJoin: %w: %q", ErrMissingRelation, a.Name)
 		}
 	}
-	res := core.RunWithSelfJoinsCapNet(s.name, s.atoms, ctx.DB, ctx.Servers, ctx.Seed, core.SkewFree, ctx.LoadCapBits, ctx.net)
+	res := core.RunWithSelfJoinsCapNet(s.name, s.atoms, ctx.DB, ctx.Servers, ctx.Seed, core.SkewFree, ctx.LoadCapBits, ctx.env)
 	rep := reportFromCore(s.Name(), res.Plan.Query, res)
 	rep.PredictedLoadBits = res.Plan.PredictedLoadBits()
 	return rep, nil
@@ -230,18 +232,18 @@ func (s skewedStarStrategy) Execute(ctx ExecContext) (*Report, error) {
 		// Report — cached vs charged (see execCache).
 		st := ctx.cachedStats(fmt.Sprintf("star-stats|s%d|ss%d|c%g", ctx.Seed, s.sampleSize, ctx.LoadCapBits), func() any {
 			return skew.StarStatsSpec(ctx.Query, ctx.DB, ctx.Servers).
-				RunNet(ctx.Servers, s.sampleSize, ctx.Seed, ctx.LoadCapBits, ctx.net)
+				RunNet(ctx.Servers, s.sampleSize, ctx.Seed, ctx.LoadCapBits, ctx.env)
 		}).(*skew.StatsResult)
 		sp := ctx.cachedPlan(fmt.Sprintf("star-sampled|s%d|ss%d", ctx.Seed, s.sampleSize), func() any {
 			return skew.PrepareStarWithFrequencies(ctx.Query, ctx.DB, ctx.Servers, st.PerAtom)
 		}).(*skew.StarPlan)
-		res = skew.RunStarPlannedNet(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
+		res = skew.RunStarPlannedNet(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.env)
 		skew.AddStatsCharges(res, st)
 	} else {
 		sp := ctx.cachedPlan("star", func() any {
 			return skew.PrepareStar(ctx.Query, ctx.DB, ctx.Servers)
 		}).(*skew.StarPlan)
-		res = skew.RunStarPlannedNet(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
+		res = skew.RunStarPlannedNet(sp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.env)
 	}
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
@@ -276,7 +278,7 @@ func (s skewedTriangleStrategy) Execute(ctx ExecContext) (*Report, error) {
 	tp := ctx.cachedPlan("triangle", func() any {
 		return skew.PrepareTriangle(ctx.Query, ctx.DB, ctx.Servers)
 	}).(*skew.TrianglePlan)
-	res := skew.RunTrianglePlannedNet(tp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
+	res := skew.RunTrianglePlannedNet(tp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.env)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -293,7 +295,7 @@ func (s skewedGenericStrategy) Execute(ctx ExecContext) (*Report, error) {
 	gp := ctx.cachedPlan(fmt.Sprintf("generic|h%d", ctx.HeavyCap), func() any {
 		return skew.PrepareGeneric(ctx.Query, ctx.DB, ctx.Servers, ctx.HeavyCap)
 	}).(*skew.GenericPlan)
-	res := skew.RunGenericPlannedNet(gp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.net)
+	res := skew.RunGenericPlannedNet(gp, ctx.Query, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ctx.env)
 	return reportFromSkew(s.Name(), ctx.Query, res), nil
 }
 
@@ -378,9 +380,9 @@ func executeMultiRound(cacheKey string, name string, plan *multiround.Plan, eps 
 	}
 	var res *multiround.ExecResult
 	if skewAware {
-		res = multiround.ExecuteSkewAwareCapMemoNet(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits, memo, ctx.net)
+		res = multiround.ExecuteSkewAwareCapMemoNet(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.HeavyCap, ctx.LoadCapBits, memo, ctx.env)
 	} else {
-		res = multiround.ExecuteAggregateCapMemoNet(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ap, memo, ctx.net)
+		res = multiround.ExecuteAggregateCapMemoNet(plan, ctx.DB, ctx.Servers, ctx.Seed, ctx.LoadCapBits, ap, memo, ctx.env)
 	}
 	rep := &Report{
 		Strategy:           name,
