@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpcquery"
+	"mpcquery/internal/transport"
+)
+
+// ---- chaos matrix (-chaos) -------------------------------------------------
+
+// chaosFault is one fault family of the -chaos matrix: a seeded schedule
+// plus the recovery budget runs under it need (only the crash family
+// replays).
+type chaosFault struct {
+	name     string
+	plan     func() *mpcquery.FaultPlan
+	recovery int
+}
+
+func chaosFaults() []chaosFault {
+	return []chaosFault{
+		{name: "drop", plan: func() *mpcquery.FaultPlan {
+			p := mpcquery.NewFaultPlan(42)
+			p.DropPer10k = 4000
+			return p
+		}},
+		{name: "delay", plan: func() *mpcquery.FaultPlan {
+			p := mpcquery.NewFaultPlan(43)
+			p.DelayPer10k = 4000
+			p.Delay = 2 * time.Millisecond
+			p.StragglerRank = 2
+			return p
+		}},
+		{name: "dup", plan: func() *mpcquery.FaultPlan {
+			p := mpcquery.NewFaultPlan(44)
+			p.DupPer10k = 4000
+			return p
+		}},
+		{name: "reset", plan: func() *mpcquery.FaultPlan {
+			p := mpcquery.NewFaultPlan(45)
+			p.ResetPer10k = 4000
+			return p
+		}},
+		{name: "crash", plan: func() *mpcquery.FaultPlan {
+			p := mpcquery.NewFaultPlan(46)
+			p.CrashRank = 1
+			p.CrashCluster = 0
+			p.CrashRound = 0
+			return p
+		}, recovery: 2},
+	}
+}
+
+// ChaosCase is one (scenario, fault family) cell of the matrix in
+// BENCH_chaos.json.
+type ChaosCase struct {
+	Scenario string `json:"scenario"`
+	Fault    string `json:"fault"`
+	// Identical: every rank's Report fingerprint equals the fault-free
+	// in-process reference.
+	Identical bool `json:"identical_to_faultfree"`
+	// ChargedBitsExact: Σ ranks ChargedBits == Report.TotalBits exactly
+	// (abandoned attempts metered separately, never double-billed).
+	ChargedBitsExact bool  `json:"charged_bits_exact"`
+	Recovered        int   `json:"recovered_replays"`
+	FaultsInjected   int64 `json:"faults_injected"`
+	AbandonedBytes   int64 `json:"abandoned_bytes"`
+	Resends          int64 `json:"resends"`
+	Redials          int64 `json:"redials"`
+}
+
+// ChaosFile is the BENCH_chaos.json document: the full scenario suite ×
+// every fault family over a 3-rank loopback group, with the two gates the
+// CI chaos job enforces (100% fingerprint identity, exact charged-bits
+// accounting) plus recovery evidence for the crash family.
+type ChaosFile struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Ranks       int    `json:"ranks"`
+	Scenarios   int    `json:"scenarios"`
+	Faults      int    `json:"fault_families"`
+	Cases       int    `json:"cases"`
+
+	AllIdentical     bool  `json:"all_identical"`
+	ChargedBitsExact bool  `json:"all_charged_bits_exact"`
+	AllRecovered     bool  `json:"all_crash_cases_recovered"`
+	FaultsInjected   int64 `json:"faults_injected_total"`
+	AbandonedBytes   int64 `json:"abandoned_bytes_total"`
+
+	Matrix []ChaosCase `json:"matrix"`
+}
+
+// chaosMain runs the chaos matrix: every scenario of the suite under
+// every fault family, each on a fresh 3-rank loopback group with the
+// seeded schedule installed at all ranks, verified against the fault-free
+// in-process reference. Exit 0 requires every run to survive (crash
+// cases by recovery replay), every fingerprint to match, and the charged
+// bit accounting to stay exact under injected chaos.
+func chaosMain(m, p int, benchjson string) int {
+	const ranks = 3
+	scenarios := buildScenarios(m)
+	faults := chaosFaults()
+	file := ChaosFile{
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Ranks:            ranks,
+		Scenarios:        len(scenarios),
+		Faults:           len(faults),
+		AllIdentical:     true,
+		ChargedBitsExact: true,
+		AllRecovered:     true,
+	}
+
+	for _, sc := range scenarios {
+		ref, err := mpcquery.Run(sc.q, sc.db, scenarioOpts(sc, p)...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: chaos reference %s: %v\n", sc.name, err)
+			return 1
+		}
+		refFP := ref.Fingerprint()
+		for _, fa := range faults {
+			cc, err := chaosCase(sc, fa, p, ranks, refFP, ref.TotalBits)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpcload: chaos %s/%s: %v\n", sc.name, fa.name, err)
+				return 1
+			}
+			file.Matrix = append(file.Matrix, cc)
+			file.AllIdentical = file.AllIdentical && cc.Identical
+			file.ChargedBitsExact = file.ChargedBitsExact && cc.ChargedBitsExact
+			if fa.recovery > 0 && cc.Recovered < 1 {
+				file.AllRecovered = false
+			}
+			file.FaultsInjected += cc.FaultsInjected
+			file.AbandonedBytes += cc.AbandonedBytes
+		}
+	}
+	file.Cases = len(file.Matrix)
+
+	fmt.Fprintf(os.Stderr,
+		"mpcload: chaos %d scenarios × %d fault families × %d ranks: identical=%t exact_bits=%t recovered=%t, %d faults injected, %d bytes abandoned\n",
+		file.Scenarios, file.Faults, file.Ranks, file.AllIdentical, file.ChargedBitsExact,
+		file.AllRecovered, file.FaultsInjected, file.AbandonedBytes)
+
+	if benchjson != "" {
+		b, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(benchjson, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "mpcload: wrote %s\n", benchjson)
+	}
+
+	switch {
+	case !file.AllIdentical:
+		fmt.Fprintln(os.Stderr, "mpcload: FAIL: a faulted run diverged from its fault-free reference")
+		return 1
+	case !file.ChargedBitsExact:
+		fmt.Fprintln(os.Stderr, "mpcload: FAIL: charged bits diverged from Report.TotalBits under faults")
+		return 1
+	case !file.AllRecovered:
+		fmt.Fprintln(os.Stderr, "mpcload: FAIL: a crash case completed without a recovery replay")
+		return 1
+	case file.FaultsInjected == 0:
+		fmt.Fprintln(os.Stderr, "mpcload: FAIL: no fault ever fired — the matrix is vacuous")
+		return 1
+	}
+	return 0
+}
+
+// chaosCase runs one scenario under one fault family on a fresh loopback
+// group and aggregates the cell's verdict.
+func chaosCase(sc *scenario, fa chaosFault, p, ranks int, refFP string, refTotalBits float64) (ChaosCase, error) {
+	addrs, err := transport.FreeLoopbackAddrs(ranks)
+	if err != nil {
+		return ChaosCase{}, err
+	}
+	rtOpts := []mpcquery.RuntimeOption{
+		mpcquery.WithRoundTimeout(10 * time.Second),
+		mpcquery.WithWriteRetries(4),
+	}
+	reps := make([]*mpcquery.Report, ranks)
+	stats := make([]mpcquery.TransportWireStats, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rt, err := mpcquery.DialRuntime(r, addrs, rtOpts...)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer rt.Close()
+			rep, err := mpcquery.Run(sc.q, sc.db, append(scenarioOpts(sc, p),
+				mpcquery.WithRuntime(rt),
+				mpcquery.WithFaultInjection(fa.plan()),
+				mpcquery.WithRecovery(fa.recovery))...)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			reps[r] = rep
+			stats[r] = rt.WireStats()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return ChaosCase{}, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	cc := ChaosCase{Scenario: sc.name, Fault: fa.name, Identical: true}
+	var charged int64
+	for r := 0; r < ranks; r++ {
+		if reps[r].Fingerprint() != refFP {
+			cc.Identical = false
+		}
+		if reps[r].Recovered > cc.Recovered {
+			cc.Recovered = reps[r].Recovered
+		}
+		charged += stats[r].ChargedBits()
+		cc.FaultsInjected += stats[r].FaultsInjected
+		cc.AbandonedBytes += stats[r].AbandonedBytes
+		cc.Resends += stats[r].Resends
+		cc.Redials += stats[r].Redials
+	}
+	cc.ChargedBitsExact = float64(charged) == refTotalBits
+	return cc, nil
+}

@@ -140,6 +140,12 @@ func main() {
 	maxOverhead := flag.Float64("maxoverhead", 0.05, "obsbench: exit non-zero if tracing overhead exceeds this fraction")
 	obsReps := flag.Int("obsreps", 5, "obsbench: interleaved repetitions per configuration")
 	debugAddr := flag.String("debugaddr", "", "worker mode: serve the debug endpoint (/metrics, /debug/pprof/) on this address")
+	chaos := flag.Bool("chaos", false,
+		"run the chaos matrix (every scenario × every fault family on 3 loopback ranks) instead of the service bench")
+	maxRestarts := flag.Int("maxrestarts", 0,
+		"worker mode: whole-suite replays allowed after a lost peer (0 = fail fast)")
+	roundTimeout := flag.Duration("roundtimeout", 0,
+		"worker mode: per-round delivery timeout (0 = transport default); also the restart settle delay")
 	flag.Parse()
 
 	if *workers <= 0 {
@@ -154,7 +160,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mpcload: worker mode needs both -listen and -peers")
 			os.Exit(2)
 		}
-		os.Exit(workerMain(*listen, *peers, *m, *p, *debugAddr))
+		os.Exit(workerMain(*listen, *peers, *m, *p, *debugAddr, *maxRestarts, *roundTimeout))
+	}
+	if *chaos {
+		os.Exit(chaosMain(*m, *p, *benchjson))
 	}
 	if *transportBench {
 		os.Exit(transportBenchMain(*m, *p, *clients, *waves, *benchjson, *minSpeedup))

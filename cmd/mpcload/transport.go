@@ -45,6 +45,8 @@ type WorkerFile struct {
 	DataFrames         int64 `json:"data_frames"`
 	CtrlFrames         int64 `json:"ctrl_frames"`
 	Resends            int64 `json:"resends"`
+	// Restarts counts whole-suite replays after a lost peer (-maxrestarts).
+	Restarts int `json:"restarts"`
 }
 
 // workerMain runs mpcload as one rank of a real multi-process worker
@@ -53,7 +55,17 @@ type WorkerFile struct {
 // Report bit-identical to an in-process run of the same request. Exit 0
 // means this rank's distributed results are exactly the single-process
 // truth; all ranks printing the same fingerprints means the group agrees.
-func workerMain(listen, peers string, m, p int, debugAddr string) int {
+//
+// maxRestarts > 0 makes the worker fault-tolerant: when a peer is lost
+// mid-suite (ErrPeerUnavailable — a killed process, a dropped link), the
+// rank closes its session, waits out one round timeout so every survivor
+// has also failed out of the wedged round, then re-dials the group and
+// replays the whole suite on the fresh session. The restart is symmetric:
+// every rank runs the same loop, so all survivors (and a respawned
+// replacement for the dead rank) converge on a new group whose cluster
+// identities realign at 0 — determinism makes the replay's Reports
+// bit-identical to an uninterrupted run.
+func workerMain(listen, peers string, m, p int, debugAddr string, maxRestarts int, roundTimeout time.Duration) int {
 	if debugAddr != "" {
 		// The process-wide debug endpoint: engine/kernel/transport counters
 		// in Prometheus text plus pprof. Bind failure is reported but not
@@ -80,27 +92,77 @@ func workerMain(listen, peers string, m, p int, debugAddr string) int {
 		fmt.Fprintf(os.Stderr, "mpcload: -listen %q not found in -peers %q\n", listen, peers)
 		return 2
 	}
-	rt, err := mpcquery.DialRuntime(rank, addrs)
+	var rtOpts []mpcquery.RuntimeOption
+	settle := time.Second
+	if roundTimeout > 0 {
+		rtOpts = append(rtOpts, mpcquery.WithRoundTimeout(roundTimeout))
+		settle = roundTimeout
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= maxRestarts; attempt++ {
+		if attempt > 0 {
+			// Settle past one round timeout before re-dialing so every
+			// survivor has failed out of the wedged round and released its
+			// old session; then the whole group converges on a fresh dial.
+			time.Sleep(settle + 250*time.Millisecond)
+		}
+		file, st, err := workerAttempt(rank, addrs, m, p, rtOpts)
+		if err == nil {
+			file.Restarts = attempt
+			b, _ := json.MarshalIndent(file, "", "  ")
+			os.Stdout.Write(append(b, '\n'))
+			if !file.AllIdentical {
+				fmt.Fprintf(os.Stderr, "mpcload: rank %d: FAIL: distributed Reports diverged from in-process runs\n", rank)
+				return 1
+			}
+			if st.ChargedBits() > st.BilledPayloadBytes*8 {
+				fmt.Fprintf(os.Stderr, "mpcload: rank %d: FAIL: charged %d bits exceed billed payload %d bits\n",
+					rank, st.ChargedBits(), st.BilledPayloadBytes*8)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "mpcload: rank %d/%d: %d scenarios identical, %d bytes on the wire for %d charged bits, %d restarts\n",
+				rank, len(addrs), len(file.Scenarios), st.WireBytes, st.ChargedBits(), attempt)
+			return 0
+		}
+		lastErr = err
+		if !errors.Is(err, mpcquery.ErrPeerUnavailable) && !errors.Is(err, mpcquery.ErrRuntimeClosed) {
+			fmt.Fprintf(os.Stderr, "mpcload: rank %d: %v\n", rank, err)
+			return 1
+		}
+		if attempt < maxRestarts {
+			fmt.Fprintf(os.Stderr, "mpcload: rank %d: peer lost (%v); restarting suite (%d/%d)\n",
+				rank, err, attempt+1, maxRestarts)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mpcload: rank %d: gave up after %d restarts: %v\n", rank, maxRestarts, lastErr)
+	return 1
+}
+
+// workerAttempt runs one complete pass of the suite on a fresh session:
+// dial, run every scenario distributed + in-process, close. Any error —
+// including a lost peer — tears the session down so the caller can settle
+// and retry from a clean slate.
+func workerAttempt(rank int, addrs []string, m, p int, rtOpts []mpcquery.RuntimeOption) (WorkerFile, mpcquery.TransportWireStats, error) {
+	var st mpcquery.TransportWireStats
+	file := WorkerFile{Rank: rank, Ranks: len(addrs), AllIdentical: true}
+	rt, err := mpcquery.DialRuntime(rank, addrs, rtOpts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpcload: rank %d: %v\n", rank, err)
-		return 1
+		return file, st, err
 	}
 	defer rt.Close()
 
-	file := WorkerFile{Rank: rank, Ranks: len(addrs), AllIdentical: true}
 	for _, sc := range buildScenarios(m) {
 		opts := append([]mpcquery.RunOption{
 			mpcquery.WithStrategy(sc.strategy), mpcquery.WithServers(sc.p(p)), mpcquery.WithSeed(3),
 		}, sc.extra...)
 		rep, err := mpcquery.Run(sc.q, sc.db, append(opts, mpcquery.WithRuntime(rt))...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpcload: rank %d: %s: %v\n", rank, sc.name, err)
-			return 1
+			return file, st, fmt.Errorf("%s: %w", sc.name, err)
 		}
 		ref, err := mpcquery.Run(sc.q, sc.db, opts...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpcload: rank %d: %s (in-process reference): %v\n", rank, sc.name, err)
-			return 1
+			return file, st, fmt.Errorf("%s (in-process reference): %w", sc.name, err)
 		}
 		ws := WorkerScenario{
 			Name:        sc.name,
@@ -110,7 +172,7 @@ func workerMain(listen, peers string, m, p int, debugAddr string) int {
 		file.AllIdentical = file.AllIdentical && ws.Identical
 		file.Scenarios = append(file.Scenarios, ws)
 	}
-	st := rt.WireStats()
+	st = rt.WireStats()
 	file.WireBytes = st.WireBytes
 	file.PayloadBytes = st.PayloadBytes
 	file.BilledPayloadBytes = st.BilledPayloadBytes
@@ -118,21 +180,7 @@ func workerMain(listen, peers string, m, p int, debugAddr string) int {
 	file.DataFrames = st.DataFrames
 	file.CtrlFrames = st.CtrlFrames
 	file.Resends = st.Resends
-
-	b, _ := json.MarshalIndent(file, "", "  ")
-	os.Stdout.Write(append(b, '\n'))
-	if !file.AllIdentical {
-		fmt.Fprintf(os.Stderr, "mpcload: rank %d: FAIL: distributed Reports diverged from in-process runs\n", rank)
-		return 1
-	}
-	if st.ChargedBits() > st.BilledPayloadBytes*8 {
-		fmt.Fprintf(os.Stderr, "mpcload: rank %d: FAIL: charged %d bits exceed billed payload %d bits\n",
-			rank, st.ChargedBits(), st.BilledPayloadBytes*8)
-		return 1
-	}
-	fmt.Fprintf(os.Stderr, "mpcload: rank %d/%d: %d scenarios identical, %d bytes on the wire for %d charged bits\n",
-		rank, len(addrs), len(file.Scenarios), st.WireBytes, st.ChargedBits())
-	return 0
+	return file, st, nil
 }
 
 // ---- transport soak (-transportbench) --------------------------------------

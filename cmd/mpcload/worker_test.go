@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mpcquery/internal/transport"
 )
@@ -21,7 +23,31 @@ func TestWorkerProcessHelper(t *testing.T) {
 	if listen == "" {
 		t.Skip("helper: only runs when re-executed by TestWorkerProcesses")
 	}
-	if code := workerMain(listen, os.Getenv("MPCLOAD_WORKER_PEERS"), 400, 16, ""); code != 0 {
+	maxRestarts := 0
+	if v := os.Getenv("MPCLOAD_WORKER_RESTARTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("MPCLOAD_WORKER_RESTARTS=%q: %v", v, err)
+		}
+		maxRestarts = n
+	}
+	var roundTimeout time.Duration
+	if v := os.Getenv("MPCLOAD_WORKER_TIMEOUT"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("MPCLOAD_WORKER_TIMEOUT=%q: %v", v, err)
+		}
+		roundTimeout = d
+	}
+	m := 400
+	if v := os.Getenv("MPCLOAD_WORKER_M"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("MPCLOAD_WORKER_M=%q: %v", v, err)
+		}
+		m = n
+	}
+	if code := workerMain(listen, os.Getenv("MPCLOAD_WORKER_PEERS"), m, 16, "", maxRestarts, roundTimeout); code != 0 {
 		t.Fatalf("workerMain exited %d", code)
 	}
 }
@@ -110,6 +136,129 @@ func TestWorkerProcesses(t *testing.T) {
 		for i, sc := range files[rank].Scenarios {
 			if want := files[0].Scenarios[i]; sc.Fingerprint != want.Fingerprint {
 				t.Errorf("scenario %s: rank %d fingerprint differs from rank 0:\n  %s\n  %s",
+					sc.Name, rank, sc.Fingerprint, want.Fingerprint)
+			}
+		}
+	}
+}
+
+// TestWorkerKillRejoin is the rank-failure recovery smoke: three worker
+// processes start the suite, rank 2 is SIGKILLed mid-run and a fresh
+// process respawned in its place. With -maxrestarts the survivors detect
+// the lost peer, settle, re-dial, and replay the whole suite alongside
+// the replacement — every surviving process must exit 0 with fingerprints
+// identical across ranks, and at least one survivor must report a restart.
+func TestWorkerKillRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/rejoin smoke skipped in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := transport.FreeLoopbackAddrs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := strings.Join(addrs, ",")
+	spawn := func(rank int, out, errOut *bytes.Buffer) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run=TestWorkerProcessHelper$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			"MPCLOAD_WORKER_LISTEN="+addrs[rank],
+			"MPCLOAD_WORKER_PEERS="+peers,
+			"MPCLOAD_WORKER_RESTARTS=4",
+			"MPCLOAD_WORKER_TIMEOUT=1s",
+			// Big enough that the suite comfortably outlives the kill delay.
+			"MPCLOAD_WORKER_M=4000")
+		cmd.Stdout = out
+		cmd.Stderr = errOut
+		return cmd
+	}
+
+	outs := make([]bytes.Buffer, 3)
+	errs := make([]bytes.Buffer, 3)
+	cmds := make([]*exec.Cmd, 3)
+	waits := make([]chan error, 3)
+	for rank := 0; rank < 3; rank++ {
+		cmds[rank] = spawn(rank, &outs[rank], &errs[rank])
+		if err := cmds[rank].Start(); err != nil {
+			t.Fatal(err)
+		}
+		waits[rank] = make(chan error, 1)
+		go func(rank int) { waits[rank] <- cmds[rank].Wait() }(rank)
+	}
+
+	// Let the group form and the suite get under way, then kill rank 2.
+	time.Sleep(700 * time.Millisecond)
+	select {
+	case <-waits[2]:
+		t.Skip("suite finished before the kill landed; nothing to recover from")
+	default:
+	}
+	if err := cmds[2].Process.Kill(); err != nil {
+		t.Fatalf("kill rank 2: %v", err)
+	}
+	if err := <-waits[2]; err == nil {
+		t.Fatal("killed rank 2 exited cleanly")
+	}
+
+	// Respawn the dead rank: same address, same env, fresh process.
+	var out2, err2 bytes.Buffer
+	rejoin := spawn(2, &out2, &err2)
+	if err := rejoin.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rejoinWait := make(chan error, 1)
+	go func() { rejoinWait <- rejoin.Wait() }()
+
+	deadline := time.After(3 * time.Minute)
+	collect := func(name string, ch chan error, stderr *bytes.Buffer) {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("%s exited with %v\nstderr:\n%s", name, err, stderr.String())
+			}
+		case <-deadline:
+			t.Fatalf("%s did not finish in time\nstderr:\n%s", name, stderr.String())
+		}
+	}
+	collect("survivor rank 0", waits[0], &errs[0])
+	collect("survivor rank 1", waits[1], &errs[1])
+	collect("respawned rank 2", rejoinWait, &err2)
+
+	parse := func(name string, raw []byte) WorkerFile {
+		lo, hi := bytes.IndexByte(raw, '{'), bytes.LastIndexByte(raw, '}')
+		if lo < 0 || hi < lo {
+			t.Fatalf("%s: no JSON document on stdout:\n%s", name, raw)
+		}
+		var f WorkerFile
+		if err := json.Unmarshal(raw[lo:hi+1], &f); err != nil {
+			t.Fatalf("%s: decoding worker JSON: %v", name, err)
+		}
+		return f
+	}
+	files := []WorkerFile{
+		parse("rank 0", outs[0].Bytes()),
+		parse("rank 1", outs[1].Bytes()),
+		parse("rank 2 (respawned)", out2.Bytes()),
+	}
+	restarts := 0
+	for rank, f := range files {
+		if !f.AllIdentical {
+			t.Errorf("rank %d diverged from its in-process reference after recovery", rank)
+		}
+		if len(f.Scenarios) == 0 {
+			t.Errorf("rank %d ran no scenarios", rank)
+		}
+		restarts += f.Restarts
+	}
+	if restarts == 0 {
+		t.Error("no rank reported a restart — the kill never forced recovery")
+	}
+	for rank := 1; rank < len(files); rank++ {
+		for i, sc := range files[rank].Scenarios {
+			if want := files[0].Scenarios[i]; sc.Fingerprint != want.Fingerprint {
+				t.Errorf("scenario %s: rank %d fingerprint differs from rank 0 after recovery:\n  %s\n  %s",
 					sc.Name, rank, sc.Fingerprint, want.Fingerprint)
 			}
 		}

@@ -92,6 +92,7 @@ func All() []*Analyzer {
 		PanicDiscipline,
 		Nondeterminism,
 		ErrCmp,
+		RetryBound,
 	}
 }
 

@@ -8,10 +8,10 @@ import (
 )
 
 func TestNondeterminism(t *testing.T) {
-	// nd is deterministic code; service and obs are on the operational
-	// allowlist and must stay silent.
+	// nd is deterministic code; service, obs, and the fault injector are
+	// on the operational allowlist and must stay silent.
 	analysistest.Run(t, "testdata",
 		[]*analysis.Analyzer{analysis.Nondeterminism},
 		"mpcquery/internal/nd", "mpcquery/internal/service",
-		"mpcquery/internal/obs")
+		"mpcquery/internal/obs", "mpcquery/internal/transport/fault")
 }

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RetryBound flags retry loops that can spin forever: a `for` loop with no
+// condition whose body sleeps (time.Sleep) without ever consulting a
+// context. PR 9's recovery machinery made sleep-and-retry a sanctioned
+// pattern — redial backoff, replay settling, half-open probes — and every
+// such loop must terminate on its own: either the loop condition bounds
+// the attempts (`for attempt <= max`) or the body polls ctx.Done()/
+// ctx.Err() so cancellation reaches it. An unbounded sleeping loop is a
+// wedge: a dead peer turns it into a goroutine that never exits and a
+// Close that never drains.
+//
+// `for range` loops and condition-bounded loops are accepted as is; sleeps
+// inside nested loops or function literals are attributed to their own
+// scope, not the enclosing loop.
+var RetryBound = &Analyzer{
+	Name: "retrybound",
+	Doc:  "sleeping retry loops must bound their attempts in the loop condition or poll a context",
+	Run:  runRetryBound,
+}
+
+func runRetryBound(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				// Conditioned loops carry their bound in the condition;
+				// range loops are bounded by their operand.
+				return true
+			}
+			sleepPos := token.NoPos
+			ctxPolled := false
+			ast.Inspect(loop.Body, func(m ast.Node) bool {
+				switch v := m.(type) {
+				case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+					// A nested loop or closure sleeps on its own account.
+					return false
+				case *ast.CallExpr:
+					f := calleeFunc(pass.TypesInfo, v)
+					if f == nil {
+						return true
+					}
+					if funcPkgPath(f) == "time" && f.Name() == "Sleep" {
+						if _, typeName := recvTypeName(f); typeName == "" && !sleepPos.IsValid() {
+							sleepPos = v.Pos()
+						}
+					}
+					if pkg, typeName := recvTypeName(f); pkg == "context" && typeName == "Context" &&
+						(f.Name() == "Done" || f.Name() == "Err") {
+						ctxPolled = true
+					}
+				}
+				return true
+			})
+			if sleepPos.IsValid() && !ctxPolled {
+				pass.Reportf(sleepPos,
+					"time.Sleep in an unbounded for-loop; bound the retries in the loop condition or poll ctx.Done()/ctx.Err() so the loop can be canceled")
+			}
+			return true
+		})
+	}
+	return nil
+}

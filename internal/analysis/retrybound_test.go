@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpcquery/internal/analysis"
+	"mpcquery/internal/analysis/analysistest"
+)
+
+func TestRetryBound(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{analysis.RetryBound},
+		"mpcquery/internal/rb")
+}

@@ -1,0 +1,90 @@
+// Package rb exercises retrybound: sleeping retry loops must bound their
+// attempts in the loop condition or poll a context so cancellation can
+// reach them; everything else stays silent.
+package rb
+
+import (
+	"context"
+	"time"
+)
+
+func unboundedRetry(try func() error) {
+	for {
+		if try() == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond) // want "unbounded for-loop"
+	}
+}
+
+func boundedByCondition(try func() error, max int) error {
+	var err error
+	for attempt := 0; attempt <= max; attempt++ {
+		if err = try(); err == nil {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond) // fine: the condition bounds the attempts
+	}
+	return err
+}
+
+func ctxPolled(ctx context.Context, try func() error) error {
+	for {
+		if try() == nil {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond) // fine: ctx.Err ends the loop on cancellation
+	}
+}
+
+func ctxSelect(ctx context.Context, try func() error) error {
+	for {
+		if try() == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond) // fine: ctx.Done is consulted each pass
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+}
+
+func rangeLoop(tries []func()) {
+	for _, try := range tries {
+		try()
+		time.Sleep(time.Millisecond) // fine: range loops are bounded by their operand
+	}
+}
+
+func nestedScopes(try func() error, max int) {
+	for {
+		// The closure's sleep belongs to the closure, not this loop; the
+		// inner bounded loop owns its own sleep. Neither reaches here, and
+		// this loop itself never sleeps.
+		go func() {
+			time.Sleep(time.Millisecond)
+		}()
+		for i := 0; i < max; i++ {
+			time.Sleep(time.Millisecond) // fine: bounded inner loop
+		}
+		if try() == nil {
+			return
+		}
+	}
+}
+
+func innerUnbounded(try func() error) {
+	for i := 0; i < 3; i++ {
+		for {
+			if try() == nil {
+				break
+			}
+			time.Sleep(time.Millisecond) // want "unbounded for-loop"
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package fault sits on the nondeterminism time allowlist: the fault
+// schedule itself is a pure seeded hash, but executing a scheduled delay
+// measures and stalls on the wall clock, and none of it reaches a Report
+// fingerprint — chaos runs assert bit-identity against fault-free
+// references. time.Now/Since here is clean.
+package fault
+
+import "time"
+
+func stallStart() time.Time {
+	return time.Now()
+}
+
+func stalledFor(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -294,6 +295,12 @@ type Cluster struct {
 	// path costs a predicted branch and zero allocations.
 	tr *obs.ClusterTrace
 
+	// runCtx / runTrace are the Env's request context and run trace,
+	// threaded into every DeliveryRound so a network transport can honor
+	// cancellation and report injected faults. Both nil by default.
+	runCtx   context.Context
+	runTrace *obs.Trace
+
 	// Wall-clock split of the simulation, not a model cost: time spent in
 	// server computation (round functions and Compute phases) vs delivery
 	// (the simulated communication). cmd/mpcload reports the split per
@@ -446,6 +453,8 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 		Inboxes:      c.spare,
 		RecvBits:     c.recvBits,
 		RecvTuples:   c.recvTuples,
+		Ctx:          c.runCtx,
+		Trace:        c.runTrace,
 	}
 	if c.tr != nil {
 		io.PerDestSeconds = make([]float64, c.p)

@@ -1,15 +1,26 @@
 package engine
 
-import "mpcquery/internal/obs"
+import (
+	"context"
+
+	"mpcquery/internal/obs"
+)
 
 // Env bundles the per-run execution environment a strategy threads down to
-// every cluster it creates: the delivery transport (nil = in-process) and
-// the trace sink (nil = tracing disabled). Strategies receive one Env at
-// the API boundary and pass it unchanged to NewClusterEnv, so a new
-// environment concern never changes their signatures again.
+// every cluster it creates: the delivery transport (nil = in-process), the
+// trace sink (nil = tracing disabled), and the request context (nil =
+// unbounded). Strategies receive one Env at the API boundary and pass it
+// unchanged to NewClusterEnv, so a new environment concern never changes
+// their signatures again.
 type Env struct {
 	Net   Transport
 	Trace *obs.Trace
+
+	// Ctx bounds distributed round delivery: the transport honors its
+	// cancellation/deadline while waiting on remote frames. Local compute
+	// is not preempted — rounds are short; the wire waits are what can
+	// wedge.
+	Ctx context.Context
 }
 
 // NewClusterEnv creates a cluster wired to the environment: delivery goes
@@ -21,6 +32,8 @@ type Env struct {
 func NewClusterEnv(env Env, p, bitsPerValue int) *Cluster {
 	c := NewClusterNet(env.Net, p, bitsPerValue)
 	c.tr = env.Trace.NewCluster(p, bitsPerValue)
+	c.runCtx = env.Ctx
+	c.runTrace = env.Trace
 	return c
 }
 

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"mpcquery/internal/obs"
 )
 
 // This file is the engine's delivery seam: everything a transport needs to
@@ -61,6 +64,16 @@ type DeliveryRound struct {
 	// a network link may leave it zeroed (its delivery time is dominated by
 	// the wire, which the transport meters separately).
 	PerDestSeconds []float64
+
+	// Ctx, when non-nil, bounds the delivery: a network transport must
+	// honor its cancellation/deadline while waiting on remote frames, so a
+	// wedged round cannot outlive its request. DeliverLocal ignores it
+	// (local delivery never blocks on a peer).
+	Ctx context.Context
+
+	// Trace, when non-nil, receives the transport's instant events
+	// (injected faults, replays). Telemetry only — never fingerprinted.
+	Trace *obs.Trace
 }
 
 // DeliverLocal is the in-process delivery kernel: sharded by destination,

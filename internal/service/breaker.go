@@ -1,0 +1,159 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// allowed through to test the dependency.
+	BreakerHalfOpen
+	// BreakerOpen: consecutive failures tripped the breaker; requests are
+	// refused (the service tier answers them another way) until the
+	// cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker with deterministic
+// jittered cooldowns. The service tier keeps one per distributed runtime:
+// `threshold` consecutive peer-unavailable failures trip it, tripped
+// requests are answered by the in-process fallback instead of queuing on
+// a dead worker group, and after the cooldown a single half-open probe
+// decides whether to close it again.
+//
+// The cooldown jitter is a pure function of the trip count (no global
+// RNG, no wall-clock entropy): reproducible under test, yet de-synchronized
+// across successive trips so a periodically-failing dependency doesn't
+// see probes in lockstep.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	fails     int   // consecutive qualifying failures while closed
+	trips     int64 // lifetime trips; seeds the cooldown jitter
+	probes    int64 // half-open probes granted
+	openedAt  time.Time
+	wait      time.Duration // this trip's jittered cooldown
+}
+
+// NewBreaker returns a closed breaker. threshold < 1 is clamped to 1;
+// cooldown <= 0 defaults to one second.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// mix64 is a splitmix64 finalizer — the same avalanche the fault
+// scheduler uses — turning the trip counter into jitter deterministically.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// jitteredCooldown is cooldown + [0, cooldown/2), keyed by the trip count.
+func (b *Breaker) jitteredCooldown() time.Duration {
+	span := int64(b.cooldown) / 2
+	if span <= 0 {
+		return b.cooldown
+	}
+	return b.cooldown + time.Duration(int64(mix64(uint64(b.trips)))%span)
+}
+
+// Allow reports whether a request may use the guarded dependency. In the
+// open state it returns false until the jittered cooldown elapses, then
+// grants exactly one half-open probe; further requests are refused until
+// that probe resolves via RecordSuccess or RecordFailure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // a probe is already in flight
+	default:
+		if time.Since(b.openedAt) < b.wait {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes++
+		return true
+	}
+}
+
+// RecordSuccess notes a successful use of the dependency: it resets the
+// consecutive-failure count and closes a half-open breaker.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.state = BreakerClosed
+}
+
+// RecordFailure notes a qualifying failure: it re-opens a half-open
+// breaker immediately, and trips a closed one once the consecutive count
+// reaches the threshold.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip moves to open with a fresh jittered cooldown. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.trips++
+	b.wait = b.jitteredCooldown()
+	b.openedAt = time.Now()
+}
+
+// State returns the breaker's current position (open breakers whose
+// cooldown has elapsed still report open until a probe is granted).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.RecordFailure()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused a request")
+		}
+	}
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatalf("open breaker allowed a request before cooldown")
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(2, time.Hour)
+	b.RecordFailure()
+	b.RecordSuccess()
+	b.RecordFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: state %v", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v, want open", got)
+	}
+	// Wait out the jittered cooldown (at most 1.5× the base).
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never granted a half-open probe")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	// Exactly one probe: further requests are refused until it resolves.
+	if b.Allow() {
+		t.Fatalf("second probe granted while first is in flight")
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("successful probe left state %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatalf("closed breaker refused a request after recovery")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	b.RecordFailure()
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never granted a half-open probe")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("failed probe left state %v, want open", got)
+	}
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+}
+
+// TestBreakerJitterDeterministic pins the cooldown jitter as a pure
+// function of the trip count: two breakers with identical configuration
+// tripping the same number of times wait identically.
+func TestBreakerJitterDeterministic(t *testing.T) {
+	a := NewBreaker(1, time.Second)
+	b := NewBreaker(1, time.Second)
+	a.RecordFailure()
+	b.RecordFailure()
+	if a.wait != b.wait {
+		t.Fatalf("same trip count, different cooldowns: %v vs %v", a.wait, b.wait)
+	}
+	if a.wait < time.Second || a.wait >= time.Second+time.Second/2 {
+		t.Fatalf("jittered cooldown %v outside [base, 1.5*base)", a.wait)
+	}
+	// Successive trips draw from different jitter coordinates.
+	w1 := a.jitteredCooldown()
+	a.trips++
+	w2 := a.jitteredCooldown()
+	if w1 == w2 {
+		t.Fatalf("trip 1 and trip 2 drew identical jitter — not keyed by trip count")
+	}
+}
+
+func TestBreakerClampsConfig(t *testing.T) {
+	b := NewBreaker(0, 0)
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("threshold clamp: one failure should trip, state %v", got)
+	}
+	if b.cooldown != time.Second {
+		t.Fatalf("cooldown default = %v, want 1s", b.cooldown)
+	}
+}
+
+func TestBreakerConcurrentAccess(t *testing.T) {
+	b := NewBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if (n+j)%3 == 0 {
+						b.RecordFailure()
+					} else {
+						b.RecordSuccess()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	_ = b.State()
+	_ = b.Trips()
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -30,14 +30,32 @@ import (
 // prefix (length of everything after itself) followed by a type byte and
 // a type-specific body.
 const (
-	frameHello    byte = 1 // body: magic u32, version u32, rank u32
+	frameHello    byte = 1 // body: magic u32, version u32, rank u32, epoch u32
 	frameData     byte = 2 // body: dataHeader + payload
 	frameRoundEnd byte = 3 // body: cluster u32, round u32, frames u32
+	frameCtrl     byte = 4 // body: kind u32, gen u32, flags u32
 )
 
+// Control-frame kinds (frameCtrl). They carry the recovery supervisor's
+// cross-rank barriers: after every attempt each rank announces its outcome
+// (ctrlOutcome, flags bit 0 = succeeded), and before a replay each rank
+// announces it has rewound its receive state (ctrlReady). A ctrlReady also
+// advances the connection's epoch — every data/round-end frame that
+// precedes it on the connection belongs to the abandoned attempt and is
+// discarded by the receiver.
 const (
-	helloMagic   uint32 = 0x4d504351 // "MPCQ"
-	helloVersion uint32 = 1
+	ctrlOutcome uint32 = 1
+	ctrlReady   uint32 = 2
+)
+
+// ctrlOK is the ctrlOutcome flag bit announcing a successful attempt.
+const ctrlOK uint32 = 1
+
+const (
+	helloMagic uint32 = 0x4d504351 // "MPCQ"
+	// helloVersion 2 added the hello epoch field and the frameCtrl frame
+	// type (recovery barriers); v1 peers are refused at the handshake.
+	helloVersion uint32 = 2
 )
 
 // dataHeaderLen is the fixed part of a data frame's body: cluster(4),
@@ -88,11 +106,16 @@ type frame struct {
 
 	data dataFrame // frameData
 
-	rank uint32 // frameHello
+	rank  uint32 // frameHello
+	epoch uint32 // frameHello: sender's attempt epoch at dial time
 
 	cluster uint32 // frameRoundEnd
 	round   uint32 // frameRoundEnd
 	frames  uint32 // frameRoundEnd
+
+	ckind uint32 // frameCtrl: ctrlOutcome or ctrlReady
+	gen   uint32 // frameCtrl: the attempt epoch the barrier belongs to
+	flags uint32 // frameCtrl: ctrlOutcome payload (ctrlOK bit)
 }
 
 // widthFor picks the per-value byte width of one batch: the compact width
@@ -163,13 +186,27 @@ func appendRoundEnd(dst []byte, cluster, round, frames uint32) []byte {
 
 // appendHello serializes the handshake frame, the first frame on every
 // connection: it names the dialing rank (all later frames on the
-// connection are attributed to it) and pins the protocol version.
-func appendHello(dst []byte, rank uint32) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, 1+12)
+// connection are attributed to it), pins the protocol version, and carries
+// the dialer's attempt epoch so a connection opened mid-replay starts at
+// the right generation.
+func appendHello(dst []byte, rank, epoch uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1+16)
 	dst = append(dst, frameHello)
 	dst = binary.LittleEndian.AppendUint32(dst, helloMagic)
 	dst = binary.LittleEndian.AppendUint32(dst, helloVersion)
 	dst = binary.LittleEndian.AppendUint32(dst, rank)
+	dst = binary.LittleEndian.AppendUint32(dst, epoch)
+	return dst
+}
+
+// appendCtrl serializes one recovery-barrier frame (kind ctrlOutcome or
+// ctrlReady) for attempt epoch gen.
+func appendCtrl(dst []byte, kind, gen, flags uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1+12)
+	dst = append(dst, frameCtrl)
+	dst = binary.LittleEndian.AppendUint32(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, gen)
+	dst = binary.LittleEndian.AppendUint32(dst, flags)
 	return dst
 }
 
@@ -185,8 +222,8 @@ func decodeFrame(body []byte) (frame, error) {
 	rest := body[1:]
 	switch f.typ {
 	case frameHello:
-		if len(rest) != 12 {
-			return f, fmt.Errorf("%w: hello body is %d bytes, want 12", errMalformed, len(rest))
+		if len(rest) != 16 {
+			return f, fmt.Errorf("%w: hello body is %d bytes, want 16", errMalformed, len(rest))
 		}
 		if magic := binary.LittleEndian.Uint32(rest[0:4]); magic != helloMagic {
 			return f, fmt.Errorf("%w: bad hello magic %#x", errMalformed, magic)
@@ -195,6 +232,18 @@ func decodeFrame(body []byte) (frame, error) {
 			return f, fmt.Errorf("%w: protocol version %d, want %d", errMalformed, v, helloVersion)
 		}
 		f.rank = binary.LittleEndian.Uint32(rest[8:12])
+		f.epoch = binary.LittleEndian.Uint32(rest[12:16])
+		return f, nil
+	case frameCtrl:
+		if len(rest) != 12 {
+			return f, fmt.Errorf("%w: ctrl body is %d bytes, want 12", errMalformed, len(rest))
+		}
+		f.ckind = binary.LittleEndian.Uint32(rest[0:4])
+		f.gen = binary.LittleEndian.Uint32(rest[4:8])
+		f.flags = binary.LittleEndian.Uint32(rest[8:12])
+		if f.ckind != ctrlOutcome && f.ckind != ctrlReady {
+			return f, fmt.Errorf("%w: unknown ctrl kind %d", errMalformed, f.ckind)
+		}
 		return f, nil
 	case frameRoundEnd:
 		if len(rest) != 12 {

@@ -106,17 +106,30 @@ func minInt(a, b int) int {
 	return b
 }
 
-// TestCodecControlRoundTrip covers the hello and round-end frames.
+// TestCodecControlRoundTrip covers the hello, round-end and ctrl frames.
 func TestCodecControlRoundTrip(t *testing.T) {
-	enc := appendHello(nil, 7)
+	enc := appendHello(nil, 7, 2)
 	f, err := decodeFrame(enc[4:])
-	if err != nil || f.typ != frameHello || f.rank != 7 {
+	if err != nil || f.typ != frameHello || f.rank != 7 || f.epoch != 2 {
 		t.Fatalf("hello round-trip: %+v, %v", f, err)
 	}
 	enc = appendRoundEnd(nil, 3, 9, 42)
 	f, err = decodeFrame(enc[4:])
 	if err != nil || f.typ != frameRoundEnd || f.cluster != 3 || f.round != 9 || f.frames != 42 {
 		t.Fatalf("round-end round-trip: %+v, %v", f, err)
+	}
+	enc = appendCtrl(nil, ctrlOutcome, 5, ctrlOK)
+	f, err = decodeFrame(enc[4:])
+	if err != nil || f.typ != frameCtrl || f.ckind != ctrlOutcome || f.gen != 5 || f.flags != ctrlOK {
+		t.Fatalf("ctrl outcome round-trip: %+v, %v", f, err)
+	}
+	enc = appendCtrl(nil, ctrlReady, 6, 1)
+	f, err = decodeFrame(enc[4:])
+	if err != nil || f.typ != frameCtrl || f.ckind != ctrlReady || f.gen != 6 || f.flags != 1 {
+		t.Fatalf("ctrl ready round-trip: %+v, %v", f, err)
+	}
+	if _, err := decodeFrame([]byte{frameCtrl, 99, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatalf("unknown ctrl kind must be rejected")
 	}
 }
 

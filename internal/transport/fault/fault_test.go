@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpcquery/internal/engine"
+	"mpcquery/internal/transport"
+)
+
+func TestNewPlanInjectsNothing(t *testing.T) {
+	p := NewPlan(99)
+	for rank := 0; rank < 4; rank++ {
+		for peer := 0; peer < 4; peer++ {
+			if act, del := p.WriteFault(rank, peer, 0, 0, 0, 0); act != transport.FaultNone || del != 0 {
+				t.Fatalf("zero plan drew %v/%v at (%d,%d)", act, del, rank, peer)
+			}
+			if del, err := p.DeliverFault(rank, 0, 0, 0); del != 0 || err != nil {
+				t.Fatalf("zero plan delivery fault %v/%v at rank %d", del, err, rank)
+			}
+		}
+	}
+}
+
+func TestPlanRatesAreApproximatelyHonored(t *testing.T) {
+	p := NewPlan(5)
+	p.DropPer10k = 2500 // 25%
+	fired := 0
+	const sites = 4000
+	for i := 0; i < sites; i++ {
+		if act, _ := p.WriteFault(i%7, (i+1)%7, 0, uint32(i/13), uint32(i%13), 0); act == transport.FaultDrop {
+			fired++
+		}
+	}
+	// A seeded hash over 4000 sites should land well within ±5 points.
+	if rate := float64(fired) / sites; rate < 0.20 || rate > 0.30 {
+		t.Fatalf("drop rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestPlanPriorityDropBeatsDup(t *testing.T) {
+	p := NewPlan(6)
+	p.DropPer10k = 10000
+	p.DupPer10k = 10000
+	if act, _ := p.WriteFault(0, 1, 0, 0, 0, 0); act != transport.FaultDrop {
+		t.Fatalf("both scheduled: got %v, want drop to win", act)
+	}
+}
+
+func TestCrashSiteExact(t *testing.T) {
+	p := NewPlan(7)
+	p.CrashRank = 1
+	p.CrashCluster = 2
+	p.CrashRound = 3
+	if _, err := p.DeliverFault(1, 0, 2, 3); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("crash site did not crash: %v", err)
+	}
+	for _, site := range [][4]int{{0, 0, 2, 3}, {1, 0, 2, 2}, {1, 0, 1, 3}, {1, 1, 2, 3}} {
+		if _, err := p.DeliverFault(site[0], site[1], uint32(site[2]), uint32(site[3])); err != nil {
+			t.Fatalf("non-crash site %v crashed: %v", site, err)
+		}
+	}
+}
+
+func TestStragglerDelaysEveryRound(t *testing.T) {
+	p := NewPlan(8)
+	p.StragglerRank = 2
+	p.Delay = 5 * time.Millisecond
+	if del, err := p.DeliverFault(2, 0, 9, 9); del != p.Delay || err != nil {
+		t.Fatalf("straggler rank: %v/%v, want %v/nil", del, err, p.Delay)
+	}
+	if del, _ := p.DeliverFault(1, 0, 9, 9); del != 0 {
+		t.Fatalf("non-straggler rank delayed %v", del)
+	}
+	if del, _ := p.DeliverFault(2, 1, 9, 9); del != 0 {
+		t.Fatalf("straggler delayed at epoch 1: %v", del)
+	}
+}
+
+func TestWrapNilPlanIsIdentity(t *testing.T) {
+	if got := Wrap(nil, nil); got != nil {
+		t.Fatalf("Wrap(nil, nil) = %v, want nil", got)
+	}
+}
+
+// TestWrapLocalCrashAndRecovery drives the in-process wrapper the way the
+// recovery supervisor does: a scheduled crash at epoch 0 fails delivery
+// with the ErrPeerUnavailable shape, AdvanceEpoch moves past it (and
+// realigns cluster identities), and epoch 1 delivers clean.
+func TestWrapLocalCrashAndRecovery(t *testing.T) {
+	p := NewPlan(9)
+	p.CrashRank = 0
+	p.CrashCluster = 0
+	p.CrashRound = 0
+	tr := Wrap(nil, p)
+	lt, ok := tr.(*localTransport)
+	if !ok {
+		t.Fatalf("Wrap(nil, plan) = %T, want *localTransport", tr)
+	}
+
+	// Drive a real one-round engine program through the wrapper; a
+	// delivery failure surfaces as the engine's typed panic.
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if e, isErr := r.(error); isErr {
+					err = e
+				} else {
+					t.Fatalf("non-error panic: %v", r)
+				}
+			}
+		}()
+		c := engine.NewClusterNet(tr, 2, 16)
+		defer c.Release()
+		c.Round("ping", func(s int, _ *engine.Inbox, em *engine.Emitter) {
+			em.EmitTuple((s+1)%2, 0, []int64{int64(s), 7})
+		})
+		return nil
+	}
+
+	err := run()
+	if !errors.Is(err, transport.ErrPeerUnavailable) || !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("epoch-0 crash = %v, want ErrPeerUnavailable wrapping ErrInjectedCrash", err)
+	}
+	lt.AdvanceEpoch()
+	if lt.nextCluster != 0 {
+		t.Fatalf("AdvanceEpoch left nextCluster = %d, want 0 (replay realigns ids)", lt.nextCluster)
+	}
+	if err := run(); err != nil {
+		t.Fatalf("epoch-1 replay still faulted: %v", err)
+	}
+}

@@ -8,8 +8,10 @@ import "testing"
 // with annotation-width values; the checked-in corpus under
 // testdata/fuzz/FuzzFrameDecode pins regression inputs.
 func FuzzFrameDecode(f *testing.F) {
-	f.Add(appendHello(nil, 3)[4:])
+	f.Add(appendHello(nil, 3, 0)[4:])
 	f.Add(appendRoundEnd(nil, 1, 2, 3)[4:])
+	f.Add(appendCtrl(nil, ctrlOutcome, 1, ctrlOK)[4:])
+	f.Add(appendCtrl(nil, ctrlReady, 2, 1)[4:])
 	f.Add(appendDataFrame(nil, 1, 2, 0, 3, -1, 0, 2, 2, []int64{1, 2, 3, 4})[4:])
 	f.Add(appendDataFrame(nil, 0, 0, 0, 0, 5, 1, 3, 8, []int64{-1, 1 << 40, 7})[4:])
 	f.Add([]byte{})

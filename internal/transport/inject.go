@@ -1,0 +1,47 @@
+package transport
+
+import "time"
+
+// FaultAction is one wire-level fault a FaultInjector can order for a
+// single write attempt. The session applies the action and lets its normal
+// failure handling absorb it: a drop or reset surfaces as a failed write
+// (retried with a full resend, deduplicated by sequence number at the
+// receiver), a duplicate is shipped twice (deduplicated likewise), and a
+// delay just stalls the writer.
+type FaultAction int
+
+const (
+	// FaultNone: write normally.
+	FaultNone FaultAction = iota
+	// FaultDrop: tear the write — ship only a prefix of the frame stream,
+	// then kill the connection, exactly what a mid-stream network failure
+	// looks like to both ends.
+	FaultDrop
+	// FaultDup: ship the complete frame stream twice.
+	FaultDup
+	// FaultReset: kill the connection before writing anything, forcing a
+	// redial on the next attempt.
+	FaultReset
+)
+
+// FaultInjector decides, deterministically, which faults to inject where.
+// Implementations must be pure functions of their arguments (plus a seed
+// fixed at construction): the chaos harness relies on a fault schedule
+// being exactly reproducible, and the SPMD contract relies on every rank
+// computing the same schedule. internal/transport/fault provides the
+// standard implementation; a session installs one via SetFaultInjector.
+type FaultInjector interface {
+	// WriteFault is consulted before each attempt to ship one round's frame
+	// stream from rank to peer. epoch is the session's attempt epoch (0
+	// until a recovery rewind). The returned delay, if positive, is slept
+	// before the action is applied. Control (barrier) frames are never
+	// offered for injection — only data writes are.
+	WriteFault(rank, peer, epoch int, cluster, round uint32, attempt int) (FaultAction, time.Duration)
+
+	// DeliverFault is consulted once at the start of each cluster round on
+	// rank. A positive delay makes the rank a straggler for the round; a
+	// non-nil error simulates the rank crashing at that point — the round
+	// fails with ErrPeerUnavailable before anything is sent, and peers
+	// observe the rank going silent.
+	DeliverFault(rank, epoch int, cluster, round uint32) (time.Duration, error)
+}

@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,14 +17,25 @@ import (
 	"mpcquery/internal/obs"
 )
 
-// ErrPeerUnavailable is returned (wrapped, with peer and round context)
-// when a peer cannot be dialed or written within the session's retry
-// budget, or when a round's frames do not arrive within the round
-// timeout. The round fails loudly — bits are never silently dropped.
+// ErrPeerUnavailable is returned (wrapped, with rank, cluster/round and
+// peer-address context) when a peer cannot be dialed or written within the
+// session's retry budget, or when a round's frames do not arrive within
+// the round timeout. The round fails loudly — bits are never silently
+// dropped — and the run-level recovery supervisor (see Mark/Rewind and the
+// barrier exchanges below) decides whether to replay.
 var ErrPeerUnavailable = errors.New("transport: peer unavailable")
 
 // ErrSessionClosed is returned by operations on a closed session.
 var ErrSessionClosed = errors.New("transport: session closed")
+
+// Injected-fault sentinels: a FaultInjector's drop/reset surfaces through
+// the normal write-retry machinery as one of these, so chaos-test errors
+// are distinguishable from genuine network failures in messages (never in
+// control flow — both shapes retry and recover identically).
+var (
+	errInjectedReset = errors.New("injected connection reset")
+	errInjectedDrop  = errors.New("injected torn write")
+)
 
 // Options tunes a TCP session's failure handling. The zero value means
 // defaults.
@@ -41,7 +54,10 @@ type Options struct {
 	WriteRetries int
 	// RoundTimeout bounds how long Deliver waits for the other ranks'
 	// frames of one round (default 60s) before failing with
-	// ErrPeerUnavailable.
+	// ErrPeerUnavailable. It also caps how long a single socket write may
+	// block (a wedged peer that stops reading cannot stall a round, or a
+	// Service.Close drain, forever), and the recovery barriers wait up to
+	// twice this long for slow peers to notice a failed attempt.
 	RoundTimeout time.Duration
 }
 
@@ -77,15 +93,25 @@ func (o *Options) withDefaults() Options {
 // ChargedBits() ≤ BilledPayloadBytes×8 always (values are byte-padded,
 // never truncated), with equality when bitsPerValue is a multiple of 8
 // and no value outgrows its domain width.
+//
+// Recovery keeps the identity exact: when a failed attempt is rewound
+// (Session.Rewind), the abandoned attempt's model accounting is backed out
+// of the charged counters and reported separately under AbandonedBytes /
+// AbandonedChargedBits — a replayed run bills each bit exactly once, no
+// matter how many attempts it took. WireBytes stays monotone (those bytes
+// really crossed the wire).
 type WireStats struct {
 	// DataFrames counts unique data frames serialized (one per sender
 	// batch; each is then shipped to every rank — see WireBytes).
 	DataFrames int64
-	// CtrlFrames counts hello and round-end frames actually sent.
+	// CtrlFrames counts hello, round-end and recovery-barrier frames
+	// actually sent.
 	CtrlFrames int64
 
 	// WireBytes is every byte handed to a socket, across all peers —
-	// data frames are counted once per peer shipped.
+	// data frames are counted once per peer shipped. Unlike the model
+	// counters below it is never rewound: injected torn writes,
+	// duplicates, resends and abandoned attempts all really happened.
 	WireBytes int64
 
 	// PayloadBytes / HeaderBytes split one copy of all data frames into
@@ -110,6 +136,19 @@ type WireStats struct {
 	UnicastChargedBits   int64
 	BroadcastChargedBits int64
 
+	// AbandonedBytes is the payload+header bytes of abandoned attempts:
+	// serialized, possibly shipped, then backed out of the charged
+	// counters by Rewind when the recovery supervisor replays a failed
+	// run. AbandonedChargedBits is the model bits backed out the same
+	// way. Neither ever appears in ChargedBits — retries never
+	// double-bill.
+	AbandonedBytes        int64
+	AbandonedChargedBits  int64
+
+	// FaultsInjected counts faults the installed FaultInjector actually
+	// applied (drops, duplicates, resets, delays, injected crashes).
+	FaultsInjected int64
+
 	// Redials counts failed connection attempts; Resends counts round
 	// write retries after a connection failure.
 	Redials int64
@@ -131,6 +170,9 @@ type wireCounters struct {
 	billedPayloadBytes    atomic.Int64
 	unicastChargedBits    atomic.Int64
 	broadcastChargedBits  atomic.Int64
+	abandonedBytes        atomic.Int64
+	abandonedChargedBits  atomic.Int64
+	faultsInjected        atomic.Int64
 	redials               atomic.Int64
 	resends               atomic.Int64
 }
@@ -141,13 +183,15 @@ type wireCounters struct {
 // /metrics endpoint, while Session.Stats() stays the per-rank snapshot
 // the accounting identities are asserted on.
 var (
-	obsDataFrames   = obs.Default().Counter("mpc_transport_data_frames_total")
-	obsCtrlFrames   = obs.Default().Counter("mpc_transport_ctrl_frames_total")
-	obsWireBytes    = obs.Default().Counter("mpc_transport_wire_bytes_total")
-	obsPayloadBytes = obs.Default().Counter("mpc_transport_payload_bytes_total")
-	obsBilledBytes  = obs.Default().Counter("mpc_transport_billed_payload_bytes_total")
-	obsRedials      = obs.Default().Counter("mpc_transport_redials_total")
-	obsResends      = obs.Default().Counter("mpc_transport_resends_total")
+	obsDataFrames     = obs.Default().Counter("mpc_transport_data_frames_total")
+	obsCtrlFrames     = obs.Default().Counter("mpc_transport_ctrl_frames_total")
+	obsWireBytes      = obs.Default().Counter("mpc_transport_wire_bytes_total")
+	obsPayloadBytes   = obs.Default().Counter("mpc_transport_payload_bytes_total")
+	obsBilledBytes    = obs.Default().Counter("mpc_transport_billed_payload_bytes_total")
+	obsAbandonedBytes = obs.Default().Counter("mpc_transport_abandoned_bytes_total")
+	obsFaults         = obs.Default().Counter("mpc_faults_injected_total")
+	obsRedials        = obs.Default().Counter("mpc_transport_redials_total")
+	obsResends        = obs.Default().Counter("mpc_transport_resends_total")
 )
 
 func (c *wireCounters) snapshot() WireStats {
@@ -162,6 +206,9 @@ func (c *wireCounters) snapshot() WireStats {
 		BilledPayloadBytes:    c.billedPayloadBytes.Load(),
 		UnicastChargedBits:    c.unicastChargedBits.Load(),
 		BroadcastChargedBits:  c.broadcastChargedBits.Load(),
+		AbandonedBytes:        c.abandonedBytes.Load(),
+		AbandonedChargedBits:  c.abandonedChargedBits.Load(),
+		FaultsInjected:        c.faultsInjected.Load(),
 		Redials:               c.redials.Load(),
 		Resends:               c.resends.Load(),
 	}
@@ -207,6 +254,15 @@ func (rd *roundState) complete(n int) bool {
 	return true
 }
 
+// ctrlState collects one recovery barrier's announcements, one per rank.
+type ctrlState struct {
+	got   []bool
+	flags []uint32
+	have  int
+}
+
+func ctrlKey(kind, gen uint32) uint64 { return uint64(kind)<<32 | uint64(gen) }
+
 // Session is one rank of a distributed run: a listener at addrs[rank], an
 // outgoing connection to every rank (itself included — self-delivery
 // crosses the real loopback socket, it is not short-circuited), and the
@@ -217,6 +273,31 @@ func (rd *roundState) complete(n int) bool {
 // All ranks must execute the same sequence of runs: cluster identities
 // are assigned by Attach order, and round payloads are only exchanged,
 // never negotiated. One session must not serve concurrent runs.
+//
+// # Recovery protocol
+//
+// A failed run attempt is replayed from round 0 — determinism makes the
+// replay bit-identical, so nothing of the abandoned attempt needs to be
+// salvaged; it needs to be *discarded coherently* at every rank. The
+// supervisor (root run.go's WithRecovery loop) drives, in lockstep at
+// every rank:
+//
+//	mark := s.Mark()                 // before the attempt
+//	err  := attempt()                // the run itself
+//	allOK, _ := s.ExchangeOutcome(err == nil)   // barrier 1: agree on the verdict
+//	if allOK { done }
+//	s.Rewind(mark)                   // discard receive state, back out accounting, epoch++
+//	s.ReadyBarrier()                 // barrier 2: everyone has rewound
+//	retry
+//
+// Stale frames of the abandoned attempt are filtered by *connection
+// epoch*: every connection's hello carries the dialer's epoch, a
+// ctrlReady advances it, and data/round-end frames whose connection epoch
+// is behind the session's are dropped on ingest. Per-connection FIFO
+// ordering plus the two barriers make the filter airtight: a rank only
+// ships replay frames after every peer announced ready, which each peer
+// announced only after rewinding, so replay frames always land in fresh
+// state — and anything older is provably from a dead attempt.
 type Session struct {
 	rank  int
 	n     int
@@ -229,7 +310,12 @@ type Session struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	clusters    map[uint32]*clusterState
+	retired     map[uint32]bool
+	ctrl        map[uint64]*ctrlState
 	nextCluster uint32
+	epoch       int    // attempt epoch: bumped by Rewind, filters stale frames
+	gen         uint32 // barrier sequence: bumped per ExchangeOutcome/ReadyBarrier
+	faults      FaultInjector
 	conns       []net.Conn // accepted connections, closed with the session
 	closed      bool
 	fatal       error
@@ -263,6 +349,8 @@ func Dial(rank int, addrs []string, opts *Options) (*Session, error) {
 		ln:       ln,
 		peers:    make([]*peerConn, n),
 		clusters: make(map[uint32]*clusterState),
+		retired:  make(map[uint32]bool),
+		ctrl:     make(map[uint64]*ctrlState),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.peers {
@@ -306,6 +394,38 @@ func (s *Session) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.fatal
+}
+
+// Epoch returns the session's current attempt epoch: 0 until the first
+// recovery rewind, monotone thereafter.
+func (s *Session) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// SetFaultInjector installs (or, with nil, removes) the session's fault
+// injector. All ranks of a run must install the same schedule — the
+// injector must be a pure function of its arguments, so that is a
+// configuration requirement, not a synchronization one.
+func (s *Session) SetFaultInjector(fi FaultInjector) {
+	s.mu.Lock()
+	s.faults = fi
+	s.mu.Unlock()
+}
+
+func (s *Session) injectorAndEpoch() (FaultInjector, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults, s.epoch
+}
+
+func (s *Session) countFault(local *int64) {
+	s.ctr.faultsInjected.Add(1)
+	obsFaults.Inc()
+	if local != nil {
+		*local++
+	}
 }
 
 // Close shuts the session down: the listener and every connection are
@@ -368,6 +488,7 @@ func (s *Session) Attach(p, bitsPerValue int) (engine.Link, error) {
 	}
 	id := s.nextCluster
 	s.nextCluster++
+	delete(s.retired, id)
 	if _, ok := s.clusters[id]; !ok {
 		s.clusters[id] = &clusterState{rounds: make(map[uint32]*roundState)}
 	}
@@ -393,9 +514,14 @@ func backoffFor(attempt int, base time.Duration) time.Duration {
 }
 
 // dialPeer connects to rank r with the session's retry budget and sends
-// the hello handshake.
+// the hello handshake (which pins the protocol version and carries the
+// current attempt epoch). The error carries rank and peer address; write
+// paths add cluster/round context on top.
 func (s *Session) dialPeer(r int) (net.Conn, error) {
-	hello := appendHello(nil, uint32(s.rank))
+	s.mu.Lock()
+	epoch := uint32(s.epoch)
+	s.mu.Unlock()
+	hello := appendHello(nil, uint32(s.rank), epoch)
 	var lastErr error
 	for attempt := 0; attempt < s.opts.DialAttempts; attempt++ {
 		if attempt > 0 {
@@ -423,6 +549,30 @@ func (s *Session) dialPeer(r int) (net.Conn, error) {
 		return c, nil
 	}
 	return nil, fmt.Errorf("%w: rank %d dial %s: %v", ErrPeerUnavailable, s.rank, s.addrs[r], lastErr)
+}
+
+// ProbePeers health-checks every peer address with a short plain TCP
+// connect (closed before the handshake, so the probe is invisible to the
+// peer's protocol state). It classifies a failed round: if every peer
+// still accepts connections the failure was transient and a replay is
+// worth attempting; a refusing peer is reported as unavailable.
+func (s *Session) ProbePeers() error {
+	var firstErr error
+	for r := 0; r < s.n; r++ {
+		if s.isClosed() {
+			return ErrSessionClosed
+		}
+		c, err := net.DialTimeout("tcp", s.addrs[r], 2*time.Second)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: rank %d: health probe of peer %d (%s) failed: %v",
+					ErrPeerUnavailable, s.rank, r, s.addrs[r], err)
+			}
+			continue
+		}
+		c.Close()
+	}
+	return firstErr
 }
 
 func (s *Session) acceptLoop() {
@@ -469,11 +619,17 @@ func (s *Session) serveConn(c net.Conn) {
 	br := bufio.NewReaderSize(c, 1<<16)
 	f, err := readFrame(br)
 	if err != nil || f.typ != frameHello || int(f.rank) >= s.n {
-		// Not a valid peer handshake: drop the connection without
-		// poisoning the session (a stray connect must not kill a run).
+		// Not a valid peer handshake (or a health probe): drop the
+		// connection without poisoning the session — a stray connect must
+		// not kill a run.
 		return
 	}
 	peer := int(f.rank)
+	// The connection's epoch: the dialer's attempt epoch at dial time,
+	// advanced by each ctrlReady it ships. Only this goroutine touches it
+	// (ingest runs on it), so no locking beyond the session mutex inside
+	// ingest is needed.
+	connEpoch := int(f.epoch)
 	for {
 		f, err := readFrame(br)
 		if err != nil {
@@ -485,7 +641,7 @@ func (s *Session) serveConn(c net.Conn) {
 			}
 			return
 		}
-		if err := s.ingest(peer, f); err != nil {
+		if err := s.ingest(peer, f, &connEpoch); err != nil {
 			s.setFatal(err)
 			return
 		}
@@ -509,11 +665,55 @@ func (s *Session) roundLocked(cluster, round uint32) *roundState {
 	return rd
 }
 
-func (s *Session) ingest(peer int, f frame) error {
+func (s *Session) ctrlLocked(kind, gen uint32) *ctrlState {
+	k := ctrlKey(kind, gen)
+	st, ok := s.ctrl[k]
+	if !ok {
+		st = &ctrlState{got: make([]bool, s.n), flags: make([]uint32, s.n)}
+		s.ctrl[k] = st
+	}
+	return st
+}
+
+// abortedLocked reports whether any rank has announced a failed outcome
+// for the upcoming barrier (gen+1 — the one this attempt will join). A
+// waiting round uses it to fail fast instead of sitting out the full
+// round timeout when a peer already knows the attempt is dead.
+func (s *Session) abortedLocked() (int, bool) {
+	st, ok := s.ctrl[ctrlKey(ctrlOutcome, s.gen+1)]
+	if !ok {
+		return 0, false
+	}
+	for r := 0; r < s.n; r++ {
+		if st.got[r] && st.flags[r]&ctrlOK == 0 {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Session) ingest(peer int, f frame, connEpoch *int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch f.typ {
+	case frameCtrl:
+		if f.ckind == ctrlReady {
+			// The peer has rewound for a replay: everything that follows
+			// on this connection belongs to its new attempt epoch
+			// (carried in flags).
+			*connEpoch = int(f.flags)
+		}
+		st := s.ctrlLocked(f.ckind, f.gen)
+		if !st.got[peer] {
+			st.got[peer] = true
+			st.flags[peer] = f.flags
+			st.have++
+			s.cond.Broadcast()
+		}
 	case frameData:
+		if *connEpoch < s.epoch || s.retired[f.data.Cluster] {
+			return nil // stale frame of an abandoned attempt or closed cluster
+		}
 		rd := s.roundLocked(f.data.Cluster, f.data.Round)
 		if rd.assembled {
 			return nil // duplicate after completion (resend overlap)
@@ -531,6 +731,9 @@ func (s *Session) ingest(peer int, f frame) error {
 			s.cond.Broadcast()
 		}
 	case frameRoundEnd:
+		if *connEpoch < s.epoch || s.retired[f.cluster] {
+			return nil
+		}
 		rd := s.roundLocked(f.cluster, f.round)
 		if rd.assembled {
 			return nil
@@ -550,10 +753,19 @@ func (s *Session) ingest(peer int, f frame) error {
 	return nil
 }
 
-// writePeer ships one round's complete frame stream to rank r, retrying
+// writeFrames ships buf (one complete frame stream) to rank r, retrying
 // with a fresh connection (and a full resend — receivers dedupe by
-// sequence number) up to WriteRetries times.
-func (s *Session) writePeer(r int, buf []byte) error {
+// sequence number) up to WriteRetries times. Every write is bounded by a
+// RoundTimeout write deadline, so a peer that stops reading fails the
+// round instead of wedging it. desc names the stream for error context
+// ("cluster C round R" or a barrier name) — surfaced errors always carry
+// (rank, what, peer, addr).
+//
+// When a FaultInjector is installed (fi non-nil), it is consulted before
+// each attempt and may tear, duplicate, delay or reset the write; the
+// injected failure then flows through the exact retry/dedup machinery a
+// real one would.
+func (s *Session) writeFrames(r int, buf []byte, desc string, fi FaultInjector, epoch int, cluster, round uint32, faults *int64) error {
 	pc := s.peers[r]
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -575,25 +787,63 @@ func (s *Session) writePeer(r int, buf []byte) error {
 			}
 			pc.conn = c
 		}
-		s.queued.Add(int64(len(buf)))
-		_, err := pc.conn.Write(buf)
-		s.queued.Add(-int64(len(buf)))
+		out := buf
+		if fi != nil {
+			act, delay := fi.WriteFault(s.rank, r, epoch, cluster, round, attempt)
+			if delay > 0 {
+				s.countFault(faults)
+				time.Sleep(delay)
+			}
+			switch act {
+			case FaultReset:
+				s.countFault(faults)
+				pc.conn.Close()
+				pc.conn = nil
+				lastErr = errInjectedReset
+				continue
+			case FaultDrop:
+				s.countFault(faults)
+				torn := buf[:len(buf)/2]
+				pc.conn.SetWriteDeadline(time.Now().Add(s.opts.RoundTimeout))
+				if n, _ := pc.conn.Write(torn); n > 0 {
+					s.ctr.wireBytes.Add(int64(n))
+					obsWireBytes.Add(int64(n))
+				}
+				pc.conn.Close()
+				pc.conn = nil
+				lastErr = errInjectedDrop
+				continue
+			case FaultDup:
+				s.countFault(faults)
+				dup := make([]byte, 0, 2*len(buf))
+				dup = append(dup, buf...)
+				out = append(dup, buf...)
+			}
+		}
+		pc.conn.SetWriteDeadline(time.Now().Add(s.opts.RoundTimeout))
+		s.queued.Add(int64(len(out)))
+		_, err := pc.conn.Write(out)
+		s.queued.Add(-int64(len(out)))
 		if err == nil {
-			s.ctr.wireBytes.Add(int64(len(buf)))
-			obsWireBytes.Add(int64(len(buf)))
+			s.ctr.wireBytes.Add(int64(len(out)))
+			obsWireBytes.Add(int64(len(out)))
 			return nil
 		}
 		lastErr = err
 		pc.conn.Close()
 		pc.conn = nil
 	}
-	return fmt.Errorf("%w: rank %d write to peer %d (%s): %v", ErrPeerUnavailable, s.rank, r, s.addrs[r], lastErr)
+	return fmt.Errorf("%w: rank %d: %s write to peer %d (%s): %v",
+		ErrPeerUnavailable, s.rank, desc, r, s.addrs[r], lastErr)
 }
 
 // waitRound blocks until every rank's frames for (cluster, round) have
-// arrived, then claims them for assembly. On timeout the round fails
-// with ErrPeerUnavailable — the barrier never resolves silently short.
-func (s *Session) waitRound(cluster, round uint32) ([][]dataFrame, error) {
+// arrived, then claims them for assembly. It fails with ErrPeerUnavailable
+// on timeout (naming the pending peers) or as soon as any rank announces a
+// failed attempt over the outcome barrier, and honors ctx cancellation —
+// the barrier never resolves silently short, and a wedged round cannot
+// outlive its request.
+func (s *Session) waitRound(ctx context.Context, cluster, round uint32) ([][]dataFrame, error) {
 	timeout := s.opts.RoundTimeout
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
@@ -602,6 +852,14 @@ func (s *Session) waitRound(cluster, round uint32) ([][]dataFrame, error) {
 		s.mu.Unlock()
 	})
 	defer timer.Stop()
+	if ctx != nil {
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stop()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rd := s.roundLocked(cluster, round)
@@ -612,6 +870,15 @@ func (s *Session) waitRound(cluster, round uint32) ([][]dataFrame, error) {
 		if s.closed {
 			return nil, ErrSessionClosed
 		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("transport: rank %d: cluster %d round %d: %w", s.rank, cluster, round, err)
+			}
+		}
+		if r, aborted := s.abortedLocked(); aborted {
+			return nil, fmt.Errorf("%w: rank %d: cluster %d round %d aborted: peer %d (%s) announced a failed attempt",
+				ErrPeerUnavailable, s.rank, cluster, round, r, s.addrs[r])
+		}
 		if rd.complete(s.n) {
 			rd.assembled = true
 			frames := rd.byRank
@@ -619,17 +886,208 @@ func (s *Session) waitRound(cluster, round uint32) ([][]dataFrame, error) {
 			return frames, nil
 		}
 		if !time.Now().Before(deadline) {
-			missing := 0
+			var pending []string
 			for r := 0; r < s.n; r++ {
 				if rd.ends[r] < 0 || int64(len(rd.byRank[r])) != rd.ends[r] {
-					missing++
+					pending = append(pending, fmt.Sprintf("%d (%s)", r, s.addrs[r]))
 				}
 			}
-			return nil, fmt.Errorf("%w: rank %d: cluster %d round %d incomplete after %v (%d/%d ranks pending)",
-				ErrPeerUnavailable, s.rank, cluster, round, timeout, missing, s.n)
+			return nil, fmt.Errorf("%w: rank %d: cluster %d round %d incomplete after %v, pending peers: %s",
+				ErrPeerUnavailable, s.rank, cluster, round, timeout, strings.Join(pending, ", "))
 		}
 		s.cond.Wait()
 	}
+}
+
+// waitCtrl blocks until every rank's announcement for one barrier has
+// arrived. Barriers wait up to twice the round timeout — a slow peer must
+// first time out of its own round before it can join the barrier.
+func (s *Session) waitCtrl(kind, gen uint32, name string) ([]uint32, error) {
+	timeout := 2 * s.opts.RoundTimeout
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.ctrlLocked(kind, gen)
+	for {
+		if s.fatal != nil {
+			return nil, s.fatal
+		}
+		if s.closed {
+			return nil, ErrSessionClosed
+		}
+		if st.have == s.n {
+			return append([]uint32(nil), st.flags...), nil
+		}
+		if !time.Now().Before(deadline) {
+			var pending []string
+			for r := 0; r < s.n; r++ {
+				if !st.got[r] {
+					pending = append(pending, fmt.Sprintf("%d (%s)", r, s.addrs[r]))
+				}
+			}
+			return nil, fmt.Errorf("%w: rank %d: %s barrier gen %d incomplete after %v, pending peers: %s",
+				ErrPeerUnavailable, s.rank, name, gen, timeout, strings.Join(pending, ", "))
+		}
+		s.cond.Wait()
+	}
+}
+
+// RunMark snapshots the session state a recovery supervisor needs to
+// rewind a failed attempt: the next cluster identity (attempts re-assign
+// the same ids) and the wire accounting baseline the abandoned attempt's
+// charges are backed out against.
+type RunMark struct {
+	cluster uint32
+	base    WireStats
+}
+
+// Mark snapshots the rewind point for one run attempt. Call before the
+// attempt; pass to Rewind if it fails.
+func (s *Session) Mark() RunMark {
+	s.mu.Lock()
+	c := s.nextCluster
+	s.mu.Unlock()
+	return RunMark{cluster: c, base: s.ctr.snapshot()}
+}
+
+// ExchangeOutcome runs the post-attempt barrier: every rank announces
+// whether its attempt succeeded and waits for every other rank's
+// announcement. It returns whether ALL ranks succeeded — only then is the
+// run's result final (a rank that failed locally has not assembled its
+// answer; a rank that succeeded while a peer failed must discard and
+// replay, which determinism makes free).
+func (s *Session) ExchangeOutcome(ok bool) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrSessionClosed
+	}
+	s.gen++
+	gen := s.gen
+	s.mu.Unlock()
+	var flags uint32
+	if ok {
+		flags = ctrlOK
+	}
+	buf := appendCtrl(nil, ctrlOutcome, gen, flags)
+	desc := fmt.Sprintf("outcome barrier gen %d", gen)
+	for r := 0; r < s.n; r++ {
+		s.ctr.ctrlFrames.Add(1)
+		obsCtrlFrames.Inc()
+		if err := s.writeFrames(r, buf, desc, nil, 0, 0, 0, nil); err != nil {
+			return false, err
+		}
+	}
+	got, err := s.waitCtrl(ctrlOutcome, gen, "outcome")
+	if err != nil {
+		return false, err
+	}
+	allOK := true
+	for _, f := range got {
+		if f&ctrlOK == 0 {
+			allOK = false
+		}
+	}
+	return allOK, nil
+}
+
+// Rewind discards the failed attempt at this rank: all receive state at
+// or above the mark's cluster is deleted (replays re-create the same
+// cluster identities from fresh state), the attempt epoch advances (so
+// stale frames of the abandoned attempt are dropped on ingest), and the
+// abandoned attempt's model accounting is backed out of the charged
+// counters into AbandonedBytes / AbandonedChargedBits. Wire-truth
+// counters (WireBytes, CtrlFrames, Redials, Resends) are left alone.
+//
+// After Rewind, ReadyBarrier must complete before the replay ships
+// anything — it is what tells every peer to expect the new epoch.
+func (s *Session) Rewind(m RunMark) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if s.fatal != nil {
+		err := s.fatal
+		s.mu.Unlock()
+		return err
+	}
+	for id := range s.clusters {
+		if id >= m.cluster {
+			delete(s.clusters, id)
+		}
+	}
+	for id := range s.retired {
+		if id >= m.cluster {
+			delete(s.retired, id)
+		}
+	}
+	s.nextCluster = m.cluster
+	s.epoch++
+	// Old barriers can never complete again; keep a small window for
+	// stragglers' duplicate announcements, drop the rest.
+	for k := range s.ctrl {
+		if uint32(k)+16 < s.gen {
+			delete(s.ctrl, k)
+		}
+	}
+	s.mu.Unlock()
+
+	now := s.ctr.snapshot()
+	dataFrames := now.DataFrames - m.base.DataFrames
+	payload := now.PayloadBytes - m.base.PayloadBytes
+	header := now.HeaderBytes - m.base.HeaderBytes
+	uniPayload := now.UnicastPayloadBytes - m.base.UnicastPayloadBytes
+	bcPayload := now.BroadcastPayloadBytes - m.base.BroadcastPayloadBytes
+	billed := now.BilledPayloadBytes - m.base.BilledPayloadBytes
+	uniBits := now.UnicastChargedBits - m.base.UnicastChargedBits
+	bcBits := now.BroadcastChargedBits - m.base.BroadcastChargedBits
+	s.ctr.dataFrames.Add(-dataFrames)
+	s.ctr.payloadBytes.Add(-payload)
+	s.ctr.headerBytes.Add(-header)
+	s.ctr.unicastPayloadBytes.Add(-uniPayload)
+	s.ctr.broadcastPayloadBytes.Add(-bcPayload)
+	s.ctr.billedPayloadBytes.Add(-billed)
+	s.ctr.unicastChargedBits.Add(-uniBits)
+	s.ctr.broadcastChargedBits.Add(-bcBits)
+	s.ctr.abandonedBytes.Add(payload + header)
+	s.ctr.abandonedChargedBits.Add(uniBits + bcBits)
+	obsAbandonedBytes.Add(payload + header)
+	return nil
+}
+
+// ReadyBarrier announces this rank has rewound for a replay (the ctrlReady
+// carries the new attempt epoch, advancing every receiving connection's
+// epoch) and waits until every rank has announced the same. When it
+// returns, every peer is guaranteed to have discarded the abandoned
+// attempt — the replay's frames will land in fresh state.
+func (s *Session) ReadyBarrier() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.gen++
+	gen := s.gen
+	epoch := uint32(s.epoch)
+	s.mu.Unlock()
+	buf := appendCtrl(nil, ctrlReady, gen, epoch)
+	desc := fmt.Sprintf("ready barrier gen %d", gen)
+	for r := 0; r < s.n; r++ {
+		s.ctr.ctrlFrames.Add(1)
+		obsCtrlFrames.Inc()
+		if err := s.writeFrames(r, buf, desc, nil, 0, 0, 0, nil); err != nil {
+			return err
+		}
+	}
+	_, err := s.waitCtrl(ctrlReady, gen, "ready")
+	return err
 }
 
 // tcpLink delivers the rounds of one cluster over the session.
@@ -645,6 +1103,10 @@ func (l *tcpLink) Close() error {
 	s := l.s
 	s.mu.Lock()
 	delete(s.clusters, l.id)
+	// Late frames for a released cluster (a slow peer's resend tail) must
+	// not re-materialize its state; retire the identity until a future
+	// Attach (or a rewound replay) legitimately reuses it.
+	s.retired[l.id] = true
 	s.mu.Unlock()
 	return nil
 }
@@ -660,6 +1122,25 @@ func (l *tcpLink) Deliver(io *engine.DeliveryRound) error {
 		return err
 	}
 	round := uint32(io.Round)
+	fi, epoch := s.injectorAndEpoch()
+	var faults int64
+	if fi != nil {
+		delay, crash := fi.DeliverFault(s.rank, epoch, l.id, round)
+		if delay > 0 {
+			s.countFault(&faults)
+			io.Trace.Instant("fault_straggler",
+				obs.KV{Key: "cluster", Value: fmt.Sprint(l.id)}, obs.KV{Key: "round", Value: fmt.Sprint(round)},
+				obs.KV{Key: "delay_ns", Value: fmt.Sprint(int64(delay))})
+			time.Sleep(delay)
+		}
+		if crash != nil {
+			s.countFault(&faults)
+			io.Trace.Instant("fault_crash",
+				obs.KV{Key: "cluster", Value: fmt.Sprint(l.id)}, obs.KV{Key: "round", Value: fmt.Sprint(round)})
+			return fmt.Errorf("%w: rank %d: cluster %d round %d: injected crash: %w",
+				ErrPeerUnavailable, s.rank, l.id, round, crash)
+		}
+	}
 
 	// Serialize. Frames for one rank's senders are emitted sender-
 	// ascending; combined with rank-block-ascending assembly this
@@ -704,13 +1185,19 @@ func (l *tcpLink) Deliver(io *engine.DeliveryRound) error {
 	obsPayloadBytes.Add(payloadUni + payloadBc)
 	obsBilledBytes.Add(billed)
 
+	desc := fmt.Sprintf("cluster %d round %d", l.id, round)
 	for r := 0; r < s.n; r++ {
-		if err := s.writePeer(r, buf); err != nil {
+		if err := s.writeFrames(r, buf, desc, fi, epoch, l.id, round, &faults); err != nil {
 			return err
 		}
 	}
+	if faults > 0 {
+		io.Trace.Instant("faults_injected",
+			obs.KV{Key: "cluster", Value: fmt.Sprint(l.id)}, obs.KV{Key: "round", Value: fmt.Sprint(round)},
+			obs.KV{Key: "count", Value: fmt.Sprint(faults)})
+	}
 
-	byRank, err := s.waitRound(l.id, round)
+	byRank, err := s.waitRound(io.Ctx, l.id, round)
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,11 @@
 package mpcquery
 
 import (
+	"context"
+
 	"mpcquery/internal/engine"
 	"mpcquery/internal/obs"
+	"mpcquery/internal/transport/fault"
 )
 
 // RunOption configures one Run invocation. Options follow the functional
@@ -26,6 +29,9 @@ type runConfig struct {
 	net         engine.Transport  // set by WithRuntime; nil = in-process delivery
 	trace       *obs.Trace        // set by WithTrace; nil = tracing off
 	drift       *obs.DriftMonitor // set by WithDriftMonitor; nil = no drift checks
+	ctx         context.Context   // set by WithContext; nil = unbounded
+	faults      *fault.Plan       // set by WithFaultInjection; nil = no injection
+	recovery    int               // set by WithRecovery; 0 = fail on first peer loss
 }
 
 // withExecCache is the internal option a Service uses to hand Run its plan
@@ -90,3 +96,30 @@ func WithAggregate(op AggregateOp, of string, groupBy ...string) RunOption {
 // final aggregate values are identical either way; only communication
 // changes. Ignored without WithAggregate.
 func WithAggregatePushdown(on bool) RunOption { return func(c *runConfig) { c.aggPushdown = on } }
+
+// WithContext bounds the run with a request context. Distributed round
+// delivery honors its cancellation and deadline while waiting on remote
+// frames — a wedged peer fails the run with the context's error instead of
+// outliving the request. A nil ctx (the default) leaves rounds bounded only
+// by the runtime's RoundTimeout. In-process runs are unaffected (local
+// rounds never block on a peer).
+func WithContext(ctx context.Context) RunOption { return func(c *runConfig) { c.ctx = ctx } }
+
+// WithFaultInjection installs a deterministic fault schedule (see
+// FaultPlan) on the run's transport: seeded frame drops, delays, duplicate
+// deliveries, connection resets, a scheduled rank crash, and slow-peer
+// straggling. The schedule is a pure function of the plan's seed and the
+// fault site, so chaos runs are exactly reproducible. All ranks of a
+// distributed run must install the same plan. Nil removes nothing and
+// injects nothing.
+func WithFaultInjection(p *FaultPlan) RunOption { return func(c *runConfig) { c.faults = p } }
+
+// WithRecovery enables the run-level recovery supervisor: when a
+// distributed round fails with ErrPeerUnavailable, the run health-probes
+// its peers, rewinds the session (abandoned-attempt accounting moves to
+// WireStats.AbandonedBytes — never double-billed), waits out a seeded-
+// jitter backoff, and deterministically replays from round 0, up to
+// maxReplays times. Replayed runs are bit-identical to an undisturbed run
+// (Report.Fingerprint matches; Report.Recovered counts the abandoned
+// attempts). 0 — the default — fails on the first peer loss, as before.
+func WithRecovery(maxReplays int) RunOption { return func(c *runConfig) { c.recovery = maxReplays } }

@@ -65,6 +65,18 @@ type Report struct {
 	// Fingerprint — two bit-identical runs will time differently.
 	ComputeSeconds float64
 	CommSeconds    float64
+
+	// Recovered counts the abandoned attempts a WithRecovery run replayed
+	// past before this (successful) one: 0 for an undisturbed run. The
+	// replayed run is bit-identical to an undisturbed one, so Recovered is
+	// operational metadata, deliberately excluded from Fingerprint.
+	Recovered int
+	// Degraded is set by the service tier when a tripped circuit breaker
+	// answered this request from the in-process runtime instead of the
+	// (failing) distributed one. The answer is identical — the in-process
+	// path is the reference semantics — so Degraded is likewise excluded
+	// from Fingerprint.
+	Degraded bool
 }
 
 // LoadRatio returns observed/predicted load, or 0 when there is no

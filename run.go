@@ -1,14 +1,22 @@
 package mpcquery
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
 	"mpcquery/internal/engine"
 	"mpcquery/internal/localjoin"
 	"mpcquery/internal/obs"
 	"mpcquery/internal/transport"
+	"mpcquery/internal/transport/fault"
 )
+
+// obsRunsRecovered counts runs that completed only after at least one
+// recovery replay (Report.Recovered > 0).
+var obsRunsRecovered = obs.Default().Counter("mpc_runs_recovered_total")
 
 // Sentinel errors returned (wrapped) by Run; test with errors.Is.
 var (
@@ -108,6 +116,21 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		}
 	}
 
+	if cfg.faults != nil {
+		// Install the fault schedule: a distributed session gets it as its
+		// injector; any other transport (including in-process) is wrapped so
+		// the crash/straggler schedule still applies.
+		cfg.net = fault.Wrap(cfg.net, cfg.faults)
+	}
+	if cfg.recovery > 0 {
+		return runSupervised(q, db, strategy, &cfg)
+	}
+	return runOnce(q, db, strategy, &cfg)
+}
+
+// runOnce executes one attempt of the (already validated) run, with the
+// panic boundary that keeps strategy panics and delivery failures typed.
+func runOnce(q *Query, db *Database, strategy Strategy, cfg *runConfig) (rep *Report, err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -131,12 +154,22 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 			rep, err = nil, fmt.Errorf("mpcquery: distributed delivery failed (strategy %s): %w", strategy.Name(), e)
 			return
 		}
+		// A round that outlived its request context surfaces the context's
+		// own error, so callers can errors.Is against context.Canceled /
+		// DeadlineExceeded.
+		if e, ok := r.(error); ok && (errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded)) {
+			rep, err = nil, fmt.Errorf("mpcquery: run canceled (strategy %s): %w", strategy.Name(), e)
+			return
+		}
 		rep, err = nil, &StrategyError{Strategy: strategy.Name(), Value: r}
 	}()
 
-	if cfg.cache != nil {
+	cache := cfg.cache
+	if cache != nil {
 		// Scope every cache key to (shape, database version, sizes, p).
-		cfg.cache = cfg.cache.composePrefix(q, db, cfg.servers)
+		// Composed into a local, not cfg — a recovery replay must compose
+		// the same prefix fresh, not stack a second one.
+		cache = cache.composePrefix(q, db, cfg.servers)
 	}
 	// With tracing on and a distributed runtime attached, snapshot the
 	// session's wire counters around the execution so the trace carries
@@ -157,8 +190,8 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 		RoundBudget: cfg.roundBudget,
 		Aggregate:   cfg.aggregate,
 		AggPushdown: cfg.aggPushdown,
-		cache:       cfg.cache,
-		env:         engine.Env{Net: cfg.net, Trace: cfg.trace},
+		cache:       cache,
+		env:         engine.Env{Net: cfg.net, Trace: cfg.trace, Ctx: cfg.ctx},
 	})
 	if err != nil {
 		return nil, err
@@ -191,8 +224,119 @@ func Run(q *Query, db *Database, opts ...RunOption) (rep *Report, err error) {
 	if rep.Output != nil && rep.Query != nil && rep.Query.Name != "" {
 		rep.Output.Name = rep.Query.Name
 	}
-	observeDrift(&cfg, rep)
+	observeDrift(cfg, rep)
 	return rep, nil
+}
+
+// epochAdvancer is what the in-process fault wrapper offers in place of
+// the session's full rewind protocol: replays just advance the attempt
+// epoch (so epoch-0 scheduled faults don't re-fire).
+type epochAdvancer interface{ AdvanceEpoch() }
+
+// runSupervised is the recovery supervisor around runOnce: it replays a
+// run whose attempt died with ErrPeerUnavailable, up to cfg.recovery
+// times. Determinism does the heavy lifting — a replay from round 0 is
+// bit-identical to an undisturbed run — so the supervisor's job is purely
+// to make every rank abandon the failed attempt *coherently*:
+//
+//  1. Mark the session before the attempt.
+//  2. Run the attempt.
+//  3. Exchange outcomes with every rank (a barrier): only a unanimous
+//     success is final — a rank that succeeded while a peer failed must
+//     discard its answer and replay along with it.
+//  4. On failure: health-probe the peers (a refusing peer is dead, not
+//     transient — give up), rewind the session (receive state reset,
+//     abandoned accounting moved to WireStats.AbandonedBytes), wait for
+//     every rank's ready announcement, back off with seeded jitter, and
+//     replay.
+//
+// Every rank runs this same loop in lockstep (SPMD), so the barriers pair
+// up generation for generation.
+func runSupervised(q *Query, db *Database, strategy Strategy, cfg *runConfig) (*Report, error) {
+	sess, _ := cfg.net.(*transport.Session)
+	adv, _ := cfg.net.(epochAdvancer)
+	rank := 0
+	if sess != nil {
+		rank = sess.Rank()
+	}
+	// Seeded, per-rank jitter: deterministic for reproducibility, skewed
+	// across ranks so a thundering-herd redial doesn't synchronize.
+	jitter := rand.New(rand.NewSource(cfg.seed*31 + int64(rank)))
+	var lastErr error
+	for attempt := 0; attempt <= cfg.recovery; attempt++ {
+		if attempt > 0 {
+			base := 25 * time.Millisecond << uint(min(attempt-1, 5))
+			delay := base + time.Duration(jitter.Int63n(int64(base)))
+			cfg.trace.Instant("replay",
+				obs.KV{Key: "attempt", Value: fmt.Sprintf("%d", attempt)},
+				obs.KV{Key: "backoff", Value: delay.String()})
+			time.Sleep(delay)
+		}
+		var mark transport.RunMark
+		if sess != nil {
+			mark = sess.Mark()
+		}
+		rep, err := runOnce(q, db, strategy, cfg)
+		if sess == nil {
+			// In-process (or wrapped local) transport: no peers to agree
+			// with — retry on the injected-crash shape only.
+			if err == nil {
+				rep.Recovered = attempt
+				if attempt > 0 {
+					obsRunsRecovered.Inc()
+				}
+				return rep, nil
+			}
+			lastErr = err
+			if !errors.Is(err, transport.ErrPeerUnavailable) {
+				return nil, err
+			}
+			if adv != nil {
+				adv.AdvanceEpoch()
+			}
+			continue
+		}
+		ok := err == nil
+		allOK, bErr := sess.ExchangeOutcome(ok)
+		if bErr != nil {
+			// The barrier itself failed: a peer is unreachable even for a
+			// 12-byte control frame. Nothing to recover with.
+			if err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("mpcquery: recovery outcome barrier failed: %w", bErr)
+		}
+		if allOK {
+			rep.Recovered = attempt
+			if attempt > 0 {
+				obsRunsRecovered.Inc()
+			}
+			return rep, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("mpcquery: %w: a peer announced a failed attempt %d", transport.ErrPeerUnavailable, attempt)
+		}
+		if err != nil && !errors.Is(err, transport.ErrPeerUnavailable) {
+			// Deterministic local failure (strategy bug, bad input): a
+			// replay would fail identically. Every rank hits the same
+			// error, so giving up is symmetric too.
+			return nil, err
+		}
+		// Classify before spending a replay: transient failures leave every
+		// peer still accepting connections; a dead peer does not.
+		if pErr := sess.ProbePeers(); pErr != nil {
+			return nil, fmt.Errorf("mpcquery: not recovering (peer dead): %w", pErr)
+		}
+		if rErr := sess.Rewind(mark); rErr != nil {
+			return nil, fmt.Errorf("mpcquery: recovery rewind failed: %w", rErr)
+		}
+		if bErr := sess.ReadyBarrier(); bErr != nil {
+			return nil, fmt.Errorf("mpcquery: recovery ready barrier failed: %w", bErr)
+		}
+	}
+	return nil, lastErr
 }
 
 // observeDrift feeds the finished report to the run's drift monitor (set

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpcquery/internal/engine"
 	"mpcquery/internal/obs"
 	"mpcquery/internal/service"
 )
@@ -62,6 +63,13 @@ type Service struct {
 	bpDepth    func() int64 // send-queue depth probe; nil = no backpressure
 	bpLimit    int64
 
+	breakerOn        bool // WithCircuitBreaker enabled
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	brMu             sync.Mutex
+	breakers         map[engine.Transport]*service.Breaker // one per distributed runtime
+	degraded         atomic.Int64                          // requests answered by the in-process fallback
+
 	drift    *obs.DriftMonitor // nil = drift monitoring off
 	debugLn  net.Listener      // nil = no debug listener
 	debugSrv *http.Server
@@ -99,6 +107,8 @@ type serviceConfig struct {
 	bpLimit       int64
 	driftFactor   float64
 	debugAddr     string
+	breakerThresh int
+	breakerCool   time.Duration
 }
 
 // ServiceOption configures NewService.
@@ -168,6 +178,27 @@ func WithServiceDriftFactor(factor float64) ServiceOption {
 	}
 }
 
+// WithCircuitBreaker guards every distributed runtime the service's
+// requests carry with a circuit breaker: threshold consecutive
+// ErrPeerUnavailable failures trip it, and while it is open the service
+// answers those requests from the in-process runtime instead of queuing
+// them on a dead worker group — the Report is identical (the in-process
+// path is the reference semantics) and carries Degraded=true so callers
+// can see the downgrade. After cooldown (jittered deterministically per
+// trip) a single probe request is allowed through distributed; its
+// success closes the breaker. threshold < 1 is clamped to 1, cooldown
+// <= 0 defaults to one second; the zero serviceConfig leaves breaking
+// off entirely (distributed failures surface as errors, as before).
+//
+// Note the SPMD caveat: a degraded rank executes locally while its run
+// is no longer mirrored on the (failed) peers. That is the point — the
+// worker group is already broken when the breaker trips — but it means
+// degradation is for service tiers answering callers, not for mid-group
+// coordination.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.breakerThresh, c.breakerCool = threshold, cooldown }
+}
+
 // WithDebugListener serves the service's debug endpoint on addr:
 // /metrics (Prometheus text: the service's own series plus the
 // process-wide engine/kernel/transport registry), /debug/stats
@@ -213,6 +244,12 @@ func NewService(opts ...ServiceOption) *Service {
 		bpLimit:    cfg.bpLimit,
 		dbs:        make(map[*Database]*dbEntry),
 	}
+	if cfg.breakerThresh > 0 || cfg.breakerCool > 0 {
+		s.breakerOn = true
+		s.breakerThreshold = cfg.breakerThresh
+		s.breakerCooldown = cfg.breakerCool
+		s.breakers = make(map[engine.Transport]*service.Breaker)
+	}
 	if cfg.driftFactor > 0 {
 		s.drift = obs.NewDriftMonitor(cfg.driftFactor)
 	}
@@ -231,6 +268,12 @@ func NewService(opts ...ServiceOption) *Service {
 	reg.GaugeFunc("mpc_service_coalesced_requests", func() float64 { return float64(s.flight.Stats().Hits) })
 	reg.GaugeFunc("mpc_service_drift_checks", func() float64 { return float64(s.drift.Checks()) })
 	reg.GaugeFunc("mpc_service_drift_violations", func() float64 { return float64(s.drift.Violations()) })
+	if s.breakerOn {
+		// Worst state across the guarded runtimes: 0 closed, 1 half-open,
+		// 2 open — an alerting threshold of >= 2 means "degrading now".
+		reg.GaugeFunc("mpc_circuit_state", func() float64 { return float64(s.breakerState()) })
+		reg.GaugeFunc("mpc_service_degraded_requests", func() float64 { return float64(s.degraded.Load()) })
+	}
 	if cfg.debugAddr != "" {
 		s.startDebug(cfg.debugAddr)
 	}
@@ -306,20 +349,8 @@ func (s *Service) Run(ctx context.Context, q *Query, db *Database, opts ...RunOp
 		// coalesced: in an SPMD group every rank must execute every run.
 		// Caller-supplied options may panic; contain that here just as the
 		// pooled execution path does, so the worker answer is an error.
-		cfg := defaultConfig()
-		if perr := func() (perr error) {
-			defer func() {
-				if r := recover(); r != nil {
-					perr = fmt.Errorf("mpcquery: service request panicked: %v", r)
-				}
-			}()
-			for _, opt := range opts {
-				if opt != nil {
-					opt(&cfg)
-				}
-			}
-			return nil
-		}(); perr != nil {
+		cfg, perr := resolveOpts(opts)
+		if perr != nil {
 			s.metrics.RecordFailure(0)
 			return nil, perr
 		}
@@ -351,6 +382,63 @@ func (s *Service) Run(ctx context.Context, q *Query, db *Database, opts ...RunOp
 	return s.execute(ctx, q, db, opts)
 }
 
+// resolveOpts materializes a request's RunOptions into a runConfig,
+// containing any panic from a caller-supplied option (the same
+// containment the pooled execution path applies).
+func resolveOpts(opts []RunOption) (cfg runConfig, perr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr = fmt.Errorf("mpcquery: service request panicked: %v", r)
+		}
+	}()
+	cfg = defaultConfig()
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return cfg, nil
+}
+
+// breakerFor returns (creating on first use) the circuit breaker guarding
+// one distributed runtime.
+func (s *Service) breakerFor(t engine.Transport) *service.Breaker {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	b, ok := s.breakers[t]
+	if !ok {
+		b = service.NewBreaker(s.breakerThreshold, s.breakerCooldown)
+		s.breakers[t] = b
+	}
+	return b
+}
+
+// breakerState reports the worst breaker state across the guarded
+// runtimes (0 closed, 1 half-open, 2 open) for the mpc_circuit_state
+// gauge.
+func (s *Service) breakerState() service.BreakerState {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	worst := service.BreakerClosed
+	for _, b := range s.breakers {
+		if st := b.State(); st > worst {
+			worst = st
+		}
+	}
+	return worst
+}
+
+// breakerTrips sums lifetime trips across the guarded runtimes.
+func (s *Service) breakerTrips() int64 {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	var n int64
+	for _, b := range s.breakers {
+		n += b.Trips()
+	}
+	return n
+}
+
 // execute admits one request to the pool and waits for its result or the
 // context, recording metrics either way.
 func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []RunOption) (*Report, error) {
@@ -359,13 +447,40 @@ func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []Ru
 		err error
 	}
 	ec := s.execCacheFor(db)
-	runOpts := make([]RunOption, 0, len(opts)+2)
+	runOpts := make([]RunOption, 0, len(opts)+4)
 	runOpts = append(runOpts, withExecCache(ec))
 	if s.drift != nil {
 		// Prepended so a request's own WithDriftMonitor (in opts) wins.
 		runOpts = append(runOpts, WithDriftMonitor(s.drift))
 	}
+	// Propagate the request deadline into the run: a distributed round
+	// waiting on a wedged peer fails with ctx's error instead of holding a
+	// worker for the full RoundTimeout. Prepended so a request's own
+	// WithContext (in opts) wins.
+	runOpts = append(runOpts, WithContext(ctx))
 	runOpts = append(runOpts, opts...)
+
+	// Circuit breaker: a request carrying a distributed runtime whose
+	// breaker is open is downgraded to the in-process runtime — appended
+	// last so it overrides the request's own WithRuntime — and its Report
+	// marked Degraded. Closed (or probing half-open) breakers let the
+	// request through and learn from its outcome.
+	var br *service.Breaker
+	degradedReq := false
+	if s.breakerOn {
+		cfg, perr := resolveOpts(runOpts)
+		if perr != nil {
+			s.metrics.RecordFailure(0)
+			return nil, perr
+		}
+		if cfg.net != nil {
+			br = s.breakerFor(cfg.net)
+			if !br.Allow() {
+				degradedReq = true
+				runOpts = append(runOpts, WithRuntime(nil))
+			}
+		}
+	}
 
 	//lint:allow nondeterminism request-latency metric; service metrics are never fingerprinted
 	start := time.Now()
@@ -385,6 +500,22 @@ func (s *Service) execute(ctx context.Context, q *Query, db *Database, opts []Ru
 			}
 		}()
 		rep, err := Run(q, db, runOpts...)
+		if br != nil && !degradedReq {
+			// A degraded run never touched the runtime, so it teaches the
+			// breaker nothing. Of runs that did, only peer unavailability is
+			// a dependency failure; strategy errors and canceled contexts
+			// say nothing about the runtime.
+			switch {
+			case err == nil:
+				br.RecordSuccess()
+			case errors.Is(err, ErrPeerUnavailable):
+				br.RecordFailure()
+			}
+		}
+		if degradedReq && err == nil {
+			rep.Degraded = true
+			s.degraded.Add(1)
+		}
 		ch <- outcome{rep, err}
 	}); err != nil {
 		if errors.Is(err, ErrOverloaded) {
@@ -548,6 +679,15 @@ type ServiceStats struct {
 	DriftChecks     int64
 	DriftViolations int64
 
+	// Circuit breaking (WithCircuitBreaker): requests answered by the
+	// in-process fallback while a runtime's breaker was open, lifetime
+	// breaker trips, and the worst current breaker state ("closed",
+	// "half-open", "open"; "closed" when breaking is off or no runtime has
+	// been seen).
+	Degraded     int64
+	BreakerTrips int64
+	CircuitState string
+
 	Workers    int // concurrent query executions allowed
 	QueueDepth int // admission queue capacity
 	Queued     int // requests waiting right now (snapshot)
@@ -577,6 +717,9 @@ func (s *Service) Stats() ServiceStats {
 		CoalesceRate:    fl.HitRate(),
 		DriftChecks:     s.drift.Checks(),
 		DriftViolations: s.drift.Violations(),
+		Degraded:        s.degraded.Load(),
+		BreakerTrips:    s.breakerTrips(),
+		CircuitState:    s.breakerState().String(),
 		Workers:         s.pool.Workers(),
 		QueueDepth:      s.pool.QueueDepth(),
 		Queued:          s.pool.Queued(),

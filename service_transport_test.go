@@ -6,6 +6,9 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
+
+	"mpcquery/internal/transport"
 )
 
 // TestServiceContextCanceled asserts both cancellation points: a request
@@ -158,5 +161,155 @@ func TestServiceBackpressureShed(t *testing.T) {
 	mu.Unlock()
 	if _, err := svc.Run(context.Background(), q, db, WithServers(8)); err != nil {
 		t.Fatalf("recovered depth must admit again: %v", err)
+	}
+}
+
+// deadPeerRuntime joins a 2-rank loopback group whose rank 1 dials in and
+// immediately leaves: rank 0's runtime is connected but every distributed
+// run on it fails with ErrPeerUnavailable within the round timeout.
+func deadPeerRuntime(t *testing.T, timeout time.Duration) *DistributedRuntime {
+	t.Helper()
+	addrs, err := transport.FreeLoopbackAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []RuntimeOption{
+		WithRoundTimeout(timeout),
+		WithDialBudget(40, 5*time.Millisecond),
+		WithWriteRetries(1),
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if rt1, err := DialRuntime(1, addrs, short...); err == nil {
+			time.Sleep(30 * time.Millisecond) // let rank 0 finish its handshake
+			rt1.Close()
+		}
+	}()
+	rt, err := DialRuntime(0, addrs, short...)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { rt.Close(); <-done })
+	<-done
+	return rt
+}
+
+// TestServiceCircuitBreakerDegrades is the graceful-degradation contract:
+// once a runtime's breaker trips, requests that carry it are answered by
+// the in-process runtime — bit-identical Report, Degraded flag set —
+// instead of failing, and the downgrade is visible in Stats (Degraded
+// count, BreakerTrips, CircuitState) and the mpc_circuit_state gauge.
+func TestServiceCircuitBreakerDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	q := Triangle()
+	db := MatchingDatabase(rng, q, 60, 1<<12)
+
+	want, err := Run(q, db, WithServers(8), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := deadPeerRuntime(t, 300*time.Millisecond)
+	svc := NewService(WithCircuitBreaker(1, time.Hour),
+		WithServiceWorkers(2), WithPlanCaching(false), WithStatsCaching(false))
+	defer svc.Close()
+
+	// First request probes the dead group, fails, and trips the breaker
+	// (threshold 1).
+	if _, err := svc.Run(context.Background(), q, db,
+		WithServers(8), WithSeed(3), WithRuntime(rt)); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("first request = %v, want ErrPeerUnavailable", err)
+	}
+	if st := svc.Stats(); st.BreakerTrips != 1 || st.CircuitState != "open" {
+		t.Fatalf("after trip: BreakerTrips=%d CircuitState=%q, want 1/open", st.BreakerTrips, st.CircuitState)
+	}
+
+	// Tripped: the same request now succeeds degraded, bit-identical to
+	// the in-process reference.
+	rep, err := svc.Run(context.Background(), q, db,
+		WithServers(8), WithSeed(3), WithRuntime(rt))
+	if err != nil {
+		t.Fatalf("degraded request failed: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("tripped-breaker Report lacks Degraded flag")
+	}
+	if got := rep.Fingerprint(); got != want.Fingerprint() {
+		t.Fatalf("degraded run diverged from in-process reference\n got %s\nwant %s", got, want.Fingerprint())
+	}
+	st := svc.Stats()
+	if st.Degraded != 1 {
+		t.Fatalf("Stats.Degraded = %d, want 1", st.Degraded)
+	}
+	// Requests without a runtime never consult the breaker and never
+	// carry the flag.
+	rep2, err := svc.Run(context.Background(), q, db, WithServers(8), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Degraded {
+		t.Fatal("in-process request wrongly marked Degraded")
+	}
+}
+
+// TestServiceCloseDrainBounded is the Close-wedge regression: Close must
+// wait for an in-flight distributed request, but that wait is bounded by
+// the runtime's RoundTimeout — a peer that never delivers cannot wedge
+// shutdown indefinitely.
+func TestServiceCloseDrainBounded(t *testing.T) {
+	addrs, err := transport.FreeLoopbackAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const roundTimeout = 400 * time.Millisecond
+	short := []RuntimeOption{WithRoundTimeout(roundTimeout), WithDialBudget(40, 5*time.Millisecond)}
+	done := make(chan struct{})
+	var silent *DistributedRuntime
+	go func() {
+		defer close(done)
+		// Rank 1 joins the group and sits silent: connected, never
+		// delivering — the wedged-peer shape.
+		silent, _ = DialRuntime(1, addrs, short...)
+	}()
+	rt, err := DialRuntime(0, addrs, short...)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		rt.Close()
+		<-done
+		if silent != nil {
+			silent.Close()
+		}
+	}()
+
+	svc := NewService(WithServiceWorkers(1))
+	q := Triangle()
+	db := MatchingDatabase(rand.New(rand.NewSource(26)), q, 60, 1<<12)
+	started := make(chan struct{})
+	var runErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		_, runErr = svc.Run(context.Background(), q, db, WithServers(8), WithRuntime(rt))
+	}()
+	<-started
+	time.Sleep(50 * time.Millisecond) // let the request reach the wedged round
+
+	closeStart := time.Now()
+	svc.Close()
+	elapsed := time.Since(closeStart)
+	wg.Wait()
+	if limit := 10 * roundTimeout; elapsed > limit {
+		t.Fatalf("Close took %v with a wedged peer; want bounded by the %v round timeout", elapsed, roundTimeout)
+	}
+	if runErr == nil {
+		t.Fatal("in-flight request against a silent peer succeeded")
+	}
+	if !errors.Is(runErr, ErrPeerUnavailable) && !errors.Is(runErr, ErrRuntimeClosed) {
+		t.Fatalf("drained request error = %v, want ErrPeerUnavailable or ErrRuntimeClosed", runErr)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mpcquery/internal/transport"
+	"mpcquery/internal/transport/fault"
 )
 
 // Sentinel errors of the distributed runtime; test with errors.Is.
@@ -17,6 +18,16 @@ var (
 	// ErrRuntimeClosed: the DistributedRuntime was closed.
 	ErrRuntimeClosed = transport.ErrSessionClosed
 )
+
+// FaultPlan is a deterministic fault schedule for WithFaultInjection:
+// seeded frame drops, delays, duplicate deliveries, connection resets, a
+// scheduled rank crash, and slow-peer straggling. Every decision is a pure
+// function of (seed, fault site), so a chaos run is exactly reproducible.
+// Construct with NewFaultPlan and set the rate/site fields directly.
+type FaultPlan = fault.Plan
+
+// NewFaultPlan returns an empty schedule (no faults) keyed by seed.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
 
 // TransportWireStats is a snapshot of one rank's wire-level accounting:
 // bytes on sockets, framing overhead, and the model bits charged for this
