@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mpcquery"
+)
+
+// ---- streaming bench (-benchstream) ----------------------------------------
+
+// streamBenchChunk is the chunk size both scenarios stream at: small enough
+// that the pipelined flushes actually bound resident emitter state (the
+// memory gate), large enough that per-chunk bookkeeping stays in the wall
+// budget. The result is chunk-invariant; only the peaks move.
+const streamBenchChunk = 32
+
+// StreamSkewCase is the star-skew half of BENCH_stream.json: the same
+// shuffle-heavy skewed workload run barrier and streaming, with the two
+// gates the CI stream job enforces. The peak-memory numbers are
+// deterministic (the engine gauge samples at round boundaries, seeded runs
+// only), so the reduction is exact and machine-independent; only the wall
+// ratio measures the host, which is why it is a min-of-N.
+type StreamSkewCase struct {
+	Tuples           int     `json:"tuples_per_relation"`
+	Servers          int     `json:"servers"`
+	ChunkTuples      int     `json:"chunk_tuples"`
+	OutputRows       int     `json:"output_rows"`
+	Identical        bool    `json:"fingerprint_identical"`
+	BarrierPeakBytes int64   `json:"barrier_peak_buffered_bytes"`
+	StreamPeakBytes  int64   `json:"stream_peak_buffered_bytes"`
+	MemoryReduction  float64 `json:"memory_reduction"`
+	BarrierWallNs    int64   `json:"barrier_wall_ns_min"`
+	StreamWallNs     int64   `json:"stream_wall_ns_min"`
+	WallRatio        float64 `json:"wall_ratio"`
+}
+
+// StreamGiantCase is the giant-output half: a workload whose join output
+// dwarfs the RAM budget. The barrier run must materialize the full output
+// relation (OutputBytes, over budget by construction); the streaming run
+// pipes chunks into a DigestSink and its engine peak stays orders of
+// magnitude under budget, while the sink's per-server digests reconcile
+// exactly against the materialized relation and the charged bits agree.
+type StreamGiantCase struct {
+	OutputRows           int   `json:"output_rows"`
+	OutputBytes          int64 `json:"barrier_materialized_bytes"`
+	BudgetBytes          int64 `json:"ram_budget_bytes"`
+	StreamPeakBytes      int64 `json:"stream_peak_buffered_bytes"`
+	BarrierExceedsBudget bool  `json:"barrier_exceeds_budget"`
+	StreamWithinBudget   bool  `json:"stream_within_budget"`
+	DigestsMatch         bool  `json:"digests_match"`
+	RowsMatch            bool  `json:"rows_match"`
+	TotalBitsExact       bool  `json:"total_bits_exact"`
+}
+
+// StreamFile is the BENCH_stream.json document.
+type StreamFile struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Reps        int    `json:"wall_reps"`
+
+	StarSkew    StreamSkewCase  `json:"star_skew"`
+	GiantOutput StreamGiantCase `json:"giant_output"`
+
+	MemoryGatePass bool `json:"memory_gate_pass"` // reduction >= minReduction
+	WallGatePass   bool `json:"wall_gate_pass"`   // ratio <= maxWallRatio
+	GiantGatePass  bool `json:"giant_gate_pass"`  // only streaming fits the budget
+}
+
+// benchStreamMain runs the streaming benchmark: the star-skew
+// memory/wall comparison and the giant-output survival scenario, writing
+// BENCH_stream.json and gating on minReduction / maxWallRatio.
+func benchStreamMain(reps int, benchjson string, minReduction, maxWallRatio float64) int {
+	if reps < 1 {
+		reps = 1
+	}
+	file := StreamFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Reps:        reps,
+	}
+
+	// --- star-skew: shuffle-heavy, modest output -------------------------
+	// A 2-atom star over skewed relations on the plain HyperCube grid: all
+	// shuffle traffic is unicast (the grid replicates by routing, never by
+	// Broadcast), so the barrier round's peak is emitter batches + inbox
+	// arenas ≈ 2× the traffic, exactly what pipelined flushing halves.
+	const (
+		skewM       = 20000
+		skewServers = 16
+	)
+	q := mpcquery.Star(2)
+	skewDB := func() *mpcquery.Database {
+		return mpcquery.SkewedStarDatabase(rand.New(rand.NewSource(77)), 2, skewM, 1<<16, map[int64]int{5: 300})
+	}
+	baseOpts := []mpcquery.RunOption{
+		mpcquery.WithStrategy(mpcquery.HyperCube()), mpcquery.WithServers(skewServers), mpcquery.WithSeed(7),
+	}
+	streamOpts := append(append([]mpcquery.RunOption{}, baseOpts...),
+		mpcquery.WithStreaming(true), mpcquery.WithStreamChunk(streamBenchChunk))
+
+	sk := StreamSkewCase{Tuples: skewM, Servers: skewServers, ChunkTuples: streamBenchChunk, Identical: true}
+	barrierWall, streamWall := int64(1)<<62, int64(1)<<62
+	// Interleave the repetitions so host noise (thermal, cache, neighbors)
+	// hits both configurations alike; keep the minimum of each.
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		t0 := time.Now()
+		rb, err := mpcquery.Run(q, skewDB(), baseOpts...)
+		bw := time.Since(t0).Nanoseconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: benchstream barrier run: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		t0 = time.Now()
+		rs, err := mpcquery.Run(q, skewDB(), streamOpts...)
+		sw := time.Since(t0).Nanoseconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: benchstream streaming run: %v\n", err)
+			return 1
+		}
+		if bw < barrierWall {
+			barrierWall = bw
+		}
+		if sw < streamWall {
+			streamWall = sw
+		}
+		sk.Identical = sk.Identical && rb.Fingerprint() == rs.Fingerprint()
+		sk.OutputRows = rb.Output.NumTuples()
+		sk.BarrierPeakBytes = rb.PeakBufferedBytes
+		sk.StreamPeakBytes = rs.PeakBufferedBytes
+	}
+	sk.BarrierWallNs, sk.StreamWallNs = barrierWall, streamWall
+	sk.MemoryReduction = 1 - float64(sk.StreamPeakBytes)/float64(sk.BarrierPeakBytes)
+	sk.WallRatio = float64(streamWall) / float64(barrierWall)
+	file.StarSkew = sk
+
+	// --- giant output: only streaming fits the budget --------------------
+	// One heavy value shared by both star relations: the output is ~h²
+	// rows from tiny inputs. The RAM budget is a tenth of what the barrier
+	// run must materialize; the streaming run's whole engine footprint
+	// (plus the O(servers) DigestSink) sits far below it.
+	giantDB := func() *mpcquery.Database {
+		return mpcquery.SkewedStarDatabase(rand.New(rand.NewSource(202)), 2, 4000, 1<<16, map[int64]int{9: 1500})
+	}
+	rb, err := mpcquery.Run(q, giantDB(), baseOpts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpcload: benchstream giant barrier run: %v\n", err)
+		return 1
+	}
+	sink := &mpcquery.DigestSink{}
+	rs, err := mpcquery.Run(q, giantDB(), append(append([]mpcquery.RunOption{}, streamOpts...),
+		mpcquery.WithOutputSink(sink))...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpcload: benchstream giant streaming run: %v\n", err)
+		return 1
+	}
+	gi := StreamGiantCase{
+		OutputRows:      rb.Output.NumTuples(),
+		OutputBytes:     int64(rb.Output.NumTuples()) * int64(rb.Output.Arity) * 8,
+		StreamPeakBytes: rs.PeakBufferedBytes,
+		RowsMatch:       sink.Tuples() == rb.Output.NumTuples(),
+		TotalBitsExact:  rs.TotalBits == rb.TotalBits,
+	}
+	gi.BudgetBytes = gi.OutputBytes / 10
+	gi.BarrierExceedsBudget = gi.OutputBytes > gi.BudgetBytes
+	gi.StreamWithinBudget = rs.Output == nil && gi.StreamPeakBytes < gi.BudgetBytes
+	// Reconcile the sink's per-server digests against the materialized
+	// relation, slice by slice (Concat stacks servers in ascending order).
+	gi.DigestsMatch = gi.RowsMatch
+	vals, arity, off := rb.Output.Vals(), rb.Output.Arity, 0
+	for _, sd := range sink.PerServer() {
+		ref := &mpcquery.DigestSink{}
+		ref.Chunk(sd.Server, arity, vals[off*arity:(off+sd.Rows)*arity])
+		if ref.PerServer()[0].Digest != sd.Digest {
+			gi.DigestsMatch = false
+		}
+		off += sd.Rows
+	}
+	file.GiantOutput = gi
+
+	file.MemoryGatePass = sk.Identical && sk.MemoryReduction >= minReduction
+	file.WallGatePass = sk.WallRatio <= maxWallRatio
+	file.GiantGatePass = gi.BarrierExceedsBudget && gi.StreamWithinBudget && gi.DigestsMatch && gi.RowsMatch && gi.TotalBitsExact
+
+	fmt.Fprintf(os.Stderr,
+		"mpcload: benchstream star-skew: peak %d -> %d B (-%.1f%%), wall ratio %.3f, identical=%t\n",
+		sk.BarrierPeakBytes, sk.StreamPeakBytes, 100*sk.MemoryReduction, sk.WallRatio, sk.Identical)
+	fmt.Fprintf(os.Stderr,
+		"mpcload: benchstream giant-output: %d rows, materialized %.1f MB vs budget %.1f MB, stream peak %.2f MB, digests=%t\n",
+		gi.OutputRows, float64(gi.OutputBytes)/1e6, float64(gi.BudgetBytes)/1e6,
+		float64(gi.StreamPeakBytes)/1e6, gi.DigestsMatch)
+
+	if benchjson != "" {
+		b, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(benchjson, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "mpcload: wrote %s\n", benchjson)
+	}
+
+	switch {
+	case !file.MemoryGatePass:
+		fmt.Fprintf(os.Stderr, "mpcload: FAIL: streaming memory reduction %.3f below gate %.3f (or fingerprint diverged)\n",
+			sk.MemoryReduction, minReduction)
+		return 1
+	case !file.WallGatePass:
+		fmt.Fprintf(os.Stderr, "mpcload: FAIL: streaming wall ratio %.3f above gate %.3f\n", sk.WallRatio, maxWallRatio)
+		return 1
+	case !file.GiantGatePass:
+		fmt.Fprintln(os.Stderr, "mpcload: FAIL: giant-output scenario did not survive on streaming alone")
+		return 1
+	}
+	return 0
+}

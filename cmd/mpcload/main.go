@@ -142,6 +142,13 @@ func main() {
 	debugAddr := flag.String("debugaddr", "", "worker mode: serve the debug endpoint (/metrics, /debug/pprof/) on this address")
 	chaos := flag.Bool("chaos", false,
 		"run the chaos matrix (every scenario × every fault family on 3 loopback ranks) instead of the service bench")
+	benchStream := flag.Bool("benchstream", false,
+		"run the streaming benchmark (peak-memory reduction + wall-clock gate + giant-output survival) instead of the service bench")
+	minReduction := flag.Float64("minreduction", 0.40,
+		"benchstream: exit non-zero if streaming's peak-memory reduction falls below this fraction")
+	maxWallRatio := flag.Float64("maxwallratio", 1.05,
+		"benchstream: exit non-zero if streaming's min-of-N wall clock exceeds barrier's by more than this ratio")
+	streamReps := flag.Int("streamreps", 7, "benchstream: interleaved wall-clock repetitions per configuration")
 	maxRestarts := flag.Int("maxrestarts", 0,
 		"worker mode: whole-suite replays allowed after a lost peer (0 = fail fast)")
 	roundTimeout := flag.Duration("roundtimeout", 0,
@@ -164,6 +171,9 @@ func main() {
 	}
 	if *chaos {
 		os.Exit(chaosMain(*m, *p, *benchjson))
+	}
+	if *benchStream {
+		os.Exit(benchStreamMain(*streamReps, *benchjson, *minReduction, *maxWallRatio))
 	}
 	if *transportBench {
 		os.Exit(transportBenchMain(*m, *p, *clients, *waves, *benchjson, *minSpeedup))

@@ -57,6 +57,9 @@ func runMetering(pass *Pass) error {
 				case typeName == "Inbox" && f.Name() == "Append":
 					pass.Reportf(v.Pos(),
 						"direct Inbox.Append bypasses bit accounting; emit through engine.Emitter inside Cluster.Round")
+				case typeName == "Inbox" && f.Name() == "AppendChunk":
+					pass.Reportf(v.Pos(),
+						"direct Inbox.AppendChunk bypasses the Emitter's chunk flush and its bit accounting; emit through engine.Emitter inside Cluster.Round")
 				case typeName == "Emitter" && f.Name() == "EachPending":
 					pass.Reportf(v.Pos(),
 						"Emitter.EachPending is the transport-facing drain; strategies must let Cluster.Round deliver")

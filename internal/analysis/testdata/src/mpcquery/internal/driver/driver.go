@@ -7,6 +7,7 @@ import "mpcquery/internal/engine"
 
 func deliver(in *engine.Inbox, tuple []int64) {
 	in.Append(tuple)
+	in.AppendChunk(0, 0, 1, 2, tuple, false)
 	io := &engine.DeliveryRound{Round: 0, P: 2}
 	engine.DeliverLocal(io)
 }

@@ -20,6 +20,9 @@ type Inbox struct{}
 
 func (i *Inbox) Append(tuple []int64) {}
 
+// AppendChunk is the streaming chunk-delivery entry (Emitter flush only).
+func (i *Inbox) AppendChunk(sender, seq, kind, arity int, vals []int64, broadcast bool) {}
+
 // Cluster is the round driver.
 type Cluster struct{}
 

@@ -14,6 +14,10 @@ func badInboxWrite(in *engine.Inbox, tuple []int64) {
 	in.Append(tuple) // want "bypasses bit accounting"
 }
 
+func badChunkWrite(in *engine.Inbox, vals []int64) {
+	in.AppendChunk(0, 0, 1, 2, vals, false) // want "bypasses the Emitter's chunk flush"
+}
+
 func badDrain(em *engine.Emitter) {
 	em.EachPending(func(dst int, t []int64) {}) // want "transport-facing drain"
 }

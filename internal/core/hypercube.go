@@ -362,6 +362,16 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg
 	var out *data.Relation
 	aggSaved := 0.0
 	if agg == nil {
+		// Output path: barrier-kernel materialization by default; the
+		// streamed kernel when streaming is on (chunked evaluation, same
+		// bytes — the memoized index cache keeps hit/miss totals identical);
+		// and when a sink is set the output never materializes at all —
+		// chunks flow straight out and Result.Output stays nil, in both
+		// modes, so fingerprints agree.
+		streamChunk := env.StreamChunk
+		if streamChunk <= 0 {
+			streamChunk = engine.DefaultStreamChunk
+		}
 		outputs := make([]*data.Relation, gp)
 		cluster.Compute(func(s, w int) {
 			if cluster.Inbox(s).NumTuples() == 0 {
@@ -373,10 +383,26 @@ func runPlanSeeded(pl *Plan, db *data.Database, seed int64, capBits float64, agg
 			cluster.Inbox(s).EachBatch(func(b engine.Batch) {
 				frag[b.Kind].AppendVals(b.Vals)
 			})
-			outputs[s] = sc.EvaluateAtoms(q, frag, cache)
+			switch {
+			case env.Sink != nil:
+				sc.EvaluateAtomsStream(q, frag, cache, streamChunk, func(vals []int64) {
+					env.Sink.Chunk(s, q.NumVars(), vals)
+				})
+				outputs[s] = data.NewRelation(q.Name, q.NumVars())
+			case env.Streaming:
+				o := data.NewRelation(q.Name, q.NumVars())
+				sc.EvaluateAtomsStream(q, frag, cache, streamChunk, func(vals []int64) {
+					o.AppendVals(vals)
+				})
+				outputs[s] = o
+			default:
+				outputs[s] = sc.EvaluateAtoms(q, frag, cache)
+			}
 		})
 		scratches.Release()
-		out = data.Concat(q.Name, q.NumVars(), outputs)
+		if env.Sink == nil {
+			out = data.Concat(q.Name, q.NumVars(), outputs)
+		}
 	} else {
 		out, aggSaved = runAggregatePhases(cluster, q, gp, agg, cache, scratches)
 	}

@@ -66,6 +66,15 @@ type span struct {
 	arity int
 	start int // arena offset of the first value
 	end   int // arena offset past the last value
+
+	// Streaming tags, meaningful only while an inbox is accumulating
+	// pipelined chunks (see stream.go): the sending server, its per-round
+	// flush sequence number, and the class (0 = unicast, 1 = broadcast).
+	// finalizeStream sorts on (sender, cls, seq) to reproduce the barrier
+	// delivery order; barrier-path spans leave the tags zero.
+	sender int32
+	seq    int32
+	cls    int8
 }
 
 // Inbox holds what one server received in the most recent round (or its
@@ -79,6 +88,10 @@ type Inbox struct {
 	spans  []span
 	tuples int
 	prefix []int // lazy cumulative tuple counts per span, for Tuple(i)
+
+	// streamed marks an inbox holding unsorted pipelined chunks; cleared
+	// when finalizeStream restores the barrier delivery order.
+	streamed bool
 }
 
 // NumTuples returns the total number of tuples in the inbox.
@@ -142,6 +155,7 @@ func (ib *Inbox) reset() {
 	ib.spans = ib.spans[:0]
 	ib.tuples = 0
 	ib.prefix = nil
+	ib.streamed = false
 }
 
 // appendBlock appends count tuples of one kind, coalescing with the
@@ -198,6 +212,12 @@ func (sb *sendBuf) open(kind, arity int) *outBatch {
 			return last
 		}
 	}
+	return sb.openNew(kind, arity)
+}
+
+// openNew always starts a fresh (possibly recycled) batch slot — the
+// staged streaming path uses it to close a chunk-full batch.
+func (sb *sendBuf) openNew(kind, arity int) *outBatch {
 	n := len(sb.batches)
 	if n < cap(sb.batches) {
 		// Recycle the slot (and its vals capacity) from an earlier round.
@@ -217,9 +237,25 @@ func (sb *sendBuf) open(kind, arity int) *outBatch {
 // (or mutate) the tuple slices they pass in.
 type Emitter struct {
 	c       *Cluster
+	self    int       // this emitter's server id (the chunk span's sender tag)
 	perDest []sendBuf // lazily allocated, one per destination
 	touched []int     // destinations with pending batches, in first-touch order
 	bcast   sendBuf
+
+	// Streaming state (see stream.go). chunkTuples caches the cluster's
+	// chunk size for the round (0 = barrier); pipelined selects the
+	// in-process chunked path, where full chunks flush into destination
+	// spare inboxes mid-emission instead of accumulating in sendBufs.
+	chunkTuples int
+	pipelined   bool
+	pchunks     []outBatch // pipelined: pending chunk per destination
+	ptracked    []bool     // pipelined: pchunks[d] touched this round
+	ptouched    []int      // pipelined: touched destinations, for O(touched) reset
+	pbcast      outBatch   // pipelined: pending broadcast chunk
+	seq         int32      // pipelined: per-round flush sequence number
+	flushes     int        // chunks flushed (pipelined) or closed (staged) this round
+	resident    int        // pipelined: values currently buffered
+	residentHW  int        // pipelined: high-water of resident this round
 }
 
 func (e *Emitter) reset() {
@@ -228,6 +264,18 @@ func (e *Emitter) reset() {
 	}
 	e.touched = e.touched[:0]
 	e.bcast.reset()
+	e.chunkTuples = e.c.streamChunk
+	e.pipelined = e.chunkTuples > 0 && e.c.link == nil
+	e.seq = 0
+	e.flushes = 0
+	e.resident = 0
+	e.residentHW = 0
+	for _, d := range e.ptouched {
+		e.pchunks[d].vals = e.pchunks[d].vals[:0]
+		e.ptracked[d] = false
+	}
+	e.ptouched = e.ptouched[:0]
+	e.pbcast.vals = e.pbcast.vals[:0]
 }
 
 func (e *Emitter) buf(dest int) *sendBuf {
@@ -247,6 +295,26 @@ func (e *Emitter) buf(dest int) *sendBuf {
 	return sb
 }
 
+// open returns the batch to append tuples of (kind, arity) to for dest. In
+// staged streaming mode (chunked delivery over a transport link) a full
+// batch is closed and a fresh one opened so EachPending yields
+// chunk-granular frames; barrier mode coalesces unboundedly as before.
+func (e *Emitter) open(dest, kind, arity int) *outBatch {
+	sb := e.buf(dest)
+	if e.chunkTuples > 0 {
+		if n := len(sb.batches); n > 0 {
+			if last := &sb.batches[n-1]; last.kind == kind && last.arity == arity {
+				if len(last.vals) < e.chunkTuples*arity {
+					return last
+				}
+				e.flushes++
+			}
+		}
+		return sb.openNew(kind, arity)
+	}
+	return sb.open(kind, arity)
+}
+
 // EmitTuple sends one tuple of the given kind to dest (or Broadcast). This
 // is the fast path for per-tuple routing decisions; the values are copied
 // into the sender's batch buffer for dest.
@@ -254,7 +322,11 @@ func (e *Emitter) EmitTuple(dest, kind int, tuple []int64) {
 	if len(tuple) == 0 {
 		panic("engine: cannot emit an empty tuple")
 	}
-	b := e.buf(dest).open(kind, len(tuple))
+	if e.pipelined {
+		e.emitStream(dest, kind, len(tuple), tuple)
+		return
+	}
+	b := e.open(dest, kind, len(tuple))
 	b.vals = append(b.vals, tuple...)
 }
 
@@ -269,6 +341,26 @@ func (e *Emitter) EmitBatch(dest, kind, arity int, vals []int64) {
 		panic(fmt.Sprintf("engine: batch of %d values is not a multiple of arity %d", len(vals), arity))
 	}
 	if len(vals) == 0 {
+		return
+	}
+	if e.pipelined {
+		e.emitStream(dest, kind, arity, vals)
+		return
+	}
+	if e.chunkTuples > 0 {
+		// Staged streaming: split the block across chunk-capped batches so
+		// the concatenated value stream is unchanged but no single batch
+		// exceeds the chunk size.
+		capVals := e.chunkTuples * arity
+		for len(vals) > 0 {
+			b := e.open(dest, kind, arity)
+			take := capVals - len(b.vals)
+			if take > len(vals) {
+				take = len(vals)
+			}
+			b.vals = append(b.vals, vals[:take]...)
+			vals = vals[take:]
+		}
 		return
 	}
 	b := e.buf(dest).open(kind, arity)
@@ -288,6 +380,15 @@ type Cluster struct {
 	rounds       []RoundStats
 	loadCap      float64 // 0 = unlimited; otherwise rounds flag Aborted
 	link         Link    // non-nil when delivery goes through a Transport
+
+	// streamChunk > 0 enables chunked streaming rounds (SetStreamChunk):
+	// pipelined mid-emission flushes when link is nil, chunk-capped staged
+	// batches when delivery goes over a transport. destMu guards the spare
+	// inboxes during concurrent pipelined flushes; mem, when set, receives
+	// the per-round engine-buffer high-water (see stream.go).
+	streamChunk int
+	destMu      []sync.Mutex
+	mem         *MemGauge
 
 	// tr receives round/phase spans when the run carries a Trace (see
 	// NewClusterEnv); nil — the default — disables tracing, and every
@@ -338,7 +439,7 @@ func NewCluster(p, bitsPerValue int) *Cluster {
 	for s := 0; s < p; s++ {
 		c.inbox[s] = inboxPool.Get().(*Inbox)
 		c.spare[s] = inboxPool.Get().(*Inbox)
-		c.emitters[s] = &Emitter{c: c}
+		c.emitters[s] = &Emitter{c: c, self: s}
 	}
 	obsClustersTotal.Inc()
 	return c
@@ -411,6 +512,19 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	for s := 0; s < c.p; s++ {
 		c.emitters[s].reset()
 	}
+	pipelined := c.streamChunk > 0 && c.link == nil
+	if pipelined {
+		// Pipelined rounds retire the previous arenas up front: full chunks
+		// flush into the spare inboxes concurrently with emission, under
+		// per-destination locks, so the spares must be empty before the
+		// first emitted value rather than at delivery time.
+		if c.destMu == nil {
+			c.destMu = make([]sync.Mutex, c.p)
+		}
+		for d := 0; d < c.p; d++ {
+			c.spare[d].reset()
+		}
+	}
 	// When tracing, each server's closure is individually timed so the
 	// trace can show per-server emit spans (the skew the load L is about);
 	// untraced, the closures run bare — same calls, no per-server clock
@@ -442,34 +556,68 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 	// aborts the run via panic, mapped to a typed error at the API boundary.
 	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	t1 := time.Now()
-	for d := 0; d < c.p; d++ {
-		c.spare[d].reset()
-	}
-	io := &DeliveryRound{
-		Round:        len(c.rounds),
-		P:            c.p,
-		BitsPerValue: c.bitsPerValue,
-		Senders:      c.emitters,
-		Inboxes:      c.spare,
-		RecvBits:     c.recvBits,
-		RecvTuples:   c.recvTuples,
-		Ctx:          c.runCtx,
-		Trace:        c.runTrace,
-	}
-	if c.tr != nil {
-		io.PerDestSeconds = make([]float64, c.p)
-	}
-	if c.link != nil {
-		if err := c.link.Deliver(io); err != nil {
-			panic(fmt.Errorf("engine: round %q delivery failed: %w", name, err))
+	var destSecs []float64
+	if pipelined {
+		// Most of the round's traffic already flushed during emission; what
+		// remains is the leftover partial chunks, then each destination
+		// finalizes: its tagged spans sort into exactly the barrier delivery
+		// order and its receive accounting accumulates from the span
+		// lengths (integral bit counts, so float accumulation is exact).
+		ParallelFor(c.p, func(s int) { c.emitters[s].flushPending() })
+		if c.tr != nil {
+			destSecs = make([]float64, c.p)
 		}
+		ParallelFor(c.p, func(d int) {
+			var td time.Time
+			if destSecs != nil {
+				//lint:allow nondeterminism per-destination finalize spans are trace telemetry, excluded from Report.Fingerprint
+				td = time.Now()
+			}
+			bits, tuples := c.spare[d].finalizeStream(c.bitsPerValue)
+			c.recvBits[d] = bits
+			c.recvTuples[d] = tuples
+			if destSecs != nil {
+				//lint:allow nondeterminism per-destination finalize spans are trace telemetry, excluded from Report.Fingerprint
+				destSecs[d] = time.Since(td).Seconds()
+			}
+		})
 	} else {
-		DeliverLocal(io)
+		for d := 0; d < c.p; d++ {
+			c.spare[d].reset()
+		}
+		io := &DeliveryRound{
+			Round:        len(c.rounds),
+			P:            c.p,
+			BitsPerValue: c.bitsPerValue,
+			Senders:      c.emitters,
+			Inboxes:      c.spare,
+			RecvBits:     c.recvBits,
+			RecvTuples:   c.recvTuples,
+			Ctx:          c.runCtx,
+			Trace:        c.runTrace,
+		}
+		if c.tr != nil {
+			io.PerDestSeconds = make([]float64, c.p)
+		}
+		if c.link != nil {
+			if err := c.link.Deliver(io); err != nil {
+				panic(fmt.Errorf("engine: round %q delivery failed: %w", name, err))
+			}
+		} else {
+			DeliverLocal(io)
+		}
+		destSecs = io.PerDestSeconds
 	}
 	//lint:allow nondeterminism phase wall-clock timing; PhaseSeconds is a simulation metric, excluded from Report.Fingerprint
 	commDur := time.Since(t1).Seconds()
 	c.commSeconds += commDur
 	c.inbox, c.spare = c.spare, c.inbox
+	chunkFlushes := 0
+	if c.streamChunk > 0 {
+		for s := 0; s < c.p; s++ {
+			chunkFlushes += c.emitters[s].flushes
+		}
+	}
 
 	st := RoundStats{Name: name}
 	for s := 0; s < c.p; s++ {
@@ -486,10 +634,14 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 		st.Aborted = true
 	}
 	c.rounds = append(c.rounds, st)
+	c.observeBufferedMemory()
 
 	obsRoundsTotal.Inc()
 	obsRecvTuplesTotal.Add(int64(st.TotalRecvTuples))
 	obsRecvBitsTotal.Add(st.TotalRecvBits)
+	if chunkFlushes > 0 {
+		obsChunkFlushesTotal.Add(int64(chunkFlushes))
+	}
 	if st.Aborted {
 		obsRoundAborts.Inc()
 	}
@@ -501,7 +653,8 @@ func (c *Cluster) Round(name string, f func(server int, inbox *Inbox, emit *Emit
 			DeliverStart:         t1,
 			DeliverSeconds:       commDur,
 			ServerComputeSeconds: serverSecs,
-			DestDeliverSeconds:   io.PerDestSeconds,
+			DestDeliverSeconds:   destSecs,
+			ChunkFlushes:         chunkFlushes,
 			RecvBits:             c.recvBits,
 			RecvTuples:           c.recvTuples,
 			MaxRecvBits:          st.MaxRecvBits,

@@ -21,6 +21,27 @@ type Env struct {
 	// is not preempted — rounds are short; the wire waits are what can
 	// wedge.
 	Ctx context.Context
+
+	// Streaming enables chunked streaming rounds on every cluster of the
+	// run (see stream.go): pipelined mid-emission flushes in-process,
+	// chunk-capped wire frames over a transport. StreamChunk sets the
+	// chunk size in tuples; <= 0 selects DefaultStreamChunk. Bit
+	// accounting, fingerprints, and trace structure are identical to
+	// barrier mode — only wall-clock and peak memory change.
+	Streaming   bool
+	StreamChunk int
+
+	// Sink, when non-nil, receives the query output as row-major chunks
+	// instead of a materialized relation (Report.Output stays nil) — the
+	// escape hatch for outputs larger than memory. Honored by the plain
+	// join strategies' computation phase, in both modes, so a sink never
+	// changes the fingerprinted accounting.
+	Sink OutputSink
+
+	// Mem, when non-nil, collects the run's engine-buffer high-water
+	// across all clusters — the deterministic peak-memory metric behind
+	// Report.PeakBufferedBytes.
+	Mem *MemGauge
 }
 
 // NewClusterEnv creates a cluster wired to the environment: delivery goes
@@ -34,6 +55,14 @@ func NewClusterEnv(env Env, p, bitsPerValue int) *Cluster {
 	c.tr = env.Trace.NewCluster(p, bitsPerValue)
 	c.runCtx = env.Ctx
 	c.runTrace = env.Trace
+	if env.Streaming {
+		chunk := env.StreamChunk
+		if chunk <= 0 {
+			chunk = DefaultStreamChunk
+		}
+		c.SetStreamChunk(chunk)
+	}
+	c.mem = env.Mem
 	return c
 }
 
@@ -48,6 +77,7 @@ var (
 	obsClustersTotal   = obs.Default().Counter("mpc_engine_clusters_total")
 	obsRoundsTotal     = obs.Default().Counter("mpc_engine_rounds_total")
 	obsRoundAborts     = obs.Default().Counter("mpc_engine_round_aborts_total")
-	obsRecvTuplesTotal = obs.Default().Counter("mpc_engine_recv_tuples_total")
-	obsRecvBitsTotal   = obs.Default().Gauge("mpc_engine_recv_bits_total")
+	obsRecvTuplesTotal   = obs.Default().Counter("mpc_engine_recv_tuples_total")
+	obsRecvBitsTotal     = obs.Default().Gauge("mpc_engine_recv_bits_total")
+	obsChunkFlushesTotal = obs.Default().Counter("mpc_engine_chunk_flushes_total")
 )

@@ -46,6 +46,17 @@ type Scratch struct {
 	// Atom-indexed views for the map-based entry points and Fragments.
 	rels  []*data.Relation
 	frags []*data.Relation
+
+	// Streaming-evaluation memo (see EvaluateAtomsStream), live only while
+	// streaming is set: memo is the per-evaluation view of the shared cache
+	// and memoBuilt marks uncached per-step indexes already built, so
+	// running the tail steps once per chunk performs exactly the cache
+	// traffic and index builds of one barrier evaluation — the cache
+	// hit/miss totals land in the trace's deterministic Structure and must
+	// not vary with the chunking.
+	streaming bool
+	memo      map[indexKey]*atomIndex
+	memoBuilt []bool
 }
 
 // NewScratch returns an empty kernel scratch.
@@ -337,10 +348,19 @@ func (s *Scratch) joinLoop(q *query.Query, rels []*data.Relation, order []int, c
 	}
 	clear(s.varPos)
 
-	rows := 1 // one empty binding to start
-	nb := 0   // bound columns so far
+	// One empty binding, zero bound columns: joinSteps' step-0 probe of the
+	// keyless index enumerates the first atom's consistent tuples.
+	return s.joinSteps(q, rels, order, 0, cache, 1, 0)
+}
 
-	for step, ai := range order {
+// joinSteps runs the join from fromStep onward over bindings already in
+// s.cols (rows bindings of nb bound columns, s.varPos mapping their
+// variables). joinLoop starts it from step 0 with the single empty binding;
+// the streaming path (EvaluateAtomsStream) seeds step 0's bindings from one
+// chunk of the first atom's tuples and starts it from step 1.
+func (s *Scratch) joinSteps(q *query.Query, rels []*data.Relation, order []int, fromStep int, cache *IndexCache, rows, nb int) (int, error) {
+	for step := fromStep; step < len(order); step++ {
+		ai := order[step]
 		atom := &q.Atoms[ai]
 		rel := rels[ai]
 		if rel == nil {
@@ -373,21 +393,39 @@ func (s *Scratch) joinLoop(q *query.Query, rels []*data.Relation, order []int, c
 		}
 		s.eqPairs = repeatedVarPairs(atom, s.eqPairs[:0])
 
-		// Build or fetch the index.
+		// Build or fetch the index. The streaming memo short-circuits
+		// repeat fetches/builds across chunks of one evaluation: the bound
+		// variable set at each step is chunk-independent (it is determined
+		// by the join order, not the data), so the step's key is stable.
 		var ix *atomIndex
 		if cache != nil {
 			k := indexKey{atom: atom.Name, ident: rel.Identity(), sig: colSig(rel.Arity, s.keyCols, s.eqPairs)}
-			ix = cache.getOrBuild(k, func() *atomIndex {
-				fresh := new(atomIndex)
-				fresh.build(rel, s.keyCols, s.eqPairs, true)
-				return fresh
-			})
+			if m, ok := s.memo[k]; s.streaming && ok {
+				ix = m
+			} else {
+				ix = cache.getOrBuild(k, func() *atomIndex {
+					fresh := new(atomIndex)
+					fresh.build(rel, s.keyCols, s.eqPairs, true)
+					return fresh
+				})
+				if s.streaming {
+					s.memo[k] = ix
+				}
+			}
 		} else {
 			for len(s.idxs) <= step {
 				s.idxs = append(s.idxs, atomIndex{})
 			}
 			ix = &s.idxs[step]
-			ix.build(rel, s.keyCols, s.eqPairs, false)
+			if !s.streaming || len(s.memoBuilt) <= step || !s.memoBuilt[step] {
+				ix.build(rel, s.keyCols, s.eqPairs, false)
+				if s.streaming {
+					for len(s.memoBuilt) <= step {
+						s.memoBuilt = append(s.memoBuilt, false)
+					}
+					s.memoBuilt[step] = true
+				}
+			}
 		}
 
 		// Probe every binding, writing surviving rows column-wise into the

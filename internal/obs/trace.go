@@ -161,6 +161,13 @@ type RoundObservation struct {
 	MaxRecvTuples   int
 	TotalRecvTuples int
 	Aborted         bool
+
+	// ChunkFlushes counts the streaming chunks flushed (pipelined) or
+	// closed (staged) this round; 0 in barrier mode. Chunk granularity is
+	// a wall-clock/memory concern, not an accounting one, so the count
+	// appears in the Chrome export but is deliberately excluded from
+	// Structure — streamed and barrier runs must render identically.
+	ChunkFlushes int
 }
 
 // ComputePhase is one Cluster.Compute call (a local computation phase
@@ -328,17 +335,21 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 				Ts: t.micros(ro.ComputeStart), Dur: ro.ComputeSeconds * 1e6,
 				Pid: ct.id, Tid: 0,
 			})
+			deliverArgs := map[string]any{
+				"max_recv_bits":   ro.MaxRecvBits,
+				"total_recv_bits": ro.TotalRecvBits,
+				"max_recv_tuples": ro.MaxRecvTuples,
+				"aborted":         ro.Aborted,
+			}
+			if ro.ChunkFlushes > 0 {
+				deliverArgs["chunk_flushes"] = ro.ChunkFlushes
+			}
 			evs = append(evs, chromeEvent{
 				Name: fmt.Sprintf("round %d %s: deliver", i, ro.Name),
 				Cat:  "round", Ph: "X",
 				Ts: t.micros(ro.DeliverStart), Dur: ro.DeliverSeconds * 1e6,
 				Pid: ct.id, Tid: 0,
-				Args: map[string]any{
-					"max_recv_bits":   ro.MaxRecvBits,
-					"total_recv_bits": ro.TotalRecvBits,
-					"max_recv_tuples": ro.MaxRecvTuples,
-					"aborted":         ro.Aborted,
-				},
+				Args: deliverArgs,
 			})
 			for s, secs := range ro.ServerComputeSeconds {
 				ev := chromeEvent{

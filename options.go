@@ -32,6 +32,9 @@ type runConfig struct {
 	ctx         context.Context   // set by WithContext; nil = unbounded
 	faults      *fault.Plan       // set by WithFaultInjection; nil = no injection
 	recovery    int               // set by WithRecovery; 0 = fail on first peer loss
+	streaming   bool              // set by WithStreaming; false = barrier rounds
+	streamChunk int               // set by WithStreamChunk; 0 = engine default
+	sink        engine.OutputSink // set by WithOutputSink; nil = materialize output
 }
 
 // withExecCache is the internal option a Service uses to hand Run its plan
@@ -113,6 +116,30 @@ func WithContext(ctx context.Context) RunOption { return func(c *runConfig) { c.
 // distributed run must install the same plan. Nil removes nothing and
 // injects nothing.
 func WithFaultInjection(p *FaultPlan) RunOption { return func(c *runConfig) { c.faults = p } }
+
+// WithStreaming toggles streaming execution (default off): rounds deliver
+// in bounded chunks instead of materializing whole per-destination batches
+// — pipelined mid-emission flushes in-process, chunk-capped frames over a
+// distributed runtime — and the plain-join computation phase evaluates
+// through the kernel's streamed probe path. The Report is bit-identical to
+// a barrier run (same Fingerprint, same TotalBits, same trace structure);
+// only wall-clock and Report.PeakBufferedBytes change. Composes with every
+// strategy, both runtimes, fault injection, and recovery.
+func WithStreaming(on bool) RunOption { return func(c *runConfig) { c.streaming = on } }
+
+// WithStreamChunk sets the streaming chunk size in tuples (default:
+// engine.DefaultStreamChunk). Smaller chunks bound memory tighter and flush
+// more often; the result is identical for every positive size. Ignored
+// without WithStreaming / WithOutputSink.
+func WithStreamChunk(tuples int) RunOption { return func(c *runConfig) { c.streamChunk = tuples } }
+
+// WithOutputSink streams the query output into sink as row-major chunks
+// instead of materializing it — the escape hatch for outputs larger than
+// memory (Report.Output stays nil; see OutputSink for the call contract).
+// Honored by the plain-join strategies; aggregate runs materialize their
+// (small, folded) output regardless. A sink does not change any
+// fingerprinted accounting, with or without WithStreaming.
+func WithOutputSink(sink OutputSink) RunOption { return func(c *runConfig) { c.sink = sink } }
 
 // WithRecovery enables the run-level recovery supervisor: when a
 // distributed round fails with ErrPeerUnavailable, the run health-probes

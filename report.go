@@ -66,6 +66,16 @@ type Report struct {
 	ComputeSeconds float64
 	CommSeconds    float64
 
+	// PeakBufferedBytes is the run's engine-buffer high-water across all
+	// clusters and rounds: the most bytes simultaneously resident in
+	// emitter batches and inbox arenas at any round boundary (sampled
+	// deterministically, once per round, independent of goroutine
+	// scheduling). It is the number streaming mode exists to shrink —
+	// compare a WithStreaming run against a barrier run of the same
+	// workload. A wall-clock-free memory diagnostic, deliberately excluded
+	// from Fingerprint like the timing fields above.
+	PeakBufferedBytes int64
+
 	// Recovered counts the abandoned attempts a WithRecovery run replayed
 	// past before this (successful) one: 0 for an undisturbed run. The
 	// replayed run is bit-identical to an undisturbed one, so Recovered is

@@ -180,6 +180,9 @@ func runOnce(q *Query, db *Database, strategy Strategy, cfg *runConfig) (rep *Re
 	if cfg.trace != nil && wireSrc != nil {
 		wireBefore = wireSrc.Stats()
 	}
+	// One gauge per attempt: its high-water is this attempt's engine-buffer
+	// peak across all clusters, deterministic for a seeded run.
+	mem := &engine.MemGauge{}
 	rep, err = strategy.Execute(ExecContext{
 		Query:       q,
 		DB:          db,
@@ -191,11 +194,13 @@ func runOnce(q *Query, db *Database, strategy Strategy, cfg *runConfig) (rep *Re
 		Aggregate:   cfg.aggregate,
 		AggPushdown: cfg.aggPushdown,
 		cache:       cache,
-		env:         engine.Env{Net: cfg.net, Trace: cfg.trace, Ctx: cfg.ctx},
+		env: engine.Env{Net: cfg.net, Trace: cfg.trace, Ctx: cfg.ctx,
+			Streaming: cfg.streaming, StreamChunk: cfg.streamChunk, Sink: cfg.sink, Mem: mem},
 	})
 	if err != nil {
 		return nil, err
 	}
+	rep.PeakBufferedBytes = mem.Peak()
 	if cfg.trace != nil && wireSrc != nil {
 		after := wireSrc.Stats()
 		cfg.trace.ObserveWire(obs.WireObservation{

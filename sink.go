@@ -1,0 +1,130 @@
+package mpcquery
+
+import (
+	"sync"
+
+	"mpcquery/internal/engine"
+	"mpcquery/internal/hashing"
+)
+
+// OutputSink receives the query output as a stream of row-major chunks
+// instead of a materialized relation (install with WithOutputSink). Chunk
+// may be called concurrently for different servers — one goroutine per
+// server at a time; within one server, calls arrive in output order. The
+// vals slice is reused by the caller after Chunk returns: consume or copy
+// it synchronously.
+type OutputSink = engine.OutputSink
+
+// DigestSink is an OutputSink that verifies a streamed output without
+// holding it: per server it folds the chunk stream into a running
+// order-sensitive FNV-1a digest and a row count, in O(servers) memory
+// total. Digest() then merges the per-server streams in ascending server
+// order — the order data.Concat stacks per-server outputs — so a barrier
+// run's materialized output and a streamed run's sink agree digest for
+// digest. The giant-output scenarios of cmd/mpcload -benchstream and the
+// streaming equivalence tests are its consumers.
+type DigestSink struct {
+	mu      sync.Mutex
+	servers []digestStream
+}
+
+type digestStream struct {
+	rows   int
+	arity  int
+	digest uint64
+	live   bool
+}
+
+// fnvOffset/fnvPrime are the standard FNV-1a 64-bit parameters, matching
+// the hashing package's relation digests.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Chunk folds one row-major block of server s's output into its stream.
+func (d *DigestSink) Chunk(server, arity int, vals []int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.servers) <= server {
+		d.servers = append(d.servers, digestStream{})
+	}
+	st := &d.servers[server]
+	if !st.live {
+		st.live = true
+		st.arity = arity
+		st.digest = fnvOffset
+	}
+	if arity > 0 {
+		st.rows += len(vals) / arity
+	}
+	h := st.digest
+	for _, v := range vals {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= fnvPrime
+			x >>= 8
+		}
+	}
+	st.digest = h
+}
+
+// Tuples returns the total rows streamed so far, across all servers.
+func (d *DigestSink) Tuples() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for i := range d.servers {
+		n += d.servers[i].rows
+	}
+	return n
+}
+
+// Digest returns an order-sensitive digest of the whole streamed output:
+// the per-server stream digests combined in ascending server order. Two
+// runs produce the same Digest exactly when every server emitted the same
+// rows in the same order — the property the streaming differential tests
+// pin against a barrier run's materialized relation.
+func (d *DigestSink) Digest() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := uint64(fnvOffset)
+	for i := range d.servers {
+		st := &d.servers[i]
+		if !st.live {
+			continue
+		}
+		h = hashing.Combine(h, uint64(i))
+		h = hashing.Combine(h, uint64(st.rows))
+		h = hashing.Combine(h, st.digest)
+	}
+	return h
+}
+
+// ServerDigest is one server's folded output stream, as PerServer reports
+// it.
+type ServerDigest struct {
+	Server int
+	Rows   int
+	Arity  int
+	Digest uint64
+}
+
+// PerServer returns the live per-server streams in ascending server order.
+// A materialized relation built by stacking per-server outputs in the same
+// order (data.Concat) can be reconciled against it slice by slice: fold
+// each server's slice through a fresh DigestSink and compare digests.
+func (d *DigestSink) PerServer() []ServerDigest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ServerDigest, 0, len(d.servers))
+	for i := range d.servers {
+		st := &d.servers[i]
+		if !st.live {
+			continue
+		}
+		out = append(out, ServerDigest{Server: i, Rows: st.rows, Arity: st.arity, Digest: st.digest})
+	}
+	return out
+}

@@ -178,6 +178,116 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosMatrixStreaming re-runs the chaos matrix with streaming on and
+// a tiny chunk size, so faults land *mid-chunk*: frames torn, duplicated,
+// or reset between the chunks of one logical round, and a crash that
+// abandons a half-streamed attempt. The contract is unchanged — every rank
+// recovers to the fault-free barrier run's exact fingerprint, Σ ranks
+// ChargedBits == TotalBits (duplicate and abandoned chunk traffic backed
+// out of the billed accounting exactly), and crash replays move the
+// abandoned chunks to AbandonedBytes rather than double-billing them.
+func TestChaosMatrixStreaming(t *testing.T) {
+	const ranks = 3
+	families := map[string]bool{
+		"hypercube":           true,
+		"skewed-triangle":     true,
+		"chain-plan":          true,
+		"hypercube-agg-count": true,
+	}
+	kinds := map[string]bool{"drop": true, "dup": true, "reset": true, "crash": true}
+	for _, sc := range chaosFamilies() {
+		if !families[sc.name] {
+			continue
+		}
+		for _, k := range chaosKinds() {
+			if !kinds[k.name] {
+				continue
+			}
+			sc, k := sc, k
+			t.Run(sc.name+"/"+k.name, func(t *testing.T) {
+				t.Parallel()
+				want, err := sc.run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantFP := want.Fingerprint()
+
+				addrs, err := transport.FreeLoopbackAddrs(ranks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rtOpts := []RuntimeOption{
+					WithRoundTimeout(5 * time.Second),
+					WithWriteRetries(4),
+				}
+				var (
+					wg    sync.WaitGroup
+					reps  [ranks]*Report
+					stats [ranks]TransportWireStats
+					errs  [ranks]error
+				)
+				for r := 0; r < ranks; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						rt, err := DialRuntime(r, addrs, rtOpts...)
+						if err != nil {
+							errs[r] = err
+							return
+						}
+						defer rt.Close()
+						rep, err := sc.run(WithRuntime(rt),
+							WithStreaming(true), WithStreamChunk(5),
+							WithFaultInjection(k.plan()),
+							WithRecovery(k.recovery))
+						if err != nil {
+							errs[r] = err
+							return
+						}
+						reps[r] = rep
+						stats[r] = rt.WireStats()
+					}(r)
+				}
+				wg.Wait()
+				for r, err := range errs {
+					if err != nil {
+						t.Fatalf("rank %d: %v", r, err)
+					}
+				}
+				var charged, faults, abandoned int64
+				for r := 0; r < ranks; r++ {
+					if got := reps[r].Fingerprint(); got != wantFP {
+						t.Errorf("rank %d fingerprint diverged under mid-chunk %s faults\n got %s\nwant %s",
+							r, k.name, got, wantFP)
+					}
+					charged += stats[r].ChargedBits()
+					faults += stats[r].FaultsInjected
+					abandoned += stats[r].AbandonedBytes
+				}
+				if got := float64(charged); got != want.TotalBits {
+					t.Errorf("Σ ranks charged bits = %v, Report.TotalBits = %v (chunk faults must not bill)",
+						got, want.TotalBits)
+				}
+				if faults == 0 {
+					t.Errorf("no faults fired — the %s schedule is vacuous at these rates", k.name)
+				}
+				if k.recovery > 0 {
+					for r := 0; r < ranks; r++ {
+						if reps[r].Recovered < 1 {
+							t.Errorf("rank %d Recovered = %d, want >= 1 after injected crash", r, reps[r].Recovered)
+						}
+					}
+					if abandoned == 0 {
+						t.Errorf("crash recovery left AbandonedBytes = 0; abandoned chunk frames unaccounted")
+					}
+				} else if abandoned != 0 {
+					t.Errorf("fault kind %s abandoned %d bytes without any recovery replay", k.name, abandoned)
+				}
+			})
+		}
+	}
+}
+
 // TestFaultScheduleDeterministic pins the plan as a pure function: the
 // same seed draws the same faults at the same sites, a different seed
 // draws a different schedule, and neither replays (epoch > 0) nor write
